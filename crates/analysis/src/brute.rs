@@ -1,0 +1,183 @@
+//! Brute-force dependence oracle for testing.
+//!
+//! For loops whose subscripts involve only the induction variable and
+//! integer constants, the oracle enumerates iterations over a given range,
+//! records the concrete cells touched by every MI, and derives the exact set
+//! of dependences. Property tests assert that [`crate::build_ddg`] *covers*
+//! this ground truth — the analytical test may be conservative (extra edges,
+//! `Unknown` distances) but must never miss a real dependence, which is the
+//! soundness property SLMS correctness rests on.
+
+use crate::access::accesses_of_stmt;
+use crate::ddg::{Ddg, DepKind, Distance};
+use crate::mi::Mi;
+use slc_ast::visit::rewrite_expr;
+use slc_ast::Expr;
+use std::collections::HashMap;
+
+/// A ground-truth dependence observed by enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GroundDep {
+    /// Source MI (executes first).
+    pub from: usize,
+    /// Sink MI.
+    pub to: usize,
+    /// Dependence kind.
+    pub kind: DepKind,
+    /// Iteration distance (≥ 0).
+    pub dist: i64,
+}
+
+fn eval_subscript(e: &Expr, var: &str, val: i64) -> Option<i64> {
+    let mut c = e.clone();
+    rewrite_expr(&mut c, &mut |node| {
+        if let Expr::Var(n) = node {
+            if n == var {
+                *node = Expr::Int(val);
+            }
+        }
+    });
+    c.const_int()
+}
+
+/// Enumerate dependences of `mis` over iterations `lo..hi` (step 1) of
+/// variable `var`, considering **array accesses only**. Returns `None` when
+/// any subscript cannot be evaluated (contains other variables or
+/// non-arithmetic nodes).
+///
+/// Distances are capped at `max_dist` to keep test output small: real MS
+/// validity only depends on short distances relative to the MI count.
+pub fn brute_force_deps(
+    mis: &[Mi],
+    var: &str,
+    lo: i64,
+    hi: i64,
+    max_dist: i64,
+) -> Option<Vec<GroundDep>> {
+    // cell → chronological list of (iteration, mi, access-ordinal, write)
+    type Touches = HashMap<(String, Vec<i64>), Vec<(i64, usize, usize, bool)>>;
+    let mut touched: Touches = HashMap::new();
+    for (p, mi) in mis.iter().enumerate() {
+        let acc = accesses_of_stmt(&mi.stmt);
+        for i in lo..hi {
+            for (ord, a) in acc.arrays.iter().enumerate() {
+                let cell: Option<Vec<i64>> = a
+                    .indices
+                    .iter()
+                    .map(|ix| eval_subscript(ix, var, i))
+                    .collect();
+                let cell = cell?;
+                touched
+                    .entry((a.array.clone(), cell))
+                    .or_default()
+                    .push((i, p, ord, a.write));
+            }
+        }
+    }
+    let mut out: Vec<GroundDep> = Vec::new();
+    for accesses in touched.values() {
+        for (k1, &(i1, p, _o1, w1)) in accesses.iter().enumerate() {
+            for &(i2, q, _o2, w2) in &accesses[k1..] {
+                if !w1 && !w2 {
+                    continue;
+                }
+                // establish execution order: (iteration, MI position)
+                let (first, second) = if (i1, p) <= (i2, q) {
+                    ((i1, p, w1), (i2, q, w2))
+                } else {
+                    ((i2, q, w2), (i1, p, w1))
+                };
+                let dist = second.0 - first.0;
+                if dist > max_dist {
+                    continue;
+                }
+                if dist == 0 && first.1 == second.1 {
+                    continue; // intra-MI
+                }
+                let kind = match (first.2, second.2) {
+                    (true, false) => DepKind::Flow,
+                    (false, true) => DepKind::Anti,
+                    (true, true) => DepKind::Output,
+                    _ => continue,
+                };
+                let dep = GroundDep {
+                    from: first.1,
+                    to: second.1,
+                    kind,
+                    dist,
+                };
+                if !out.contains(&dep) {
+                    out.push(dep);
+                }
+            }
+        }
+    }
+    out.sort();
+    Some(out)
+}
+
+/// True if the DDG covers the ground-truth dependence (an edge with the same
+/// endpoints and kind whose distance list contains the exact distance or
+/// `Unknown`).
+pub fn ddg_covers(ddg: &Ddg, dep: &GroundDep) -> bool {
+    ddg.edges.iter().any(|e| {
+        e.from == dep.from
+            && e.to == dep.to
+            && e.kind == dep.kind
+            && (e.dists.contains(&Distance::Const(dep.dist)) || e.dists.contains(&Distance::Unknown))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ddg::build_ddg;
+    use crate::mi::partition_mis;
+    use slc_ast::parse_stmts;
+
+    fn check_sound(src: &str) {
+        let body = parse_stmts(src).unwrap();
+        let mis = partition_mis(&body).unwrap();
+        let ddg = build_ddg(&mis, "i", 1);
+        let ground = brute_force_deps(&mis, "i", 4, 24, 8).expect("evaluable loop");
+        for dep in &ground {
+            assert!(
+                ddg_covers(&ddg, dep),
+                "analysis missed {dep:?} in loop:\n{src}\nddg: {:#?}",
+                ddg.edges
+            );
+        }
+    }
+
+    #[test]
+    fn soundness_on_paper_loops() {
+        check_sound("A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];");
+        check_sound("A[i] = B[i - 1] + 1.0; B[i] = A[i - 2] + A[i - 3];");
+        check_sound("A[i] += i; A[i] *= 6.0; A[i] -= 1.0;");
+        check_sound("DU1[i] = U1[i + 1] - U1[i - 1]; U1[i + 5] = U1[i] + 2.0 * DU1[i];");
+        check_sound("A[2 * i] = 1.0; x = A[2 * i + 4];");
+        check_sound("A[2 * i] = 1.0; x = A[i];");
+    }
+
+    #[test]
+    fn brute_force_exact_distance() {
+        let body = parse_stmts("A[i] = 0.0; x = A[i - 3];").unwrap();
+        let mis = partition_mis(&body).unwrap();
+        let ground = brute_force_deps(&mis, "i", 0, 20, 10).unwrap();
+        assert!(ground.contains(&GroundDep {
+            from: 0,
+            to: 1,
+            kind: DepKind::Flow,
+            dist: 3
+        }));
+        // no anti/output deps here
+        assert!(ground.iter().all(|d| d.kind == DepKind::Flow));
+    }
+
+    #[test]
+    fn unevaluable_returns_none() {
+        let body = parse_stmts("A[i + n] = 0.0;").unwrap();
+        let mis = partition_mis(&body).unwrap();
+        assert!(brute_force_deps(&mis, "i", 0, 10, 5).is_none());
+    }
+}

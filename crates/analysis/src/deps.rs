@@ -1,0 +1,256 @@
+//! The dependence distance test for array accesses.
+//!
+//! For two accesses to the same array inside a loop over induction variable
+//! `i`, the test determines for which iteration distances `d` the access in
+//! iteration `i` (first access) and the access in iteration `i + d` (second
+//! access) can touch the same element.
+//!
+//! With affine subscripts `c·i + r` the test is exact when both accesses use
+//! the same coefficient `c` (the overwhelmingly common case in the paper's
+//! suites): the single distance is `(r1 - r2) / c` when divisible, otherwise
+//! the accesses are independent. Differing coefficients or non-affine
+//! subscripts degrade to the conservative answer "any distance", which makes
+//! downstream SLMS refuse to pipeline — the same behaviour the paper gets
+//! from Tiny when the Omega test cannot prove independence.
+
+use crate::access::ArrayAccess;
+use crate::linform::linearize;
+
+/// Errors from loop eligibility checks shared across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The loop body contains another loop.
+    NestedLoop,
+    /// The loop body contains `break`.
+    BreakInLoop,
+    /// The loop body already contains `par` groups.
+    AlreadyScheduled(String),
+    /// Loop bounds/step not in the supported normalized form.
+    UnsupportedLoopForm(String),
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::NestedLoop => write!(f, "loop body contains a nested loop"),
+            AnalysisError::BreakInLoop => write!(f, "loop body contains break"),
+            AnalysisError::AlreadyScheduled(m) => write!(f, "already scheduled: {m}"),
+            AnalysisError::UnsupportedLoopForm(m) => write!(f, "unsupported loop form: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Result of the per-pair distance test. Distances are oriented from the
+/// *first* access (iteration `i`) to the *second* (iteration `i + d`); a
+/// negative value means the second access's iteration precedes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepDist {
+    /// Provably never the same element.
+    None,
+    /// Exactly one possible distance.
+    Dist(i64),
+    /// Dependence possible at unknown (possibly many) distances.
+    Any,
+}
+
+/// Per-dimension verdict, folded across dimensions by [`array_dep_distances`].
+enum DimVerdict {
+    /// This dimension never matches.
+    Never,
+    /// Matches exactly when `d == k`.
+    Exactly(i64),
+    /// Matches for every `d` (dimension does not constrain the distance).
+    Always,
+    /// Unknown — cannot constrain.
+    Unknown,
+}
+
+fn dim_verdict(a: &slc_ast::Expr, b: &slc_ast::Expr, var: &str) -> DimVerdict {
+    let (la, lb) = match (linearize(a), linearize(b)) {
+        (Some(x), Some(y)) => (x, y),
+        _ => return DimVerdict::Unknown,
+    };
+    let (ca, ra) = la.split_var(var);
+    let (cb, rb) = lb.split_var(var);
+    // Solve ca·i + ra == cb·(i + d) + rb  for d, existentially over the
+    // remaining symbols (treated as arbitrary loop invariants).
+    if ca == cb {
+        if ca == 0 {
+            // No induction variable at all: equal iff the rests match.
+            let diff = ra.sub(&rb);
+            return if diff.is_const() {
+                if diff.konst == 0 {
+                    DimVerdict::Always
+                } else {
+                    DimVerdict::Never
+                }
+            } else {
+                // Symbolic rests might coincide for some symbol values.
+                DimVerdict::Unknown
+            };
+        }
+        // ca·i + ra = ca·i + ca·d + rb  →  ca·d = ra - rb.
+        let diff = ra.sub(&rb);
+        if diff.is_const() {
+            if diff.konst % ca == 0 {
+                DimVerdict::Exactly(diff.konst / ca)
+            } else {
+                DimVerdict::Never
+            }
+        } else {
+            DimVerdict::Unknown
+        }
+    } else {
+        // Different coefficients: a single solution exists per value of the
+        // symbols/iteration, but the distance varies with `i` — conservative.
+        DimVerdict::Unknown
+    }
+}
+
+/// Compute the possible iteration distances between two accesses to the same
+/// array. Returns [`DepDist::None`] when the arrays differ.
+pub fn array_dep_distances(a: &ArrayAccess, b: &ArrayAccess, var: &str) -> DepDist {
+    if a.array != b.array {
+        return DepDist::None;
+    }
+    if a.indices.len() != b.indices.len() {
+        // Malformed program (dimension mismatch); be conservative.
+        return DepDist::Any;
+    }
+    let mut exact: Option<i64> = None;
+    let mut any_unknown = false;
+    for (ia, ib) in a.indices.iter().zip(&b.indices) {
+        match dim_verdict(ia, ib, var) {
+            DimVerdict::Never => return DepDist::None,
+            DimVerdict::Exactly(d) => match exact {
+                None => exact = Some(d),
+                Some(prev) if prev != d => return DepDist::None,
+                Some(_) => {}
+            },
+            DimVerdict::Always => {}
+            DimVerdict::Unknown => any_unknown = true,
+        }
+    }
+    match (exact, any_unknown) {
+        // An exact dimension pins the distance even if other dims are fuzzy:
+        // the fuzzy dims may still fail to match, but `d` is the only
+        // candidate — conservatively report it.
+        (Some(d), _) => DepDist::Dist(d),
+        (None, true) => DepDist::Any,
+        (None, false) => DepDist::Any, // all dims Always: same element every iteration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_expr;
+
+    fn aa(array: &str, idx: &[&str], write: bool) -> ArrayAccess {
+        ArrayAccess {
+            array: array.into(),
+            indices: idx.iter().map(|s| parse_expr(s).unwrap()).collect(),
+            write,
+        }
+    }
+
+    #[test]
+    fn classic_flow_distance() {
+        // A[i] written, A[i-1] read → the read in iteration i+1 touches the
+        // cell written in iteration i: distance 1.
+        let w = aa("A", &["i"], true);
+        let r = aa("A", &["i - 1"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Dist(1));
+        // Opposite orientation gives -1.
+        assert_eq!(array_dep_distances(&r, &w, "i"), DepDist::Dist(-1));
+    }
+
+    #[test]
+    fn same_subscript_distance_zero() {
+        let w = aa("A", &["i"], true);
+        let r = aa("A", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Dist(0));
+    }
+
+    #[test]
+    fn different_arrays_independent() {
+        let w = aa("A", &["i"], true);
+        let r = aa("B", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::None);
+    }
+
+    #[test]
+    fn gcd_style_independence() {
+        // A[2i] vs A[2i+1]: parity differs, never aliases.
+        let w = aa("A", &["2 * i"], true);
+        let r = aa("A", &["2 * i + 1"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::None);
+        // A[2i] vs A[2i+4]: distance 2.
+        let r = aa("A", &["2 * i + 4"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Dist(-2));
+    }
+
+    #[test]
+    fn symbolic_offsets() {
+        // A[i + 101] vs A[i]: distance -101/1 … oriented: second access at
+        // i+d hits first when d = 101.
+        let w = aa("U1", &["i + 101"], true);
+        let r = aa("U1", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Dist(101));
+        // Same symbolic rest cancels: A[i + n] vs A[i + n - 1].
+        let w = aa("A", &["i + n"], true);
+        let r = aa("A", &["i + n - 1"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Dist(1));
+        // Unrelated symbols: unknown.
+        let r = aa("A", &["i + m"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
+    }
+
+    #[test]
+    fn two_dimensional() {
+        // X[k][i] vs X[k][j] — loop over k: first dims pin d = 0; second dims
+        // are symbolic (i vs j unknown) but the exact dim wins.
+        let w = aa("X", &["k", "i"], true);
+        let r = aa("X", &["k", "j"], false);
+        assert_eq!(array_dep_distances(&w, &r, "k"), DepDist::Dist(0));
+        // a[i][j] vs a[i][j+1] — loop over j: distance -1 (second earlier).
+        let w = aa("a", &["i", "j + 1"], true);
+        let r = aa("a", &["i", "j"], false);
+        assert_eq!(array_dep_distances(&w, &r, "j"), DepDist::Dist(1));
+    }
+
+    #[test]
+    fn dimension_conflict_is_independent() {
+        // A[i][i] vs A[i+1][i+2]: dims demand d=1 and d=2 → impossible.
+        let w = aa("A", &["i", "i"], true);
+        let r = aa("A", &["i + 1", "i + 2"], false);
+        assert_eq!(array_dep_distances(&r, &w, "i"), DepDist::None);
+    }
+
+    #[test]
+    fn constant_subscripts() {
+        let w = aa("A", &["0"], true);
+        let r = aa("A", &["0"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
+        let r = aa("A", &["1"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::None);
+    }
+
+    #[test]
+    fn nonaffine_is_any() {
+        let w = aa("A", &["i * i"], true);
+        let r = aa("A", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
+        let r2 = aa("A", &["B[i]"], false);
+        assert_eq!(array_dep_distances(&w, &r2, "i"), DepDist::Any);
+    }
+
+    #[test]
+    fn coefficient_mismatch_is_any() {
+        let w = aa("A", &["2 * i"], true);
+        let r = aa("A", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
+    }
+}

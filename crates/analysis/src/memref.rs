@@ -1,0 +1,200 @@
+//! The §4 memory-ref ratio used by the SLMS bad-case filter.
+//!
+//! `memref = LS / (LS + AO)` where `LS` counts load/store operations and
+//! `AO` arithmetic operations in the loop body. Following the paper's worked
+//! example (the swap loop with `LS = 6`, `AO = 1`, ratio `0.857`), `LS`
+//! counts **array element accesses and loop-variant scalar accesses** —
+//! reads and writes — while reads that only feed address arithmetic (scalar
+//! reads inside subscripts, notably the induction variable) are excluded.
+
+use crate::access::accesses_of_stmt;
+use slc_ast::visit::{for_each_expr, walk_expr};
+use slc_ast::{Expr, Stmt};
+
+/// Load/store and arithmetic operation counts for a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OpCounts {
+    /// Load/store operations (array accesses + non-address scalar accesses).
+    pub ls: usize,
+    /// Arithmetic operations (`+ - * / %`, comparisons, boolean ops,
+    /// negation, selects) outside subscript expressions.
+    pub ao: usize,
+}
+
+impl OpCounts {
+    /// `LS / (LS + AO)`; zero for an empty body.
+    pub fn memref_ratio(&self) -> f64 {
+        let total = self.ls + self.ao;
+        if total == 0 {
+            0.0
+        } else {
+            self.ls as f64 / total as f64
+        }
+    }
+}
+
+fn count_arith(e: &Expr, ao: &mut usize) {
+    // Walk the expression but do not descend into subscripts: index
+    // arithmetic is address computation, not data computation.
+    match e {
+        Expr::Binary(_, a, b) => {
+            *ao += 1;
+            count_arith(a, ao);
+            count_arith(b, ao);
+        }
+        Expr::Unary(_, a) => {
+            *ao += 1;
+            count_arith(a, ao);
+        }
+        Expr::Select(c, t, f) => {
+            *ao += 1;
+            count_arith(c, ao);
+            count_arith(t, ao);
+            count_arith(f, ao);
+        }
+        Expr::Call(_, args) => {
+            for a in args {
+                count_arith(a, ao);
+            }
+        }
+        Expr::Index(..) | Expr::Int(_) | Expr::Float(_) | Expr::Var(_) => {}
+    }
+}
+
+/// Count loads/stores and arithmetic operations in a loop body, excluding
+/// accesses to the induction variable `var`.
+pub fn op_counts(body: &[Stmt], var: &str) -> OpCounts {
+    let mut c = OpCounts::default();
+    for s in body {
+        let acc = accesses_of_stmt(s);
+        c.ls += acc.arrays.len();
+        c.ls += acc
+            .scalars
+            .iter()
+            .filter(|sc| sc.name != var && (sc.write || !sc.in_subscript))
+            .count();
+        // arithmetic: every operator outside subscripts
+        for_each_expr(s, true, &mut |e| count_arith(e, &mut c.ao));
+        // compound assignments hide one operator (`a += b` is `a = a + b`)
+        count_compound_ops(s, &mut c.ao);
+    }
+    c
+}
+
+fn count_compound_ops(s: &Stmt, ao: &mut usize) {
+    match s {
+        Stmt::Assign { op, .. } if *op != slc_ast::AssignOp::Set => *ao += 1,
+        Stmt::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
+            for st in then_branch.iter().chain(else_branch) {
+                count_compound_ops(st, ao);
+            }
+        }
+        Stmt::Block(b) | Stmt::Par(b) => {
+            for st in b {
+                count_compound_ops(st, ao);
+            }
+        }
+        Stmt::For(f) => {
+            for st in &f.body {
+                count_compound_ops(st, ao);
+            }
+        }
+        Stmt::While { body, .. } => {
+            for st in body {
+                count_compound_ops(st, ao);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Convenience wrapper: the §4 memory-ref ratio of a loop body.
+pub fn memref_ratio(body: &[Stmt], var: &str) -> f64 {
+    op_counts(body, var).memref_ratio()
+}
+
+/// Count how many scalar variables appear anywhere (diagnostics for MVE
+/// register-pressure estimates).
+pub fn distinct_scalars(body: &[Stmt], var: &str) -> usize {
+    let mut names: Vec<&str> = Vec::new();
+    for s in body {
+        for_each_expr(s, true, &mut |e| {
+            walk_expr(e, &mut |n| {
+                if let Expr::Var(v) = n {
+                    if v != var && !names.contains(&v.as_str()) {
+                        names.push(v);
+                    }
+                }
+            });
+        });
+    }
+    names.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+
+    #[test]
+    fn paper_swap_loop_ratio() {
+        // §4: CT = X[k][i]; X[k][i] = X[k][j] * 2; X[k][j] = CT;
+        // LS = 6, AO = 1, ratio 0.857 → filtered at 0.85.
+        let body =
+            parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
+        let c = op_counts(&body, "k");
+        assert_eq!(c.ls, 6, "{c:?}");
+        assert_eq!(c.ao, 1);
+        let r = c.memref_ratio();
+        assert!((r - 0.857).abs() < 0.01, "ratio {r}");
+        assert!(r > 0.85);
+    }
+
+    #[test]
+    fn intro_dot_product_not_filtered() {
+        let body = parse_stmts("t = A[i] * B[i]; s = s + t;").unwrap();
+        let c = op_counts(&body, "i");
+        // loads A[i],B[i],t,s + stores t,s = 6 LS; ops: *, + = 2 AO
+        assert_eq!(c.ls, 6);
+        assert_eq!(c.ao, 2);
+        assert!(c.memref_ratio() < 0.85);
+    }
+
+    #[test]
+    fn induction_var_excluded() {
+        let body = parse_stmts("a[i] += i;").unwrap();
+        let c = op_counts(&body, "i");
+        // a[i] read + write; `i` on the rhs excluded; `+=` is one op
+        assert_eq!(c.ls, 2);
+        assert_eq!(c.ao, 1);
+    }
+
+    #[test]
+    fn arith_heavy_loop_low_ratio() {
+        let body = parse_stmts(
+            "X[k] = X[k - 1] * X[k - 1] * X[k - 1] * X[k - 1] * X[k - 1] \
+             + X[k + 1] * X[k + 1] * X[k + 1] * X[k + 1] * X[k + 1];",
+        )
+        .unwrap();
+        let c = op_counts(&body, "k");
+        assert_eq!(c.ao, 9); // 8 muls + 1 add
+        assert_eq!(c.ls, 11);
+        assert!(c.memref_ratio() < 0.85);
+    }
+
+    #[test]
+    fn empty_body() {
+        assert_eq!(memref_ratio(&[], "i"), 0.0);
+    }
+
+    #[test]
+    fn distinct_scalar_count() {
+        let body = parse_stmts("t = A[i + 1]; A[i] = A[i - 1] + t; scal = B[i] / 2.0; C[i] = scal * 3.0;")
+            .unwrap();
+        assert_eq!(distinct_scalars(&body, "i"), 2);
+    }
+}

@@ -1,0 +1,116 @@
+//! Partitioning a loop body into multi-instructions (MIs).
+//!
+//! §3 of the paper: "The input AST is logically partitioned to
+//! multi-instructions (MI), corresponding to assignments, function-calls or
+//! to elementary if-statements." Each top-level statement of the loop body
+//! becomes one MI; plain blocks are flattened. Nested loops, `break` and
+//! already-scheduled `par` groups make the loop ineligible for SLMS.
+
+use crate::deps::AnalysisError;
+use slc_ast::Stmt;
+
+/// Classification of a multi-instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MiKind {
+    /// Plain assignment `lhs op= rhs;`.
+    Assign,
+    /// Elementary if-statement (after if-conversion these carry a single
+    /// predicated assignment and an empty else branch).
+    If,
+    /// Opaque call — a scheduling barrier.
+    Call,
+}
+
+/// One multi-instruction: an owned statement plus its classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mi {
+    /// The statement (an assignment, elementary if, or call).
+    pub stmt: Stmt,
+    /// Classification used by dependence construction and decomposition.
+    pub kind: MiKind,
+}
+
+impl Mi {
+    /// Wrap a statement, classifying it. Returns `None` for statements that
+    /// cannot be MIs (loops, breaks, blocks, par groups).
+    pub fn new(stmt: Stmt) -> Option<Mi> {
+        let kind = match &stmt {
+            Stmt::Assign { .. } => MiKind::Assign,
+            Stmt::If { .. } => MiKind::If,
+            Stmt::Call(..) => MiKind::Call,
+            _ => return None,
+        };
+        Some(Mi { stmt, kind })
+    }
+}
+
+/// Partition a loop body into MIs, flattening plain blocks.
+///
+/// Errors:
+/// * [`AnalysisError::NestedLoop`] — the body contains a `for`/`while`
+///   (SLMS applies to innermost loops; outer loops are handled by first
+///   transforming with interchange/fusion, per §6);
+/// * [`AnalysisError::BreakInLoop`] — `break` makes the trip count
+///   control-dependent (the §10 while-loop extension is a separate path);
+/// * [`AnalysisError::AlreadyScheduled`] — the body contains `par` groups.
+pub fn partition_mis(body: &[Stmt]) -> Result<Vec<Mi>, AnalysisError> {
+    let mut out = Vec::new();
+    collect(body, &mut out)?;
+    Ok(out)
+}
+
+fn collect(body: &[Stmt], out: &mut Vec<Mi>) -> Result<(), AnalysisError> {
+    for s in body {
+        match s {
+            Stmt::Block(inner) => collect(inner, out)?,
+            Stmt::For(_) | Stmt::While { .. } => return Err(AnalysisError::NestedLoop),
+            Stmt::Break => return Err(AnalysisError::BreakInLoop),
+            Stmt::Par(_) => {
+                return Err(AnalysisError::AlreadyScheduled(
+                    "loop body already contains par groups".into(),
+                ))
+            }
+            other => out.push(Mi::new(other.clone()).expect("classified above")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+
+    #[test]
+    fn flattens_blocks() {
+        let body = parse_stmts("x = 1; { y = 2; z = 3; } f(x);").unwrap();
+        let mis = partition_mis(&body).unwrap();
+        assert_eq!(mis.len(), 4);
+        assert_eq!(mis[3].kind, MiKind::Call);
+    }
+
+    #[test]
+    fn if_is_single_mi() {
+        let body = parse_stmts("if (x < y) { x = x + 1; } else y = y + 1;").unwrap();
+        let mis = partition_mis(&body).unwrap();
+        assert_eq!(mis.len(), 1);
+        assert_eq!(mis[0].kind, MiKind::If);
+    }
+
+    #[test]
+    fn rejects_nested_loop_and_break() {
+        let body = parse_stmts("for (j = 0; j < 3; j++) x = 1;").unwrap();
+        assert_eq!(partition_mis(&body), Err(AnalysisError::NestedLoop));
+        let body = parse_stmts("break;").unwrap();
+        assert_eq!(partition_mis(&body), Err(AnalysisError::BreakInLoop));
+    }
+
+    #[test]
+    fn rejects_par() {
+        let body = parse_stmts("par { x = 1; y = 2; }").unwrap();
+        assert!(matches!(
+            partition_mis(&body),
+            Err(AnalysisError::AlreadyScheduled(_))
+        ));
+    }
+}

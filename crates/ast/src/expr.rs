@@ -1,0 +1,281 @@
+//! Expressions and l-values of the mini language.
+//!
+//! Expressions are deliberately simple: scalars, array references with
+//! arbitrary index expressions (the dependence analyzer only understands
+//! *affine* indices, everything else is treated conservatively), unary and
+//! binary operators, comparisons, boolean connectives and a C-style ternary
+//! conditional (needed for the paper's §10 while-loop extension).
+
+use std::fmt;
+
+/// Binary arithmetic and logical operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integer remainder)
+    Mod,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// comparison operators, kept in one variant family for compact matching
+    Cmp(CmpOp),
+}
+
+/// Comparison operators (`<`, `<=`, `>`, `>=`, `==`, `!=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// The comparison with operands swapped (`a < b` ⇔ `b > a`).
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The logical negation (`a < b` ⇔ `!(a >= b)`).
+    pub fn negate(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Evaluate the comparison on two `f64` values (integers are embedded).
+    pub fn eval(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// arithmetic negation `-e`
+    Neg,
+    /// logical not `!e`
+    Not,
+}
+
+/// An expression of the mini language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Floating point literal, e.g. `2.5`.
+    Float(f64),
+    /// Scalar variable reference, e.g. `x`.
+    Var(String),
+    /// Array element reference, e.g. `A[i + 1]` or `X[k][j]`.
+    Index(String, Vec<Expr>),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// Ternary conditional `c ? t : e`.
+    Select(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// Call to an opaque function, e.g. `f(x, A[i])`. SLMS treats calls as
+    /// barriers for reordering unless the user marks them pure.
+    Call(String, Vec<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `lhs op rhs`.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// Convenience constructor: scalar variable reference.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Var(name.into())
+    }
+
+    /// Convenience constructor: 1-D array reference `name[idx]`.
+    pub fn idx(name: impl Into<String>, idx: Expr) -> Expr {
+        Expr::Index(name.into(), vec![idx])
+    }
+
+    /// `var + offset` folded when `offset == 0`; negative offsets print as
+    /// subtraction. This is the canonical form produced by index shifting.
+    pub fn var_plus(name: &str, offset: i64) -> Expr {
+        match offset {
+            0 => Expr::Var(name.to_string()),
+            o if o > 0 => Expr::bin(BinOp::Add, Expr::Var(name.to_string()), Expr::Int(o)),
+            o => Expr::bin(BinOp::Sub, Expr::Var(name.to_string()), Expr::Int(-o)),
+        }
+    }
+
+    /// True if the expression is a literal constant.
+    pub fn is_const(&self) -> bool {
+        matches!(self, Expr::Int(_) | Expr::Float(_))
+    }
+
+    /// Fold an integer-constant expression to its value, if possible.
+    /// Used for loop bounds and subscript normalization.
+    pub fn const_int(&self) -> Option<i64> {
+        match self {
+            Expr::Int(v) => Some(*v),
+            Expr::Unary(UnOp::Neg, e) => e.const_int().map(|v| -v),
+            Expr::Binary(op, a, b) => {
+                let (a, b) = (a.const_int()?, b.const_int()?);
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => (b != 0).then(|| a / b),
+                    BinOp::Mod => (b != 0).then(|| a % b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The target of an assignment: a scalar or an array element.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String),
+    /// Array element, e.g. `A[i + 1]`.
+    Index(String, Vec<Expr>),
+}
+
+impl LValue {
+    /// The variable or array name being written.
+    pub fn name(&self) -> &str {
+        match self {
+            LValue::Var(n) | LValue::Index(n, _) => n,
+        }
+    }
+
+    /// View this l-value as the equivalent r-value expression.
+    pub fn as_expr(&self) -> Expr {
+        match self {
+            LValue::Var(n) => Expr::Var(n.clone()),
+            LValue::Index(n, idx) => Expr::Index(n.clone(), idx.clone()),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::And => "&&",
+            BinOp::Or => "||",
+            BinOp::Cmp(c) => return write!(f, "{c}"),
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn const_folding() {
+        let e = Expr::bin(
+            BinOp::Add,
+            Expr::Int(3),
+            Expr::bin(BinOp::Mul, Expr::Int(4), Expr::Int(5)),
+        );
+        assert_eq!(e.const_int(), Some(23));
+    }
+
+    #[test]
+    fn const_folding_div_by_zero_is_none() {
+        let e = Expr::bin(BinOp::Div, Expr::Int(3), Expr::Int(0));
+        assert_eq!(e.const_int(), None);
+    }
+
+    #[test]
+    fn var_plus_forms() {
+        assert_eq!(Expr::var_plus("i", 0), Expr::Var("i".into()));
+        assert_eq!(
+            Expr::var_plus("i", 2),
+            Expr::bin(BinOp::Add, Expr::Var("i".into()), Expr::Int(2))
+        );
+        assert_eq!(
+            Expr::var_plus("i", -1),
+            Expr::bin(BinOp::Sub, Expr::Var("i".into()), Expr::Int(1))
+        );
+    }
+
+    #[test]
+    fn cmp_negate_and_swap() {
+        assert_eq!(CmpOp::Lt.negate(), CmpOp::Ge);
+        assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negate(), CmpOp::Ne);
+        assert!(CmpOp::Le.eval(2.0, 2.0));
+        assert!(!CmpOp::Ne.eval(2.0, 2.0));
+    }
+
+    #[test]
+    fn lvalue_as_expr() {
+        let lv = LValue::Index("A".into(), vec![Expr::var("i")]);
+        assert_eq!(lv.as_expr(), Expr::idx("A", Expr::var("i")));
+        assert_eq!(lv.name(), "A");
+    }
+}

@@ -1,0 +1,376 @@
+//! Hand-written lexer for the mini language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// identifier or keyword
+    Ident(String),
+    /// integer literal
+    Int(i64),
+    /// float literal (contains `.` or exponent)
+    Float(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `?`
+    Question,
+    /// `:`
+    Colon,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Bang,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `*=`
+    StarAssign,
+    /// `/=`
+    SlashAssign,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// end of input
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Float(v) => write!(f, "{v}"),
+            other => {
+                let s = match other {
+                    Token::LParen => "(",
+                    Token::RParen => ")",
+                    Token::LBracket => "[",
+                    Token::RBracket => "]",
+                    Token::LBrace => "{",
+                    Token::RBrace => "}",
+                    Token::Semi => ";",
+                    Token::Comma => ",",
+                    Token::Question => "?",
+                    Token::Colon => ":",
+                    Token::Plus => "+",
+                    Token::Minus => "-",
+                    Token::Star => "*",
+                    Token::Slash => "/",
+                    Token::Percent => "%",
+                    Token::Bang => "!",
+                    Token::Assign => "=",
+                    Token::PlusAssign => "+=",
+                    Token::MinusAssign => "-=",
+                    Token::StarAssign => "*=",
+                    Token::SlashAssign => "/=",
+                    Token::PlusPlus => "++",
+                    Token::MinusMinus => "--",
+                    Token::EqEq => "==",
+                    Token::NotEq => "!=",
+                    Token::Lt => "<",
+                    Token::Le => "<=",
+                    Token::Gt => ">",
+                    Token::Ge => ">=",
+                    Token::AndAnd => "&&",
+                    Token::OrOr => "||",
+                    Token::Eof => "<eof>",
+                    _ => unreachable!(),
+                };
+                f.write_str(s)
+            }
+        }
+    }
+}
+
+/// Streaming lexer: produces [`Token`]s with line numbers for error
+/// reporting. Supports `//` line comments and `/* */` block comments.
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    /// Current 1-based line number, updated as input is consumed.
+    pub line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), String> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.peek() != b'\n' && self.peek() != 0 {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.peek() == 0 {
+                            return Err(format!("line {}: unterminated block comment", self.line));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Produce the next token.
+    pub fn next_token(&mut self) -> Result<Token, String> {
+        self.skip_trivia()?;
+        let c = self.peek();
+        if c == 0 {
+            return Ok(Token::Eof);
+        }
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = self.pos;
+            while self.peek().is_ascii_alphanumeric() || self.peek() == b'_' {
+                self.bump();
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            return Ok(Token::Ident(s.to_string()));
+        }
+        if c.is_ascii_digit() {
+            let start = self.pos;
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+            let mut is_float = false;
+            if self.peek() == b'.' && self.peek2().is_ascii_digit() {
+                is_float = true;
+                self.bump();
+                while self.peek().is_ascii_digit() {
+                    self.bump();
+                }
+            }
+            if self.peek() == b'e' || self.peek() == b'E' {
+                let save = self.pos;
+                self.bump();
+                if self.peek() == b'+' || self.peek() == b'-' {
+                    self.bump();
+                }
+                if self.peek().is_ascii_digit() {
+                    is_float = true;
+                    while self.peek().is_ascii_digit() {
+                        self.bump();
+                    }
+                } else {
+                    self.pos = save;
+                }
+            }
+            let s = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            return if is_float {
+                s.parse::<f64>()
+                    .map(Token::Float)
+                    .map_err(|e| format!("line {}: bad float literal {s}: {e}", self.line))
+            } else {
+                s.parse::<i64>()
+                    .map(Token::Int)
+                    .map_err(|e| format!("line {}: bad int literal {s}: {e}", self.line))
+            };
+        }
+        self.bump();
+        let two = |l: &mut Lexer<'a>, tok| {
+            l.bump();
+            Ok(tok)
+        };
+        match (c, self.peek()) {
+            (b'+', b'+') => two(self, Token::PlusPlus),
+            (b'+', b'=') => two(self, Token::PlusAssign),
+            (b'-', b'-') => two(self, Token::MinusMinus),
+            (b'-', b'=') => two(self, Token::MinusAssign),
+            (b'*', b'=') => two(self, Token::StarAssign),
+            (b'/', b'=') => two(self, Token::SlashAssign),
+            (b'=', b'=') => two(self, Token::EqEq),
+            (b'!', b'=') => two(self, Token::NotEq),
+            (b'<', b'=') => two(self, Token::Le),
+            (b'>', b'=') => two(self, Token::Ge),
+            (b'&', b'&') => two(self, Token::AndAnd),
+            (b'|', b'|') => two(self, Token::OrOr),
+            (b'+', _) => Ok(Token::Plus),
+            (b'-', _) => Ok(Token::Minus),
+            (b'*', _) => Ok(Token::Star),
+            (b'/', _) => Ok(Token::Slash),
+            (b'%', _) => Ok(Token::Percent),
+            (b'!', _) => Ok(Token::Bang),
+            (b'=', _) => Ok(Token::Assign),
+            (b'<', _) => Ok(Token::Lt),
+            (b'>', _) => Ok(Token::Gt),
+            (b'(', _) => Ok(Token::LParen),
+            (b')', _) => Ok(Token::RParen),
+            (b'[', _) => Ok(Token::LBracket),
+            (b']', _) => Ok(Token::RBracket),
+            (b'{', _) => Ok(Token::LBrace),
+            (b'}', _) => Ok(Token::RBrace),
+            (b';', _) => Ok(Token::Semi),
+            (b',', _) => Ok(Token::Comma),
+            (b'?', _) => Ok(Token::Question),
+            (b':', _) => Ok(Token::Colon),
+            _ => Err(format!(
+                "line {}: unexpected character {:?}",
+                self.line, c as char
+            )),
+        }
+    }
+
+    /// Lex the whole input into a vector (final element is [`Token::Eof`]).
+    pub fn tokenize(mut self) -> Result<Vec<(Token, usize)>, String> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let line = self.line;
+            let t = self.next_token()?;
+            let done = t == Token::Eof;
+            out.push((t, line));
+            if done {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<Token> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let t = lex("for (i = 0; i < n; i++) { A[i] += 2.5; }");
+        assert!(t.contains(&Token::Ident("for".into())));
+        assert!(t.contains(&Token::PlusPlus));
+        assert!(t.contains(&Token::PlusAssign));
+        assert!(t.contains(&Token::Float(2.5)));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = lex("x // trailing\n /* block\n comment */ = 1;");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("x".into()),
+                Token::Assign,
+                Token::Int(1),
+                Token::Semi,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn float_exponent_forms() {
+        assert_eq!(lex("1e3")[0], Token::Float(1000.0));
+        assert_eq!(lex("2.5e-1")[0], Token::Float(0.25));
+        // `e` not followed by digits is left as separate tokens
+        let t = lex("1 e");
+        assert_eq!(t[0], Token::Int(1));
+        assert_eq!(t[1], Token::Ident("e".into()));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(lex("<=")[0], Token::Le);
+        assert_eq!(lex("!=")[0], Token::NotEq);
+        assert_eq!(lex("&&")[0], Token::AndAnd);
+        assert_eq!(lex("||")[0], Token::OrOr);
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(Lexer::new("/* nope").tokenize().is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = Lexer::new("x\n\ny").tokenize().unwrap();
+        assert_eq!(toks[0].1, 1);
+        assert_eq!(toks[1].1, 3);
+    }
+}

@@ -1,0 +1,357 @@
+//! Pretty printer.
+//!
+//! Two output styles:
+//!
+//! * [`to_source`] — canonical, re-parsable form. Parallel groups print as
+//!   `par { ... }`. Used for round-trip tests and for feeding SLMS output
+//!   back into the tool chain (the SLC is source-to-source).
+//! * [`to_paper_style`] — the notation used throughout the ICPP'06 paper:
+//!   members of a parallel group are joined with ` || ` on one line. This is
+//!   the human-facing "readable optimized code" the paper emphasizes.
+
+use crate::expr::{BinOp, Expr, LValue, UnOp};
+use crate::program::{Decl, Program, Ty};
+use crate::stmt::{AssignOp, Stmt};
+use std::fmt::Write;
+
+/// Operator precedence for minimal parenthesization. Higher binds tighter.
+fn prec(op: &BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Cmp(_) => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div | BinOp::Mod => 5,
+    }
+}
+
+/// Render an expression with minimal parentheses.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e, 0);
+    s
+}
+
+fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
+    match e {
+        Expr::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Expr::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Expr::Var(n) => out.push_str(n),
+        Expr::Index(n, idx) => {
+            out.push_str(n);
+            for i in idx {
+                out.push('[');
+                write_expr(out, i, 0);
+                out.push(']');
+            }
+        }
+        Expr::Unary(op, inner) => {
+            out.push(match op {
+                UnOp::Neg => '-',
+                UnOp::Not => '!',
+            });
+            // Unary binds tightest; parenthesize any non-atomic operand.
+            // A negative literal or nested negation must also be wrapped:
+            // `-(-14)` printed as `--14` would lex as the `--` token.
+            let neg_clash = *op == UnOp::Neg
+                && (matches!(
+                    **inner,
+                    Expr::Unary(UnOp::Neg, _) | Expr::Int(i64::MIN..=-1)
+                ) || matches!(**inner, Expr::Float(v) if v.is_sign_negative()));
+            let atomic = !neg_clash
+                && matches!(
+                    **inner,
+                    Expr::Int(_) | Expr::Float(_) | Expr::Var(_) | Expr::Index(..) | Expr::Call(..)
+                );
+            if atomic {
+                write_expr(out, inner, 0);
+            } else {
+                out.push('(');
+                write_expr(out, inner, 0);
+                out.push(')');
+            }
+        }
+        Expr::Binary(op, a, b) => {
+            let p = prec(op);
+            let need = p < parent_prec;
+            if need {
+                out.push('(');
+            }
+            // Comparisons are *non-associative* in the grammar: a nested
+            // comparison on either side must be parenthesized.
+            let left_prec = if matches!(op, BinOp::Cmp(_)) { p + 1 } else { p };
+            write_expr(out, a, left_prec);
+            let _ = write!(out, " {op} ");
+            // Right operand of a left-associative operator needs parens at
+            // equal precedence (a - (b - c)).
+            write_expr(out, b, p + 1);
+            if need {
+                out.push(')');
+            }
+        }
+        Expr::Select(c, t, f) => {
+            out.push('(');
+            write_expr(out, c, 0);
+            out.push_str(" ? ");
+            write_expr(out, t, 0);
+            out.push_str(" : ");
+            write_expr(out, f, 0);
+            out.push(')');
+        }
+        Expr::Call(n, args) => {
+            out.push_str(n);
+            out.push('(');
+            for (k, a) in args.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn lvalue_to_string(lv: &LValue) -> String {
+    expr_to_string(&lv.as_expr())
+}
+
+fn assign_op_str(op: AssignOp) -> &'static str {
+    match op {
+        AssignOp::Set => "=",
+        AssignOp::Add => "+=",
+        AssignOp::Sub => "-=",
+        AssignOp::Mul => "*=",
+        AssignOp::Div => "/=",
+    }
+}
+
+/// Render a single statement on one logical line (no trailing newline) when
+/// possible; nested blocks expand over multiple lines at `indent`.
+fn write_stmt(out: &mut String, s: &Stmt, indent: usize, paper: bool) {
+    let pad = "    ".repeat(indent);
+    match s {
+        Stmt::Assign { target, op, value } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} {} {};",
+                lvalue_to_string(target),
+                assign_op_str(*op),
+                expr_to_string(value)
+            );
+        }
+        Stmt::Call(n, args) => {
+            let _ = writeln!(
+                out,
+                "{pad}{};",
+                expr_to_string(&Expr::Call(n.clone(), args.clone()))
+            );
+        }
+        Stmt::Break => {
+            let _ = writeln!(out, "{pad}break;");
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let _ = writeln!(out, "{pad}if ({}) {{", expr_to_string(cond));
+            for st in then_branch {
+                write_stmt(out, st, indent + 1, paper);
+            }
+            if else_branch.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for st in else_branch {
+                    write_stmt(out, st, indent + 1, paper);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::For(f) => {
+            let step = match f.step {
+                1 => "++".to_string(),
+                -1 => "--".to_string(),
+                s if s > 0 => format!(" += {s}"),
+                s => format!(" -= {}", -s),
+            };
+            let _ = writeln!(
+                out,
+                "{pad}for ({v} = {init}; {v} {cmp} {bound}; {v}{step}) {{",
+                v = f.var,
+                init = expr_to_string(&f.init),
+                cmp = f.cmp,
+                bound = expr_to_string(&f.bound),
+            );
+            for st in &f.body {
+                write_stmt(out, st, indent + 1, paper);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::While { cond, body } => {
+            let _ = writeln!(out, "{pad}while ({}) {{", expr_to_string(cond));
+            for st in body {
+                write_stmt(out, st, indent + 1, paper);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Block(body) => {
+            let _ = writeln!(out, "{pad}{{");
+            for st in body {
+                write_stmt(out, st, indent + 1, paper);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+        Stmt::Par(members) => {
+            if paper {
+                // Paper style: `MI1; || MI2; || MI3;` on a single line when
+                // every member is a simple statement.
+                let simple = members.iter().all(|m| {
+                    matches!(m, Stmt::Assign { .. } | Stmt::Call(..) | Stmt::Break)
+                        || matches!(m, Stmt::If { then_branch, else_branch, .. }
+                            if then_branch.len() == 1 && else_branch.is_empty())
+                });
+                if simple {
+                    let mut parts = Vec::new();
+                    for m in members {
+                        let mut piece = String::new();
+                        write_stmt(&mut piece, m, 0, paper);
+                        parts.push(piece.trim_end().to_string());
+                    }
+                    let _ = writeln!(out, "{pad}{}", parts.join(" || "));
+                    return;
+                }
+            }
+            let _ = writeln!(out, "{pad}par {{");
+            for st in members {
+                write_stmt(out, st, indent + 1, paper);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+fn write_decl(out: &mut String, d: &Decl) {
+    let ty = match d.ty {
+        Ty::Int => "int",
+        Ty::Float => "float",
+    };
+    let _ = write!(out, "{ty} {}", d.name);
+    for dim in &d.dims {
+        let _ = write!(out, "[{dim}]");
+    }
+    out.push_str(";\n");
+}
+
+/// Canonical re-parsable source for a whole program.
+pub fn to_source(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        write_decl(&mut out, d);
+    }
+    for s in &p.stmts {
+        write_stmt(&mut out, s, 0, false);
+    }
+    out
+}
+
+/// Paper-style rendering (parallel groups as `...; || ...;`). Not guaranteed
+/// to re-parse; intended for human inspection, examples and experiment logs.
+pub fn to_paper_style(p: &Program) -> String {
+    let mut out = String::new();
+    for d in &p.decls {
+        write_decl(&mut out, d);
+    }
+    for s in &p.stmts {
+        write_stmt(&mut out, s, 0, true);
+    }
+    out
+}
+
+/// Render a statement list in canonical style (for diagnostics/tests).
+pub fn stmts_to_source(stmts: &[Stmt]) -> String {
+    let mut out = String::new();
+    for s in stmts {
+        write_stmt(&mut out, s, 0, false);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_program, parse_stmts};
+
+    fn rt(src: &str) {
+        let p = parse_program(src).unwrap();
+        let printed = to_source(&p);
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(p, p2, "round trip failed for:\n{src}\nprinted:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrip_programs() {
+        rt("float A[100]; for (i = 0; i < 100; i++) A[i] = A[i - 1] + A[i + 1];");
+        rt("int x; if (x < 3) { x = 1; } else { x = 2; }");
+        rt("float B[10]; par { B[0] = 1.0; B[1] = 2.0; }");
+        rt("int i; while (i < 10) { i++; if (i == 5) break; }");
+        rt("float X[8][8]; for (j = 0; j < 8; j++) for (i = 0; i < 8; i += 2) X[i][j] = 0.5;");
+    }
+
+    #[test]
+    fn minimal_parens() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(expr_to_string(&e), "a + b * c");
+        let e = parse_expr("(a + b) * c").unwrap();
+        assert_eq!(expr_to_string(&e), "(a + b) * c");
+        let e = parse_expr("a - (b - c)").unwrap();
+        assert_eq!(expr_to_string(&e), "a - (b - c)");
+        let e = parse_expr("a - b - c").unwrap();
+        assert_eq!(expr_to_string(&e), "a - b - c");
+    }
+
+    #[test]
+    fn paren_roundtrip_preserves_ast() {
+        for src in [
+            "a * (b + c) - d / (e - f)",
+            "-(a + b)",
+            "!(a < b) && c != d || e >= f",
+            "x % 3 == 0 ? a[i] : b[i + 1]",
+        ] {
+            let e = parse_expr(src).unwrap();
+            let printed = expr_to_string(&e);
+            let e2 = parse_expr(&printed).unwrap();
+            assert_eq!(e, e2, "src={src} printed={printed}");
+        }
+    }
+
+    #[test]
+    fn paper_style_par_line() {
+        let p = parse_program("float A[4]; float r; par { A[0] = r; r = A[3]; }").unwrap();
+        let s = to_paper_style(&p);
+        assert!(s.contains("A[0] = r; || r = A[3];"), "got:\n{s}");
+    }
+
+    #[test]
+    fn paper_style_predicated_if_inline() {
+        let stmts = parse_stmts("par { if (c) x = 1; y = 2; }").unwrap();
+        let mut out = String::new();
+        super::write_stmt(&mut out, &stmts[0], 0, true);
+        assert!(out.contains("||"), "got {out}");
+    }
+
+    #[test]
+    fn float_literal_forms() {
+        assert_eq!(expr_to_string(&Expr::Float(2.0)), "2.0");
+        assert_eq!(expr_to_string(&Expr::Float(0.25)), "0.25");
+    }
+}

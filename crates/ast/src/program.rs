@@ -1,0 +1,138 @@
+//! Top-level programs: declarations plus a statement list.
+
+use crate::stmt::Stmt;
+
+/// Element type of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit float.
+    Float,
+}
+
+/// A variable declaration: scalar (`dims` empty) or array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Variable name.
+    pub name: String,
+    /// Element type.
+    pub ty: Ty,
+    /// Array dimensions; empty for scalars.
+    pub dims: Vec<usize>,
+}
+
+impl Decl {
+    /// Scalar declaration.
+    pub fn scalar(name: impl Into<String>, ty: Ty) -> Decl {
+        Decl {
+            name: name.into(),
+            ty,
+            dims: vec![],
+        }
+    }
+
+    /// Array declaration.
+    pub fn array(name: impl Into<String>, ty: Ty, dims: Vec<usize>) -> Decl {
+        Decl {
+            name: name.into(),
+            ty,
+            dims,
+        }
+    }
+
+    /// True for array declarations.
+    pub fn is_array(&self) -> bool {
+        !self.dims.is_empty()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product::<usize>().max(1)
+    }
+
+    /// True when the declaration has no dimensions *and* is treated as a
+    /// scalar (always false for arrays).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// A complete mini-language program: declarations followed by statements.
+///
+/// The namespace is flat (as in Tiny): all variables are global, and any
+/// temporary introduced by a transformation must be registered through
+/// [`Program::ensure_scalar`] / [`Program::ensure_array`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All declarations, in declaration order.
+    pub decls: Vec<Decl>,
+    /// Top-level statements.
+    pub stmts: Vec<Stmt>,
+}
+
+impl Program {
+    /// Empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Look up a declaration by name.
+    pub fn decl(&self, name: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.name == name)
+    }
+
+    /// Register a scalar declaration if the name is not yet declared.
+    /// Returns the name for chaining.
+    pub fn ensure_scalar(&mut self, name: &str, ty: Ty) -> String {
+        if self.decl(name).is_none() {
+            self.decls.push(Decl::scalar(name, ty));
+        }
+        name.to_string()
+    }
+
+    /// Register an array declaration if the name is not yet declared.
+    pub fn ensure_array(&mut self, name: &str, ty: Ty, dims: Vec<usize>) -> String {
+        if self.decl(name).is_none() {
+            self.decls.push(Decl::array(name, ty, dims));
+        }
+        name.to_string()
+    }
+
+    /// A fresh variable name with the given prefix that collides with no
+    /// existing declaration (`reg1`, `reg2`, ... in the paper's output).
+    pub fn fresh_name(&self, prefix: &str) -> String {
+        let mut k = 1usize;
+        loop {
+            let cand = format!("{prefix}{k}");
+            if self.decl(&cand).is_none() {
+                return cand;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_names_skip_taken() {
+        let mut p = Program::new();
+        p.ensure_scalar("reg1", Ty::Float);
+        p.ensure_scalar("reg2", Ty::Float);
+        assert_eq!(p.fresh_name("reg"), "reg3");
+        assert_eq!(p.fresh_name("t"), "t1");
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut p = Program::new();
+        p.ensure_array("A", Ty::Float, vec![10]);
+        p.ensure_array("A", Ty::Float, vec![10]);
+        assert_eq!(p.decls.len(), 1);
+        assert!(p.decl("A").unwrap().is_array());
+        assert_eq!(p.decl("A").unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,220 @@
+//! Statements of the mini language.
+
+use crate::expr::{CmpOp, Expr, LValue};
+
+/// Compound-assignment operators. `x op= e` desugars semantically to
+/// `x = x op e` but the surface form is preserved for readability — SLMS is
+/// a *source level* optimizer and the paper stresses that the output should
+/// stay close to the input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+    /// `*=`
+    Mul,
+    /// `/=`
+    Div,
+}
+
+/// A counted `for` loop in the normalized form the paper works with:
+/// `for (var = init; var cmp bound; var += step) body`.
+///
+/// `step` may be negative (reversed loops); `cmp` is one of `<`, `<=`, `>`,
+/// `>=`. Loops whose iteration count cannot be expressed this way must be
+/// rewritten by the user (the paper's §2 interaction: "replacing while-loops
+/// by fixed range for-loops").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForLoop {
+    /// Induction variable name.
+    pub var: String,
+    /// Initial value expression (usually a constant or a symbolic bound).
+    pub init: Expr,
+    /// Comparison against `bound` that keeps the loop running.
+    pub cmp: CmpOp,
+    /// Loop bound expression.
+    pub bound: Expr,
+    /// Constant additive step applied each iteration.
+    pub step: i64,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+impl ForLoop {
+    /// Number of iterations when `init` and `bound` are integer constants.
+    /// Returns `None` for symbolic bounds or a non-terminating direction.
+    pub fn trip_count(&self) -> Option<i64> {
+        let lo = self.init.const_int()?;
+        let hi = self.bound.const_int()?;
+        let s = self.step;
+        if s == 0 {
+            return None;
+        }
+        let span = match self.cmp {
+            CmpOp::Lt => hi - lo,
+            CmpOp::Le => hi - lo + 1,
+            CmpOp::Gt => lo - hi,
+            CmpOp::Ge => lo - hi + 1,
+            _ => return None,
+        };
+        if span <= 0 {
+            return Some(0);
+        }
+        let s_abs = s.abs();
+        // Direction sanity: `<`/`<=` need a positive step, `>`/`>=` negative.
+        let dir_ok = match self.cmp {
+            CmpOp::Lt | CmpOp::Le => s > 0,
+            CmpOp::Gt | CmpOp::Ge => s < 0,
+            _ => false,
+        };
+        if !dir_ok {
+            return None;
+        }
+        Some((span + s_abs - 1) / s_abs)
+    }
+}
+
+/// A statement of the mini language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Assignment `lhs op= rhs;`.
+    Assign {
+        /// assignment target
+        target: LValue,
+        /// surface operator (`=`, `+=`, ...)
+        op: AssignOp,
+        /// right-hand side
+        value: Expr,
+    },
+    /// `if (cond) then_branch else else_branch` — either branch may be empty.
+    If {
+        /// controlling condition
+        cond: Expr,
+        /// statements executed when `cond` is true
+        then_branch: Vec<Stmt>,
+        /// statements executed when `cond` is false
+        else_branch: Vec<Stmt>,
+    },
+    /// Counted `for` loop.
+    For(ForLoop),
+    /// `while (cond) body`.
+    While {
+        /// loop condition
+        cond: Expr,
+        /// loop body
+        body: Vec<Stmt>,
+    },
+    /// Plain block `{ ... }` (no scoping — the language has a single flat
+    /// namespace, like the paper's Tiny programs).
+    Block(Vec<Stmt>),
+    /// `break;`
+    Break,
+    /// A **parallel group** of statements: the SLMS output form
+    /// `MI1; || MI2; || MI3;`. Sequential semantics are textual order; the
+    /// annotation tells the final compiler the members are independent.
+    Par(Vec<Stmt>),
+    /// An opaque statement-level call `f(args);` — a scheduling barrier.
+    Call(String, Vec<Expr>),
+}
+
+impl Stmt {
+    /// Convenience constructor: simple assignment `target = value;`.
+    pub fn assign(target: LValue, value: Expr) -> Stmt {
+        Stmt::Assign {
+            target,
+            op: AssignOp::Set,
+            value,
+        }
+    }
+
+    /// Desugar a compound assignment into `target = target op value` form,
+    /// returning the effective right-hand side read expression. For `op ==
+    /// Set` this is just the value.
+    pub fn desugared_rhs(target: &LValue, op: AssignOp, value: &Expr) -> Expr {
+        use crate::expr::BinOp;
+        let bin = |b| Expr::bin(b, target.as_expr(), value.clone());
+        match op {
+            AssignOp::Set => value.clone(),
+            AssignOp::Add => bin(BinOp::Add),
+            AssignOp::Sub => bin(BinOp::Sub),
+            AssignOp::Mul => bin(BinOp::Mul),
+            AssignOp::Div => bin(BinOp::Div),
+        }
+    }
+
+    /// True if the statement (transitively) contains a loop.
+    pub fn contains_loop(&self) -> bool {
+        match self {
+            Stmt::For(_) | Stmt::While { .. } => true,
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.iter().chain(else_branch).any(Stmt::contains_loop),
+            Stmt::Block(b) | Stmt::Par(b) => b.iter().any(Stmt::contains_loop),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_loop(init: i64, cmp: CmpOp, bound: i64, step: i64) -> ForLoop {
+        ForLoop {
+            var: "i".into(),
+            init: Expr::Int(init),
+            cmp,
+            bound: Expr::Int(bound),
+            step,
+            body: vec![],
+        }
+    }
+
+    #[test]
+    fn trip_count_lt() {
+        assert_eq!(mk_loop(0, CmpOp::Lt, 10, 1).trip_count(), Some(10));
+        assert_eq!(mk_loop(0, CmpOp::Lt, 10, 2).trip_count(), Some(5));
+        assert_eq!(mk_loop(0, CmpOp::Lt, 9, 2).trip_count(), Some(5));
+        assert_eq!(mk_loop(1, CmpOp::Lt, 1, 1).trip_count(), Some(0));
+    }
+
+    #[test]
+    fn trip_count_le_and_down() {
+        assert_eq!(mk_loop(1, CmpOp::Le, 10, 1).trip_count(), Some(10));
+        assert_eq!(mk_loop(10, CmpOp::Gt, 0, -1).trip_count(), Some(10));
+        assert_eq!(mk_loop(10, CmpOp::Ge, 0, -2).trip_count(), Some(6));
+    }
+
+    #[test]
+    fn trip_count_bad_direction() {
+        assert_eq!(mk_loop(0, CmpOp::Lt, 10, -1).trip_count(), None);
+        assert_eq!(mk_loop(0, CmpOp::Lt, 10, 0).trip_count(), None);
+    }
+
+    #[test]
+    fn desugar_compound() {
+        let t = LValue::Var("s".into());
+        let rhs = Stmt::desugared_rhs(&t, AssignOp::Add, &Expr::var("t"));
+        assert_eq!(
+            rhs,
+            Expr::add(Expr::var("s"), Expr::var("t"))
+        );
+    }
+
+    #[test]
+    fn contains_loop_nested() {
+        let inner = Stmt::For(mk_loop(0, CmpOp::Lt, 3, 1));
+        let s = Stmt::If {
+            cond: Expr::Int(1),
+            then_branch: vec![Stmt::Block(vec![inner])],
+            else_branch: vec![],
+        };
+        assert!(s.contains_loop());
+        assert!(!Stmt::Break.contains_loop());
+    }
+}

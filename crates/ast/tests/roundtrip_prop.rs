@@ -1,0 +1,94 @@
+//! Property: print→parse is idempotent. Arbitrary generated ASTs may be
+//! non-canonical (e.g. `Neg(Int(0))`, which the parser folds to `Int(0)`),
+//! so the property is stated on canonical forms: one print→parse pass
+//! normalizes, after which printing and re-parsing must reproduce the AST
+//! exactly.
+
+use proptest::prelude::*;
+use slc_ast::{parse_program, to_source, BinOp, CmpOp, Decl, Expr, ForLoop, LValue, Program, Stmt, Ty};
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(Expr::Int),
+        (0u8..4).prop_map(|k| Expr::Float([0.5, 2.0, 3.25, 100.0][k as usize])),
+        Just(Expr::var("x")),
+        Just(Expr::var("y")),
+        Just(Expr::idx("A", Expr::var("i"))),
+        Just(Expr::idx("A", Expr::add(Expr::var("i"), Expr::Int(2)))),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), 0u8..5).prop_map(|(a, b, k)| {
+                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Cmp(CmpOp::Lt)]
+                    [k as usize];
+                Expr::bin(op, a, b)
+            }),
+            inner
+                .clone()
+                .prop_map(|a| Expr::Unary(slc_ast::UnOp::Neg, Box::new(a))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(c, t, f)| Expr::Select(
+                Box::new(c),
+                Box::new(t),
+                Box::new(f)
+            )),
+        ]
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        expr_strategy().prop_map(|e| Stmt::assign(LValue::Var("x".into()), e)),
+        expr_strategy().prop_map(|e| Stmt::assign(
+            LValue::Index("A".into(), vec![Expr::var("i")]),
+            e
+        )),
+    ];
+    simple.prop_recursive(2, 12, 4, |inner| {
+        prop_oneof![
+            (expr_strategy(), proptest::collection::vec(inner.clone(), 1..3)).prop_map(
+                |(c, body)| Stmt::If {
+                    cond: c,
+                    then_branch: body,
+                    else_branch: vec![],
+                }
+            ),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Stmt::Par),
+            (0i64..10, 1i64..20, proptest::collection::vec(inner, 1..3)).prop_map(
+                |(lo, span, body)| Stmt::For(ForLoop {
+                    var: "i".into(),
+                    init: Expr::Int(lo),
+                    cmp: CmpOp::Lt,
+                    bound: Expr::Int(lo + span),
+                    step: 1,
+                    body,
+                })
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, .. ProptestConfig::default() })]
+
+    #[test]
+    fn print_parse_roundtrip(stmts in proptest::collection::vec(stmt_strategy(), 1..6)) {
+        let prog = Program {
+            decls: vec![
+                Decl::array("A", Ty::Float, vec![64]),
+                Decl::scalar("x", Ty::Float),
+                Decl::scalar("y", Ty::Float),
+                Decl::scalar("i", Ty::Int),
+            ],
+            stmts,
+        };
+        // normalize: any generated AST must at least parse back
+        let printed = to_source(&prog);
+        let canonical = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        // canonical forms round-trip exactly
+        let printed2 = to_source(&canonical);
+        let reparsed = parse_program(&printed2)
+            .unwrap_or_else(|e| panic!("second reparse failed: {e}\n{printed2}"));
+        prop_assert_eq!(&reparsed, &canonical, "roundtrip mismatch:\n{}", printed2);
+    }
+}

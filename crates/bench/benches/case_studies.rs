@@ -1,0 +1,21 @@
+//! §6 and §7 case studies plus the §4 filter ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_bench::harness;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", harness::sec7_cases());
+    println!("{}", harness::sec6_interactions());
+    println!("{}", harness::ablation_filter());
+    println!("{}", harness::ablation_expansion());
+
+    let mut g = c.benchmark_group("case_studies");
+    g.sample_size(10);
+    g.bench_function("sec6_order_study", |bch| {
+        bch.iter(harness::sec6_interactions)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

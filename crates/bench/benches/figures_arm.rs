@@ -1,0 +1,40 @@
+//! Figures 21–22: power dissipation and cycle counts on the ARM7TDMI-like
+//! scalar core (sim-panalyzer substitute).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_bench::harness;
+use slc_core::SlmsConfig;
+use slc_pipeline::{measure_workload, CompilerKind};
+use slc_sim::presets::arm7tdmi;
+
+fn bench(c: &mut Criterion) {
+    let f = harness::fig21_22();
+    println!("\n{}", f.table);
+    // companion: explicit power/cycle ratio listing
+    println!("== Fig 21/22 — ratios (power× >1 saves energy; speedup >1 saves cycles) ==");
+    for r in &f.rows {
+        println!(
+            "{:<24} power×{:>6.3}  cycles×{:>6.3}",
+            r.name, r.power_ratio, r.speedup
+        );
+    }
+    println!();
+
+    let mut g = c.benchmark_group("figures_arm");
+    g.sample_size(10);
+    let w = slc_workloads::linpack()
+        .into_iter()
+        .find(|w| w.name == "ddot2")
+        .unwrap();
+    g.bench_function("arm_power_pipeline", |bch| {
+        bch.iter(|| {
+            measure_workload(&w, &arm7tdmi(), CompilerKind::Optimizing, &SlmsConfig::default())
+                .unwrap()
+                .power_ratio
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

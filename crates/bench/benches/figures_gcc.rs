@@ -1,0 +1,32 @@
+//! Figures 14–17: SLMS over GCC-class compilers (weak and -O3) on the
+//! Itanium-II-like VLIW and the Pentium-like superscalar.
+//!
+//! Running `cargo bench` prints each figure's table (the reproduction
+//! artifact) and then times one representative end-to-end measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_bench::harness;
+
+fn bench(c: &mut Criterion) {
+    let (a, b) = harness::fig14();
+    println!("\n{}", a.table);
+    println!("{}", b.table);
+    let (a, b) = harness::fig15();
+    println!("{}", a.table);
+    println!("{}", b.table);
+    let (_rows, table) = harness::fig16();
+    println!("{}", table);
+    let (a, b) = harness::fig17();
+    println!("{}", a.table);
+    println!("{}", b.table);
+
+    let mut g = c.benchmark_group("figures_gcc");
+    g.sample_size(10);
+    g.bench_function("fig14_single_loop_end_to_end", |bch| {
+        bch.iter(harness::quick_measure)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figures 18–20: SLMS over highly optimizing compilers (machine-level
+//! iterative modulo scheduling enabled) on Itanium-II-like and Power4-like
+//! machines — the co-existence claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slc_bench::harness;
+use slc_core::SlmsConfig;
+use slc_pipeline::{measure_workload, CompilerKind};
+use slc_sim::presets::itanium2;
+
+fn bench(c: &mut Criterion) {
+    println!("\n{}", harness::fig18().table);
+    println!("{}", harness::fig19().table);
+    println!("{}", harness::fig20().table);
+    println!("{}", harness::ii_table());
+
+    let mut g = c.benchmark_group("figures_icc_xlc");
+    g.sample_size(10);
+    let w = slc_workloads::livermore()
+        .into_iter()
+        .find(|w| w.name == "kernel8_adi")
+        .unwrap();
+    g.bench_function("kernel8_ms_pipeline", |bch| {
+        bch.iter(|| {
+            measure_workload(&w, &itanium2(), CompilerKind::OptimizingMs, &SlmsConfig::default())
+                .unwrap()
+                .speedup
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

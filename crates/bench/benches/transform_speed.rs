@@ -1,0 +1,48 @@
+//! Compiler-throughput microbenchmarks: how fast are the SLMS pass and the
+//! supporting analyses/schedulers themselves (tooling speed, not a paper
+//! figure — the paper's SLC is interactive, so pass latency matters).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slc_core::{slms_program, SlmsConfig};
+use slc_machine::{list_schedule, lower_program, modulo_schedule};
+use slc_machine::ir::Lir;
+use slc_sim::presets::itanium2;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transform_speed");
+    let cfg = SlmsConfig { apply_filter: false, ..SlmsConfig::default() };
+    let prog = slc_workloads::livermore()
+        .into_iter()
+        .find(|w| w.name == "kernel8_adi")
+        .unwrap()
+        .program();
+    g.bench_function("slms_kernel8", |b| {
+        b.iter(|| slms_program(black_box(&prog), &cfg))
+    });
+    let m = itanium2();
+    let lir = lower_program(&prog).unwrap();
+    let body: Vec<_> = lir
+        .items
+        .iter()
+        .find_map(|it| match it {
+            Lir::Loop(l) => l.body.iter().find_map(|b| match b {
+                Lir::Block(ops) => Some(ops.clone()),
+                _ => None,
+            }),
+            _ => None,
+        })
+        .unwrap();
+    g.bench_function("list_schedule_kernel8", |b| {
+        b.iter(|| list_schedule(black_box(&body), &m))
+    });
+    g.bench_function("ims_kernel8", |b| {
+        b.iter(|| modulo_schedule(black_box(&body), &m, "ky", 1))
+    });
+    g.bench_function("lower_kernel8", |b| {
+        b.iter(|| lower_program(black_box(&prog)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! # slc-bench — benchmark harness regenerating every figure of the paper
+//!
+//! See [`harness`] for one function per figure; the criterion benches under
+//! `benches/` print each figure's table once and then time a representative
+//! end-to-end measurement.
+
+pub mod harness;

@@ -1,0 +1,281 @@
+//! Decomposition of multi-instructions (§3.2).
+//!
+//! Two operations, both of which split one MI into two by introducing a
+//! temporary:
+//!
+//! * [`break_self_dep`] — select a load array reference with **no flow
+//!   dependence from the MI's store** (i.e. an anti-direction or unrelated
+//!   read, like `A[i + 2]` against the store `A[i] = …`) and hoist it into
+//!   its own MI `regN = A[i + 2];`. This both provides a second MI (a loop
+//!   with a single MI can never be pipelined) and breaks the loop-carried
+//!   self dependence that otherwise pins the MII.
+//! * [`split_wide`] — cut an over-wide expression in half
+//!   (`x = A[i]+B[i]+C[i]+D[i]` → `t1 = A[i]+B[i]; x = t1+C[i]+D[i]`),
+//!   reducing per-MI resource usage. The cut happens on the left spine of
+//!   the expression tree, so no re-association occurs and floating-point
+//!   semantics are bit-preserved.
+//!
+//! Hoisting a load to just before its MI never changes sequential semantics
+//! (nothing executes in between), so both operations are safe independent of
+//! any dependence test; the eligibility test only decides *profitability*.
+
+use slc_analysis::deps::DepDist;
+use slc_analysis::{accesses_of_stmt, array_dep_distances, ArrayAccess};
+use slc_ast::visit::rewrite_expr;
+use slc_ast::{BinOp, Expr, LValue, Program, Stmt, Ty};
+
+/// Count syntactic leaves of a same-operator chain along the left spine.
+fn left_spine_leaves(e: &Expr, op: BinOp) -> usize {
+    match e {
+        Expr::Binary(o, a, _) if *o == op => 1 + left_spine_leaves(a, op),
+        _ => 1,
+    }
+}
+
+fn array_elem_ty(prog: &Program, name: &str) -> Ty {
+    prog.decl(name).map(|d| d.ty).map_or(Ty::Float, |t| t)
+}
+
+/// All array-read subexpressions of an MI's right-hand side(s),
+/// syntactically deduplicated.
+fn candidate_loads(stmt: &Stmt) -> Vec<Expr> {
+    let mut out: Vec<Expr> = Vec::new();
+    let mut push = |e: &Expr| {
+        if let Expr::Index(..) = e {
+            if !out.contains(e) {
+                out.push(e.clone());
+            }
+        }
+    };
+    match stmt {
+        Stmt::Assign { value, op, target } => {
+            // Reads of the target through a compound op are not hoistable
+            // (they are the store cell itself); only scan `value`.
+            let _ = (op, target);
+            slc_ast::visit::walk_expr(value, &mut push);
+        }
+        Stmt::If {
+            cond, then_branch, ..
+        } => {
+            slc_ast::visit::walk_expr(cond, &mut push);
+            for s in then_branch {
+                if let Stmt::Assign { value, .. } = s {
+                    slc_ast::visit::walk_expr(value, &mut push);
+                }
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// True when hoisting `load` out of the MI with writes `writes` removes a
+/// self flow dependence: no write reaches the load at distance ≥ 0.
+fn eligible(load: &ArrayAccess, writes: &[ArrayAccess], var: &str, step: i64) -> bool {
+    for w in writes {
+        match array_dep_distances(w, load, var) {
+            DepDist::None => {}
+            DepDist::Dist(dv) => {
+                // value-space → iteration-space. A distance-0 pair is the
+                // same iteration's own store, which executes *after* the
+                // rhs load — not a flow into the load; only a strictly
+                // positive distance means the store feeds this load.
+                if dv % step == 0 && dv / step > 0 {
+                    return false;
+                }
+            }
+            DepDist::Any => return false,
+        }
+    }
+    true
+}
+
+/// Try to decompose `body[k]` by hoisting one eligible load into a fresh
+/// temporary MI inserted at position `k`. Returns the temp name on success.
+///
+/// The *rightmost* eligible load is selected (matching the paper's choice of
+/// `A[i + 2]` in the §3.2 worked example) and **all** syntactically equal
+/// occurrences are replaced (matching the FP example in §9.2 where every
+/// `X[k+1]` becomes `reg2`).
+pub fn break_self_dep(
+    prog: &mut Program,
+    body: &mut Vec<Stmt>,
+    k: usize,
+    var: &str,
+    step: i64,
+) -> Option<String> {
+    let stmt = &body[k];
+    let acc = accesses_of_stmt(stmt);
+    let writes: Vec<ArrayAccess> = acc.arrays.iter().filter(|a| a.write).cloned().collect();
+    let loads = candidate_loads(stmt);
+    let chosen = loads.iter().rev().find(|l| {
+        let la = ArrayAccess {
+            array: match l {
+                Expr::Index(n, _) => n.clone(),
+                _ => unreachable!(),
+            },
+            indices: match l {
+                Expr::Index(_, idx) => idx.clone(),
+                _ => unreachable!(),
+            },
+            write: false,
+        };
+        eligible(&la, &writes, var, step)
+    })?;
+    let chosen = chosen.clone();
+    let arr_name = match &chosen {
+        Expr::Index(n, _) => n.clone(),
+        _ => unreachable!(),
+    };
+    let temp = prog.fresh_name("reg");
+    prog.ensure_scalar(&temp, array_elem_ty(prog, &arr_name));
+    // Replace all equal occurrences in the MI.
+    let repl = Expr::Var(temp.clone());
+    slc_ast::visit::map_exprs(&mut body[k], &mut |e| {
+        rewrite_expr(e, &mut |node| {
+            if *node == chosen {
+                *node = repl.clone();
+            }
+        });
+    });
+    body.insert(k, Stmt::assign(LValue::Var(temp.clone()), chosen));
+    Some(temp)
+}
+
+/// Split an over-wide assignment: when the RHS left spine chains more than
+/// `max_leaves` operands of one `+`/`*` operator, hoist the spine prefix
+/// holding half the leaves into a temp. Returns the temp name on success.
+pub fn split_wide(
+    prog: &mut Program,
+    body: &mut Vec<Stmt>,
+    k: usize,
+    max_leaves: usize,
+) -> Option<String> {
+    let Stmt::Assign { value, .. } = &body[k] else {
+        return None;
+    };
+    let Expr::Binary(op, _, _) = value else {
+        return None;
+    };
+    let op = *op;
+    if !matches!(op, BinOp::Add | BinOp::Mul) {
+        return None;
+    }
+    let leaves = left_spine_leaves(value, op);
+    if leaves <= max_leaves || leaves < 3 {
+        return None;
+    }
+    let keep = leaves.div_ceil(2); // leaves in the hoisted prefix
+                                   // Walk down the left spine (leaves - keep) times to find the cut node.
+    let temp = prog.fresh_name("t");
+    prog.ensure_scalar(&temp, Ty::Float);
+    let Stmt::Assign { value, .. } = &mut body[k] else {
+        unreachable!();
+    };
+    fn descend(e: &mut Expr, op: BinOp, depth: usize) -> &mut Expr {
+        if depth == 0 {
+            return e;
+        }
+        if matches!(e, Expr::Binary(o, _, _) if *o == op) {
+            let Expr::Binary(_, a, _) = e else { unreachable!() };
+            descend(a, op, depth - 1)
+        } else {
+            e
+        }
+    }
+    let node = descend(value, op, leaves - keep);
+    let prefix = std::mem::replace(node, Expr::Var(temp.clone()));
+    body.insert(k, Stmt::assign(LValue::Var(temp.clone()), prefix));
+    Some(temp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::pretty::stmts_to_source;
+    use slc_ast::{parse_program, parse_stmts};
+
+    #[test]
+    fn paper_recurrence_decomposition() {
+        let mut prog = parse_program("float A[100]; int i;").unwrap();
+        let mut body =
+            parse_stmts("A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];").unwrap();
+        let t = break_self_dep(&mut prog, &mut body, 0, "i", 1).unwrap();
+        assert_eq!(t, "reg1");
+        let src = stmts_to_source(&body);
+        assert!(src.contains("reg1 = A[i + 2];"), "got:\n{src}");
+        assert!(
+            src.contains("A[i] = A[i - 1] + A[i - 2] + A[i + 1] + reg1;"),
+            "got:\n{src}"
+        );
+    }
+
+    #[test]
+    fn chooses_rightmost_eligible() {
+        let mut prog = parse_program("float A[100]; int i;").unwrap();
+        // Both A[i+1] and A[i+2] eligible; rightmost is A[i+2].
+        let mut body = parse_stmts("A[i] = A[i + 1] + A[i + 2];").unwrap();
+        break_self_dep(&mut prog, &mut body, 0, "i", 1).unwrap();
+        let src = stmts_to_source(&body);
+        assert!(src.contains("reg1 = A[i + 2];"), "got:\n{src}");
+    }
+
+    #[test]
+    fn flow_fed_load_ineligible() {
+        let mut prog = parse_program("float A[100]; int i;").unwrap();
+        // Only load is A[i-1], which the store feeds (distance 1): no
+        // eligible load, decomposition must fail.
+        let mut body = parse_stmts("A[i] = A[i - 1] * 2.0;").unwrap();
+        assert!(break_self_dep(&mut prog, &mut body, 0, "i", 1).is_none());
+    }
+
+    #[test]
+    fn unrelated_array_is_eligible() {
+        let mut prog = parse_program("float A[100]; float B[100]; int i;").unwrap();
+        let mut body = parse_stmts("A[i] = A[i - 1] + B[i];").unwrap();
+        break_self_dep(&mut prog, &mut body, 0, "i", 1).unwrap();
+        let src = stmts_to_source(&body);
+        assert!(src.contains("reg1 = B[i];"), "got:\n{src}");
+    }
+
+    #[test]
+    fn replaces_all_equal_occurrences() {
+        let mut prog = parse_program("float X[100]; int k;").unwrap();
+        let mut body = parse_stmts(
+            "X[k] = X[k - 1] * X[k - 1] + X[k + 1] * X[k + 1] * X[k + 1];",
+        )
+        .unwrap();
+        break_self_dep(&mut prog, &mut body, 0, "k", 1).unwrap();
+        let src = stmts_to_source(&body);
+        assert!(src.contains("reg1 = X[k + 1];"), "got:\n{src}");
+        assert!(src.contains("reg1 * reg1 * reg1"), "got:\n{src}");
+        assert!(!src.contains("X[k + 1] *"), "got:\n{src}");
+    }
+
+    #[test]
+    fn split_wide_halves() {
+        let mut prog = parse_program("float A[9]; float B[9]; float C[9]; float D[9]; float x; int i;").unwrap();
+        let mut body = parse_stmts("x = A[i] + B[i] + C[i] + D[i];").unwrap();
+        let t = split_wide(&mut prog, &mut body, 0, 2).unwrap();
+        assert_eq!(t, "t1");
+        let src = stmts_to_source(&body);
+        assert!(src.contains("t1 = A[i] + B[i];"), "got:\n{src}");
+        assert!(src.contains("x = t1 + C[i] + D[i];"), "got:\n{src}");
+    }
+
+    #[test]
+    fn split_wide_respects_threshold() {
+        let mut prog = parse_program("float A[9]; float B[9]; float x; int i;").unwrap();
+        let mut body = parse_stmts("x = A[i] + B[i];").unwrap();
+        assert!(split_wide(&mut prog, &mut body, 0, 2).is_none());
+    }
+
+    #[test]
+    fn predicated_mi_decomposable() {
+        let mut prog = parse_program("float A[100]; int i; int c;").unwrap();
+        let mut body = parse_stmts("if (c) A[i] = A[i + 1];").unwrap();
+        break_self_dep(&mut prog, &mut body, 0, "i", 1).unwrap();
+        let src = stmts_to_source(&body);
+        assert!(src.contains("reg1 = A[i + 1];"), "got:\n{src}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Guarded emission for loops with **symbolic bounds**.
+//!
+//! The paper sidesteps unknown trip counts ("complete last iteration",
+//! Fig. 7); a deployable source-level compiler cannot. This module emits a
+//! runtime-guarded version for unit-stride loops:
+//!
+//! ```text
+//! if (<enough iterations for the pipeline depth M>) {
+//!     prologue (var expressed as init + j);
+//!     pipelined kernel with the bound shrunk by M;
+//!     epilogue (var-relative, exact because |step| = 1 pins the exit value);
+//!     var = <original exit value>;
+//! } else {
+//!     the original loop, untouched;
+//! }
+//! ```
+//!
+//! Restrictions (checked, falling back to the untransformed loop):
+//! * `|step| == 1` — only then is the kernel's exit value of the induction
+//!   variable a closed-form expression of the bound;
+//! * expansion **off** — MVE residues and scalar-expansion array sizes need
+//!   the trip count, so every scalar dependence stays a placement
+//!   constraint instead (still frequently II = 1: the same-row ordering
+//!   covers the common def-use shapes).
+
+#![allow(clippy::needless_range_loop)] // index loops mirror the papers' pseudo-code
+use crate::SlmsError;
+use slc_ast::visit::{add_const, map_exprs, shift_induction, simplify};
+use slc_ast::{CmpOp, Expr, ForLoop, LValue, Stmt};
+
+/// Emit the guarded symbolic-bound pipelined replacement of loop `f` whose
+/// body has been partitioned into `mis`, at initiation interval `ii`.
+pub fn emit_symbolic_guarded(
+    f: &ForLoop,
+    mis: &[Stmt],
+    ii: i64,
+) -> Result<crate::EmitOutput, SlmsError> {
+    let n = mis.len();
+    assert!(ii >= 1 && (ii as usize) < n, "emit requires 1 <= II < n");
+    if f.step.abs() != 1 {
+        return Err(SlmsError::SymbolicBounds);
+    }
+    let s = f.step;
+    let off = |k: usize| ((n - 1 - k) as i64) / ii;
+    let m = off(0);
+
+    // Substitute `var → init + j·s` in an instance (symbolic prologue).
+    let const_instance = |k: usize, j: i64| -> Stmt {
+        let mut st = mis[k].clone();
+        let repl = add_const(f.init.clone(), j * s);
+        slc_ast::visit::substitute_scalar(&mut st, &f.var, &repl);
+        map_exprs(&mut st, &mut simplify);
+        st
+    };
+
+    let mut then_branch: Vec<Stmt> = Vec::new();
+    // ---- prologue -----------------------------------------------------
+    for j in 0..m {
+        for k in 0..n {
+            if j < off(k) {
+                then_branch.push(const_instance(k, j));
+            }
+        }
+    }
+    // ---- kernel ---------------------------------------------------------
+    let mut rows: Vec<Vec<usize>> = vec![Vec::new(); ii as usize];
+    for k in 0..n {
+        let r = (k as i64 + ii * off(k) - (n as i64 - ii)) as usize;
+        rows[r].push(k);
+    }
+    for row in &mut rows {
+        row.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    let mut body: Vec<Stmt> = Vec::new();
+    for row in &rows {
+        let mut members = Vec::new();
+        for &k in row {
+            let mut st = mis[k].clone();
+            shift_induction(&mut st, &f.var, off(k) * s);
+            members.push(st);
+        }
+        if members.len() == 1 {
+            body.push(members.pop().unwrap());
+        } else {
+            body.push(Stmt::Par(members));
+        }
+    }
+    let mut kernel_bound = add_const(f.bound.clone(), -m * s);
+    simplify(&mut kernel_bound);
+    then_branch.push(Stmt::For(ForLoop {
+        var: f.var.clone(),
+        init: f.init.clone(),
+        cmp: f.cmp,
+        bound: kernel_bound,
+        step: s,
+        body,
+    }));
+    // ---- epilogue ------------------------------------------------------
+    // With |step| = 1 the kernel exits with `var` exactly at its shrunk
+    // bound (Lt/Gt) or one past it (Le/Ge); epilogue instances are
+    // var-relative, ordered by (iteration, MI position).
+    for t in 0..m {
+        for k in 0..n {
+            // instance (k, j = K + t) exists iff off(k) <= t
+            if off(k) <= t {
+                let mut st = mis[k].clone();
+                shift_induction(&mut st, &f.var, t * s);
+                then_branch.push(st);
+            }
+        }
+    }
+    // ---- induction variable exit value ----------------------------------
+    let exit_val = match f.cmp {
+        CmpOp::Lt | CmpOp::Gt => f.bound.clone(),
+        CmpOp::Le | CmpOp::Ge => add_const(f.bound.clone(), s),
+        _ => return Err(SlmsError::SymbolicBounds),
+    };
+    then_branch.push(Stmt::assign(LValue::Var(f.var.clone()), exit_val));
+
+    // ---- guard: trip count must exceed the pipeline depth ---------------
+    // trips ≥ M + 1  ⇔  init + M·s still satisfies the loop condition.
+    let mut guard = Expr::bin(
+        slc_ast::BinOp::Cmp(f.cmp),
+        add_const(f.init.clone(), m * s),
+        f.bound.clone(),
+    );
+    simplify(&mut guard);
+    let guarded = Stmt::If {
+        cond: guard,
+        then_branch,
+        else_branch: vec![Stmt::For(f.clone())],
+    };
+    Ok(crate::EmitOutput {
+        stmts: vec![guarded],
+        unroll: 1,
+        renamed: vec![],
+        expanded_arrays: vec![],
+        max_offset: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::pretty::stmts_to_source;
+    use slc_ast::{parse_program, parse_stmts};
+
+    fn mk_loop(src: &str, init: &str, cmp: CmpOp, bound: &str, step: i64) -> ForLoop {
+        ForLoop {
+            var: "i".into(),
+            init: slc_ast::parse_expr(init).unwrap(),
+            cmp,
+            bound: slc_ast::parse_expr(bound).unwrap(),
+            step,
+            body: parse_stmts(src).unwrap(),
+        }
+    }
+
+    #[test]
+    fn guard_and_bound_shapes() {
+        let _p = parse_program("float A[9]; float B[9]; int i; int n;").unwrap();
+        let f = mk_loop("A[i] = 0.0; B[i] = 1.0;", "0", CmpOp::Lt, "n", 1);
+        let out = emit_symbolic_guarded(&f, &f.body.clone(), 1).unwrap();
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("if (1 < n)"), "got:\n{src}");
+        assert!(src.contains("for (i = 0; i < n - 1; i++)"), "got:\n{src}");
+        assert!(src.contains("i = n;"), "got:\n{src}");
+        // else branch keeps the original loop
+        assert!(src.contains("for (i = 0; i < n; i++)"), "got:\n{src}");
+    }
+
+    #[test]
+    fn downward_symbolic() {
+        let f = mk_loop("A[i] = 0.0; B[i] = 1.0;", "n", CmpOp::Gt, "0", -1);
+        let out = emit_symbolic_guarded(&f, &f.body.clone(), 1).unwrap();
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("if (n - 1 > 0)"), "got:\n{src}");
+        assert!(src.contains("i > 1"), "got:\n{src}");
+    }
+
+    #[test]
+    fn strided_rejected() {
+        let f = mk_loop("A[i] = 0.0; B[i] = 1.0;", "0", CmpOp::Lt, "n", 2);
+        assert!(matches!(
+            emit_symbolic_guarded(&f, &f.body.clone(), 1),
+            Err(SlmsError::SymbolicBounds)
+        ));
+    }
+}

@@ -1,0 +1,211 @@
+//! §10 extensions: SLMS beyond simple counted loops.
+//!
+//! The paper sketches two extensions "via examples" and leaves full
+//! implementations as future work; this module implements both as working
+//! transformations with interpreter-verified semantics:
+//!
+//! * [`unroll_while`] — generalized while-loop unrolling (Huang & Leng):
+//!   the body is replicated `factor` times with an early-exit re-check
+//!   between copies. The result is semantically identity for *any* while
+//!   loop, and gives downstream scheduling (source- or machine-level) a
+//!   bigger straight-line region exactly like the paper's shifted-string-
+//!   copy example.
+//! * [`frequent_path_ms`] — modulo scheduling focused on the most frequent
+//!   path of `for (…) { if (A) B; else C; D; }` (profile-directed, §10's
+//!   second extension). The frequent path `A;B;D` is pipelined one
+//!   iteration deep (kernel `D_i ‖ A_{i+1}…`), and whenever `A` fails the
+//!   pipeline drains into the original slow path and restarts — the
+//!   schematic of the paper's Figure 23, realized as a concrete AST
+//!   rewrite.
+
+use crate::SlmsError;
+use slc_ast::visit::{map_exprs, shift_induction, simplify, substitute_scalar};
+use slc_ast::{CmpOp, Expr, ForLoop, LValue, Program, Stmt, Ty, UnOp};
+
+/// Unroll a `while` loop by `factor`: copies are separated by
+/// `if (!cond) break;` re-checks, preserving semantics for arbitrary
+/// conditions and bodies.
+pub fn unroll_while(stmt: &Stmt, factor: usize) -> Result<Stmt, SlmsError> {
+    let Stmt::While { cond, body } = stmt else {
+        return Err(SlmsError::NotAForLoop);
+    };
+    if factor < 2 {
+        return Err(SlmsError::NoValidIi);
+    }
+    let mut new_body = Vec::new();
+    for c in 0..factor {
+        if c > 0 {
+            new_body.push(Stmt::If {
+                cond: Expr::Unary(UnOp::Not, Box::new(cond.clone())),
+                then_branch: vec![Stmt::Break],
+                else_branch: vec![],
+            });
+        }
+        new_body.extend(body.iter().cloned());
+    }
+    Ok(Stmt::While {
+        cond: cond.clone(),
+        body: new_body,
+    })
+}
+
+/// Result of the frequent-path transformation.
+#[derive(Debug, Clone)]
+pub struct FrequentPathOutput {
+    /// statements replacing the loop
+    pub stmts: Vec<Stmt>,
+    /// name of the predicate temporary holding `A` one iteration ahead
+    pub pred: String,
+}
+
+/// Apply frequent-path modulo scheduling to
+/// `for (v = init; v < bound; v += s) { if (A) { B } else { C } D }` where
+/// `A` is side-effect free. The kernel executes `B_i; D_i ‖ A_{i+1}` as
+/// long as the lookahead predicate holds; when it fails, the pipeline
+/// drains (`C`/`D` of the failing iteration) and the kernel restarts after
+/// it — the slow path costs extra control only on infrequent iterations.
+///
+/// Requirements: constant bounds and step (the restart logic materializes
+/// concrete loop headers), and the body must be exactly the
+/// if-then-else + trailing statements shape.
+pub fn frequent_path_ms(prog: &mut Program, stmt: &Stmt) -> Result<FrequentPathOutput, SlmsError> {
+    let Stmt::For(f) = stmt else {
+        return Err(SlmsError::NotAForLoop);
+    };
+    let trip = f.trip_count().ok_or(SlmsError::SymbolicBounds)?;
+    if trip < 2 {
+        return Err(SlmsError::TooFewIterations {
+            trip,
+            needed: 2,
+        });
+    }
+    let init = f.init.const_int().ok_or(SlmsError::SymbolicBounds)?;
+    let s = f.step;
+    // shape: [If{A, B, C}, D...]
+    let (a, b, c, d) = match f.body.as_slice() {
+        [Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        }, rest @ ..] => (cond.clone(), then_branch.clone(), else_branch.clone(), rest.to_vec()),
+        _ => {
+            return Err(SlmsError::Analysis(
+                slc_analysis::AnalysisError::UnsupportedLoopForm(
+                    "frequent-path MS needs `if (A) B else C; D…` shape".into(),
+                ),
+            ))
+        }
+    };
+    let pred = prog.fresh_name("pf");
+    prog.ensure_scalar(&pred, Ty::Int);
+    let pv = || Expr::Var(pred.clone());
+    let last = init + (trip - 1) * s;
+
+    // pf = A(init);
+    let mut a0 = Stmt::assign(LValue::Var(pred.clone()), a.clone());
+    substitute_scalar(&mut a0, &f.var, &Expr::Int(init));
+    map_exprs(&mut a0, &mut simplify);
+
+    // Pipelined fast loop:
+    //   for (v = init; v < last; v += s) {
+    //     if (!pf) { C_v; D_v; pf = A(v+s); }          // drain + refill
+    //     else     { B_v; par { D_v; pf = A(v+s); } }  // kernel row
+    //   }
+    let mut a_next = Stmt::assign(LValue::Var(pred.clone()), a.clone());
+    shift_induction(&mut a_next, &f.var, s);
+    let mut slow = Vec::new();
+    slow.extend(c.iter().cloned());
+    slow.extend(d.iter().cloned());
+    slow.push(a_next.clone());
+    let mut fast = Vec::new();
+    fast.extend(b.iter().cloned());
+    let mut row = d.clone();
+    row.push(a_next);
+    fast.push(Stmt::Par(row));
+    let body = vec![Stmt::If {
+        cond: pv(),
+        then_branch: fast,
+        else_branch: slow,
+    }];
+    let kernel_loop = Stmt::For(ForLoop {
+        var: f.var.clone(),
+        init: Expr::Int(init),
+        cmp: if s > 0 { CmpOp::Lt } else { CmpOp::Gt },
+        bound: Expr::Int(last),
+        step: s,
+        body,
+    });
+
+    // Final iteration (pf computed for it already):
+    let mut tail = Vec::new();
+    let mut fin_then = b.clone();
+    let mut fin_else = c.clone();
+    for st in fin_then.iter_mut().chain(fin_else.iter_mut()) {
+        substitute_scalar(st, &f.var, &Expr::Int(last));
+        map_exprs(st, &mut simplify);
+    }
+    tail.push(Stmt::If {
+        cond: pv(),
+        then_branch: fin_then,
+        else_branch: fin_else,
+    });
+    for st in &d {
+        let mut stc = st.clone();
+        substitute_scalar(&mut stc, &f.var, &Expr::Int(last));
+        map_exprs(&mut stc, &mut simplify);
+        tail.push(stc);
+    }
+
+    let mut stmts = vec![a0, kernel_loop];
+    stmts.extend(tail);
+    // restore the induction variable's exit value
+    stmts.push(Stmt::assign(
+        LValue::Var(f.var.clone()),
+        Expr::Int(init + trip * s),
+    ));
+    Ok(FrequentPathOutput { stmts, pred })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_program;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn unroll_while_structure() {
+        let p = parse_program("float a[32]; int i; while (a[i + 2] > 0.0) { a[i] = a[i + 2]; i += 1; }").unwrap();
+        let out = unroll_while(&p.stmts[0], 2).unwrap();
+        let src = stmts_to_source(&[out]);
+        assert_eq!(src.matches("a[i] = a[i + 2];").count(), 2, "{src}");
+        assert!(src.contains("break;"), "{src}");
+    }
+
+    #[test]
+    fn unroll_while_rejects_for() {
+        let p = parse_program("int i; for (i = 0; i < 3; i++) i = i;").unwrap();
+        assert!(unroll_while(&p.stmts[0], 2).is_err());
+    }
+
+    #[test]
+    fn frequent_path_shape() {
+        let mut p = parse_program(
+            "float x[64]; float acc; int i;\n\
+             for (i = 0; i < 40; i++) { if (x[i] > 0.0) { acc = acc + x[i]; } else { acc = acc - 1.0; } x[i] = acc; }",
+        )
+        .unwrap();
+        let loop_stmt = p.stmts[0].clone();
+        let out = frequent_path_ms(&mut p, &loop_stmt).unwrap();
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("pf1 ="), "{src}");
+        assert!(src.contains("par {"), "{src}");
+        assert!(src.trim_end().ends_with("i = 40;"), "{src}");
+    }
+
+    #[test]
+    fn frequent_path_rejects_wrong_shape() {
+        let mut p = parse_program("float a[8]; int i; for (i = 0; i < 8; i++) a[i] = 1.0;").unwrap();
+        let loop_stmt = p.stmts[0].clone();
+        assert!(frequent_path_ms(&mut p, &loop_stmt).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Bad-case filtering (§4).
+//!
+//! SLMS can *reduce* performance when the loop is dominated by memory
+//! references: overlapping iterations then packs too many loads/stores into
+//! one row and the machine stalls on memory pressure. The paper's filter
+//! skips loops whose memory-ref ratio `LS / (LS + AO)` is ≥ 0.85; the
+//! conclusions add a second heuristic — loops with at least six arithmetic
+//! operations per array reference are almost never bad cases, so a
+//! *minimum* arithmetic density can be demanded. Both thresholds are
+//! machine-specific knobs in [`FilterConfig`].
+
+use slc_analysis::memref::op_counts;
+use slc_ast::Stmt;
+
+/// Thresholds of the bad-case filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FilterConfig {
+    /// Skip the loop when `LS/(LS+AO)` is at or above this value
+    /// (paper value: 0.85).
+    pub max_memref_ratio: f64,
+    /// When `Some(r)`, additionally require at least `r` arithmetic
+    /// operations per load/store (the conclusion's "six arithmetic
+    /// operations per array reference" rule, off by default).
+    pub min_arith_per_ref: Option<f64>,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        FilterConfig {
+            max_memref_ratio: 0.85,
+            min_arith_per_ref: None,
+        }
+    }
+}
+
+/// Why a loop was rejected by the filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterVerdict {
+    /// The loop passes; SLMS may proceed.
+    Pass,
+    /// Memory-ref ratio at/above threshold.
+    MemRefRatio {
+        /// measured ratio
+        ratio: f64,
+        /// configured threshold
+        threshold: f64,
+    },
+    /// Not enough arithmetic per memory reference.
+    LowArithDensity {
+        /// measured arithmetic ops per load/store
+        density: f64,
+        /// configured minimum
+        min: f64,
+    },
+}
+
+impl FilterVerdict {
+    /// True when the loop passed.
+    pub fn passed(&self) -> bool {
+        matches!(self, FilterVerdict::Pass)
+    }
+}
+
+/// Apply the §4 filter to a loop body.
+pub fn filter_loop(body: &[Stmt], var: &str, cfg: &FilterConfig) -> FilterVerdict {
+    let c = op_counts(body, var);
+    let ratio = c.memref_ratio();
+    if ratio >= cfg.max_memref_ratio {
+        return FilterVerdict::MemRefRatio {
+            ratio,
+            threshold: cfg.max_memref_ratio,
+        };
+    }
+    if let Some(min) = cfg.min_arith_per_ref {
+        let density = if c.ls == 0 {
+            f64::INFINITY
+        } else {
+            c.ao as f64 / c.ls as f64
+        };
+        if density < min {
+            return FilterVerdict::LowArithDensity { density, min };
+        }
+    }
+    FilterVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+
+    #[test]
+    fn swap_loop_filtered() {
+        let body =
+            parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
+        let v = filter_loop(&body, "k", &FilterConfig::default());
+        assert!(matches!(v, FilterVerdict::MemRefRatio { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn dot_product_passes() {
+        let body = parse_stmts("t = A[i] * B[i]; s = s + t;").unwrap();
+        assert!(filter_loop(&body, "i", &FilterConfig::default()).passed());
+    }
+
+    #[test]
+    fn density_rule() {
+        let cfg = FilterConfig {
+            max_memref_ratio: 0.85,
+            min_arith_per_ref: Some(1.0),
+        };
+        // ratio 3/5 = 0.6 passes the memref filter, density 2/3 < 1 fails
+        let body = parse_stmts("A[i] = B[i] + C[i];").unwrap();
+        assert!(matches!(
+            filter_loop(&body, "i", &cfg),
+            FilterVerdict::LowArithDensity { .. }
+        ));
+        // 5 refs, 5 ops → density 1.0 passes
+        let body = parse_stmts("A[i] = B[i] * B[i] * B[i] + 2.0 * B[i] + 1.0;").unwrap();
+        assert!(filter_loop(&body, "i", &cfg).passed());
+    }
+}

@@ -1,0 +1,171 @@
+//! Source-level if-conversion (§3.1).
+//!
+//! `if (x < y) { x = x + 1; A[i] += x; } else { y = y + 1; }` becomes
+//!
+//! ```text
+//! c = x < y;
+//! if (c) x = x + 1;
+//! if (c) A[i] += x;
+//! if (!c) y = y + 1;
+//! ```
+//!
+//! Each predicated statement is an *elementary* if — a single-assignment MI
+//! the rest of the pipeline treats like an ordinary MI with an extra scalar
+//! read of its predicate. Nested ifs are flattened by conjoining predicates
+//! (`c2 = c1 && inner`), which is safe because conditions in this language
+//! are side-effect free.
+
+use slc_ast::{BinOp, Expr, LValue, Program, Stmt, Ty, UnOp};
+
+/// Result of if-conversion over a loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfConverted {
+    /// The flattened body (assignments + elementary predicated ifs).
+    pub body: Vec<Stmt>,
+    /// Names of the predicate temporaries introduced (already declared in
+    /// the program passed to [`if_convert`]).
+    pub preds: Vec<String>,
+}
+
+/// True when the statement list contains a *compound* if that needs
+/// conversion (anything but single-assignment elementary ifs).
+pub fn needs_if_conversion(body: &[Stmt]) -> bool {
+    body.iter().any(|s| match s {
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            !else_branch.is_empty()
+                || then_branch.len() != 1
+                || !matches!(then_branch[0], Stmt::Assign { .. })
+                || !matches!(cond, Expr::Var(_) | Expr::Unary(UnOp::Not, _))
+        }
+        Stmt::Block(b) => needs_if_conversion(b),
+        _ => false,
+    })
+}
+
+/// Apply source-level if-conversion to a loop body, registering fresh
+/// predicate scalars in `prog`.
+pub fn if_convert(prog: &mut Program, body: &[Stmt]) -> IfConverted {
+    let mut out = Vec::new();
+    let mut preds = Vec::new();
+    convert(prog, body, None, &mut out, &mut preds);
+    IfConverted { body: out, preds }
+}
+
+fn guard(stmt: Stmt, pred: Option<&Expr>) -> Stmt {
+    match pred {
+        None => stmt,
+        Some(p) => Stmt::If {
+            cond: p.clone(),
+            then_branch: vec![stmt],
+            else_branch: vec![],
+        },
+    }
+}
+
+fn convert(
+    prog: &mut Program,
+    body: &[Stmt],
+    pred: Option<&Expr>,
+    out: &mut Vec<Stmt>,
+    preds: &mut Vec<String>,
+) {
+    for s in body {
+        match s {
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                // Fresh predicate: c = (outer &&) cond.
+                let name = prog.fresh_name("pred");
+                prog.ensure_scalar(&name, Ty::Int);
+                preds.push(name.clone());
+                let full = match pred {
+                    None => cond.clone(),
+                    Some(p) => Expr::bin(BinOp::And, p.clone(), cond.clone()),
+                };
+                out.push(Stmt::assign(LValue::Var(name.clone()), full));
+                let pv = Expr::Var(name.clone());
+                convert(prog, then_branch, Some(&pv), out, preds);
+                if !else_branch.is_empty() {
+                    let np = match pred {
+                        None => Expr::Unary(UnOp::Not, Box::new(pv.clone())),
+                        Some(p) => Expr::bin(
+                            BinOp::And,
+                            p.clone(),
+                            Expr::Unary(UnOp::Not, Box::new(pv.clone())),
+                        ),
+                    };
+                    // Materialize the negated predicate so each MI reads a
+                    // plain scalar (keeps MIs elementary).
+                    let nname = prog.fresh_name("pred");
+                    prog.ensure_scalar(&nname, Ty::Int);
+                    preds.push(nname.clone());
+                    out.push(Stmt::assign(LValue::Var(nname.clone()), np));
+                    let npv = Expr::Var(nname);
+                    convert(prog, else_branch, Some(&npv), out, preds);
+                }
+            }
+            Stmt::Block(b) => convert(prog, b, pred, out, preds),
+            other => out.push(guard(other.clone(), pred)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::pretty::stmts_to_source;
+    use slc_ast::{parse_program, parse_stmts};
+
+    #[test]
+    fn paper_example() {
+        let mut prog = parse_program("int x, y, i; float A[10];").unwrap();
+        let body =
+            parse_stmts("if (x < y) { x = x + 1; A[i] += x; } else { y = y + 1; }").unwrap();
+        let conv = if_convert(&mut prog, &body);
+        let src = stmts_to_source(&conv.body);
+        assert!(src.contains("pred1 = x < y;"), "got:\n{src}");
+        assert!(src.contains("if (pred1) {"), "got:\n{src}");
+        assert!(src.contains("pred2 = !pred1;"), "got:\n{src}");
+        assert!(src.contains("if (pred2) {"), "got:\n{src}");
+        assert_eq!(conv.preds, vec!["pred1", "pred2"]);
+        // 2 pred defs + 3 guarded assignments
+        assert_eq!(conv.body.len(), 5);
+    }
+
+    #[test]
+    fn nested_if_conjoins() {
+        let mut prog = parse_program("int a, b, x;").unwrap();
+        let body = parse_stmts("if (a) { if (b) x = 1; }").unwrap();
+        let conv = if_convert(&mut prog, &body);
+        let src = stmts_to_source(&conv.body);
+        assert!(src.contains("pred2 = pred1 && b;"), "got:\n{src}");
+        assert!(src.contains("if (pred2) {"), "got:\n{src}");
+    }
+
+    #[test]
+    fn needs_conversion_detection() {
+        let simple = parse_stmts("if (c) x = 1;").unwrap();
+        assert!(!needs_if_conversion(&simple));
+        let compound = parse_stmts("if (x < y) x = 1;").unwrap();
+        assert!(needs_if_conversion(&compound)); // non-scalar condition
+        let with_else = parse_stmts("if (c) x = 1; else y = 1;").unwrap();
+        assert!(needs_if_conversion(&with_else));
+        let plain = parse_stmts("x = 1; y = 2;").unwrap();
+        assert!(!needs_if_conversion(&plain));
+    }
+
+    #[test]
+    fn non_if_statements_pass_through() {
+        let mut prog = parse_program("int x;").unwrap();
+        let body = parse_stmts("x = 1; x = 2;").unwrap();
+        let conv = if_convert(&mut prog, &body);
+        assert_eq!(conv.body, body);
+        assert!(conv.preds.is_empty());
+    }
+}

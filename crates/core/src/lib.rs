@@ -1,0 +1,593 @@
+//! # slc-core — Source Level Modulo Scheduling (SLMS)
+//!
+//! The paper's primary contribution: modulo scheduling applied as a
+//! source-to-source loop transformation on the AST (Ben-Asher & Meisler,
+//! ICPP 2006). The algorithm (§5):
+//!
+//! 1. filter bad cases by memory-ref ratio ([`filter`]);
+//! 2. source-level if-conversion ([`ifconv`]);
+//! 3. partition the body into multi-instructions (`slc-analysis`);
+//! 4. compute dependence delays ([`delay`]) and the MII ([`mii`]);
+//! 5. if no valid II exists, decompose MIs ([`decompose`]) and retry;
+//! 6. emit prologue/kernel/epilogue with index shifting and eliminate
+//!    decomposition-/scalar-induced dependences with modulo variable
+//!    expansion or scalar expansion ([`mod@emit`]).
+//!
+//! Entry points: [`slms_loop`] transforms one `for` statement; [`slms_program`]
+//! walks a whole program transforming every eligible innermost loop.
+//!
+//! Every successful transformation is *observationally identity*: the
+//! emitted statements leave all originally-declared variables (including the
+//! induction variable) with exactly the values the original loop produced.
+//! The workspace's interpreter-based equivalence tests rely on this.
+
+pub mod decompose;
+pub mod delay;
+pub mod emit;
+pub mod emit_symbolic;
+pub mod extensions;
+pub mod filter;
+pub mod ifconv;
+pub mod mii;
+
+pub use emit::{emit, EmitOutput, ExpandVar, Expansion};
+pub use emit_symbolic::emit_symbolic_guarded;
+pub use extensions::{frequent_path_ms, unroll_while, FrequentPathOutput};
+pub use filter::{filter_loop, FilterConfig, FilterVerdict};
+pub use ifconv::{if_convert, needs_if_conversion};
+pub use mii::{constraints_of, cycles_mii, placement_mii, Constraint};
+
+use slc_analysis::{build_ddg, partition_mis, AnalysisError, Ddg, DepKind, Distance};
+use slc_ast::{AssignOp, LValue, Program, Stmt};
+use std::collections::HashSet;
+
+/// Configuration of the SLMS driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlmsConfig {
+    /// Bad-case filter thresholds (§4).
+    pub filter: FilterConfig,
+    /// Whether to apply the bad-case filter at all (the figure-16/17 style
+    /// ablations disable it to measure unfiltered behaviour).
+    pub apply_filter: bool,
+    /// How scalar/decomposition dependences are expanded away (§3.3–3.4).
+    pub expansion: Expansion,
+    /// Apply source-level if-conversion to compound conditionals (§3.1).
+    pub if_conversion: bool,
+    /// Maximum number of decomposition rounds before giving up (§5 step 5).
+    pub max_decompositions: usize,
+    /// Transform unit-stride loops with *symbolic* bounds by emitting a
+    /// runtime-guarded version (pipeline only when the trip count exceeds
+    /// the depth). Expansion is forced off for such loops.
+    pub allow_symbolic_guard: bool,
+}
+
+impl Default for SlmsConfig {
+    fn default() -> Self {
+        SlmsConfig {
+            filter: FilterConfig::default(),
+            apply_filter: true,
+            expansion: Expansion::Mve,
+            if_conversion: true,
+            max_decompositions: 8,
+            allow_symbolic_guard: true,
+        }
+    }
+}
+
+/// Why SLMS declined or failed to transform a loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlmsError {
+    /// The statement is not a `for` loop.
+    NotAForLoop,
+    /// Rejected by the §4 bad-case filter.
+    Filtered(FilterVerdict),
+    /// Loop-shape/eligibility failure from the analysis layer.
+    Analysis(AnalysisError),
+    /// The induction variable is written inside the body.
+    VarWrittenInBody,
+    /// No valid `II < n` exists even after decomposition.
+    NoValidIi,
+    /// Emission requires constant loop bounds.
+    SymbolicBounds,
+    /// The loop has fewer iterations than the pipeline depth.
+    TooFewIterations {
+        /// constant trip count of the loop
+        trip: i64,
+        /// minimum trip count required (`max_offset + 1`)
+        needed: i64,
+    },
+    /// MVE would need to unroll the kernel more than the sanity cap.
+    UnrollTooLarge(i64),
+}
+
+impl std::fmt::Display for SlmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlmsError::NotAForLoop => write!(f, "not a for loop"),
+            SlmsError::Filtered(v) => write!(f, "filtered as a bad case: {v:?}"),
+            SlmsError::Analysis(e) => write!(f, "{e}"),
+            SlmsError::VarWrittenInBody => write!(f, "induction variable written in body"),
+            SlmsError::NoValidIi => write!(f, "no valid initiation interval"),
+            SlmsError::SymbolicBounds => write!(f, "loop bounds are not constant"),
+            SlmsError::TooFewIterations { trip, needed } => {
+                write!(f, "trip count {trip} below pipeline depth {needed}")
+            }
+            SlmsError::UnrollTooLarge(u) => write!(f, "MVE unroll factor {u} too large"),
+        }
+    }
+}
+
+impl std::error::Error for SlmsError {}
+
+impl From<AnalysisError> for SlmsError {
+    fn from(e: AnalysisError) -> Self {
+        SlmsError::Analysis(e)
+    }
+}
+
+/// Statistics of one successful SLMS application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlmsReport {
+    /// Achieved initiation interval.
+    pub ii: i64,
+    /// The paper's cycle-based MII (Iterative Shortest Path), for
+    /// comparison; `None` when that computation finds no feasible II < n.
+    pub cycles_mii: Option<i64>,
+    /// Number of multi-instructions scheduled.
+    pub n_mis: usize,
+    /// MVE kernel unroll factor (1 = none).
+    pub unroll: i64,
+    /// Temporaries introduced by decomposition.
+    pub decomposed: Vec<String>,
+    /// Variables renamed by MVE with their version names.
+    pub renamed: Vec<(String, Vec<String>)>,
+    /// Variables turned into arrays by scalar expansion.
+    pub expanded_arrays: Vec<(String, String)>,
+    /// Whether if-conversion ran.
+    pub if_converted: bool,
+    /// Pipeline depth in iterations (`max_k off_k`).
+    pub max_offset: i64,
+}
+
+/// A successful transformation: replacement statements plus statistics.
+#[derive(Debug, Clone)]
+pub struct SlmsOutput {
+    /// Statements that replace the original loop statement.
+    pub stmts: Vec<Stmt>,
+    /// Transformation statistics.
+    pub report: SlmsReport,
+}
+
+/// Find scalars that expansion may rename: single unconditional plain def,
+/// no cross-iteration flow (every consumer reads the value produced in its
+/// own iteration).
+fn expandable_vars(
+    mis: &[Stmt],
+    ddg: &Ddg,
+    var: &str,
+    original: &HashSet<String>,
+) -> Vec<ExpandVar> {
+    let mut out = Vec::new();
+    for (d, mi) in mis.iter().enumerate() {
+        let Stmt::Assign {
+            target: LValue::Var(name),
+            op: AssignOp::Set,
+            ..
+        } = mi
+        else {
+            continue;
+        };
+        if name == var {
+            continue;
+        }
+        // single def across the loop?
+        let defs = (0..mis.len())
+            .filter(|&k| ddg.accesses[k].scalar_writes(var).any(|s| s.name == *name))
+            .count();
+        if defs != 1 {
+            continue;
+        }
+        // no cross-iteration flow on this scalar
+        let crosses = ddg.edges.iter().any(|e| {
+            e.scalar.as_deref() == Some(name.as_str())
+                && e.kind == DepKind::Flow
+                && e.dists.iter().any(|dd| *dd != Distance::Const(0))
+        });
+        if crosses {
+            continue;
+        }
+        // uses: any scalar read (including subscript position)
+        let max_use = (0..mis.len())
+            .filter(|&k| {
+                ddg.accesses[k]
+                    .scalars
+                    .iter()
+                    .any(|s| !s.write && s.name == *name)
+            })
+            .max()
+            .unwrap_or(d);
+        if max_use < d {
+            // a use before the def would be a cross-iteration flow; already
+            // excluded above, but keep the guard for clarity
+            continue;
+        }
+        out.push(ExpandVar {
+            name: name.clone(),
+            def_pos: d,
+            max_use_pos: max_use.max(d),
+            restore: original.contains(name),
+        });
+    }
+    out
+}
+
+/// Apply SLMS to one `for` statement. On success the returned statements
+/// replace the loop; `prog` gains declarations for any temporaries. On
+/// failure `prog` is left unchanged.
+///
+/// ```
+/// use slc_core::{slms_loop, SlmsConfig};
+/// use slc_ast::parse_program;
+///
+/// let mut prog = parse_program(
+///     "float A[32]; float B[32]; float s; float t; int i;\n\
+///      for (i = 0; i < 32; i++) { t = A[i] * B[i]; s = s + t; }",
+/// ).unwrap();
+/// let loop_stmt = prog.stmts[0].clone();
+/// let out = slms_loop(&mut prog, &loop_stmt, &SlmsConfig::default()).unwrap();
+/// assert_eq!(out.report.ii, 1);          // pipelined at II = 1
+/// assert_eq!(out.report.unroll, 2);      // MVE renamed t into 2 versions
+/// ```
+pub fn slms_loop(
+    prog: &mut Program,
+    loop_stmt: &Stmt,
+    cfg: &SlmsConfig,
+) -> Result<SlmsOutput, SlmsError> {
+    let Stmt::For(f) = loop_stmt else {
+        return Err(SlmsError::NotAForLoop);
+    };
+    // Work on a scratch program so failed attempts leave no stray decls.
+    let mut scratch = prog.clone();
+    let original: HashSet<String> = prog.decls.iter().map(|d| d.name.clone()).collect();
+
+    // Induction variable must not be written by the body.
+    let body_writes: Vec<String> = f
+        .body
+        .iter()
+        .flat_map(slc_ast::visit::scalars_written)
+        .collect();
+    if body_writes.contains(&f.var) {
+        return Err(SlmsError::VarWrittenInBody);
+    }
+
+    if cfg.apply_filter {
+        let verdict = filter_loop(&f.body, &f.var, &cfg.filter);
+        if !verdict.passed() {
+            return Err(SlmsError::Filtered(verdict));
+        }
+    }
+
+    // If-conversion (§3.1).
+    let mut body = f.body.clone();
+    let mut if_converted = false;
+    if needs_if_conversion(&body) {
+        if !cfg.if_conversion {
+            return Err(SlmsError::Analysis(AnalysisError::UnsupportedLoopForm(
+                "compound conditional without if-conversion".into(),
+            )));
+        }
+        let conv = if_convert(&mut scratch, &body);
+        body = conv.body;
+        if_converted = true;
+    }
+
+    // Symbolic bounds: only the guarded, expansion-free path can handle
+    // them; bail out early when it is unavailable.
+    let symbolic = f.trip_count().is_none();
+    if symbolic && (!cfg.allow_symbolic_guard || f.step.abs() != 1) {
+        return Err(SlmsError::SymbolicBounds);
+    }
+
+    // Decomposition loop (§5 step 5).
+    let mut decomposed: Vec<String> = Vec::new();
+    let (ii, mis, expand) = loop {
+        let mis = partition_mis(&body)?;
+        let ddg = build_ddg(&mis, &f.var, f.step);
+        let expand = if cfg.expansion == Expansion::Off || symbolic {
+            vec![]
+        } else {
+            expandable_vars(&body, &ddg, &f.var, &original)
+        };
+        let removable = |e: &slc_analysis::DepEdge| -> bool {
+            matches!(e.kind, DepKind::Anti | DepKind::Output)
+                && e.scalar
+                    .as_deref()
+                    .is_some_and(|s| expand.iter().any(|v| v.name == s))
+        };
+        let cons = constraints_of(&ddg, &removable);
+        if let Some(ii) = placement_mii(&cons, mis.len()) {
+            break (ii, mis, expand);
+        }
+        if decomposed.len() >= cfg.max_decompositions {
+            return Err(SlmsError::NoValidIi);
+        }
+        // Choose a victim: prefer MIs with loop-carried self dependences,
+        // then fall back to sequential order (§5 footnote).
+        let n = mis.len();
+        let order: Vec<usize> = (0..n)
+            .filter(|&k| ddg.has_self_carried(k))
+            .chain((0..n).filter(|&k| !ddg.has_self_carried(k)))
+            .collect();
+        let mut progressed = false;
+        for k in order {
+            if let Some(t) = decompose::break_self_dep(&mut scratch, &mut body, k, &f.var, f.step)
+            {
+                decomposed.push(t);
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return Err(SlmsError::NoValidIi);
+        }
+    };
+
+    // Emit.
+    let mi_stmts: Vec<Stmt> = mis.iter().map(|m| m.stmt.clone()).collect();
+    let out = if symbolic {
+        emit_symbolic_guarded(f, &mi_stmts, ii)?
+    } else {
+        emit(&mut scratch, f, &mi_stmts, ii, cfg.expansion, &expand)?
+    };
+
+    // Cycle-based MII for the report (recomputed on the final body).
+    let removable = |e: &slc_analysis::DepEdge| -> bool {
+        matches!(e.kind, DepKind::Anti | DepKind::Output)
+            && e.scalar
+                .as_deref()
+                .is_some_and(|s| expand.iter().any(|v| v.name == s))
+    };
+    let final_ddg = build_ddg(&mis, &f.var, f.step);
+    let cmii = cycles_mii(&constraints_of(&final_ddg, &removable), mis.len());
+
+    *prog = scratch;
+    Ok(SlmsOutput {
+        stmts: out.stmts,
+        report: SlmsReport {
+            ii,
+            cycles_mii: cmii,
+            n_mis: mis.len(),
+            unroll: out.unroll,
+            decomposed,
+            renamed: out.renamed,
+            expanded_arrays: out.expanded_arrays,
+            if_converted,
+            max_offset: out.max_offset,
+        },
+    })
+}
+
+/// Outcome of attempting SLMS on one loop inside a program.
+#[derive(Debug, Clone)]
+pub struct LoopOutcome {
+    /// Short description of the loop (`for (i = …) [k stmts]`).
+    pub loop_desc: String,
+    /// `Ok(report)` when transformed, `Err(reason)` when left unchanged.
+    pub result: Result<SlmsReport, SlmsError>,
+}
+
+/// Apply SLMS to every eligible innermost `for` loop of a program.
+/// Returns the transformed program and the per-loop outcomes.
+///
+/// ```
+/// use slc_core::{slms_program, SlmsConfig};
+/// use slc_ast::{parse_program, to_paper_style};
+///
+/// let prog = parse_program(
+///     "float a[64]; float b[64]; int i;\n\
+///      for (i = 0; i < 60; i++) { a[i] = b[i] * 2.0; b[i] = b[i] + 1.0; }",
+/// ).unwrap();
+/// let (optimized, outcomes) = slms_program(&prog, &SlmsConfig::default());
+/// assert!(outcomes[0].result.is_ok());
+/// assert!(to_paper_style(&optimized).contains("||")); // parallel kernel rows
+/// ```
+pub fn slms_program(prog: &Program, cfg: &SlmsConfig) -> (Program, Vec<LoopOutcome>) {
+    let mut new_prog = prog.clone();
+    let mut outcomes = Vec::new();
+    let stmts = std::mem::take(&mut new_prog.stmts);
+    let new_stmts = transform_stmts(&mut new_prog, stmts, cfg, &mut outcomes);
+    new_prog.stmts = new_stmts;
+    (new_prog, outcomes)
+}
+
+fn transform_stmts(
+    prog: &mut Program,
+    stmts: Vec<Stmt>,
+    cfg: &SlmsConfig,
+    outcomes: &mut Vec<LoopOutcome>,
+) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    for s in stmts {
+        match s {
+            Stmt::For(f) => {
+                let is_innermost = !f.body.iter().any(Stmt::contains_loop);
+                if is_innermost {
+                    let desc = format!("for ({} = …) [{} stmts]", f.var, f.body.len());
+                    let stmt = Stmt::For(f);
+                    match slms_loop(prog, &stmt, cfg) {
+                        Ok(res) => {
+                            outcomes.push(LoopOutcome {
+                                loop_desc: desc,
+                                result: Ok(res.report),
+                            });
+                            out.extend(res.stmts);
+                        }
+                        Err(e) => {
+                            outcomes.push(LoopOutcome {
+                                loop_desc: desc,
+                                result: Err(e),
+                            });
+                            out.push(stmt);
+                        }
+                    }
+                } else {
+                    let mut f = f;
+                    f.body = transform_stmts(prog, f.body, cfg, outcomes);
+                    out.push(Stmt::For(f));
+                }
+            }
+            Stmt::Block(b) => {
+                out.push(Stmt::Block(transform_stmts(prog, b, cfg, outcomes)));
+            }
+            Stmt::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                out.push(Stmt::If {
+                    cond,
+                    then_branch: transform_stmts(prog, then_branch, cfg, outcomes),
+                    else_branch: transform_stmts(prog, else_branch, cfg, outcomes),
+                });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::pretty::stmts_to_source;
+    use slc_ast::{parse_program, to_source};
+
+    fn cfg_nofilter() -> SlmsConfig {
+        SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        }
+    }
+
+    #[test]
+    fn intro_dot_product_ii1() {
+        let mut prog = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let out = slms_loop(&mut prog, &loop_stmt, &SlmsConfig::default()).unwrap();
+        assert_eq!(out.report.ii, 1);
+        assert_eq!(out.report.n_mis, 2);
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("s = s + t"), "got:\n{src}");
+    }
+
+    #[test]
+    fn single_mi_recurrence_decomposes_to_ii1() {
+        // §3.2 worked example.
+        let mut prog = parse_program(
+            "float A[64]; int i;\n\
+             for (i = 2; i < 60; i++) A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let out = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap();
+        assert_eq!(out.report.ii, 1);
+        assert_eq!(out.report.decomposed.len(), 1);
+        assert_eq!(out.report.unroll, 2, "MVE must unroll twice");
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("reg1") && src.contains("reg2"), "got:\n{src}");
+    }
+
+    #[test]
+    fn flow_only_recurrence_fails() {
+        // A[i] = A[i-1]*2 — every load is flow-fed; no decomposition helps.
+        let mut prog = parse_program(
+            "float A[64]; int i; for (i = 1; i < 60; i++) A[i] = A[i - 1] * 2.0;",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let err = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap_err();
+        assert_eq!(err, SlmsError::NoValidIi);
+        // no stray decls on failure
+        assert_eq!(prog.decls.len(), 2);
+    }
+
+    #[test]
+    fn swap_loop_is_filtered() {
+        let mut prog = parse_program(
+            "float X[8][8]; float CT; int k; int i; int j;\n\
+             for (k = 0; k < 8; k++) { CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT; }",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let err = slms_loop(&mut prog, &loop_stmt, &SlmsConfig::default()).unwrap_err();
+        assert!(matches!(err, SlmsError::Filtered(_)));
+    }
+
+    #[test]
+    fn max_loop_if_converted() {
+        // §5 max example (without the manual reduction split).
+        let mut prog = parse_program(
+            "float arr[64]; float max; int i;\n\
+             for (i = 1; i < 60; i++) if (max < arr[i]) max = arr[i];",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let out = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap();
+        assert!(out.report.if_converted);
+        assert_eq!(out.report.ii, 1);
+        let src = stmts_to_source(&out.stmts);
+        assert!(src.contains("pred"), "got:\n{src}");
+    }
+
+    #[test]
+    fn big_parallel_body_ii1_no_decomposition() {
+        // §5 DU1/DU2/DU3-style loop: many MIs, no binding recurrence —
+        // the paper reports MII = 1 without decomposition.
+        let mut prog = parse_program(
+            "float DU1[128]; float DU2[128]; float DU3[128];\n\
+             float U1[256]; float U2[256]; float U3[256]; int ky;\n\
+             for (ky = 1; ky < 100; ky++) {\n\
+               DU1[ky] = U1[ky + 1] - U1[ky - 1];\n\
+               DU2[ky] = U2[ky + 1] - U2[ky - 1];\n\
+               DU3[ky] = U3[ky + 1] - U3[ky - 1];\n\
+               U1[ky + 101] = U1[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];\n\
+               U2[ky + 101] = U2[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];\n\
+               U3[ky + 101] = U3[ky] + 2.0 * DU1[ky] + 2.0 * DU2[ky] + 2.0 * DU3[ky];\n\
+             }",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let out = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap();
+        assert_eq!(out.report.ii, 1);
+        assert_eq!(out.report.n_mis, 6);
+        assert!(out.report.decomposed.is_empty());
+    }
+
+    #[test]
+    fn program_driver_transforms_innermost() {
+        let prog = parse_program(
+            "float A[16][32]; int i; int j;\n\
+             for (j = 0; j < 16; j++) for (i = 0; i < 30; i++) A[j][i] = A[j][i] + 1.0;",
+        )
+        .unwrap();
+        let (newp, outcomes) = slms_program(&prog, &cfg_nofilter());
+        assert_eq!(outcomes.len(), 1);
+        let printed = to_source(&newp);
+        assert!(outcomes[0].result.is_ok(), "{:?}\n{printed}", outcomes[0]);
+    }
+
+    #[test]
+    fn too_short_loops_untouched() {
+        let mut prog = parse_program(
+            "float A[8]; float B[8]; int i; for (i = 0; i < 1; i++) { A[i] = 1.0; B[i] = 2.0; }",
+        )
+        .unwrap();
+        let loop_stmt = prog.stmts[0].clone();
+        let err = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap_err();
+        assert!(matches!(err, SlmsError::TooFewIterations { .. }));
+    }
+}

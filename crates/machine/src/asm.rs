@@ -1,0 +1,161 @@
+//! Assembly-style rendering of scheduled IR — the workspace's equivalent of
+//! the paper's Figure 2 ("machine level MS") listings.
+//!
+//! One line per cycle; ops in a bundle are joined with ` | `. Memory
+//! operands print their symbolic address form; kernel ops from later
+//! pipeline stages show their iteration offset as `@+k`.
+
+use crate::ir::{BinKind, Bundle, Op, OpKind, Operand};
+use slc_analysis::LinForm;
+use std::fmt::Write;
+
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Reg(r) => format!("r{r}"),
+        Operand::ImmI(v) => format!("#{v}"),
+        Operand::ImmF(v) => format!("#{v}"),
+    }
+}
+
+fn linform(l: &LinForm) -> String {
+    let mut parts = Vec::new();
+    for (v, c) in &l.terms {
+        match c {
+            1 => parts.push(v.clone()),
+            -1 => parts.push(format!("-{v}")),
+            c => parts.push(format!("{c}*{v}")),
+        }
+    }
+    if l.konst != 0 || parts.is_empty() {
+        parts.push(l.konst.to_string());
+    }
+    parts.join("+").replace("+-", "-")
+}
+
+fn bin_kind(k: &BinKind) -> String {
+    match k {
+        BinKind::Add => "add".into(),
+        BinKind::Sub => "sub".into(),
+        BinKind::Mul => "mul".into(),
+        BinKind::Div => "div".into(),
+        BinKind::Mod => "rem".into(),
+        BinKind::Cmp(c) => format!("cmp.{c}"),
+        BinKind::And => "and".into(),
+        BinKind::Or => "or".into(),
+        BinKind::Not => "not".into(),
+    }
+}
+
+/// Render one op.
+pub fn op_to_string(op: &Op) -> String {
+    let body = match &op.kind {
+        OpKind::Load { dst, array, addr } => match addr {
+            Some(l) => format!("ld    r{dst} = {array}[{}]", linform(l)),
+            None => format!("ld    r{dst} = {array}[?]"),
+        },
+        OpKind::Store { src, array, addr } => match addr {
+            Some(l) => format!("st    {array}[{}] = {}", linform(l), operand(src)),
+            None => format!("st    {array}[?] = {}", operand(src)),
+        },
+        OpKind::Bin { op: k, fp, dst, a, b } => {
+            let suffix = if *fp { ".f" } else { "" };
+            format!(
+                "{}{suffix} r{dst} = {}, {}",
+                bin_kind(k),
+                operand(a),
+                operand(b)
+            )
+        }
+        OpKind::Mov { dst, src } => format!("mov   r{dst} = {}", operand(src)),
+        OpKind::Intrinsic { name, dst, args, .. } => {
+            let args: Vec<_> = args.iter().map(operand).collect();
+            format!("{name}  r{dst} = {}", args.join(", "))
+        }
+        OpKind::Branch => "br    loop".to_string(),
+    };
+    let mut out = String::new();
+    if let Some((p, sense)) = op.pred {
+        let neg = if sense { "" } else { "!" };
+        let _ = write!(out, "({neg}r{p}) ");
+    }
+    out.push_str(&body);
+    if op.iter_offset != 0 {
+        let _ = write!(out, " @+{}", op.iter_offset);
+    }
+    out
+}
+
+/// Render a bundle schedule, one cycle per line (`cyc: op | op | …`).
+/// Empty bundles print as stall cycles.
+pub fn bundles_to_string(bundles: &[Bundle]) -> String {
+    let mut out = String::new();
+    for (c, b) in bundles.iter().enumerate() {
+        if b.is_empty() {
+            let _ = writeln!(out, "{c:>4}:  <stall>");
+        } else {
+            let ops: Vec<_> = b.iter().map(op_to_string).collect();
+            let _ = writeln!(out, "{c:>4}:  {}", ops.join("  |  "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::listsched::list_schedule;
+    use crate::lower::lower_program;
+    use crate::mach::MachineDesc;
+    use crate::ir::Lir;
+    use slc_ast::parse_program;
+
+    fn innermost_ops(src: &str) -> Vec<Op> {
+        let lir = lower_program(&parse_program(src).unwrap()).unwrap();
+        lir.items
+            .iter()
+            .find_map(|it| match it {
+                Lir::Loop(l) => l.body.iter().find_map(|b| match b {
+                    Lir::Block(ops) => Some(ops.clone()),
+                    _ => None,
+                }),
+                _ => None,
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn renders_schedule() {
+        let ops = innermost_ops(
+            "float A[16]; float B[16]; int i; for (i = 0; i < 16; i++) B[i] = A[i] * 2.0;",
+        );
+        let s = list_schedule(&ops, &MachineDesc::default());
+        let asm = bundles_to_string(&s.bundles);
+        assert!(asm.contains("ld "), "{asm}");
+        assert!(asm.contains("mul.f"), "{asm}");
+        assert!(asm.contains("st "), "{asm}");
+        assert!(asm.contains("br "), "{asm}");
+        assert!(asm.contains("A[i]"), "{asm}");
+    }
+
+    #[test]
+    fn renders_predication_and_offsets() {
+        let mut op = Op::new(OpKind::Mov {
+            dst: 3,
+            src: Operand::ImmI(7),
+        });
+        op.pred = Some((9, false));
+        op.iter_offset = 2;
+        let s = op_to_string(&op);
+        assert_eq!(s, "(!r9) mov   r3 = #7 @+2");
+    }
+
+    #[test]
+    fn renders_linform_addresses() {
+        let ops = innermost_ops(
+            "float M[4][8]; int i; for (i = 0; i < 4; i++) M[i][3] = 0.0;",
+        );
+        let s = list_schedule(&ops, &MachineDesc::default());
+        let asm = bundles_to_string(&s.bundles);
+        assert!(asm.contains("M[8*i+3]"), "{asm}");
+    }
+}

@@ -1,0 +1,360 @@
+//! Value-level interpreter for lowered IR — the differential oracle for the
+//! lowering stage.
+//!
+//! The trace-based cycle simulator (in `slc-sim`) deliberately never
+//! computes data values; this interpreter does, so the workspace can check
+//! that *lowering itself* preserves semantics: running a program through
+//! `lower_program` + this interpreter must produce the same final array and
+//! scalar state as the AST reference interpreter. The differential tests
+//! live in the workspace `tests/` directory.
+//!
+//! Execution model: ops run in program order (scheduling does not change
+//! values — only timing — so the oracle checks the unscheduled IR);
+//! predicated ops are skipped when their guard fails; memory addresses come
+//! from the symbolic linear forms evaluated against the live loop indices.
+//! Programs whose memory ops carry no linear form (non-affine subscripts)
+//! cannot be value-executed and report [`LirExecError::UnknownAddress`].
+
+use crate::ir::{BinKind, Lir, LirLoop, LirProgram, Op, OpKind, Operand, VReg};
+use std::collections::HashMap;
+
+/// Runtime value of a register (dynamically typed like the AST oracle).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RVal {
+    /// integer
+    I(i64),
+    /// float
+    F(f64),
+}
+
+impl RVal {
+    /// As f64 for mixed arithmetic.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            RVal::I(v) => v as f64,
+            RVal::F(v) => v,
+        }
+    }
+
+    /// Truthiness.
+    pub fn truthy(self) -> bool {
+        match self {
+            RVal::I(v) => v != 0,
+            RVal::F(v) => v != 0.0,
+        }
+    }
+}
+
+/// Errors from IR execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LirExecError {
+    /// A memory op has no symbolic address (non-affine subscript).
+    UnknownAddress(String),
+    /// Address evaluated outside the array.
+    OutOfBounds {
+        /// array name
+        array: String,
+        /// evaluated element index
+        index: i64,
+    },
+    /// Integer division by zero.
+    DivByZero,
+}
+
+impl std::fmt::Display for LirExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LirExecError::UnknownAddress(a) => write!(f, "non-affine address into {a}"),
+            LirExecError::OutOfBounds { array, index } => {
+                write!(f, "index {index} out of bounds in {array}")
+            }
+            LirExecError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+/// Final machine state after IR execution.
+#[derive(Debug, Clone, Default)]
+pub struct LirState {
+    /// register file
+    pub regs: HashMap<VReg, RVal>,
+    /// array contents (row-major, f64 storage; integer arrays hold integral
+    /// values)
+    pub arrays: HashMap<String, Vec<f64>>,
+    /// loop-variable environment (for address evaluation)
+    pub env: HashMap<String, i64>,
+    /// scalar-name → register map, for address terms that reference
+    /// non-loop scalars (e.g. `a[i][k]` with `i` set at runtime)
+    pub scalar_regs: HashMap<String, VReg>,
+}
+
+impl LirState {
+    fn operand(&self, o: &Operand) -> RVal {
+        match o {
+            Operand::Reg(r) => self.regs.get(r).copied().unwrap_or(RVal::F(0.0)),
+            Operand::ImmI(v) => RVal::I(*v),
+            Operand::ImmF(v) => RVal::F(*v),
+        }
+    }
+
+    fn addr(&self, op: &Op) -> Result<(String, i64), LirExecError> {
+        let (array, lin, _) = op.mem().expect("mem op");
+        let Some(lin) = lin else {
+            return Err(LirExecError::UnknownAddress(array.to_string()));
+        };
+        let mut v = lin.konst;
+        for (var, c) in &lin.terms {
+            let val = match self.env.get(var) {
+                Some(x) => *x,
+                None => match self.scalar_regs.get(var).and_then(|r| self.regs.get(r)) {
+                    Some(RVal::I(x)) => *x,
+                    Some(RVal::F(x)) if x.fract() == 0.0 => *x as i64,
+                    _ => return Err(LirExecError::UnknownAddress(array.to_string())),
+                },
+            };
+            v += c * val;
+        }
+        Ok((array.to_string(), v))
+    }
+
+    fn exec_op(&mut self, op: &Op) -> Result<(), LirExecError> {
+        if let Some((p, sense)) = op.pred {
+            let pv = self.regs.get(&p).copied().unwrap_or(RVal::I(0));
+            if pv.truthy() != sense {
+                return Ok(());
+            }
+        }
+        match &op.kind {
+            OpKind::Load { dst, .. } => {
+                let (array, idx) = self.addr(op)?;
+                let arr = self.arrays.entry(array.clone()).or_default();
+                if idx < 0 || idx as usize >= arr.len() {
+                    return Err(LirExecError::OutOfBounds { array, index: idx });
+                }
+                let v = arr[idx as usize];
+                self.regs.insert(*dst, RVal::F(v));
+            }
+            OpKind::Store { src, .. } => {
+                let v = self.operand(src).as_f64();
+                let (array, idx) = self.addr(op)?;
+                let arr = self.arrays.entry(array.clone()).or_default();
+                if idx < 0 || idx as usize >= arr.len() {
+                    return Err(LirExecError::OutOfBounds { array, index: idx });
+                }
+                arr[idx as usize] = v;
+            }
+            OpKind::Bin { op: k, fp, dst, a, b } => {
+                let (va, vb) = (self.operand(a), self.operand(b));
+                let out = exec_bin(*k, *fp, va, vb)?;
+                self.regs.insert(*dst, out);
+            }
+            OpKind::Mov { dst, src } => {
+                let v = self.operand(src);
+                self.regs.insert(*dst, v);
+            }
+            OpKind::Intrinsic { name, dst, args, .. } => {
+                let f = |k: usize| args.get(k).map(|a| self.operand(a).as_f64()).unwrap_or(0.0);
+                let out = match name.as_str() {
+                    "abs" => f(0).abs(),
+                    "sqrt" => f(0).sqrt(),
+                    "exp" => f(0).exp(),
+                    "sign" => f(0).signum(),
+                    "min" => f(0).min(f(1)),
+                    "max" => f(0).max(f(1)),
+                    _ => 0.0,
+                };
+                self.regs.insert(*dst, RVal::F(out));
+            }
+            OpKind::Branch => {}
+        }
+        Ok(())
+    }
+
+    fn exec_loop(&mut self, l: &LirLoop) -> Result<(), LirExecError> {
+        for t in 0..l.trips {
+            self.env.insert(l.var.clone(), l.init + t * l.step);
+            for item in &l.body {
+                self.exec_item(item)?;
+            }
+        }
+        // loop variable register already updated by the lowered control ops
+        self.env.insert(l.var.clone(), l.init + l.trips * l.step);
+        Ok(())
+    }
+
+    fn exec_item(&mut self, item: &Lir) -> Result<(), LirExecError> {
+        match item {
+            Lir::Block(ops) => {
+                for op in ops {
+                    self.exec_op(op)?;
+                }
+                Ok(())
+            }
+            Lir::Loop(l) => self.exec_loop(l),
+        }
+    }
+}
+
+fn exec_bin(k: BinKind, fp: bool, a: RVal, b: RVal) -> Result<RVal, LirExecError> {
+    use RVal::*;
+    // integer flavour only when both operands are integers and fp is false
+    let ints = matches!((a, b), (I(_), I(_))) && !fp;
+    Ok(match k {
+        BinKind::Add => {
+            if ints {
+                if let (I(x), I(y)) = (a, b) {
+                    I(x.wrapping_add(y))
+                } else {
+                    unreachable!()
+                }
+            } else {
+                F(a.as_f64() + b.as_f64())
+            }
+        }
+        BinKind::Sub => {
+            if ints {
+                if let (I(x), I(y)) = (a, b) {
+                    I(x.wrapping_sub(y))
+                } else {
+                    unreachable!()
+                }
+            } else {
+                F(a.as_f64() - b.as_f64())
+            }
+        }
+        BinKind::Mul => {
+            if ints {
+                if let (I(x), I(y)) = (a, b) {
+                    I(x.wrapping_mul(y))
+                } else {
+                    unreachable!()
+                }
+            } else {
+                F(a.as_f64() * b.as_f64())
+            }
+        }
+        BinKind::Div => {
+            if ints {
+                if let (I(x), I(y)) = (a, b) {
+                    if y == 0 {
+                        return Err(LirExecError::DivByZero);
+                    }
+                    I(x.wrapping_div(y))
+                } else {
+                    unreachable!()
+                }
+            } else {
+                F(a.as_f64() / b.as_f64())
+            }
+        }
+        BinKind::Mod => {
+            if ints {
+                if let (I(x), I(y)) = (a, b) {
+                    if y == 0 {
+                        return Err(LirExecError::DivByZero);
+                    }
+                    I(x.wrapping_rem(y))
+                } else {
+                    unreachable!()
+                }
+            } else {
+                let d = b.as_f64();
+                if d == 0.0 {
+                    return Err(LirExecError::DivByZero);
+                }
+                F(a.as_f64() % d)
+            }
+        }
+        BinKind::Cmp(c) => I(c.eval(a.as_f64(), b.as_f64()) as i64),
+        BinKind::And => I((a.truthy() && b.truthy()) as i64),
+        BinKind::Or => I((a.truthy() || b.truthy()) as i64),
+        BinKind::Not => I(!a.truthy() as i64),
+    })
+}
+
+/// Execute a lowered program from an initial array state (row-major f64 per
+/// array) and initial register values. Returns the final state.
+pub fn exec_lir(
+    prog: &LirProgram,
+    init_arrays: HashMap<String, Vec<f64>>,
+    init_regs: HashMap<VReg, RVal>,
+) -> Result<LirState, LirExecError> {
+    let mut st = LirState {
+        regs: init_regs,
+        arrays: init_arrays,
+        env: HashMap::new(),
+        scalar_regs: prog.scalar_regs.iter().cloned().collect(),
+    };
+    // ensure declared arrays exist
+    for (name, len) in &prog.arrays {
+        st.arrays.entry(name.clone()).or_insert(vec![0.0; *len]);
+    }
+    for item in &prog.items {
+        st.exec_item(item)?;
+    }
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use slc_ast::parse_program;
+
+    #[test]
+    fn simple_loop_values() {
+        let p = parse_program(
+            "float A[8]; float B[8]; int i;\n\
+             for (i = 0; i < 8; i++) B[i] = A[i] * 2.0 + 1.0;",
+        )
+        .unwrap();
+        let lir = lower_program(&p).unwrap();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), (0..8).map(|k| k as f64).collect());
+        let st = exec_lir(&lir, arrays, HashMap::new()).unwrap();
+        let b = &st.arrays["B"];
+        for (k, v) in b.iter().enumerate() {
+            assert_eq!(*v, k as f64 * 2.0 + 1.0);
+        }
+    }
+
+    #[test]
+    fn predicated_store_skipped() {
+        let p = parse_program(
+            "float A[4]; int c; int i;\n\
+             c = 0;\n\
+             for (i = 0; i < 4; i++) if (c) A[i] = 9.0;",
+        )
+        .unwrap();
+        let lir = lower_program(&p).unwrap();
+        let st = exec_lir(&lir, HashMap::new(), HashMap::new()).unwrap();
+        assert!(st.arrays["A"].iter().all(|v| *v == 0.0));
+    }
+
+    #[test]
+    fn oob_detected() {
+        let p = parse_program("float A[4]; int i; for (i = 0; i < 6; i++) A[i] = 1.0;").unwrap();
+        let lir = lower_program(&p).unwrap();
+        assert!(matches!(
+            exec_lir(&lir, HashMap::new(), HashMap::new()),
+            Err(LirExecError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn accumulator_value() {
+        let p = parse_program(
+            "float A[5]; float s; int i;\n\
+             for (i = 0; i < 5; i++) s += A[i];",
+        )
+        .unwrap();
+        let lir = lower_program(&p).unwrap();
+        let mut arrays = HashMap::new();
+        arrays.insert("A".to_string(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        let st = exec_lir(&lir, arrays, HashMap::new()).unwrap();
+        // s is some register; its final value must be 15 — find it by max
+        // value match through the program's scalar count: simplest check via
+        // sum over regs
+        assert!(st.regs.values().any(|v| v.as_f64() == 15.0), "{:?}", st.regs);
+    }
+}

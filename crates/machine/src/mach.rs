@@ -1,0 +1,125 @@
+//! Parametric machine descriptions.
+//!
+//! One structure covers the paper's four targets: a wide in-order VLIW
+//! (Itanium II), a narrow in-order superscalar (Pentium), a wider superscalar
+//! (Power4) and a single-issue scalar core (ARM7TDMI). The schedulers and
+//! the cycle simulator read everything from here — nothing is hard-coded to
+//! a target.
+
+use crate::ir::{OpClass, ALL_CLASSES};
+
+/// How the machine finds instruction-level parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IssueModel {
+    /// Compiler-scheduled bundles execute as given (VLIW / EPIC).
+    StaticVliw,
+    /// Hardware issues the linear op stream in order, up to `issue_width`
+    /// per cycle, stalling on unavailable operands (in-order superscalar).
+    DynamicInOrder,
+}
+
+/// Set-associative L1 data-cache parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// total size in bytes
+    pub size: usize,
+    /// line size in bytes
+    pub line: usize,
+    /// associativity (LRU replacement)
+    pub ways: usize,
+    /// extra stall cycles on a miss (hit cost is the Mem op latency)
+    pub miss_penalty: u32,
+}
+
+/// A machine description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineDesc {
+    /// human-readable name
+    pub name: String,
+    /// issue model
+    pub issue: IssueModel,
+    /// maximum operations issued per cycle
+    pub issue_width: usize,
+    /// functional-unit count per class
+    pub units: [usize; 7],
+    /// result latency per class (cycles until a consumer may issue)
+    pub latency: [u32; 7],
+    /// architected integer registers available to the allocator
+    pub int_regs: usize,
+    /// architected float registers
+    pub fp_regs: usize,
+    /// L1 data cache
+    pub cache: CacheConfig,
+    /// element size in bytes for address → byte conversion
+    pub elem_bytes: usize,
+    /// extra stall cycles for a spill (per spilled access, on top of the
+    /// Mem latency)
+    pub spill_penalty: u32,
+}
+
+impl MachineDesc {
+    fn class_index(c: OpClass) -> usize {
+        ALL_CLASSES.iter().position(|&x| x == c).unwrap()
+    }
+
+    /// Functional units available for a class.
+    pub fn units_of(&self, c: OpClass) -> usize {
+        self.units[Self::class_index(c)]
+    }
+
+    /// Result latency of a class.
+    pub fn latency_of(&self, c: OpClass) -> u32 {
+        self.latency[Self::class_index(c)]
+    }
+
+    /// Set the unit count of a class (builder helper).
+    pub fn with_units(mut self, c: OpClass, n: usize) -> Self {
+        self.units[Self::class_index(c)] = n;
+        self
+    }
+
+    /// Set the latency of a class (builder helper).
+    pub fn with_latency(mut self, c: OpClass, l: u32) -> Self {
+        self.latency[Self::class_index(c)] = l;
+        self
+    }
+}
+
+impl Default for MachineDesc {
+    /// A generic 4-issue VLIW used by unit tests.
+    fn default() -> Self {
+        MachineDesc {
+            name: "generic-vliw4".into(),
+            issue: IssueModel::StaticVliw,
+            issue_width: 4,
+            //        IntAlu IntMul FpAdd FpMul FpDiv Mem Branch
+            units: [2, 1, 2, 2, 1, 2, 1],
+            latency: [1, 3, 3, 4, 12, 2, 1],
+            int_regs: 32,
+            fp_regs: 32,
+            cache: CacheConfig {
+                size: 16 * 1024,
+                line: 64,
+                ways: 4,
+                miss_penalty: 12,
+            },
+            elem_bytes: 8,
+            spill_penalty: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_helpers() {
+        let m = MachineDesc::default()
+            .with_units(OpClass::Mem, 3)
+            .with_latency(OpClass::FpDiv, 20);
+        assert_eq!(m.units_of(OpClass::Mem), 3);
+        assert_eq!(m.latency_of(OpClass::FpDiv), 20);
+        assert_eq!(m.units_of(OpClass::Branch), 1);
+    }
+}

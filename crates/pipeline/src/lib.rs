@@ -1,0 +1,23 @@
+//! # slc-pipeline — end-to-end experiment pipeline
+//!
+//! Glues the workspace together the way the paper's Figure 4 does:
+//!
+//! ```text
+//!  source program ──(slc-core SLMS / slc-transforms)──▶ optimized source
+//!        │                                                   │
+//!        └──────────────▶ final compiler (slc-machine) ◀─────┘
+//!                                │ personalities: Weak / Optimizing / +MS
+//!                                ▼
+//!                     cycle simulator + power model (slc-sim)
+//! ```
+//!
+//! [`fn@compile`] builds simulatable programs; [`experiments`] produces the
+//! per-loop speedup rows behind each figure of §9.
+
+pub mod compile;
+pub mod experiments;
+
+pub use compile::{compile, CompileResult, CompilerKind, LoopInfo};
+pub use experiments::{
+    format_rows, measure_gap, measure_suite, measure_workload, run, GapRow, LoopRow, Metrics,
+};

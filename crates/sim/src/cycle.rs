@@ -1,0 +1,534 @@
+//! Trace-based cycle-level simulator.
+//!
+//! Executes *scheduled* IR (bundles from the list or modulo scheduler)
+//! against a machine description, producing cycle counts, functional-unit
+//! usage and L1 cache statistics. Values are never computed — the semantic
+//! oracle is the AST interpreter — but **addresses are exact**: every memory
+//! op carries a symbolic linear form over the enclosing loop variables,
+//! evaluated against the live loop indices (plus the op's pipeline
+//! iteration offset), which drives a set-associative LRU L1 model.
+//!
+//! Timing model:
+//!
+//! * **StaticVliw** — bundles issue as scheduled; a bundle stalls until all
+//!   its source registers are ready (covers loop-carried latencies the
+//!   per-block scheduler cannot see). A load miss extends its destination's
+//!   ready time by the miss penalty (non-blocking loads); store misses are
+//!   absorbed by the store buffer on multi-issue machines and stall the
+//!   pipeline on single-issue machines.
+//! * **DynamicInOrder** — the op stream issues in order, up to `issue_width`
+//!   per cycle, constrained by per-class units and operand readiness
+//!   (scoreboard). This models the paper's superscalar targets, where the
+//!   hardware — not the compiler — finds the parallelism, and source order
+//!   (hence SLMS) determines how much it can find.
+//! * Spill traffic charged by the register allocator adds
+//!   `⌈extra/mem_units⌉` cycles per loop iteration.
+
+use slc_machine::ir::{Bundle, Op, OpClass, ALL_CLASSES};
+use slc_machine::mach::{IssueModel, MachineDesc};
+use std::collections::HashMap;
+
+/// L1 statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// cache hits
+    pub hits: u64,
+    /// cache misses
+    pub misses: u64,
+}
+
+/// Simulation result.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// total cycles
+    pub cycles: u64,
+    /// dynamic operation count per class (indexed like `ALL_CLASSES`)
+    pub class_counts: [u64; 7],
+    /// L1 behaviour
+    pub cache: CacheStats,
+    /// dynamic spill accesses charged
+    pub spill_accesses: u64,
+}
+
+impl SimResult {
+    /// Total dynamic operations.
+    pub fn total_ops(&self) -> u64 {
+        self.class_counts.iter().sum()
+    }
+}
+
+/// One compiled program segment.
+#[derive(Debug, Clone)]
+pub enum Seg {
+    /// Straight-line scheduled code, executed once.
+    Straight(Vec<Bundle>),
+    /// A counted loop.
+    Loop(SimLoop),
+}
+
+/// A loop ready for simulation. For software-pipelined loops the builder
+/// already folded prologue/epilogue ramp iterations into `trips` and set
+/// per-op `iter_offset`s.
+#[derive(Debug, Clone)]
+pub struct SimLoop {
+    /// loop variable name (bound in the address environment)
+    pub var: String,
+    /// first index value
+    pub init: i64,
+    /// additive step
+    pub step: i64,
+    /// number of times the body executes
+    pub trips: i64,
+    /// body segments (bundles and nested loops)
+    pub body: Vec<Seg>,
+    /// extra memory accesses charged per iteration for register spills
+    pub extra_mem_per_iter: usize,
+}
+
+/// A compiled program: segments plus the array address map.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledProgram {
+    /// program segments in execution order
+    pub segs: Vec<Seg>,
+    /// arrays sizes in elements (defines the address-space layout)
+    pub arrays: Vec<(String, usize)>,
+}
+
+/// Set-associative L1 cache with LRU replacement.
+struct Cache {
+    nsets: usize,
+    ways: usize,
+    line: usize,
+    /// per set: (tag, last-touch counter) per way
+    sets: Vec<Vec<(u64, u64)>>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    fn new(m: &MachineDesc) -> Cache {
+        let ways = m.cache.ways.max(1);
+        let nsets = (m.cache.size / m.cache.line / ways).max(1);
+        Cache {
+            nsets,
+            ways,
+            line: m.cache.line,
+            sets: vec![Vec::new(); nsets],
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Probe a byte address; true on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let lineno = addr / self.line as u64;
+        let set = (lineno % self.nsets as u64) as usize;
+        let tag = lineno / self.nsets as u64;
+        let ways = &mut self.sets[set];
+        if let Some(slot) = ways.iter_mut().find(|(t, _)| *t == tag) {
+            slot.1 = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        if ways.len() < self.ways {
+            ways.push((tag, self.tick));
+        } else {
+            // evict LRU
+            let lru = ways
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k)
+                .unwrap();
+            ways[lru] = (tag, self.tick);
+        }
+        false
+    }
+}
+
+fn class_idx(c: OpClass) -> usize {
+    ALL_CLASSES.iter().position(|&x| x == c).unwrap()
+}
+
+struct SimState<'m> {
+    m: &'m MachineDesc,
+    cache: Cache,
+    result: SimResult,
+    /// register → cycle at which its value is ready
+    ready: HashMap<u32, u64>,
+    /// current cycle (next issue opportunity)
+    cycle: u64,
+    /// loop variable environment (plus `__step_<var>` entries)
+    env: HashMap<String, i64>,
+    /// array base element offsets
+    base: HashMap<String, u64>,
+    /// dedicated spill slot base
+    spill_base: u64,
+    /// per-cycle resource usage for the in-order model (pruned window)
+    usage: HashMap<u64, ([usize; 7], usize)>,
+}
+
+impl SimState<'_> {
+    fn addr_of(&self, op: &Op) -> Option<u64> {
+        let (array, lin, _) = op.mem()?;
+        let base = *self.base.get(array)?;
+        let elem = match lin {
+            Some(l) => {
+                let mut v = l.konst;
+                for (var, c) in &l.terms {
+                    let val = self.env.get(var).copied().unwrap_or(0);
+                    v += c * val;
+                }
+                // pipeline offset: the op runs `iter_offset` iterations
+                // ahead of the loop's nominal index
+                if op.iter_offset != 0 {
+                    if let Some((var, c)) = l.terms.iter().next() {
+                        let step = self
+                            .env
+                            .get(&format!("__step_{var}"))
+                            .copied()
+                            .unwrap_or(1);
+                        v += c * op.iter_offset * step;
+                    }
+                }
+                v
+            }
+            None => 0, // unknown address: array base (documented approximation)
+        };
+        Some(base.saturating_add_signed(elem) * self.m.elem_bytes as u64)
+    }
+
+    fn count(&mut self, op: &Op) {
+        self.result.class_counts[class_idx(op.class())] += 1;
+    }
+
+    /// Charge a memory access; returns extra latency (0 on hit).
+    fn mem_access(&mut self, op: &Op) -> u64 {
+        let Some(addr) = self.addr_of(op) else { return 0 };
+        if self.cache.access(addr) {
+            0
+        } else {
+            self.m.cache.miss_penalty as u64
+        }
+    }
+
+    fn exec_bundle_vliw(&mut self, bundle: &[Op]) {
+        // stall until every source is ready
+        let mut start = self.cycle;
+        for op in bundle {
+            for r in op.srcs() {
+                if let Some(&t) = self.ready.get(&r) {
+                    start = start.max(t);
+                }
+            }
+        }
+        let mut store_stall = 0u64;
+        for op in bundle {
+            self.count(op);
+            let mut lat = self.m.latency_of(op.class()) as u64;
+            if op.mem().is_some() {
+                let extra = self.mem_access(op);
+                let is_store = matches!(op.mem(), Some((_, _, true)));
+                if is_store {
+                    if self.m.issue_width == 1 {
+                        store_stall += extra; // blocking writes on scalar cores
+                    }
+                } else {
+                    lat += extra;
+                }
+            }
+            if let Some(d) = op.dst() {
+                self.ready.insert(d, start + lat);
+            }
+        }
+        self.cycle = start + 1 + store_stall;
+    }
+
+    fn exec_op_inorder(&mut self, op: &Op) {
+        // operand readiness
+        let mut t = self.cycle;
+        for r in op.srcs() {
+            if let Some(&rt) = self.ready.get(&r) {
+                t = t.max(rt);
+            }
+        }
+        // find an issue slot with free resources
+        let ci = class_idx(op.class());
+        loop {
+            let (classes, issued) = self.usage.entry(t).or_insert(([0; 7], 0));
+            if *issued < self.m.issue_width && classes[ci] < self.m.units[ci].max(1) {
+                classes[ci] += 1;
+                *issued += 1;
+                break;
+            }
+            t += 1;
+        }
+        self.count(op);
+        let mut lat = self.m.latency_of(op.class()) as u64;
+        let mut stall = 0u64;
+        if op.mem().is_some() {
+            let extra = self.mem_access(op);
+            let is_store = matches!(op.mem(), Some((_, _, true)));
+            if is_store {
+                if self.m.issue_width == 1 {
+                    stall = extra;
+                }
+            } else {
+                lat += extra;
+            }
+        }
+        if let Some(d) = op.dst() {
+            self.ready.insert(d, t + lat);
+        }
+        // Single-issue cores execute floating point in software (ARM7TDMI
+        // has no FPU): the emulation routine blocks the pipeline for its
+        // full latency instead of overlapping.
+        let fp_blocking = self.m.issue_width == 1
+            && matches!(
+                op.class(),
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
+            );
+        if fp_blocking {
+            stall = stall.max(lat);
+        }
+        // in-order: the next op cannot issue before this one
+        self.cycle = t + stall;
+        // prune the usage window
+        if self.usage.len() > 64 {
+            let cutoff = self.cycle.saturating_sub(8);
+            self.usage.retain(|&c, _| c >= cutoff);
+        }
+    }
+
+    fn exec_seg(&mut self, seg: &Seg) {
+        match seg {
+            Seg::Straight(bundles) => match self.m.issue {
+                IssueModel::StaticVliw => {
+                    for b in bundles {
+                        self.exec_bundle_vliw(b);
+                    }
+                }
+                IssueModel::DynamicInOrder => {
+                    for b in bundles {
+                        for op in b {
+                            self.exec_op_inorder(op);
+                        }
+                    }
+                }
+            },
+            Seg::Loop(l) => {
+                self.env.insert(l.var.clone(), l.init);
+                self.env.insert(format!("__step_{}", l.var), l.step);
+                // Spill stores/reloads are dependent memory traffic the
+                // scheduler could not hide: each access costs its slot plus
+                // the machine's spill penalty, spread over the memory ports.
+                let spill_cycles = if l.extra_mem_per_iter > 0 {
+                    let units = self.m.units_of(OpClass::Mem).max(1) as u64;
+                    let cost =
+                        l.extra_mem_per_iter as u64 * (1 + self.m.spill_penalty as u64);
+                    cost.div_ceil(units)
+                } else {
+                    0
+                };
+                for t in 0..l.trips {
+                    for s in &l.body {
+                        self.exec_seg(s);
+                    }
+                    if l.extra_mem_per_iter > 0 {
+                        // spill traffic: touches the spill slots (usually hits)
+                        for k in 0..l.extra_mem_per_iter {
+                            let addr =
+                                (self.spill_base + (k % 64) as u64) * self.m.elem_bytes as u64;
+                            self.cache.access(addr);
+                        }
+                        self.result.spill_accesses += l.extra_mem_per_iter as u64;
+                        self.cycle += spill_cycles;
+                    }
+                    self.env.insert(l.var.clone(), l.init + (t + 1) * l.step);
+                }
+            }
+        }
+    }
+}
+
+/// Simulate a compiled program on a machine.
+pub fn simulate(prog: &CompiledProgram, m: &MachineDesc) -> SimResult {
+    let mut base = HashMap::new();
+    let mut next: u64 = 64; // leave a guard region
+    for (name, len) in &prog.arrays {
+        base.insert(name.clone(), next);
+        next += *len as u64 + 16;
+    }
+    let spill_base = next;
+    let mut st = SimState {
+        m,
+        cache: Cache::new(m),
+        result: SimResult::default(),
+        ready: HashMap::new(),
+        cycle: 0,
+        env: HashMap::new(),
+        base,
+        spill_base,
+        usage: HashMap::new(),
+    };
+    for seg in &prog.segs {
+        st.exec_seg(seg);
+    }
+    // drain: final cycle count covers the last issue plus the longest
+    // latency still in flight
+    let drain = st.ready.values().copied().max().unwrap_or(0);
+    st.result.cycles = st.cycle.max(drain);
+    st.result.cache = st.cache.stats;
+    st.result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_analysis::LinForm;
+    use slc_machine::ir::{BinKind, OpKind, Operand};
+
+    fn lin_i(k: i64) -> LinForm {
+        LinForm::var("i").add(&LinForm::constant(k))
+    }
+
+    fn load(dst: u32, k: i64) -> Op {
+        Op::new(OpKind::Load {
+            dst,
+            array: "A".into(),
+            addr: Some(lin_i(k)),
+        })
+    }
+
+    fn fadd(dst: u32, a: u32, b: u32) -> Op {
+        Op::new(OpKind::Bin {
+            op: BinKind::Add,
+            fp: true,
+            dst,
+            a: Operand::Reg(a),
+            b: Operand::Reg(b),
+        })
+    }
+
+    fn prog_with_loop(body: Vec<Bundle>, trips: i64) -> CompiledProgram {
+        CompiledProgram {
+            segs: vec![Seg::Loop(SimLoop {
+                var: "i".into(),
+                init: 0,
+                step: 1,
+                trips,
+                body: vec![Seg::Straight(body)],
+                extra_mem_per_iter: 0,
+            })],
+            arrays: vec![("A".into(), 1024)],
+        }
+    }
+
+    #[test]
+    fn vliw_cycle_count_basic() {
+        let m = MachineDesc::default();
+        let p = prog_with_loop(vec![vec![load(0, 0)]], 10);
+        let r = simulate(&p, &m);
+        assert!(r.cycles >= 10);
+        assert_eq!(r.class_counts[5], 10); // Mem class index 5
+    }
+
+    #[test]
+    fn sequential_addresses_mostly_hit() {
+        let m = MachineDesc::default(); // 64B lines, 8B elems → 8 per line
+        let p = prog_with_loop(vec![vec![load(0, 0)]], 64);
+        let r = simulate(&p, &m);
+        assert_eq!(r.cache.hits + r.cache.misses, 64);
+        assert_eq!(r.cache.misses, 8, "{:?}", r.cache); // one per line
+    }
+
+    #[test]
+    fn associativity_avoids_conflict_thrash() {
+        // two streams exactly one cache-way apart thrash a direct-mapped
+        // cache but coexist in a 4-way cache
+        let mut m = MachineDesc::default();
+        m.cache.ways = 4;
+        let stride = (m.cache.size / m.cache.ways / m.elem_bytes) as i64;
+        let mk = || {
+            let a = load(0, 0);
+            let mut b = load(1, 0);
+            if let slc_machine::ir::OpKind::Load { addr, .. } = &mut b.kind {
+                *addr = Some(lin_i(stride));
+            }
+            prog_with_loop(vec![vec![a], vec![b]], 64)
+        };
+        let p = CompiledProgram {
+            arrays: vec![("A".into(), 8192)],
+            ..mk()
+        };
+        let r = simulate(&p, &m);
+        // both streams are sequential: ~2 misses per line, not per access
+        assert!(r.cache.misses < 40, "{:?}", r.cache);
+    }
+
+    #[test]
+    fn loop_carried_latency_stalls_vliw() {
+        let m = MachineDesc::default(); // FpAdd latency 3
+        let p = prog_with_loop(vec![vec![fadd(7, 7, 7)]], 10);
+        let r = simulate(&p, &m);
+        assert!(r.cycles >= 3 * 9, "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn inorder_width_matters() {
+        let mk = |w| MachineDesc {
+            issue: IssueModel::DynamicInOrder,
+            issue_width: w,
+            units: [4, 4, 4, 4, 4, 4, 4],
+            ..MachineDesc::default()
+        };
+        let body = vec![vec![load(0, 0), load(1, 1)]];
+        let p1 = prog_with_loop(body.clone(), 32);
+        let r1 = simulate(&p1, &mk(1));
+        let r2 = simulate(&p1, &mk(2));
+        assert!(r2.cycles < r1.cycles, "{} !< {}", r2.cycles, r1.cycles);
+    }
+
+    #[test]
+    fn iter_offset_shifts_addresses() {
+        let m = MachineDesc::default();
+        let mut op = load(0, 0);
+        op.iter_offset = 2;
+        let p = prog_with_loop(vec![vec![op]], 32);
+        let r = simulate(&p, &m);
+        assert_eq!(r.cache.hits + r.cache.misses, 32);
+    }
+
+    #[test]
+    fn spill_traffic_costs_cycles() {
+        let m = MachineDesc::default();
+        let mk = |extra| CompiledProgram {
+            segs: vec![Seg::Loop(SimLoop {
+                var: "i".into(),
+                init: 0,
+                step: 1,
+                trips: 50,
+                body: vec![Seg::Straight(vec![vec![load(0, 0)]])],
+                extra_mem_per_iter: extra,
+            })],
+            arrays: vec![("A".into(), 1024)],
+        };
+        let r0 = simulate(&mk(0), &m);
+        let r4 = simulate(&mk(4), &m);
+        assert!(r4.cycles > r0.cycles);
+        assert_eq!(r4.spill_accesses, 200);
+    }
+
+    #[test]
+    fn wider_vliw_schedule_is_faster() {
+        let m = MachineDesc::default();
+        // packed schedule: 2 loads per bundle vs serial 1 per bundle
+        let packed = prog_with_loop(vec![vec![load(0, 0), load(1, 1)]], 64);
+        let serial = prog_with_loop(vec![vec![load(0, 0)], vec![load(1, 1)]], 64);
+        let rp = simulate(&packed, &m);
+        let rs = simulate(&serial, &m);
+        assert!(rp.cycles < rs.cycles);
+    }
+}

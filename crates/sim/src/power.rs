@@ -1,0 +1,111 @@
+//! Energy model — the sim-panalyzer substitute for the figure-21 ARM
+//! experiment.
+//!
+//! Energy is accumulated per executed operation class, per cache event and
+//! per cycle (static/clock power). Absolute units are arbitrary; the
+//! experiment reports *relative* power of the SLMS'd loop against the
+//! original, exactly like the paper's bar charts.
+
+use crate::cycle::SimResult;
+use slc_machine::ir::ALL_CLASSES;
+
+/// Per-event energy coefficients (arbitrary units).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// energy per op, indexed like `ALL_CLASSES`
+    /// (IntAlu, IntMul, FpAdd, FpMul, FpDiv, Mem, Branch)
+    pub per_op: [f64; 7],
+    /// energy per L1 hit
+    pub l1_hit: f64,
+    /// energy per L1 miss (includes the memory access)
+    pub l1_miss: f64,
+    /// static/clock energy per cycle
+    pub per_cycle: f64,
+}
+
+impl Default for EnergyModel {
+    /// Coefficients with the usual ordering: memory ≫ multiply > add, and a
+    /// large miss cost (DRAM access), as in the Panalyzer ARM model.
+    fn default() -> Self {
+        EnergyModel {
+            per_op: [1.0, 3.0, 2.0, 4.0, 8.0, 2.5, 0.5],
+            l1_hit: 1.5,
+            l1_miss: 40.0,
+            per_cycle: 0.8,
+        }
+    }
+}
+
+/// Energy/power report for one simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerReport {
+    /// total energy (arbitrary units)
+    pub energy: f64,
+    /// energy spent in the memory hierarchy
+    pub memory_energy: f64,
+    /// energy spent in functional units
+    pub compute_energy: f64,
+    /// static/clock energy
+    pub static_energy: f64,
+    /// average power = energy / cycles
+    pub avg_power: f64,
+}
+
+impl EnergyModel {
+    /// Evaluate the model on a simulation result.
+    pub fn report(&self, sim: &SimResult) -> PowerReport {
+        let mut compute = 0.0;
+        for (k, _) in ALL_CLASSES.iter().enumerate() {
+            compute += sim.class_counts[k] as f64 * self.per_op[k];
+        }
+        let memory = sim.cache.hits as f64 * self.l1_hit
+            + sim.cache.misses as f64 * self.l1_miss
+            + sim.spill_accesses as f64 * self.l1_hit;
+        let stat = sim.cycles as f64 * self.per_cycle;
+        let energy = compute + memory + stat;
+        PowerReport {
+            energy,
+            memory_energy: memory,
+            compute_energy: compute,
+            static_energy: stat,
+            avg_power: if sim.cycles > 0 {
+                energy / sim.cycles as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_componentry() {
+        let mut class_counts = [0u64; 7];
+        class_counts[0] = 10; // IntAlu
+        let sim = SimResult {
+            cycles: 100,
+            class_counts,
+            cache: crate::cycle::CacheStats { hits: 5, misses: 1 },
+            ..SimResult::default()
+        };
+        let r = EnergyModel::default().report(&sim);
+        assert!((r.compute_energy - 10.0).abs() < 1e-9);
+        assert!((r.memory_energy - (7.5 + 40.0)).abs() < 1e-9);
+        assert!((r.static_energy - 80.0).abs() < 1e-9);
+        assert!((r.energy - (10.0 + 47.5 + 80.0)).abs() < 1e-9);
+        assert!(r.avg_power > 0.0);
+    }
+
+    #[test]
+    fn fewer_cycles_less_static_energy() {
+        let mk = |cycles| SimResult {
+            cycles,
+            ..SimResult::default()
+        };
+        let m = EnergyModel::default();
+        assert!(m.report(&mk(50)).energy < m.report(&mk(100)).energy);
+    }
+}

@@ -1,0 +1,118 @@
+//! Machine presets approximating the paper's four evaluation targets.
+//!
+//! Parameters are drawn from the public microarchitecture descriptions of
+//! each CPU, rounded to the granularity of our model. Absolute agreement
+//! with the real silicon is not the goal (nor possible for a trace-level
+//! model); what matters for the reproduction is the *relative ordering*:
+//! a wide in-order EPIC machine with two FP units, a narrow register-starved
+//! superscalar, a 4-issue superscalar with a big cache, and a single-issue
+//! scalar embedded core.
+
+use slc_machine::mach::{CacheConfig, IssueModel, MachineDesc};
+
+/// Itanium II-like: 6-issue EPIC/VLIW, 2 FP units, 2 memory ports, large
+/// register file (the paper's main target; figs 14–16, 18–19).
+pub fn itanium2() -> MachineDesc {
+    MachineDesc {
+        name: "itanium2-like".into(),
+        issue: IssueModel::StaticVliw,
+        issue_width: 6,
+        //      IntAlu IntMul FpAdd FpMul FpDiv Mem Branch
+        units: [4, 2, 2, 2, 1, 2, 1],
+        latency: [1, 3, 4, 4, 16, 2, 1],
+        int_regs: 128,
+        fp_regs: 128,
+        cache: CacheConfig {
+            size: 16 * 1024,
+            line: 64,
+            ways: 4,
+            miss_penalty: 10,
+        },
+        elem_bytes: 8,
+        spill_penalty: 2,
+    }
+}
+
+/// Pentium-like: 2-issue in-order superscalar with a tiny architected
+/// register file — MVE-heavy kernels spill (fig 17, kernel 10).
+pub fn pentium() -> MachineDesc {
+    MachineDesc {
+        name: "pentium-like".into(),
+        issue: IssueModel::DynamicInOrder,
+        issue_width: 2,
+        units: [2, 1, 1, 1, 1, 1, 1],
+        latency: [1, 4, 3, 3, 18, 3, 1],
+        int_regs: 8,
+        fp_regs: 8,
+        cache: CacheConfig {
+            size: 8 * 1024,
+            line: 32,
+            ways: 2,
+            miss_penalty: 14,
+        },
+        elem_bytes: 8,
+        spill_penalty: 3,
+    }
+}
+
+/// Power4-like: 4-issue superscalar, two FP pipes, generous caches
+/// (fig 20).
+pub fn power4() -> MachineDesc {
+    MachineDesc {
+        name: "power4-like".into(),
+        issue: IssueModel::DynamicInOrder,
+        issue_width: 4,
+        units: [2, 1, 2, 2, 1, 2, 1],
+        latency: [1, 3, 4, 4, 14, 2, 1],
+        int_regs: 32,
+        fp_regs: 32,
+        cache: CacheConfig {
+            size: 32 * 1024,
+            line: 128,
+            ways: 8,
+            miss_penalty: 12,
+        },
+        elem_bytes: 8,
+        spill_penalty: 2,
+    }
+}
+
+/// ARM7TDMI-like: single-issue scalar, no FP hardware (FP ops emulated —
+/// long latencies), small cache, blocking memory (figs 21–22).
+pub fn arm7tdmi() -> MachineDesc {
+    MachineDesc {
+        name: "arm7tdmi-like".into(),
+        issue: IssueModel::DynamicInOrder,
+        issue_width: 1,
+        units: [1, 1, 1, 1, 1, 1, 1],
+        latency: [1, 5, 8, 10, 40, 3, 2],
+        int_regs: 16,
+        fp_regs: 8,
+        cache: CacheConfig {
+            size: 4 * 1024,
+            line: 16,
+            ways: 4,
+            miss_penalty: 20,
+        },
+        elem_bytes: 4,
+        spill_penalty: 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_machine::ir::OpClass;
+
+    #[test]
+    fn preset_sanity() {
+        let it = itanium2();
+        assert_eq!(it.issue, IssueModel::StaticVliw);
+        assert_eq!(it.units_of(OpClass::FpMul), 2);
+        let p = pentium();
+        assert!(p.int_regs < it.int_regs);
+        let a = arm7tdmi();
+        assert_eq!(a.issue_width, 1);
+        assert!(a.latency_of(OpClass::FpMul) > it.latency_of(OpClass::FpMul));
+    }
+}

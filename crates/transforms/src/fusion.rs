@@ -1,0 +1,107 @@
+//! Loop fusion and distribution (§6).
+//!
+//! Fusion concatenates the bodies of two adjacent loops with identical
+//! headers; the paper uses it both *before* SLMS (to give SLMS a bigger body
+//! — the fused loop in §6 reaches II = 3) and *after* per-loop SLMS,
+//! obtaining different final schedules depending on the order (figure 9).
+//! Distribution is the inverse: split one body into two loops.
+
+use crate::{same_header, TransformError};
+use slc_ast::{ForLoop, Stmt};
+
+/// Fuse two adjacent loops with identical headers into one.
+///
+/// Legality (caller-checked in the user-directed SLC, asserted structurally
+/// here): headers must match exactly. The workspace's equivalence tests
+/// cover the §6 use cases.
+pub fn fuse(a: &Stmt, b: &Stmt) -> Result<Stmt, TransformError> {
+    let (Stmt::For(fa), Stmt::For(fb)) = (a, b) else {
+        return Err(TransformError::ShapeMismatch("both must be for loops".into()));
+    };
+    if !same_header(fa, fb) {
+        return Err(TransformError::HeaderMismatch);
+    }
+    let mut body = fa.body.clone();
+    body.extend(fb.body.iter().cloned());
+    Ok(Stmt::For(ForLoop {
+        var: fa.var.clone(),
+        init: fa.init.clone(),
+        cmp: fa.cmp,
+        bound: fa.bound.clone(),
+        step: fa.step,
+        body,
+    }))
+}
+
+/// Distribute (fission) a loop at statement index `split`: statements
+/// `[0, split)` form the first loop, the rest the second.
+pub fn distribute(s: &Stmt, split: usize) -> Result<(Stmt, Stmt), TransformError> {
+    let Stmt::For(f) = s else {
+        return Err(TransformError::ShapeMismatch("not a for loop".into()));
+    };
+    if split == 0 || split >= f.body.len() {
+        return Err(TransformError::BadParameter(format!(
+            "split {split} outside body of {} statements",
+            f.body.len()
+        )));
+    }
+    let first = ForLoop {
+        var: f.var.clone(),
+        init: f.init.clone(),
+        cmp: f.cmp,
+        bound: f.bound.clone(),
+        step: f.step,
+        body: f.body[..split].to_vec(),
+    };
+    let second = ForLoop {
+        body: f.body[split..].to_vec(),
+        ..first.clone()
+    };
+    Ok((Stmt::For(first), Stmt::For(second)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn fuse_identical_headers() {
+        let s = parse_stmts(
+            "for (i = 1; i < 9; i++) { B[i] = B[i] + t; } \
+             for (i = 1; i < 9; i++) { C[i] = q * B[i]; }",
+        )
+        .unwrap();
+        let out = fuse(&s[0], &s[1]).unwrap();
+        let src = stmts_to_source(std::slice::from_ref(&out));
+        assert!(src.contains("B[i] = B[i] + t;"), "got {src}");
+        assert!(src.contains("C[i] = q * B[i];"), "got {src}");
+        let Stmt::For(f) = out else { panic!() };
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn fuse_rejects_different_bounds() {
+        let s = parse_stmts(
+            "for (i = 1; i < 9; i++) x = 1; for (i = 1; i < 8; i++) y = 2;",
+        )
+        .unwrap();
+        assert_eq!(fuse(&s[0], &s[1]).unwrap_err(), TransformError::HeaderMismatch);
+    }
+
+    #[test]
+    fn distribute_roundtrips_with_fuse() {
+        let s = parse_stmts("for (i = 0; i < 5; i++) { x = A[i]; B[i] = x; C[i] = x; }").unwrap();
+        let (a, b) = distribute(&s[0], 1).unwrap();
+        let refused = fuse(&a, &b).unwrap();
+        assert_eq!(refused, s[0]);
+    }
+
+    #[test]
+    fn distribute_bad_split() {
+        let s = parse_stmts("for (i = 0; i < 5; i++) { x = 1; }").unwrap();
+        assert!(distribute(&s[0], 0).is_err());
+        assert!(distribute(&s[0], 1).is_err());
+    }
+}

@@ -1,0 +1,103 @@
+//! Loop interchange (§6): swap the headers of a perfect 2-deep loop nest.
+//!
+//! The paper's motivating use: `for j { for i { t = a[i][j]; a[i][j+1] = t } }`
+//! cannot be SLMS'd over `j` (the distance-1 anti dependence and the `t`
+//! recurrence pin the kernel), but after interchanging to iterate `i`
+//! innermost, SLMS finds `II = 1`.
+
+use crate::TransformError;
+use slc_ast::{ForLoop, Stmt};
+
+/// Interchange a perfect 2-deep nest: `for a { for b { body } }` becomes
+/// `for b { for a { body } }`. The nest must be *perfect* — the outer body
+/// is exactly the inner loop.
+pub fn interchange(outer: &Stmt) -> Result<Stmt, TransformError> {
+    let Stmt::For(of) = outer else {
+        return Err(TransformError::ShapeMismatch("outer is not a for".into()));
+    };
+    let inner = perfect_inner(of)?;
+    let new_inner = ForLoop {
+        var: of.var.clone(),
+        init: of.init.clone(),
+        cmp: of.cmp,
+        bound: of.bound.clone(),
+        step: of.step,
+        body: inner.body.clone(),
+    };
+    let new_outer = ForLoop {
+        var: inner.var.clone(),
+        init: inner.init.clone(),
+        cmp: inner.cmp,
+        bound: inner.bound.clone(),
+        step: inner.step,
+        body: vec![Stmt::For(new_inner)],
+    };
+    Ok(Stmt::For(new_outer))
+}
+
+fn perfect_inner(of: &ForLoop) -> Result<&ForLoop, TransformError> {
+    let body: &[Stmt] = &of.body;
+    // allow one level of block wrapping
+    let body = match body {
+        [Stmt::Block(b)] => &b[..],
+        other => other,
+    };
+    match body {
+        [Stmt::For(inner)] => {
+            // inner bounds must not depend on the outer variable
+            // (rectangular iteration space)
+            let mentions = |e: &slc_ast::Expr| {
+                let mut found = false;
+                slc_ast::visit::walk_expr(e, &mut |n| {
+                    if let slc_ast::Expr::Var(v) = n {
+                        if *v == of.var {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            };
+            if mentions(&inner.init) || mentions(&inner.bound) {
+                return Err(TransformError::ShapeMismatch(
+                    "inner bounds depend on outer variable (non-rectangular nest)".into(),
+                ));
+            }
+            Ok(inner)
+        }
+        _ => Err(TransformError::ShapeMismatch(
+            "not a perfect 2-deep nest".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn swaps_headers() {
+        let s = parse_stmts(
+            "for (j = 0; j < 8; j++) { for (i = 0; i < 4; i++) { a[i][j + 1] = a[i][j]; } }",
+        )
+        .unwrap();
+        let out = interchange(&s[0]).unwrap();
+        let src = stmts_to_source(&[out]);
+        assert!(src.starts_with("for (i = 0; i < 4; i++)"), "got:\n{src}");
+        assert!(src.contains("for (j = 0; j < 8; j++)"), "got:\n{src}");
+    }
+
+    #[test]
+    fn rejects_imperfect_nest() {
+        let s = parse_stmts("for (j = 0; j < 8; j++) { x = 1; for (i = 0; i < 4; i++) y = 2; }")
+            .unwrap();
+        assert!(interchange(&s[0]).is_err());
+    }
+
+    #[test]
+    fn rejects_triangular_nest() {
+        let s = parse_stmts("for (j = 0; j < 8; j++) { for (i = 0; i < j; i++) y = 2; }").unwrap();
+        assert!(interchange(&s[0]).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! Dependence-based legality checking for loop interchange.
+//!
+//! The paper's SLC is user-directed, but Tiny's array analysis flags
+//! obviously illegal requests. This module implements the classic direction
+//! -vector test for perfect 2-deep nests: interchange is illegal iff some
+//! dependence has direction `(<, >)` — carried forward by the outer loop
+//! and backward by the inner one — which interchange would reverse.
+//!
+//! The test is exact for the common subscript shapes (each dimension affine
+//! in at most one of the two loop variables, equal coefficients across the
+//! access pair) and conservative otherwise. Scalars written in the body are
+//! allowed only when privatizable (single unconditional definition read
+//! within the same iteration), which also keeps the check sound for the
+//! workspace's bit-exact semantics.
+
+use crate::TransformError;
+use slc_analysis::linform::linearize;
+use slc_analysis::{accesses_of_stmt, ArrayAccess};
+use slc_ast::{AssignOp, ForLoop, LValue, Stmt};
+
+/// Verdict of the interchange legality test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterchangeLegality {
+    /// provably safe
+    Legal,
+    /// a dependence with direction `(<, >)` exists (or could not be ruled
+    /// out) — the string names the offending array or scalar
+    Illegal(String),
+}
+
+fn collect_accesses(body: &[Stmt]) -> (Vec<ArrayAccess>, Vec<(String, bool, bool)>) {
+    // arrays + (scalar name, written, plain_single_assign)
+    let mut arrays = Vec::new();
+    let mut scalars: Vec<(String, bool, bool)> = Vec::new();
+    for s in body {
+        let acc = accesses_of_stmt(s);
+        arrays.extend(acc.arrays);
+        for sc in acc.scalars {
+            if sc.in_subscript && !sc.write {
+                continue;
+            }
+            match scalars.iter_mut().find(|(n, _, _)| *n == sc.name) {
+                Some(e) => e.1 |= sc.write,
+                None => scalars.push((sc.name.clone(), sc.write, false)),
+            }
+        }
+        // mark plain single-assignment defs (privatization candidates)
+        if let Stmt::Assign {
+            target: LValue::Var(n),
+            op: AssignOp::Set,
+            ..
+        } = s
+        {
+            if let Some(e) = scalars.iter_mut().find(|(name, _, _)| name == n) {
+                e.2 = true;
+            }
+        }
+    }
+    (arrays, scalars)
+}
+
+/// True when the scalar is privatizable in the nest body: defined exactly
+/// once per iteration by a plain top-level assignment that precedes every
+/// use (checked positionally).
+fn privatizable(body: &[Stmt], name: &str) -> bool {
+    let mut def_seen = false;
+    let mut def_count = 0;
+    for s in body {
+        let acc = accesses_of_stmt(s);
+        let reads = acc
+            .scalars
+            .iter()
+            .any(|x| !x.write && !x.in_subscript && x.name == name);
+        if reads && !def_seen {
+            return false; // upward-exposed read: value crosses iterations
+        }
+        let is_def_here = matches!(
+            s,
+            Stmt::Assign { target: LValue::Var(n), op: AssignOp::Set, .. } if n == name
+        );
+        if is_def_here {
+            def_seen = true;
+            def_count += 1;
+        } else if acc.scalars.iter().any(|x| x.write && x.name == name) {
+            return false; // conditional/compound write
+        }
+    }
+    def_count == 1
+}
+
+/// Per-dimension dependence solution between two accesses over the two
+/// loop variables.
+enum DimSol {
+    /// distances unconstrained by this dimension
+    Any,
+    /// outer distance pinned
+    Outer(i64),
+    /// inner distance pinned
+    Inner(i64),
+    /// never equal
+    Never,
+    /// can't tell
+    Unknown,
+}
+
+fn dim_sol(
+    a: &slc_ast::Expr,
+    b: &slc_ast::Expr,
+    outer: (&str, i64),
+    inner: (&str, i64),
+) -> DimSol {
+    let (Some(la), Some(lb)) = (linearize(a), linearize(b)) else {
+        return DimSol::Unknown;
+    };
+    let (co_a, rest_a) = la.split_var(outer.0);
+    let (ci_a, rest_a) = rest_a.split_var(inner.0);
+    let (co_b, rest_b) = lb.split_var(outer.0);
+    let (ci_b, rest_b) = rest_b.split_var(inner.0);
+    if co_a != co_b || ci_a != ci_b {
+        return DimSol::Unknown;
+    }
+    let diff = rest_a.sub(&rest_b);
+    if !diff.is_const() {
+        return DimSol::Unknown;
+    }
+    let c = diff.konst;
+    match (co_a, ci_a) {
+        (0, 0) => {
+            if c == 0 {
+                DimSol::Any
+            } else {
+                DimSol::Never
+            }
+        }
+        (co, 0) => {
+            let denom = co * outer.1;
+            if c % denom == 0 {
+                DimSol::Outer(c / denom)
+            } else {
+                DimSol::Never
+            }
+        }
+        (0, ci) => {
+            let denom = ci * inner.1;
+            if c % denom == 0 {
+                DimSol::Inner(c / denom)
+            } else {
+                DimSol::Never
+            }
+        }
+        // both variables in one dimension (A[i + j]): a line of solutions —
+        // some of them may sit in the illegal quadrant; be conservative
+        _ => DimSol::Unknown,
+    }
+}
+
+/// Check the direction-vector condition for one access pair. Returns true
+/// when a `(<, >)` direction (after normalization) cannot be ruled out.
+fn pair_blocks(
+    x: &ArrayAccess,
+    y: &ArrayAccess,
+    outer: (&str, i64),
+    inner: (&str, i64),
+) -> bool {
+    if x.array != y.array || (!x.write && !y.write) {
+        return false;
+    }
+    if x.indices.len() != y.indices.len() {
+        return true;
+    }
+    let mut d_outer: Option<i64> = None;
+    let mut d_inner: Option<i64> = None;
+    for (ia, ib) in x.indices.iter().zip(&y.indices) {
+        match dim_sol(ia, ib, outer, inner) {
+            DimSol::Never => return false,
+            DimSol::Any => {}
+            DimSol::Outer(d) => match d_outer {
+                None => d_outer = Some(d),
+                Some(p) if p != d => return false,
+                _ => {}
+            },
+            DimSol::Inner(d) => match d_inner {
+                None => d_inner = Some(d),
+                Some(p) if p != d => return false,
+                _ => {}
+            },
+            DimSol::Unknown => return true, // conservative
+        }
+    }
+    match (d_outer, d_inner) {
+        (Some(mut o), Some(mut i)) => {
+            // normalize orientation: the dependence source executes first
+            if o < 0 || (o == 0 && i < 0) {
+                o = -o;
+                i = -i;
+            }
+            o > 0 && i < 0
+        }
+        // an unpinned distance ranges over all values: the illegal
+        // direction is reachable unless the pinned one forbids it
+        (Some(o), None) => o != 0,
+        (None, Some(_)) => false, // (=, d): interchange swaps it to (d, =) — safe
+        (None, None) => true,     // same cell every iteration: conservative
+    }
+}
+
+/// Direction-vector legality test for interchanging a perfect 2-deep nest.
+pub fn interchange_legal(outer_loop: &ForLoop) -> Result<InterchangeLegality, TransformError> {
+    let inner_loop = match outer_loop.body.as_slice() {
+        [Stmt::For(f)] => f,
+        [Stmt::Block(b)] => match b.as_slice() {
+            [Stmt::For(f)] => f,
+            _ => {
+                return Err(TransformError::ShapeMismatch(
+                    "not a perfect 2-deep nest".into(),
+                ))
+            }
+        },
+        _ => {
+            return Err(TransformError::ShapeMismatch(
+                "not a perfect 2-deep nest".into(),
+            ))
+        }
+    };
+    let body = &inner_loop.body;
+    let (arrays, scalars) = collect_accesses(body);
+    for (name, written, _) in &scalars {
+        if *name == outer_loop.var || *name == inner_loop.var {
+            continue;
+        }
+        if *written && !privatizable(body, name) {
+            return Ok(InterchangeLegality::Illegal(format!("scalar {name}")));
+        }
+    }
+    let outer = (outer_loop.var.as_str(), outer_loop.step);
+    let inner = (inner_loop.var.as_str(), inner_loop.step);
+    for (k, x) in arrays.iter().enumerate() {
+        for y in &arrays[k..] {
+            if pair_blocks(x, y, outer, inner) {
+                return Ok(InterchangeLegality::Illegal(format!("array {}", x.array)));
+            }
+        }
+    }
+    Ok(InterchangeLegality::Legal)
+}
+
+/// [`crate::interchange()`] with the legality check in front.
+pub fn interchange_checked(stmt: &Stmt) -> Result<Stmt, TransformError> {
+    let Stmt::For(f) = stmt else {
+        return Err(TransformError::ShapeMismatch("outer is not a for".into()));
+    };
+    match interchange_legal(f)? {
+        InterchangeLegality::Legal => crate::interchange(stmt),
+        InterchangeLegality::Illegal(why) => Err(TransformError::ShapeMismatch(format!(
+            "interchange illegal: dependence on {why}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+
+    fn legality(src: &str) -> InterchangeLegality {
+        let s = parse_stmts(src).unwrap();
+        let Stmt::For(f) = &s[0] else { panic!() };
+        interchange_legal(f).unwrap()
+    }
+
+    #[test]
+    fn independent_nest_legal() {
+        let v = legality(
+            "for (j = 1; j < 8; j++) { for (i = 1; i < 8; i++) { a[i][j] = a[i][j] * 2.0; } }",
+        );
+        assert_eq!(v, InterchangeLegality::Legal);
+    }
+
+    #[test]
+    fn paper_example_legal() {
+        // t privatizable; array dep is (outer 1, inner 0) → safe
+        let v = legality(
+            "for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { t = a[i][j]; a[i][j + 1] = t; } }",
+        );
+        assert_eq!(v, InterchangeLegality::Legal);
+    }
+
+    #[test]
+    fn wavefront_illegal() {
+        // a[i][j] = a[i-1][j+1]: dep (outer +1, inner −1) → (<, >) illegal
+        let v = legality(
+            "for (j = 1; j < 8; j++) { for (i = 1; i < 7; i++) { a[j][i] = a[j - 1][i + 1]; } }",
+        );
+        assert!(matches!(v, InterchangeLegality::Illegal(_)), "{v:?}");
+    }
+
+    #[test]
+    fn forward_both_legal() {
+        // dep (outer +1, inner +1): stays forward after interchange
+        let v = legality(
+            "for (j = 1; j < 8; j++) { for (i = 1; i < 8; i++) { a[j][i] = a[j - 1][i - 1]; } }",
+        );
+        assert_eq!(v, InterchangeLegality::Legal);
+    }
+
+    #[test]
+    fn accumulator_blocks() {
+        let v = legality(
+            "for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { s = s + a[j][i]; } }",
+        );
+        assert!(matches!(v, InterchangeLegality::Illegal(_)));
+    }
+
+    #[test]
+    fn coupled_subscript_conservative() {
+        let v = legality(
+            "for (j = 1; j < 8; j++) { for (i = 1; i < 8; i++) { b[i + j] = b[i + j - 1]; } }",
+        );
+        assert!(matches!(v, InterchangeLegality::Illegal(_)));
+    }
+
+    #[test]
+    fn checked_api() {
+        let s = parse_stmts(
+            "for (j = 1; j < 8; j++) { for (i = 1; i < 7; i++) { a[j][i] = a[j - 1][i + 1]; } }",
+        )
+        .unwrap();
+        assert!(interchange_checked(&s[0]).is_err());
+        let s = parse_stmts(
+            "for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { a[i][j] = 0.0; } }",
+        )
+        .unwrap();
+        assert!(interchange_checked(&s[0]).is_ok());
+    }
+}

@@ -1,0 +1,62 @@
+//! # slc-transforms — classic loop transformations for the SLC (§6)
+//!
+//! The paper studies SLMS *in combination* with the loop transformations of
+//! Wolfe's Tiny / Bacon-Graham-Sharp: interchange, fusion, distribution,
+//! unrolling, reversal and peeling. Like Tiny, the source-level compiler is
+//! **user-directed**: the user picks a transformation from the menu and the
+//! tool applies it. This crate therefore performs structural validation
+//! (loop shapes, matching headers, constant bounds where the rewrite needs
+//! them) plus cheap conservative legality checks, while full legality
+//! remains the caller's responsibility — exactly the contract the paper's
+//! interactive SLC has. The workspace's integration tests validate each use
+//! against the reference interpreter.
+
+pub mod fusion;
+pub mod interchange;
+pub mod legality;
+pub mod normalize;
+pub mod peel;
+pub mod reverse;
+pub mod unroll;
+
+pub use fusion::{distribute, fuse};
+pub use interchange::interchange;
+pub use legality::{interchange_checked, interchange_legal, InterchangeLegality};
+pub use normalize::normalize;
+pub use peel::peel_front;
+pub use reverse::reverse;
+pub use unroll::unroll;
+
+use slc_ast::ForLoop;
+
+/// Errors from loop transformations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// Statement is not a `for` loop (or not a perfect nest, for
+    /// interchange).
+    ShapeMismatch(String),
+    /// Headers of the two loops differ (fusion).
+    HeaderMismatch,
+    /// The transformation needs constant loop bounds.
+    SymbolicBounds,
+    /// Requested split/peel/unroll parameter out of range.
+    BadParameter(String),
+}
+
+impl std::fmt::Display for TransformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransformError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            TransformError::HeaderMismatch => write!(f, "loop headers differ"),
+            TransformError::SymbolicBounds => write!(f, "constant bounds required"),
+            TransformError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TransformError {}
+
+/// True when two loops have identical headers (variable, bounds, step).
+pub fn same_header(a: &ForLoop, b: &ForLoop) -> bool {
+    a.var == b.var && a.init == b.init && a.cmp == b.cmp && a.bound == b.bound && a.step == b.step
+}

@@ -1,0 +1,123 @@
+//! Loop normalization: rewrite a constant-bounds loop with arbitrary
+//! start/step into the canonical `for (k = 0; k < T; k++)` form, replacing
+//! every occurrence of the original variable with `init + k·step`.
+//!
+//! Normalization is the front door of classic loop restructurers (Tiny
+//! normalizes before analysis); here it is exposed as a standalone
+//! transformation so strided loops can be fed to passes that prefer unit
+//! stride.
+
+use crate::TransformError;
+use slc_ast::visit::{add_const, rewrite_expr, simplify};
+use slc_ast::{BinOp, CmpOp, Expr, ForLoop, LValue, Program, Stmt, Ty};
+
+/// Normalize a constant-bounds loop. Returns the replacement statements:
+/// the canonical loop plus the original variable's exit-value restore. A
+/// fresh induction variable named from `prefix` is registered in `prog`.
+pub fn normalize(
+    prog: &mut Program,
+    stmt: &Stmt,
+    prefix: &str,
+) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For(f) = stmt else {
+        return Err(TransformError::ShapeMismatch("not a for loop".into()));
+    };
+    let trip = f.trip_count().ok_or(TransformError::SymbolicBounds)?;
+    let init = f.init.const_int().ok_or(TransformError::SymbolicBounds)?;
+    if f.step == 1 && init == 0 && f.cmp == CmpOp::Lt {
+        return Ok(vec![stmt.clone()]); // already canonical
+    }
+    let k = prog.fresh_name(prefix);
+    prog.ensure_scalar(&k, Ty::Int);
+    // var ↦ init + k·step inside the body
+    let repl = if f.step == 1 {
+        add_const(Expr::var(k.clone()), init)
+    } else {
+        add_const(
+            Expr::bin(BinOp::Mul, Expr::var(k.clone()), Expr::Int(f.step)),
+            init,
+        )
+    };
+    let mut body = Vec::new();
+    for s in &f.body {
+        let mut sc = s.clone();
+        slc_ast::visit::map_exprs(&mut sc, &mut |e| {
+            rewrite_expr(e, &mut |node| {
+                if let Expr::Var(n) = node {
+                    if *n == f.var {
+                        *node = repl.clone();
+                    }
+                }
+            });
+            simplify(e);
+        });
+        // writes through the old variable would change the replacement's
+        // meaning — the caller must not normalize such loops (checked below)
+        body.push(sc);
+    }
+    // reject loops that write the induction variable in the body
+    for s in &f.body {
+        if slc_ast::visit::scalars_written(s).contains(&f.var) {
+            return Err(TransformError::ShapeMismatch(
+                "body writes the induction variable".into(),
+            ));
+        }
+    }
+    let mut out = vec![Stmt::For(ForLoop {
+        var: k,
+        init: Expr::Int(0),
+        cmp: CmpOp::Lt,
+        bound: Expr::Int(trip),
+        step: 1,
+        body,
+    })];
+    out.push(Stmt::assign(
+        LValue::Var(f.var.clone()),
+        Expr::Int(init + trip * f.step),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::pretty::stmts_to_source;
+    use slc_ast::{parse_program, parse_stmts};
+
+    #[test]
+    fn normalizes_strided() {
+        let mut prog = parse_program("float A[64]; int i;").unwrap();
+        let s = parse_stmts("for (i = 4; i < 40; i += 3) A[i] = 1.0;").unwrap();
+        let out = normalize(&mut prog, &s[0], "k").unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.contains("for (k1 = 0; k1 < 12; k1++)"), "got {src}");
+        assert!(src.contains("A[k1 * 3 + 4] = 1.0;"), "got {src}");
+        assert!(src.contains("i = 40;"), "got {src}");
+    }
+
+    #[test]
+    fn canonical_loop_untouched() {
+        let mut prog = parse_program("float A[8]; int i;").unwrap();
+        let s = parse_stmts("for (i = 0; i < 8; i++) A[i] = 1.0;").unwrap();
+        let out = normalize(&mut prog, &s[0], "k").unwrap();
+        assert_eq!(out, s);
+    }
+
+    #[test]
+    fn downward_normalized() {
+        let mut prog = parse_program("float A[64]; int i;").unwrap();
+        let s = parse_stmts("for (i = 30; i > 10; i -= 2) A[i] = 1.0;").unwrap();
+        let out = normalize(&mut prog, &s[0], "k").unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.contains("k1 < 10"), "got {src}");
+        assert!(src.contains("A[k1 * -2 + 30]") || src.contains("A[30 - k1 * 2]")
+            || src.contains("A[k1 * (-2) + 30]"), "got {src}");
+    }
+
+    #[test]
+    fn rejects_var_writes() {
+        let mut prog = parse_program("float A[64]; int i;").unwrap();
+        let s = parse_stmts("for (i = 2; i < 9; i += 2) { A[i] = 1.0; i += 1; }").unwrap();
+        assert!(normalize(&mut prog, &s[0], "k").is_err());
+    }
+}

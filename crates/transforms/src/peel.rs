@@ -1,0 +1,64 @@
+//! Loop peeling (§6): move the first `k` iterations out of the loop as
+//! straight-line code.
+
+use crate::TransformError;
+use slc_ast::visit::{map_exprs, simplify, substitute_scalar};
+use slc_ast::{Expr, ForLoop, Stmt};
+
+/// Peel the first `k` iterations of a constant-bounds loop into
+/// straight-line statements before a shortened loop.
+pub fn peel_front(s: &Stmt, k: i64) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For(f) = s else {
+        return Err(TransformError::ShapeMismatch("not a for loop".into()));
+    };
+    let trip = f.trip_count().ok_or(TransformError::SymbolicBounds)?;
+    let init = f.init.const_int().ok_or(TransformError::SymbolicBounds)?;
+    if k < 1 || k > trip {
+        return Err(TransformError::BadParameter(format!(
+            "peel {k} of {trip} iterations"
+        )));
+    }
+    let mut out = Vec::new();
+    for j in 0..k {
+        for st in &f.body {
+            let mut stc = st.clone();
+            substitute_scalar(&mut stc, &f.var, &Expr::Int(init + j * f.step));
+            map_exprs(&mut stc, &mut simplify);
+            out.push(stc);
+        }
+    }
+    out.push(Stmt::For(ForLoop {
+        var: f.var.clone(),
+        init: Expr::Int(init + k * f.step),
+        cmp: f.cmp,
+        bound: f.bound.clone(),
+        step: f.step,
+        body: f.body.clone(),
+    }));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn peels_two() {
+        let s = parse_stmts("for (i = 1; i < 9; i++) A[i] = A[i - 1];").unwrap();
+        let out = peel_front(&s[0], 2).unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.contains("A[1] = A[0];"), "got {src}");
+        assert!(src.contains("A[2] = A[1];"), "got {src}");
+        assert!(src.contains("for (i = 3; i < 9; i++)"), "got {src}");
+    }
+
+    #[test]
+    fn bad_peel_counts() {
+        let s = parse_stmts("for (i = 0; i < 3; i++) x = 1;").unwrap();
+        assert!(peel_front(&s[0], 0).is_err());
+        assert!(peel_front(&s[0], 4).is_err());
+        assert!(peel_front(&s[0], 3).is_ok());
+    }
+}

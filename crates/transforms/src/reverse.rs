@@ -1,0 +1,78 @@
+//! Loop reversal (§6): iterate the same index set in the opposite order.
+//! The paper mentions peeling + reversal as the "usual" (complex) way to
+//! make its last fusion example legal — which SLMS replaces.
+
+use crate::TransformError;
+use slc_ast::{CmpOp, Expr, ForLoop, Stmt};
+
+/// Reverse a constant-bounds loop: `for (i = a; i < b; i += s)` becomes
+/// `for (i = last; i >= a; i -= s)` where `last` is the final executed
+/// index value, followed by a restore of the variable's original exit
+/// value (so the rewrite is observationally identity even when the
+/// induction variable is live after the loop).
+pub fn reverse(s: &Stmt) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For(f) = s else {
+        return Err(TransformError::ShapeMismatch("not a for loop".into()));
+    };
+    let trip = f.trip_count().ok_or(TransformError::SymbolicBounds)?;
+    let init = f.init.const_int().ok_or(TransformError::SymbolicBounds)?;
+    if trip == 0 {
+        // empty loop reverses to itself
+        return Ok(vec![s.clone()]);
+    }
+    let last = init + (trip - 1) * f.step;
+    let (cmp, bound) = if f.step > 0 {
+        (CmpOp::Ge, init)
+    } else {
+        (CmpOp::Le, init)
+    };
+    Ok(vec![
+        Stmt::For(ForLoop {
+            var: f.var.clone(),
+            init: Expr::Int(last),
+            cmp,
+            bound: Expr::Int(bound),
+            step: -f.step,
+            body: f.body.clone(),
+        }),
+        Stmt::assign(
+            slc_ast::LValue::Var(f.var.clone()),
+            Expr::Int(init + trip * f.step),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn reverses_upward_loop() {
+        let s = parse_stmts("for (i = 2; i < 10; i++) A[i] = 1.0;").unwrap();
+        let out = reverse(&s[0]).unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.starts_with("for (i = 9; i >= 2; i--)"), "got {src}");
+        assert!(src.contains("i = 10;"), "restore missing: {src}");
+    }
+
+    #[test]
+    fn reverses_strided_loop() {
+        // i = 1, 4, 7 → reversed: 7, 4, 1
+        let s = parse_stmts("for (i = 1; i < 9; i += 3) A[i] = 1.0;").unwrap();
+        let out = reverse(&s[0]).unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.starts_with("for (i = 7; i >= 1; i -= 3)"), "got {src}");
+    }
+
+    #[test]
+    fn double_reverse_same_index_set() {
+        let s = parse_stmts("for (i = 0; i < 7; i += 2) A[i] = 1.0;").unwrap();
+        let once = reverse(&s[0]).unwrap();
+        let twice = reverse(&once[0]).unwrap();
+        let Stmt::For(f) = &twice[0] else { panic!() };
+        assert_eq!(f.trip_count(), Some(4));
+        assert_eq!(f.init.const_int(), Some(0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Loop unrolling (§6): used by the paper to resolve too-high IIs and to
+//! improve resource utilization of an SLMS'd kernel, and by the §10
+//! while-loop extension.
+
+use crate::TransformError;
+use slc_ast::visit::shift_induction;
+use slc_ast::{CmpOp, Expr, ForLoop, LValue, Stmt};
+
+/// Unroll a constant-trip-count loop by `factor`: the main loop executes
+/// `⌊T/factor⌋` passes of `factor` copies (copy `c` index-shifted by
+/// `c·step`), and the `T mod factor` leftover iterations are fully peeled
+/// after it. The induction variable ends with its original final value.
+pub fn unroll(s: &Stmt, factor: i64) -> Result<Vec<Stmt>, TransformError> {
+    let Stmt::For(f) = s else {
+        return Err(TransformError::ShapeMismatch("not a for loop".into()));
+    };
+    if factor < 2 {
+        return Err(TransformError::BadParameter(format!(
+            "unroll factor {factor} < 2"
+        )));
+    }
+    let trip = f.trip_count().ok_or(TransformError::SymbolicBounds)?;
+    let init = f.init.const_int().ok_or(TransformError::SymbolicBounds)?;
+    let s_step = f.step;
+    let passes = trip / factor;
+    let mut out = Vec::new();
+
+    // main unrolled loop
+    let mut body = Vec::new();
+    for c in 0..factor {
+        for st in &f.body {
+            let mut stc = st.clone();
+            shift_induction(&mut stc, &f.var, c * s_step);
+            body.push(stc);
+        }
+    }
+    let strict = matches!(f.cmp, CmpOp::Lt | CmpOp::Gt);
+    let bound_val = if strict {
+        init + passes * factor * s_step
+    } else {
+        init + (passes * factor - 1) * s_step
+    };
+    out.push(Stmt::For(ForLoop {
+        var: f.var.clone(),
+        init: Expr::Int(init),
+        cmp: f.cmp,
+        bound: Expr::Int(bound_val),
+        step: s_step * factor,
+        body,
+    }));
+
+    // peeled remainder
+    for j in passes * factor..trip {
+        for st in &f.body {
+            let mut stc = st.clone();
+            slc_ast::visit::substitute_scalar(
+                &mut stc,
+                &f.var,
+                &Expr::Int(init + j * s_step),
+            );
+            slc_ast::visit::map_exprs(&mut stc, &mut slc_ast::visit::simplify);
+            out.push(stc);
+        }
+    }
+    // final induction value
+    out.push(Stmt::assign(
+        LValue::Var(f.var.clone()),
+        Expr::Int(init + trip * s_step),
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_stmts;
+    use slc_ast::pretty::stmts_to_source;
+
+    #[test]
+    fn unroll_by_two() {
+        let s = parse_stmts("for (i = 0; i < 10; i++) A[i] = B[i];").unwrap();
+        let out = unroll(&s[0], 2).unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.contains("A[i] = B[i];"), "got {src}");
+        assert!(src.contains("A[i + 1] = B[i + 1];"), "got {src}");
+        assert!(src.contains("i += 2"), "got {src}");
+        assert!(src.contains("i = 10;"), "got {src}");
+    }
+
+    #[test]
+    fn remainder_peeled() {
+        let s = parse_stmts("for (i = 0; i < 11; i++) A[i] = B[i];").unwrap();
+        let out = unroll(&s[0], 2).unwrap();
+        let src = stmts_to_source(&out);
+        assert!(src.contains("A[10] = B[10];"), "got {src}");
+    }
+
+    #[test]
+    fn bad_factor() {
+        let s = parse_stmts("for (i = 0; i < 4; i++) x = 1;").unwrap();
+        assert!(unroll(&s[0], 1).is_err());
+    }
+}

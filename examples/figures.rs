@@ -1,0 +1,9 @@
+//! Regenerate every figure/table of the paper and print the full report.
+//!
+//! ```bash
+//! cargo run --release --example figures
+//! ```
+
+fn main() {
+    println!("{}", slc_bench::harness::full_report());
+}

@@ -1,0 +1,186 @@
+//! `slc` — the source-level compiler as a command-line tool.
+//!
+//! Reads a mini-language program, applies Source Level Modulo Scheduling to
+//! every eligible innermost loop, prints the optimized source, and
+//! (optionally) verifies equivalence and simulates both versions on one of
+//! the built-in machine models.
+//!
+//! ```text
+//! USAGE: slc [OPTIONS] [FILE]          (FILE defaults to stdin)
+//!
+//!   --expansion <mve|scalar|off>   how false dependences are removed (mve)
+//!   --no-filter                    disable the §4 memory-ref-ratio filter
+//!   --paper-style                  print `stmt; || stmt;` kernels
+//!   --report                       per-loop transformation report (stderr)
+//!   --verify                       check bit-exact equivalence (interpreter)
+//!   --simulate <machine>           simulate before/after and print speedup;
+//!                                  machine: itanium2|pentium|power4|arm7
+//!   --compiler <weak|opt|ms>       final-compiler personality (opt)
+//!   --emit-asm                     dump the scheduled innermost-loop bundles
+//!                                  of the optimized program (stderr)
+//! ```
+
+use slc::ast::{parse_program, to_paper_style, to_source};
+use slc::pipeline::{run, CompilerKind};
+use slc::sim::astinterp::equivalent;
+use slc::sim::presets;
+use slc::slms::{slms_program, Expansion, SlmsConfig};
+use std::io::Read;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: slc [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
+         \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]"
+    );
+    exit(2)
+}
+
+fn main() {
+    let mut cfg = SlmsConfig::default();
+    let mut paper_style = false;
+    let mut report = false;
+    let mut verify = false;
+    let mut simulate: Option<String> = None;
+    let mut emit_asm = false;
+    let mut compiler = CompilerKind::Optimizing;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--expansion" => {
+                cfg.expansion = match args.next().as_deref() {
+                    Some("mve") => Expansion::Mve,
+                    Some("scalar") => Expansion::ScalarExpand,
+                    Some("off") => Expansion::Off,
+                    _ => usage(),
+                }
+            }
+            "--no-filter" => cfg.apply_filter = false,
+            "--paper-style" => paper_style = true,
+            "--report" => report = true,
+            "--verify" => verify = true,
+            "--emit-asm" => emit_asm = true,
+            "--simulate" => simulate = Some(args.next().unwrap_or_else(|| usage())),
+            "--compiler" => {
+                compiler = match args.next().as_deref() {
+                    Some("weak") => CompilerKind::Weak,
+                    Some("opt") => CompilerKind::Optimizing,
+                    Some("ms") => CompilerKind::OptimizingMs,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => usage(),
+        }
+    }
+
+    let src = match &file {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("slc: cannot read {path}: {e}");
+            exit(1)
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap();
+            buf
+        }
+    };
+    let prog = match parse_program(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("slc: {e}");
+            exit(1)
+        }
+    };
+
+    let (out, outcomes) = slms_program(&prog, &cfg);
+    if report {
+        for o in &outcomes {
+            match &o.result {
+                Ok(r) => eprintln!(
+                    "slc: {} → II = {} ({} MIs, depth {}, unroll ×{}{}{})",
+                    o.loop_desc,
+                    r.ii,
+                    r.n_mis,
+                    r.max_offset,
+                    r.unroll,
+                    if r.if_converted { ", if-converted" } else { "" },
+                    if r.decomposed.is_empty() {
+                        String::new()
+                    } else {
+                        format!(", decomposed {:?}", r.decomposed)
+                    },
+                ),
+                Err(e) => eprintln!("slc: {} left unchanged: {e}", o.loop_desc),
+            }
+        }
+    }
+
+    if verify {
+        match equivalent(&prog, &out, &[1, 2, 3, 5, 8]) {
+            Ok(()) => eprintln!("slc: verified bit-identical on 5 random inputs"),
+            Err(m) => {
+                eprintln!("slc: VERIFICATION FAILED: {m:?}");
+                exit(1)
+            }
+        }
+    }
+
+    if emit_asm {
+        use slc::machine::ir::Lir;
+        use slc::machine::{list_schedule, lower_program};
+        match lower_program(&out) {
+            Ok(lir) => {
+                let m = slc::sim::presets::itanium2();
+                for it in &lir.items {
+                    if let Lir::Loop(l) = it {
+                        for b in &l.body {
+                            if let Lir::Block(ops) = b {
+                                let s = list_schedule(ops, &m);
+                                eprintln!(
+                                    "slc: innermost loop over `{}` ({} trips), schedule:",
+                                    l.var, l.trips
+                                );
+                                eprint!("{}", slc::machine::bundles_to_string(&s.bundles));
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("slc: cannot lower for --emit-asm: {e}"),
+        }
+    }
+
+    if let Some(mname) = simulate {
+        let m = match mname.as_str() {
+            "itanium2" => presets::itanium2(),
+            "pentium" => presets::pentium(),
+            "power4" => presets::power4(),
+            "arm7" => presets::arm7tdmi(),
+            _ => usage(),
+        };
+        match (run(&prog, &m, compiler), run(&out, &m, compiler)) {
+            (Ok(base), Ok(after)) => eprintln!(
+                "slc: {} cycles → {} cycles on {} ({:.3}× speedup, energy ×{:.3})",
+                base.cycles(),
+                after.cycles(),
+                m.name,
+                base.cycles() as f64 / after.cycles().max(1) as f64,
+                base.power.energy / after.power.energy.max(1e-12),
+            ),
+            (Err(e), _) | (_, Err(e)) => eprintln!("slc: simulation unavailable: {e}"),
+        }
+    }
+
+    print!(
+        "{}",
+        if paper_style {
+            to_paper_style(&out)
+        } else {
+            to_source(&out)
+        }
+    );
+}

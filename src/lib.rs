@@ -1,0 +1,16 @@
+//! # slc — Source Level Modulo Scheduling toolkit
+//!
+//! Facade crate re-exporting the whole workspace. This is the crate examples
+//! and integration tests build against; see the README for a tour.
+//!
+//! Reproduction of *"Towards a Source Level Compiler: Source Level Modulo
+//! Scheduling"* (Ben-Asher & Meisler, ICPP 2006).
+
+pub use slc_analysis as analysis;
+pub use slc_ast as ast;
+pub use slc_core as slms;
+pub use slc_machine as machine;
+pub use slc_pipeline as pipeline;
+pub use slc_sim as sim;
+pub use slc_transforms as transforms;
+pub use slc_workloads as workloads;

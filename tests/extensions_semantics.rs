@@ -1,0 +1,108 @@
+//! Interpreter-verified semantics for the §10 extensions.
+
+use slc_ast::{parse_program, Program, Stmt};
+use slc_core::extensions::{frequent_path_ms, unroll_while};
+use slc_sim::astinterp::equivalent;
+
+const SEEDS: &[u64] = &[2, 19, 4242];
+
+fn with_stmts(base: &Program, stmts: Vec<Stmt>) -> Program {
+    let mut p = base.clone();
+    p.stmts = stmts;
+    p
+}
+
+#[test]
+fn while_unroll_equivalent() {
+    // the paper's shifted string copy (§10, second example), with a bounded
+    // guard so random inputs always terminate
+    let p = parse_program(
+        "float a[128]; int i;\n\
+         i = 0;\n\
+         while (a[i + 2] > 0.0 && i < 100) { a[i] = a[i + 2] - 1.0; i += 1; }",
+    )
+    .unwrap();
+    for factor in [2, 3, 4] {
+        let out = unroll_while(p.stmts.last().unwrap(), factor).unwrap();
+        let mut stmts = p.stmts[..p.stmts.len() - 1].to_vec();
+        stmts.push(out);
+        let q = with_stmts(&p, stmts);
+        if let Err(m) = equivalent(&p, &q, SEEDS) {
+            panic!("while unroll ×{factor} mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+        }
+    }
+}
+
+#[test]
+fn while_unroll_linked_list_search_shape() {
+    // the §10 first example, expressed over an index-linked array
+    let p = parse_program(
+        "float key[64]; int next[64]; int p; int found; int guard;\n\
+         p = 5; guard = 0;\n\
+         while (p > 0 && guard < 200) {\n\
+           if (key[p] > 2.0) { found = p; break; }\n\
+           p = next[p] % 64;\n\
+           guard += 1;\n\
+         }",
+    )
+    .unwrap();
+    let out = unroll_while(p.stmts.last().unwrap(), 2).unwrap();
+    let mut stmts = p.stmts[..p.stmts.len() - 1].to_vec();
+    stmts.push(out);
+    let q = with_stmts(&p, stmts);
+    if let Err(m) = equivalent(&p, &q, SEEDS) {
+        panic!("list search unroll mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+    }
+}
+
+#[test]
+fn frequent_path_equivalent() {
+    let p = parse_program(
+        "float x[64]; float acc; int i;\n\
+         for (i = 0; i < 40; i++) { if (x[i] > 0.0) { acc = acc + x[i]; } else { acc = acc - 1.0; } x[i] = acc; }",
+    )
+    .unwrap();
+    let mut q = p.clone();
+    let loop_stmt = q.stmts[0].clone();
+    let out = frequent_path_ms(&mut q, &loop_stmt).unwrap();
+    q.stmts = out.stmts;
+    if let Err(m) = equivalent(&p, &q, SEEDS) {
+        panic!("frequent-path mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+    }
+}
+
+#[test]
+fn frequent_path_with_trailing_statements() {
+    let p = parse_program(
+        "float x[64]; float y[64]; float acc; int i;\n\
+         for (i = 1; i < 39; i++) {\n\
+           if (x[i] < x[i - 1]) { acc = acc * 0.5; } else { acc = acc + x[i]; }\n\
+           y[i] = acc + x[i + 1];\n\
+           x[i] = y[i] * 0.25;\n\
+         }",
+    )
+    .unwrap();
+    let mut q = p.clone();
+    let loop_stmt = q.stmts[0].clone();
+    let out = frequent_path_ms(&mut q, &loop_stmt).unwrap();
+    q.stmts = out.stmts;
+    if let Err(m) = equivalent(&p, &q, SEEDS) {
+        panic!("frequent-path (trailing) mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+    }
+}
+
+#[test]
+fn frequent_path_downward_loop() {
+    let p = parse_program(
+        "float x[64]; float acc; int i;\n\
+         for (i = 40; i > 2; i--) { if (x[i] > 0.0) { acc = acc + x[i]; } else { acc = acc - 1.0; } x[i] = acc; }",
+    )
+    .unwrap();
+    let mut q = p.clone();
+    let loop_stmt = q.stmts[0].clone();
+    let out = frequent_path_ms(&mut q, &loop_stmt).unwrap();
+    q.stmts = out.stmts;
+    if let Err(m) = equivalent(&p, &q, SEEDS) {
+        panic!("frequent-path downward mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+    }
+}

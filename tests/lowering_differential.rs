@@ -1,0 +1,130 @@
+//! Differential testing of the lowering stage: for every float-array
+//! workload, executing the *lowered IR* must produce the same final state as
+//! the AST reference interpreter — and the same again for the SLMS'd
+//! version, which closes the loop on the entire source→IR path the cycle
+//! simulator relies on.
+
+use slc_core::{slms_program, SlmsConfig};
+use slc_machine::lirinterp::{exec_lir, RVal};
+use slc_machine::lower_program;
+use slc_sim::astinterp::{random_env, run_in_env, Value};
+use slc_ast::{Program, Ty};
+use std::collections::HashMap;
+
+/// Run both interpreters from the same random state; compare every declared
+/// array (f64 bitwise) and scalar.
+fn differential(prog: &Program, seed: u64) {
+    // programs with int arrays store ints in the IR's f64 memory — skip
+    if prog.decls.iter().any(|d| d.is_array() && d.ty == Ty::Int) {
+        return;
+    }
+    let lir = match lower_program(prog) {
+        Ok(l) => l,
+        Err(_) => return, // while/break/call: not lowerable, fine
+    };
+    let env0 = random_env(prog, seed);
+
+    // AST side
+    let mut ast_env = env0.clone();
+    if run_in_env(prog, &mut ast_env).is_err() {
+        return; // runtime error (e.g. div by zero on this seed): skip seed
+    }
+
+    // IR side: seed arrays and scalar registers from the same env
+    let mut arrays = HashMap::new();
+    for (name, vals) in &env0.arrays {
+        arrays.insert(
+            name.clone(),
+            vals.iter().map(|v| v.as_f64()).collect::<Vec<f64>>(),
+        );
+    }
+    let mut regs = HashMap::new();
+    for (name, reg) in &lir.scalar_regs {
+        if let Some(v) = env0.scalars.get(name) {
+            regs.insert(
+                *reg,
+                match v {
+                    Value::I(x) => RVal::I(*x),
+                    Value::F(x) => RVal::F(*x),
+                },
+            );
+        }
+    }
+    let st = match exec_lir(&lir, arrays, regs) {
+        Ok(s) => s,
+        Err(e) => panic!("IR execution failed: {e}\n{}", slc_ast::to_source(prog)),
+    };
+
+    // compare arrays bitwise
+    for d in &prog.decls {
+        if !d.is_array() {
+            continue;
+        }
+        let ast_arr = &ast_env.arrays[&d.name];
+        let lir_arr = &st.arrays[&d.name];
+        for (k, (a, b)) in ast_arr.iter().zip(lir_arr).enumerate() {
+            assert!(
+                a.as_f64().to_bits() == b.to_bits(),
+                "array {}[{k}] differs: ast {a:?} vs ir {b}\n{}",
+                d.name,
+                slc_ast::to_source(prog)
+            );
+        }
+    }
+    // compare scalars
+    for (name, reg) in &lir.scalar_regs {
+        let ast_v = ast_env.scalars[name];
+        let ir_v = st.regs.get(reg).copied().unwrap_or(RVal::F(0.0));
+        let same = match (ast_v, ir_v) {
+            (Value::I(a), RVal::I(b)) => a == b,
+            (a, b) => a.as_f64().to_bits() == b.as_f64().to_bits(),
+        };
+        assert!(
+            same,
+            "scalar {name} differs: ast {ast_v:?} vs ir {ir_v:?}\n{}",
+            slc_ast::to_source(prog)
+        );
+    }
+}
+
+#[test]
+fn lowering_matches_ast_on_workloads() {
+    for w in slc_workloads::all() {
+        let prog = w.program();
+        differential(&prog, 17);
+        differential(&prog, 4242);
+    }
+}
+
+#[test]
+fn lowering_matches_ast_on_slms_output() {
+    let cfg = SlmsConfig {
+        apply_filter: false,
+        ..SlmsConfig::default()
+    };
+    for w in slc_workloads::all() {
+        let prog = w.program();
+        let (out, _) = slms_program(&prog, &cfg);
+        differential(&out, 99);
+    }
+}
+
+#[test]
+fn lowering_matches_ast_on_paper_examples() {
+    for src in [
+        "float A[32]; float s; float t; int i;\n\
+         for (i = 0; i < 30; i++) { t = A[i] * 2.0; s = s + t; }",
+        "float a[32]; float b[32]; int i; float x; float y;\n\
+         for (i = 0; i < 30; i++) { if (a[i] < b[i]) { x = x + a[i]; } else { y = y + b[i]; } }",
+        "float M[6][7]; int i; int j;\n\
+         for (i = 0; i < 6; i++) for (j = 0; j < 7; j++) M[i][j] = M[i][j] + 1.0;",
+        "float a[16]; float m; int i;\n\
+         m = a[0];\n\
+         for (i = 1; i < 16; i++) m = max(m, a[i]);",
+    ] {
+        let prog = slc_ast::parse_program(src).unwrap();
+        for seed in [1, 2, 3] {
+            differential(&prog, seed);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Semantic checks for the §6 loop transformations: each rewrite must be
+//! observationally identity on the programs it is legal for, including when
+//! chained with SLMS (the §6 interaction patterns).
+
+use slc_ast::{parse_program, Program, Stmt};
+use slc_core::{slms_program, SlmsConfig};
+use slc_sim::astinterp::equivalent;
+use slc_transforms::{distribute, fuse, interchange, peel_front, reverse, unroll};
+
+const SEEDS: &[u64] = &[3, 91, 777];
+
+fn with_stmts(base: &Program, stmts: Vec<Stmt>) -> Program {
+    let mut p = base.clone();
+    p.stmts = stmts;
+    p
+}
+
+fn assert_equiv(a: &Program, b: &Program, what: &str) {
+    if let Err(m) = equivalent(a, b, SEEDS) {
+        panic!(
+            "{what} changed semantics: {m:?}\n{}",
+            slc_ast::to_source(b)
+        );
+    }
+}
+
+#[test]
+fn interchange_preserves_semantics() {
+    // independent 2-D update: interchange is legal
+    let p = parse_program(
+        "float a[20][20]; int i; int j;\n\
+         for (j = 1; j < 18; j++) { for (i = 1; i < 18; i++) { a[i][j] = a[i][j] * 2.0 + 1.0; } }",
+    )
+    .unwrap();
+    let sw = interchange(&p.stmts[0]).unwrap();
+    let q = with_stmts(&p, vec![sw]);
+    assert_equiv(&p, &q, "interchange");
+}
+
+#[test]
+fn interchange_paper_example_then_slms() {
+    // §6: t = a[i][j]; a[i][j+1] = t — not SLMS-able over j; interchange
+    // makes i innermost, then SLMS finds II = 1.
+    let p = parse_program(
+        "float a[24][24]; float t; int i; int j;\n\
+         for (j = 0; j < 20; j++) { for (i = 0; i < 20; i++) { t = a[i][j]; a[i][j + 1] = t; } }",
+    )
+    .unwrap();
+    let sw = interchange(&p.stmts[0]).unwrap();
+    let q = with_stmts(&p, vec![sw]);
+    assert_equiv(&p, &q, "interchange(paper)");
+    let (slmsed, outcomes) = slms_program(
+        &q,
+        &SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        },
+    );
+    assert!(
+        outcomes.iter().any(|o| o.result.is_ok()),
+        "SLMS should fire after interchange: {outcomes:?}"
+    );
+    assert_equiv(&p, &slmsed, "interchange + SLMS");
+}
+
+#[test]
+fn fusion_preserves_semantics_when_independent() {
+    let p = parse_program(
+        "float a[64]; float b[64]; int i;\n\
+         for (i = 1; i < 60; i++) { a[i] = a[i] + 1.0; }\n\
+         for (i = 1; i < 60; i++) { b[i] = b[i] * 2.0; }",
+    )
+    .unwrap();
+    let fused = fuse(&p.stmts[0], &p.stmts[1]).unwrap();
+    let q = with_stmts(&p, vec![fused]);
+    assert_equiv(&p, &q, "fusion");
+}
+
+#[test]
+fn fusion_then_slms_sec6() {
+    // §6 fused loop reaching II = 3.
+    let p = parse_program(
+        "float A[64]; float B[64]; float C[64]; float t; float q; int i;\n\
+         for (i = 1; i < 60; i++) { t = A[i - 1]; B[i] = B[i] + t; A[i] = t + B[i]; }\n\
+         for (i = 1; i < 60; i++) { q = C[i - 1]; B[i] = B[i] + q; C[i] = q * B[i]; }",
+    )
+    .unwrap();
+    let fused = fuse(&p.stmts[0], &p.stmts[1]).unwrap();
+    let q = with_stmts(&p, vec![fused]);
+    assert_equiv(&p, &q, "fusion(sec6)");
+    let (slmsed, outcomes) = slms_program(
+        &q,
+        &SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        },
+    );
+    let rep = outcomes
+        .iter()
+        .find_map(|o| o.result.as_ref().ok())
+        .expect("fused loop SLMS-able");
+    assert!(rep.ii >= 1 && rep.ii < 6, "unexpected II {}", rep.ii);
+    assert_equiv(&p, &slmsed, "fusion + SLMS");
+}
+
+#[test]
+fn distribution_preserves_semantics_when_parallel() {
+    let p = parse_program(
+        "float a[64]; float b[64]; int i;\n\
+         for (i = 0; i < 60; i++) { a[i] = a[i] + 1.0; b[i] = b[i] * 2.0; }",
+    )
+    .unwrap();
+    let (l1, l2) = distribute(&p.stmts[0], 1).unwrap();
+    let q = with_stmts(&p, vec![l1, l2]);
+    assert_equiv(&p, &q, "distribution");
+}
+
+#[test]
+fn unroll_preserves_semantics() {
+    for (src, f) in [
+        ("float a[64]; int i; for (i = 0; i < 60; i++) a[i] = a[i] + 1.0;", 4),
+        ("float a[64]; int i; for (i = 1; i < 60; i++) a[i] = a[i - 1] * 0.5;", 2),
+        ("float a[64]; int i; for (i = 0; i < 59; i += 2) a[i] = i;", 3),
+        ("float a[64]; int i; for (i = 59; i > 3; i--) a[i] = a[i] + 2.0;", 5),
+    ] {
+        let p = parse_program(src).unwrap();
+        let out = unroll(&p.stmts[0], f).unwrap();
+        let q = with_stmts(&p, out);
+        assert_equiv(&p, &q, &format!("unroll×{f} of {src}"));
+    }
+}
+
+#[test]
+fn reverse_preserves_semantics_when_parallel() {
+    let p = parse_program(
+        "float a[64]; float b[64]; int i; for (i = 2; i < 60; i += 3) a[i] = b[i] * 2.0;",
+    )
+    .unwrap();
+    let r = reverse(&p.stmts[0]).unwrap();
+    let q = with_stmts(&p, r);
+    assert_equiv(&p, &q, "reverse");
+}
+
+#[test]
+fn peel_preserves_semantics() {
+    let p = parse_program(
+        "float a[64]; int i; for (i = 1; i < 40; i++) a[i] = a[i - 1] + 1.0;",
+    )
+    .unwrap();
+    for k in [1, 3, 10] {
+        let out = peel_front(&p.stmts[0], k).unwrap();
+        let q = with_stmts(&p, out);
+        assert_equiv(&p, &q, &format!("peel {k}"));
+    }
+}
+
+#[test]
+fn slms_on_unrolled_loop() {
+    // §6: unrolling before SLMS (resource utilization)
+    let p = parse_program(
+        "float a[128]; float b[128]; int i; for (i = 0; i < 120; i++) a[i] = b[i] * 2.0;",
+    )
+    .unwrap();
+    let out = unroll(&p.stmts[0], 2).unwrap();
+    let q = with_stmts(&p, out);
+    let (slmsed, outcomes) = slms_program(
+        &q,
+        &SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        },
+    );
+    assert!(outcomes.iter().any(|o| o.result.is_ok()));
+    assert_equiv(&p, &slmsed, "unroll + SLMS");
+}
+
+#[test]
+fn normalize_preserves_semantics() {
+    use slc_transforms::normalize;
+    for src in [
+        "float a[64]; int i; for (i = 4; i < 40; i += 3) a[i] = a[i] + i;",
+        "float a[64]; int i; for (i = 30; i > 10; i -= 2) a[i] = a[i] * 2.0;",
+        "float a[64]; int i; for (i = 1; i <= 20; i += 4) a[i] = i * 2;",
+    ] {
+        let p = parse_program(src).unwrap();
+        let mut q = p.clone();
+        let out = normalize(&mut q, &p.stmts[0], "k").unwrap();
+        q.stmts = out;
+        assert_equiv(&p, &q, &format!("normalize of {src}"));
+    }
+}
+
+#[test]
+fn normalize_then_slms() {
+    use slc_transforms::normalize;
+    let p = parse_program(
+        "float a[128]; float b[128]; float t; int i;\n\
+         for (i = 4; i < 120; i += 3) { t = b[i]; a[i] = t * 2.0; }",
+    )
+    .unwrap();
+    let mut q = p.clone();
+    let out = normalize(&mut q, &p.stmts[0], "k").unwrap();
+    q.stmts = out;
+    let (slmsed, outcomes) = slms_program(
+        &q,
+        &SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        },
+    );
+    assert!(outcomes.iter().any(|o| o.result.is_ok()), "{outcomes:?}");
+    assert_equiv(&p, &slmsed, "normalize + SLMS");
+}
+
+#[test]
+fn interchange_checked_guards_wavefront() {
+    use slc_transforms::interchange_checked;
+    // wavefront: interchange must be refused (it would change results)
+    let p = parse_program(
+        "float a[16][16]; int i; int j;\n\
+         for (j = 1; j < 14; j++) { for (i = 1; i < 13; i++) { a[j][i] = a[j - 1][i + 1] + 1.0; } }",
+    )
+    .unwrap();
+    assert!(interchange_checked(&p.stmts[0]).is_err());
+    // and the refusal is justified: blindly interchanging DOES change results
+    let swapped = interchange(&p.stmts[0]).unwrap();
+    let q = with_stmts(&p, vec![swapped]);
+    assert!(
+        slc_sim::astinterp::equivalent(&p, &q, &[3, 91, 777]).is_err(),
+        "wavefront interchange should actually be illegal"
+    );
+}
