@@ -124,7 +124,8 @@ pub fn ddg_covers(ddg: &Ddg, dep: &GroundDep) -> bool {
         e.from == dep.from
             && e.to == dep.to
             && e.kind == dep.kind
-            && (e.dists.contains(&Distance::Const(dep.dist)) || e.dists.contains(&Distance::Unknown))
+            && (e.dists.contains(&Distance::Const(dep.dist))
+                || e.dists.contains(&Distance::Unknown))
     })
 }
 

@@ -81,11 +81,7 @@ impl Ddg {
     /// Whether MI `k` has a loop-carried self dependence (distance ≥ 1).
     pub fn has_self_carried(&self, k: usize) -> bool {
         self.edges.iter().any(|e| {
-            e.from == k
-                && e.to == k
-                && e.dists
-                    .iter()
-                    .any(|d| !matches!(d, Distance::Const(0)))
+            e.from == k && e.to == k && e.dists.iter().any(|d| !matches!(d, Distance::Const(0)))
         })
     }
 }
@@ -98,9 +94,10 @@ fn push_edge_tagged(
     dist: Distance,
     scalar: Option<&str>,
 ) {
-    if let Some(e) = edges.iter_mut().find(|e| {
-        e.from == from && e.to == to && e.kind == kind && e.scalar.as_deref() == scalar
-    }) {
+    if let Some(e) = edges
+        .iter_mut()
+        .find(|e| e.from == from && e.to == to && e.kind == kind && e.scalar.as_deref() == scalar)
+    {
         if !e.dists.contains(&dist) {
             e.dists.push(dist);
         }
@@ -130,14 +127,7 @@ fn kind_of(src_write: bool, dst_write: bool) -> DepKind {
 
 /// Record a dependence between access `x` in MI `p` and access `y` in MI `q`
 /// given the raw distance `d` of the pair test (second access `y` at `i+d`).
-fn orient(
-    edges: &mut Vec<DepEdge>,
-    p: usize,
-    q: usize,
-    xw: bool,
-    yw: bool,
-    d: DepDist,
-) {
+fn orient(edges: &mut Vec<DepEdge>, p: usize, q: usize, xw: bool, yw: bool, d: DepDist) {
     match d {
         DepDist::None => {}
         DepDist::Dist(d) => {
@@ -305,7 +295,10 @@ mod tests {
 
     fn has_edge(d: &Ddg, from: usize, to: usize, kind: DepKind, dist: i64) -> bool {
         d.edges.iter().any(|e| {
-            e.from == from && e.to == to && e.kind == kind && e.dists.contains(&Distance::Const(dist))
+            e.from == from
+                && e.to == to
+                && e.kind == kind
+                && e.dists.contains(&Distance::Const(dist))
         })
     }
 

@@ -28,6 +28,7 @@ pub mod access;
 pub mod brute;
 pub mod ddg;
 pub mod deps;
+pub mod fingerprint;
 pub mod linform;
 pub mod memref;
 pub mod mi;
@@ -35,6 +36,7 @@ pub mod mi;
 pub use access::{accesses_of_stmt, ArrayAccess, MiAccesses, ScalarAccess};
 pub use ddg::{build_ddg, Ddg, DepEdge, DepKind, Distance};
 pub use deps::{array_dep_distances, AnalysisError};
+pub use fingerprint::{fingerprint_str, program_fingerprint, Fnv64};
 pub use linform::LinForm;
 pub use memref::{memref_ratio, op_counts, OpCounts};
 pub use mi::{partition_mis, Mi, MiKind};

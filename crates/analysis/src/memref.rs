@@ -144,8 +144,7 @@ mod tests {
     fn paper_swap_loop_ratio() {
         // §4: CT = X[k][i]; X[k][i] = X[k][j] * 2; X[k][j] = CT;
         // LS = 6, AO = 1, ratio 0.857 → filtered at 0.85.
-        let body =
-            parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
+        let body = parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
         let c = op_counts(&body, "k");
         assert_eq!(c.ls, 6, "{c:?}");
         assert_eq!(c.ao, 1);
@@ -193,8 +192,9 @@ mod tests {
 
     #[test]
     fn distinct_scalar_count() {
-        let body = parse_stmts("t = A[i + 1]; A[i] = A[i - 1] + t; scal = B[i] / 2.0; C[i] = scal * 3.0;")
-            .unwrap();
+        let body =
+            parse_stmts("t = A[i + 1]; A[i] = A[i - 1] + t; scal = B[i] / 2.0; C[i] = scal * 3.0;")
+                .unwrap();
         assert_eq!(distinct_scalars(&body, "i"), 2);
     }
 }

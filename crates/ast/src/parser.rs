@@ -496,11 +496,7 @@ impl Parser {
                 dims.push(d as usize);
                 self.expect(Token::RBracket)?;
             }
-            out.push(Decl {
-                name,
-                ty,
-                dims,
-            });
+            out.push(Decl { name, ty, dims });
             if self.eat(&Token::Comma) {
                 continue;
             }

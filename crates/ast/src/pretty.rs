@@ -87,7 +87,11 @@ fn write_expr(out: &mut String, e: &Expr, parent_prec: u8) {
             }
             // Comparisons are *non-associative* in the grammar: a nested
             // comparison on either side must be parenthesized.
-            let left_prec = if matches!(op, BinOp::Cmp(_)) { p + 1 } else { p };
+            let left_prec = if matches!(op, BinOp::Cmp(_)) {
+                p + 1
+            } else {
+                p
+            };
             write_expr(out, a, left_prec);
             let _ = write!(out, " {op} ");
             // Right operand of a left-associative operator needs parens at

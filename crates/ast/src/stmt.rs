@@ -153,7 +153,10 @@ impl Stmt {
                 then_branch,
                 else_branch,
                 ..
-            } => then_branch.iter().chain(else_branch).any(Stmt::contains_loop),
+            } => then_branch
+                .iter()
+                .chain(else_branch)
+                .any(Stmt::contains_loop),
             Stmt::Block(b) | Stmt::Par(b) => b.iter().any(Stmt::contains_loop),
             _ => false,
         }
@@ -200,10 +203,7 @@ mod tests {
     fn desugar_compound() {
         let t = LValue::Var("s".into());
         let rhs = Stmt::desugared_rhs(&t, AssignOp::Add, &Expr::var("t"));
-        assert_eq!(
-            rhs,
-            Expr::add(Expr::var("s"), Expr::var("t"))
-        );
+        assert_eq!(rhs, Expr::add(Expr::var("s"), Expr::var("t")));
     }
 
     #[test]

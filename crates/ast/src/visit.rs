@@ -468,7 +468,12 @@ mod tests {
 
     #[test]
     fn simplify_identities() {
-        for (src, want) in [("x * 1", "x"), ("1 * x", "x"), ("x + 0", "x"), ("2 * 3", "6")] {
+        for (src, want) in [
+            ("x * 1", "x"),
+            ("1 * x", "x"),
+            ("x + 0", "x"),
+            ("2 * 3", "6"),
+        ] {
             let mut e = parse_expr(src).unwrap();
             simplify(&mut e);
             assert_eq!(expr_to_string(&e), want, "src={src}");
@@ -483,7 +488,10 @@ mod tests {
         substitute_scalar(&mut s[1], "reg", &repl);
         let out = stmts_to_source(&s);
         assert!(out.contains("regArr[i + 2] = A[i + 2];"), "got {out}");
-        assert!(out.contains("x = regArr[i + 2] * regArr[i + 2];"), "got {out}");
+        assert!(
+            out.contains("x = regArr[i + 2] * regArr[i + 2];"),
+            "got {out}"
+        );
     }
 
     #[test]

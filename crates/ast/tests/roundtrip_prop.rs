@@ -5,7 +5,9 @@
 //! exactly.
 
 use proptest::prelude::*;
-use slc_ast::{parse_program, to_source, BinOp, CmpOp, Decl, Expr, ForLoop, LValue, Program, Stmt, Ty};
+use slc_ast::{
+    parse_program, to_source, BinOp, CmpOp, Decl, Expr, ForLoop, LValue, Program, Stmt, Ty,
+};
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![
@@ -19,8 +21,13 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone(), 0u8..5).prop_map(|(a, b, k)| {
-                let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Cmp(CmpOp::Lt)]
-                    [k as usize];
+                let op = [
+                    BinOp::Add,
+                    BinOp::Sub,
+                    BinOp::Mul,
+                    BinOp::Div,
+                    BinOp::Cmp(CmpOp::Lt),
+                ][k as usize];
                 Expr::bin(op, a, b)
             }),
             inner
@@ -38,20 +45,20 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let simple = prop_oneof![
         expr_strategy().prop_map(|e| Stmt::assign(LValue::Var("x".into()), e)),
-        expr_strategy().prop_map(|e| Stmt::assign(
-            LValue::Index("A".into(), vec![Expr::var("i")]),
-            e
-        )),
+        expr_strategy()
+            .prop_map(|e| Stmt::assign(LValue::Index("A".into(), vec![Expr::var("i")]), e)),
     ];
     simple.prop_recursive(2, 12, 4, |inner| {
         prop_oneof![
-            (expr_strategy(), proptest::collection::vec(inner.clone(), 1..3)).prop_map(
-                |(c, body)| Stmt::If {
+            (
+                expr_strategy(),
+                proptest::collection::vec(inner.clone(), 1..3)
+            )
+                .prop_map(|(c, body)| Stmt::If {
                     cond: c,
                     then_branch: body,
                     else_branch: vec![],
-                }
-            ),
+                }),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(Stmt::Par),
             (0i64..10, 1i64..20, proptest::collection::vec(inner, 1..3)).prop_map(
                 |(lo, span, body)| Stmt::For(ForLoop {

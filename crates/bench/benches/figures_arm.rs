@@ -28,9 +28,14 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     g.bench_function("arm_power_pipeline", |bch| {
         bch.iter(|| {
-            measure_workload(&w, &arm7tdmi(), CompilerKind::Optimizing, &SlmsConfig::default())
-                .unwrap()
-                .power_ratio
+            measure_workload(
+                &w,
+                &arm7tdmi(),
+                CompilerKind::Optimizing,
+                &SlmsConfig::default(),
+            )
+            .unwrap()
+            .power_ratio
         })
     });
     g.finish();

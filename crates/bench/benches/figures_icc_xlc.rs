@@ -22,9 +22,14 @@ fn bench(c: &mut Criterion) {
         .unwrap();
     g.bench_function("kernel8_ms_pipeline", |bch| {
         bch.iter(|| {
-            measure_workload(&w, &itanium2(), CompilerKind::OptimizingMs, &SlmsConfig::default())
-                .unwrap()
-                .speedup
+            measure_workload(
+                &w,
+                &itanium2(),
+                CompilerKind::OptimizingMs,
+                &SlmsConfig::default(),
+            )
+            .unwrap()
+            .speedup
         })
     });
     g.finish();

@@ -4,13 +4,16 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use slc_core::{slms_program, SlmsConfig};
-use slc_machine::{list_schedule, lower_program, modulo_schedule};
 use slc_machine::ir::Lir;
+use slc_machine::{list_schedule, lower_program, modulo_schedule};
 use slc_sim::presets::itanium2;
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("transform_speed");
-    let cfg = SlmsConfig { apply_filter: false, ..SlmsConfig::default() };
+    let cfg = SlmsConfig {
+        apply_filter: false,
+        ..SlmsConfig::default()
+    };
     let prog = slc_workloads::livermore()
         .into_iter()
         .find(|w| w.name == "kernel8_adi")

@@ -9,10 +9,20 @@
 use slc_core::{slms_program, Expansion, SlmsConfig};
 use slc_machine::mach::MachineDesc;
 use slc_pipeline::{
-    format_rows, measure_gap, measure_suite, measure_workload, run, CompilerKind, GapRow, LoopRow,
+    format_rows, measure_gap, measure_suite_on, measure_workload, run, BatchEngine, CompilerKind,
+    GapRow, LoopRow,
 };
 use slc_sim::presets::{arm7tdmi, itanium2, pentium, power4};
 use slc_workloads::{by_suite, linpack, livermore, nas, paper_examples, stone, Suite, Workload};
+use std::sync::OnceLock;
+
+/// One artifact cache shared by every figure of the harness: fig14/fig18
+/// (same workloads, different personality) share parse + SLMS + LIR work,
+/// the ablations share everything but the changed axis, and so on.
+fn engine() -> &'static BatchEngine {
+    static ENGINE: OnceLock<BatchEngine> = OnceLock::new();
+    ENGINE.get_or_init(BatchEngine::new)
+}
 
 /// Default SLMS configuration used by the figures (filter on, MVE on).
 pub fn default_cfg() -> SlmsConfig {
@@ -45,7 +55,7 @@ fn make_figure(
     kind: CompilerKind,
     cfg: &SlmsConfig,
 ) -> Figure {
-    let rows = measure_suite(ws, m, kind, cfg);
+    let rows = measure_suite_on(engine(), ws, m, kind, cfg);
     let table = format_rows(title, &rows);
     Figure { id, rows, table }
 }
@@ -328,8 +338,8 @@ pub fn sec6_interactions() -> String {
 pub fn ablation_filter() -> String {
     let ws = slc_workloads::all();
     let m = itanium2();
-    let on = measure_suite(&ws, &m, CompilerKind::Optimizing, &default_cfg());
-    let off = measure_suite(&ws, &m, CompilerKind::Optimizing, &nofilter_cfg());
+    let on = measure_suite_on(engine(), &ws, &m, CompilerKind::Optimizing, &default_cfg());
+    let off = measure_suite_on(engine(), &ws, &m, CompilerKind::Optimizing, &nofilter_cfg());
     let mut out = String::from("== §4 ablation — memory-ref-ratio filter ==\n");
     out.push_str(&format!(
         "{:<24} {:>10} {:>10} {:>9} {:>9}\n",
@@ -386,7 +396,9 @@ pub fn ablation_expansion() -> String {
                 .expect("lowerable")
                 .speedup;
         }
-        let best = (0..3).max_by(|&a, &b| speeds[a].total_cmp(&speeds[b])).unwrap();
+        let best = (0..3)
+            .max_by(|&a, &b| speeds[a].total_cmp(&speeds[b]))
+            .unwrap();
         best_counts[best] += 1;
         out.push_str(&format!(
             "{:<24} {:>9.3} {:>9.3} {:>9.3} {:>12}\n",

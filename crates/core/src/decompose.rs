@@ -177,7 +177,9 @@ pub fn split_wide(
             return e;
         }
         if matches!(e, Expr::Binary(o, _, _) if *o == op) {
-            let Expr::Binary(_, a, _) = e else { unreachable!() };
+            let Expr::Binary(_, a, _) = e else {
+                unreachable!()
+            };
             descend(a, op, depth - 1)
         } else {
             e
@@ -198,8 +200,7 @@ mod tests {
     #[test]
     fn paper_recurrence_decomposition() {
         let mut prog = parse_program("float A[100]; int i;").unwrap();
-        let mut body =
-            parse_stmts("A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];").unwrap();
+        let mut body = parse_stmts("A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];").unwrap();
         let t = break_self_dep(&mut prog, &mut body, 0, "i", 1).unwrap();
         assert_eq!(t, "reg1");
         let src = stmts_to_source(&body);
@@ -241,10 +242,8 @@ mod tests {
     #[test]
     fn replaces_all_equal_occurrences() {
         let mut prog = parse_program("float X[100]; int k;").unwrap();
-        let mut body = parse_stmts(
-            "X[k] = X[k - 1] * X[k - 1] + X[k + 1] * X[k + 1] * X[k + 1];",
-        )
-        .unwrap();
+        let mut body =
+            parse_stmts("X[k] = X[k - 1] * X[k - 1] + X[k + 1] * X[k + 1] * X[k + 1];").unwrap();
         break_self_dep(&mut prog, &mut body, 0, "k", 1).unwrap();
         let src = stmts_to_source(&body);
         assert!(src.contains("reg1 = X[k + 1];"), "got:\n{src}");
@@ -254,7 +253,9 @@ mod tests {
 
     #[test]
     fn split_wide_halves() {
-        let mut prog = parse_program("float A[9]; float B[9]; float C[9]; float D[9]; float x; int i;").unwrap();
+        let mut prog =
+            parse_program("float A[9]; float B[9]; float C[9]; float D[9]; float x; int i;")
+                .unwrap();
         let mut body = parse_stmts("x = A[i] + B[i] + C[i] + D[i];").unwrap();
         let t = split_wide(&mut prog, &mut body, 0, 2).unwrap();
         assert_eq!(t, "t1");

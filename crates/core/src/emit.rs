@@ -95,8 +95,15 @@ fn lcm(a: i64, b: i64) -> i64 {
 
 /// Per-variable renaming plan.
 enum RenamePlan {
-    Versions { name: String, vers: Vec<String> },
-    Array { name: String, arr: String, base: i64 },
+    Versions {
+        name: String,
+        vers: Vec<String>,
+    },
+    Array {
+        name: String,
+        arr: String,
+        base: i64,
+    },
 }
 
 /// Emit the software-pipelined replacement of loop `f` whose body has been
@@ -111,9 +118,7 @@ pub fn emit(
 ) -> Result<EmitOutput, SlmsError> {
     let n = mis.len();
     assert!(ii >= 1 && (ii as usize) < n, "emit requires 1 <= II < n");
-    let t_count = f
-        .trip_count()
-        .ok_or(SlmsError::SymbolicBounds)?;
+    let t_count = f.trip_count().ok_or(SlmsError::SymbolicBounds)?;
     let init = f.init.const_int().ok_or(SlmsError::SymbolicBounds)?;
     let s = f.step;
     let off = |k: usize| ((n - 1 - k) as i64) / ii;
@@ -153,7 +158,11 @@ pub fn emit(
                 // temp `reg1` yields versions `reg1, reg2` like the paper,
                 // not `reg11, reg12`.
                 let stripped = v.name.trim_end_matches(|c: char| c.is_ascii_digit());
-                let base = if stripped.is_empty() { &v.name } else { stripped };
+                let base = if stripped.is_empty() {
+                    &v.name
+                } else {
+                    stripped
+                };
                 let mut vers = Vec::new();
                 for q in 1..=p {
                     let cand = format!("{base}{q}");
@@ -203,10 +212,9 @@ pub fn emit(
                 }
                 RenamePlan::Array { name, arr, base } => {
                     let sub = match kernel_shift {
-                        Some(shift) => slc_ast::visit::add_const(
-                            Expr::Var(f.var.clone()),
-                            shift - base,
-                        ),
+                        Some(shift) => {
+                            slc_ast::visit::add_const(Expr::Var(f.var.clone()), shift - base)
+                        }
                         None => Expr::Int(init + j * s - base),
                     };
                     substitute_scalar(stmt, name, &Expr::Index(arr.clone(), vec![sub]));
@@ -357,8 +365,7 @@ mod tests {
     #[test]
     fn intro_example_shape() {
         // t = A[i]*B[i]; s = s + t;  II = 1 → kernel [s = s + t || t = A[i+1]*B[i+1]]
-        let mut prog =
-            parse_program("float A[16]; float B[16]; float s; float t; int i;").unwrap();
+        let mut prog = parse_program("float A[16]; float B[16]; float s; float t; int i;").unwrap();
         let f = mk_loop("t = A[i] * B[i]; s = s + t;", "i", 0, 10);
         let out = emit(&mut prog, &f, &f.body.clone(), 1, Expansion::Off, &[]).unwrap();
         let src = stmts_to_source(&out.stmts);

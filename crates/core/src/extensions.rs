@@ -74,10 +74,7 @@ pub fn frequent_path_ms(prog: &mut Program, stmt: &Stmt) -> Result<FrequentPathO
     };
     let trip = f.trip_count().ok_or(SlmsError::SymbolicBounds)?;
     if trip < 2 {
-        return Err(SlmsError::TooFewIterations {
-            trip,
-            needed: 2,
-        });
+        return Err(SlmsError::TooFewIterations { trip, needed: 2 });
     }
     let init = f.init.const_int().ok_or(SlmsError::SymbolicBounds)?;
     let s = f.step;
@@ -87,7 +84,12 @@ pub fn frequent_path_ms(prog: &mut Program, stmt: &Stmt) -> Result<FrequentPathO
             cond,
             then_branch,
             else_branch,
-        }, rest @ ..] => (cond.clone(), then_branch.clone(), else_branch.clone(), rest.to_vec()),
+        }, rest @ ..] => (
+            cond.clone(),
+            then_branch.clone(),
+            else_branch.clone(),
+            rest.to_vec(),
+        ),
         _ => {
             return Err(SlmsError::Analysis(
                 slc_analysis::AnalysisError::UnsupportedLoopForm(
@@ -174,7 +176,10 @@ mod tests {
 
     #[test]
     fn unroll_while_structure() {
-        let p = parse_program("float a[32]; int i; while (a[i + 2] > 0.0) { a[i] = a[i + 2]; i += 1; }").unwrap();
+        let p = parse_program(
+            "float a[32]; int i; while (a[i + 2] > 0.0) { a[i] = a[i + 2]; i += 1; }",
+        )
+        .unwrap();
         let out = unroll_while(&p.stmts[0], 2).unwrap();
         let src = stmts_to_source(&[out]);
         assert_eq!(src.matches("a[i] = a[i + 2];").count(), 2, "{src}");
@@ -204,7 +209,8 @@ mod tests {
 
     #[test]
     fn frequent_path_rejects_wrong_shape() {
-        let mut p = parse_program("float a[8]; int i; for (i = 0; i < 8; i++) a[i] = 1.0;").unwrap();
+        let mut p =
+            parse_program("float a[8]; int i; for (i = 0; i < 8; i++) a[i] = 1.0;").unwrap();
         let loop_stmt = p.stmts[0].clone();
         assert!(frequent_path_ms(&mut p, &loop_stmt).is_err());
     }

@@ -91,8 +91,7 @@ mod tests {
 
     #[test]
     fn swap_loop_filtered() {
-        let body =
-            parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
+        let body = parse_stmts("CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT;").unwrap();
         let v = filter_loop(&body, "k", &FilterConfig::default());
         assert!(matches!(v, FilterVerdict::MemRefRatio { .. }), "{v:?}");
     }

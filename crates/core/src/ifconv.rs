@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn paper_example() {
         let mut prog = parse_program("int x, y, i; float A[10];").unwrap();
-        let body =
-            parse_stmts("if (x < y) { x = x + 1; A[i] += x; } else { y = y + 1; }").unwrap();
+        let body = parse_stmts("if (x < y) { x = x + 1; A[i] += x; } else { y = y + 1; }").unwrap();
         let conv = if_convert(&mut prog, &body);
         let src = stmts_to_source(&conv.body);
         assert!(src.contains("pred1 = x < y;"), "got:\n{src}");

@@ -74,6 +74,47 @@ impl Default for SlmsConfig {
     }
 }
 
+impl SlmsConfig {
+    /// Stable content fingerprint of the configuration, part of the cache
+    /// key for memoized SLMS artifacts in the batch experiment engine.
+    /// Every field that can change the transformation output is fed to the
+    /// hash explicitly; adding a field to the struct without extending this
+    /// method is caught by the exhaustive destructuring below.
+    pub fn fingerprint(&self) -> u64 {
+        let SlmsConfig {
+            filter,
+            apply_filter,
+            expansion,
+            if_conversion,
+            max_decompositions,
+            allow_symbolic_guard,
+        } = self;
+        let mut h = slc_analysis::Fnv64::new();
+        h.write_f64(filter.max_memref_ratio);
+        match filter.min_arith_per_ref {
+            None => h.write_bool(false),
+            Some(r) => h.write_bool(true).write_f64(r),
+        };
+        h.write_bool(*apply_filter);
+        h.write_u64(match expansion {
+            Expansion::Off => 0,
+            Expansion::Mve => 1,
+            Expansion::ScalarExpand => 2,
+        });
+        h.write_bool(*if_conversion);
+        h.write_usize(*max_decompositions);
+        h.write_bool(*allow_symbolic_guard);
+        h.finish()
+    }
+}
+
+/// Cache key for the SLMS artifact of a program under a configuration:
+/// the memoization boundary the batch engine uses for the expensive
+/// DDG-construction / MII / difMin iteration work inside [`slms_program`].
+pub fn slms_cache_key(program_fingerprint: u64, cfg: &SlmsConfig) -> u64 {
+    slc_analysis::fingerprint::combine(&[program_fingerprint, cfg.fingerprint()])
+}
+
 /// Why SLMS declined or failed to transform a loop.
 #[derive(Debug, Clone, PartialEq)]
 pub enum SlmsError {
@@ -320,8 +361,7 @@ pub fn slms_loop(
             .collect();
         let mut progressed = false;
         for k in order {
-            if let Some(t) = decompose::break_self_dep(&mut scratch, &mut body, k, &f.var, f.step)
-            {
+            if let Some(t) = decompose::break_self_dep(&mut scratch, &mut body, k, &f.var, f.step) {
                 decomposed.push(t);
                 progressed = true;
                 break;
@@ -504,10 +544,9 @@ mod tests {
     #[test]
     fn flow_only_recurrence_fails() {
         // A[i] = A[i-1]*2 — every load is flow-fed; no decomposition helps.
-        let mut prog = parse_program(
-            "float A[64]; int i; for (i = 1; i < 60; i++) A[i] = A[i - 1] * 2.0;",
-        )
-        .unwrap();
+        let mut prog =
+            parse_program("float A[64]; int i; for (i = 1; i < 60; i++) A[i] = A[i - 1] * 2.0;")
+                .unwrap();
         let loop_stmt = prog.stmts[0].clone();
         let err = slms_loop(&mut prog, &loop_stmt, &cfg_nofilter()).unwrap_err();
         assert_eq!(err, SlmsError::NoValidIi);

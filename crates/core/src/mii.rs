@@ -168,13 +168,7 @@ mod tests {
     fn figure8_mii_is_two() {
         // MIs a..f = 0..5; cycles C1 (c→d→e→f→c, distances 0,2,0,2) and
         // C2 (c→d→f→c, distances 0,0,2). Delays per §3.5 are positional.
-        let cons = vec![
-            c(2, 3, 0),
-            c(3, 4, 2),
-            c(4, 5, 0),
-            c(5, 2, 2),
-            c(3, 5, 0),
-        ];
+        let cons = vec![c(2, 3, 0), c(3, 4, 2), c(4, 5, 0), c(5, 2, 2), c(3, 5, 0)];
         assert_eq!(cycles_mii(&cons, 6), Some(2));
         assert_eq!(placement_mii(&cons, 6), Some(2));
     }

@@ -1,0 +1,117 @@
+//! # criterion (workspace shim)
+//!
+//! Minimal stand-in for the `criterion` benchmarking crate: the build
+//! environment has no registry access, so the workspace benches run on this
+//! shim. It implements the API surface the benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!`/`criterion_main!` macros — with a plain
+//! wall-clock timer (median of a few batches) and stdout reporting.
+
+use std::time::Instant;
+
+/// Opaque value barrier (best-effort without inline asm).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Lower the number of timed samples (API-compatible knob).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Time one closure-driven benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        b.samples.sort_unstable();
+        let median = b.samples.get(b.samples.len() / 2).copied().unwrap_or(0);
+        println!(
+            "  {}/{id}: median {median} ns/iter over {} samples",
+            self.name,
+            b.samples.len()
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark timing state handed to the closure.
+pub struct Bencher {
+    samples: Vec<u64>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record per-iteration wall time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // warm-up and calibration: aim for ~1ms per sample
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().as_nanos().max(1) as u64;
+        self.iters_per_sample = (1_000_000 / once).clamp(1, 1_000);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let ns = t.elapsed().as_nanos() as u64 / self.iters_per_sample;
+            self.samples.push(ns);
+        }
+    }
+}
+
+/// Bundle benchmark functions, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Entry point running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

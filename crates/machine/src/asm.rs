@@ -57,7 +57,13 @@ pub fn op_to_string(op: &Op) -> String {
             Some(l) => format!("st    {array}[{}] = {}", linform(l), operand(src)),
             None => format!("st    {array}[?] = {}", operand(src)),
         },
-        OpKind::Bin { op: k, fp, dst, a, b } => {
+        OpKind::Bin {
+            op: k,
+            fp,
+            dst,
+            a,
+            b,
+        } => {
             let suffix = if *fp { ".f" } else { "" };
             format!(
                 "{}{suffix} r{dst} = {}, {}",
@@ -67,7 +73,9 @@ pub fn op_to_string(op: &Op) -> String {
             )
         }
         OpKind::Mov { dst, src } => format!("mov   r{dst} = {}", operand(src)),
-        OpKind::Intrinsic { name, dst, args, .. } => {
+        OpKind::Intrinsic {
+            name, dst, args, ..
+        } => {
             let args: Vec<_> = args.iter().map(operand).collect();
             format!("{name}  r{dst} = {}", args.join(", "))
         }
@@ -103,10 +111,10 @@ pub fn bundles_to_string(bundles: &[Bundle]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ir::Lir;
     use crate::listsched::list_schedule;
     use crate::lower::lower_program;
     use crate::mach::MachineDesc;
-    use crate::ir::Lir;
     use slc_ast::parse_program;
 
     fn innermost_ops(src: &str) -> Vec<Op> {
@@ -151,9 +159,7 @@ mod tests {
 
     #[test]
     fn renders_linform_addresses() {
-        let ops = innermost_ops(
-            "float M[4][8]; int i; for (i = 0; i < 4; i++) M[i][3] = 0.0;",
-        );
+        let ops = innermost_ops("float M[4][8]; int i; for (i = 0; i < 4; i++) M[i][3] = 0.0;");
         let s = list_schedule(&ops, &MachineDesc::default());
         let asm = bundles_to_string(&s.bundles);
         assert!(asm.contains("M[8*i+3]"), "{asm}");

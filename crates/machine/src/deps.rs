@@ -265,9 +265,7 @@ mod tests {
         // store A[i], load A[i+1]: provably distinct this iteration
         let ops = vec![store(0, "A", lin(1, 0)), load(1, "A", lin(1, 1))];
         let e = intra_deps(&ops, &m);
-        assert!(!e
-            .iter()
-            .any(|x| x.from == 0 && x.to == 1 && x.lat > 0));
+        assert!(!e.iter().any(|x| x.from == 0 && x.to == 1 && x.lat > 0));
         // same offset: dependent
         let ops = vec![store(0, "A", lin(1, 0)), load(1, "A", lin(1, 0))];
         let e = intra_deps(&ops, &m);

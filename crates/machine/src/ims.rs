@@ -322,12 +322,7 @@ mod tests {
     fn independent_body_pipelines_to_ii_near_resources() {
         let m = MachineDesc::default();
         // B[i] = A[i] + A[i+1]: load, load, add, store → ResMII ≥ 2 (3 mem/2)
-        let ops = vec![
-            load(0, 0),
-            load(1, 1),
-            fadd(2, 0, 1),
-            store(2, "B", 0),
-        ];
+        let ops = vec![load(0, 0), load(1, 1), fadd(2, 0, 1), store(2, "B", 0)];
         let ms = modulo_schedule(&ops, &m, "i", 1).unwrap();
         assert_eq!(ms.ii, 2, "{ms:?}");
         assert!(ms.stages >= 2);
@@ -337,8 +332,8 @@ mod tests {
     #[test]
     fn recurrence_limits_ii() {
         let m = MachineDesc::default(); // FpAdd lat 3
-        // A[i] = A[i-1] + c: load A[i-1], add, store A[i] — cross flow via
-        // memory at distance 1 with the store→load chain.
+                                        // A[i] = A[i-1] + c: load A[i-1], add, store A[i] — cross flow via
+                                        // memory at distance 1 with the store→load chain.
         let ops = vec![load(0, -1), fadd(1, 0, 0), store(1, "A", 0)];
         let ms = modulo_schedule(&ops, &m, "i", 1).unwrap();
         // cycle: load(2) → add(3) → store(1 to next load) over distance 1

@@ -95,7 +95,10 @@ pub enum BinKind {
 impl BinKind {
     /// True for the compare/logic family (all integer-ALU class).
     pub fn is_logic(&self) -> bool {
-        matches!(self, BinKind::Cmp(_) | BinKind::And | BinKind::Or | BinKind::Not)
+        matches!(
+            self,
+            BinKind::Cmp(_) | BinKind::And | BinKind::Or | BinKind::Not
+        )
     }
 }
 

@@ -143,7 +143,13 @@ impl LirState {
                 }
                 arr[idx as usize] = v;
             }
-            OpKind::Bin { op: k, fp, dst, a, b } => {
+            OpKind::Bin {
+                op: k,
+                fp,
+                dst,
+                a,
+                b,
+            } => {
                 let (va, vb) = (self.operand(a), self.operand(b));
                 let out = exec_bin(*k, *fp, va, vb)?;
                 self.regs.insert(*dst, out);
@@ -152,7 +158,9 @@ impl LirState {
                 let v = self.operand(src);
                 self.regs.insert(*dst, v);
             }
-            OpKind::Intrinsic { name, dst, args, .. } => {
+            OpKind::Intrinsic {
+                name, dst, args, ..
+            } => {
                 let f = |k: usize| args.get(k).map(|a| self.operand(a).as_f64()).unwrap_or(0.0);
                 let out = match name.as_str() {
                     "abs" => f(0).abs(),
@@ -355,6 +363,10 @@ mod tests {
         // s is some register; its final value must be 15 — find it by max
         // value match through the program's scalar count: simplest check via
         // sum over regs
-        assert!(st.regs.values().any(|v| v.as_f64() == 15.0), "{:?}", st.regs);
+        assert!(
+            st.regs.values().any(|v| v.as_f64() == 15.0),
+            "{:?}",
+            st.regs
+        );
     }
 }

@@ -76,8 +76,7 @@ pub fn list_schedule(ops: &[Op], m: &MachineDesc) -> Schedule {
     while remaining > 0 {
         let mut used = [0usize; 7];
         let mut issued = 0usize;
-        let class_idx =
-            |c: OpClass| ALL_CLASSES.iter().position(|&x| x == c).unwrap();
+        let class_idx = |c: OpClass| ALL_CLASSES.iter().position(|&x| x == c).unwrap();
         let mut bundle: Bundle = Vec::new();
         // repeatedly pick the best ready op this cycle (0-lat preds may be
         // satisfied by ops placed earlier in this same bundle)
@@ -216,9 +215,9 @@ mod tests {
 #[cfg(test)]
 mod more_tests {
     use super::*;
+    use crate::ir::Lir;
     use crate::ir::OpKind;
     use crate::lower::lower_program;
-    use crate::ir::Lir;
     use slc_ast::parse_program;
 
     #[test]

@@ -146,7 +146,11 @@ impl<'p> Lowerer<'p> {
             Expr::Unary(UnOp::Neg, a) => {
                 let (va, fp) = self.expr(a, pred, out)?;
                 let dst = self.fresh();
-                let zero = if fp { Operand::ImmF(0.0) } else { Operand::ImmI(0) };
+                let zero = if fp {
+                    Operand::ImmF(0.0)
+                } else {
+                    Operand::ImmI(0)
+                };
                 let mut op = Op::new(OpKind::Bin {
                     op: BinKind::Sub,
                     fp,
@@ -313,12 +317,7 @@ impl<'p> Lowerer<'p> {
     }
 
     /// Conjoin an optional outer predicate with a fresh condition value.
-    fn conjoin(
-        &mut self,
-        outer: Option<(VReg, bool)>,
-        cond: Operand,
-        out: &mut Vec<Op>,
-    ) -> VReg {
+    fn conjoin(&mut self, outer: Option<(VReg, bool)>, cond: Operand, out: &mut Vec<Op>) -> VReg {
         let creg = self.operand_to_reg(cond, false, outer, out);
         match outer {
             None => creg,
@@ -451,11 +450,7 @@ pub fn lower_program(prog: &Program) -> Result<LirProgram, LowerError> {
         .filter(|d| d.is_array())
         .map(|d| (d.name.clone(), d.len()))
         .collect();
-    let scalar_regs = lw
-        .scalar_reg
-        .iter()
-        .map(|(n, r)| (n.clone(), *r))
-        .collect();
+    let scalar_regs = lw.scalar_reg.iter().map(|(n, r)| (n.clone(), *r)).collect();
     Ok(LirProgram {
         items,
         n_regs: lw.next_reg,
@@ -486,9 +481,8 @@ mod tests {
 
     #[test]
     fn simple_loop_shape() {
-        let lir = lower(
-            "float A[16]; float B[16]; int i; for (i = 0; i < 16; i++) A[i] = B[i] * 2.0;",
-        );
+        let lir =
+            lower("float A[16]; float B[16]; int i; for (i = 0; i < 16; i++) A[i] = B[i] * 2.0;");
         let ops = body_ops(&lir);
         // load, mul, store + (add, cmp, branch) loop control
         assert_eq!(ops.len(), 6);
@@ -519,9 +513,7 @@ mod tests {
 
     #[test]
     fn predication() {
-        let lir = lower(
-            "float A[8]; int c; int i; for (i = 0; i < 8; i++) if (c) A[i] = 1.0;",
-        );
+        let lir = lower("float A[8]; int c; int i; for (i = 0; i < 8; i++) if (c) A[i] = 1.0;");
         let ops = body_ops(&lir);
         let store = ops
             .iter()
@@ -564,9 +556,7 @@ mod tests {
 
     #[test]
     fn scalar_accumulator_uses_same_reg() {
-        let lir = lower(
-            "float A[8]; float s; int i; for (i = 0; i < 8; i++) s += A[i];",
-        );
+        let lir = lower("float A[8]; float s; int i; for (i = 0; i < 8; i++) s += A[i];");
         let ops = body_ops(&lir);
         // mov into `s` writes the same register the next iteration reads
         let movs: Vec<_> = ops

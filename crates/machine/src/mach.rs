@@ -83,6 +83,45 @@ impl MachineDesc {
         self.latency[Self::class_index(c)] = l;
         self
     }
+
+    /// Stable content fingerprint of the machine description, part of the
+    /// cache key for memoized schedules and simulations in the batch
+    /// experiment engine. Exhaustive destructuring keeps this in sync with
+    /// the struct definition.
+    pub fn fingerprint(&self) -> u64 {
+        let MachineDesc {
+            name,
+            issue,
+            issue_width,
+            units,
+            latency,
+            int_regs,
+            fp_regs,
+            cache,
+            elem_bytes,
+            spill_penalty,
+        } = self;
+        let mut h = slc_analysis::Fnv64::new();
+        h.write_str(name);
+        h.write_u64(match issue {
+            IssueModel::StaticVliw => 0,
+            IssueModel::DynamicInOrder => 1,
+        });
+        h.write_usize(*issue_width);
+        for u in units {
+            h.write_usize(*u);
+        }
+        for l in latency {
+            h.write_u64(*l as u64);
+        }
+        h.write_usize(*int_regs).write_usize(*fp_regs);
+        h.write_usize(cache.size)
+            .write_usize(cache.line)
+            .write_usize(cache.ways)
+            .write_u64(cache.miss_penalty as u64);
+        h.write_usize(*elem_bytes).write_u64(*spill_penalty as u64);
+        h.finish()
+    }
 }
 
 impl Default for MachineDesc {

@@ -1,0 +1,570 @@
+//! The parallel batch experiment engine.
+//!
+//! The paper's evaluation is a cross product — every workload × machine ×
+//! final-compiler personality × {original, SLMS} (§9, figs. 14–22). This
+//! module evaluates that matrix concurrently with memoization of every
+//! expensive intermediate artifact:
+//!
+//! * **parse** — source text → AST, keyed by source fingerprint;
+//! * **slms** — AST → transformed AST + per-loop outcomes (this is where
+//!   the DDG construction and the MII/difMin iteration happen), keyed by
+//!   (program, config) fingerprint — shared by every machine/personality;
+//! * **lir** — AST → lowered LIR, machine-independent, shared likewise;
+//! * **compile** — LIR → schedules + per-loop compile facts, keyed by
+//!   (program, machine, personality);
+//! * **sim** — compiled program → cycle-level simulation, same key.
+//!
+//! **Determinism invariants** (asserted by `tests/batch_differential.rs`
+//! and the property tests):
+//!
+//! 1. cell results are bit-identical to the serial
+//!    `compile` + `simulate` path;
+//! 2. the canonical JSON report is byte-identical across runs and thread
+//!    counts — cells appear in matrix-enumeration order, every artifact is
+//!    computed exactly once per distinct key (so cache counters are
+//!    schedule-independent), and wall-clock timing lives in a separate
+//!    non-deterministic sidecar ([`BatchReport::timing_json`]);
+//! 3. a failing cell (parse or lowering error) degrades to a recorded
+//!    per-cell error while every other cell still completes.
+
+use crate::cache::{CacheReport, KeyedStore};
+use crate::compile::{compile_lir, CompilerKind, LoopInfo};
+use crate::json::Json;
+use crate::par::{effective_threads, par_map_indexed};
+use slc_ast::{parse_program, Program};
+use slc_core::{slms_cache_key, slms_program, LoopOutcome, SlmsConfig};
+use slc_machine::ir::LirProgram;
+use slc_machine::lower::{lower_program, LowerError};
+use slc_machine::mach::MachineDesc;
+use slc_sim::cycle::{simulate, SimResult};
+use slc_sim::power::EnergyModel;
+use slc_workloads::{enumerate_matrix, MatrixCell, Variant, Workload};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag written into every report.
+pub const REPORT_SCHEMA: &str = "slc-batch-report-v1";
+
+impl CompilerKind {
+    /// Every personality, in canonical report order.
+    pub const ALL: [CompilerKind; 3] = [
+        CompilerKind::Weak,
+        CompilerKind::Optimizing,
+        CompilerKind::OptimizingMs,
+    ];
+
+    /// Short label used in reports and CLI flags (`weak` / `opt` / `ms`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerKind::Weak => "weak",
+            CompilerKind::Optimizing => "opt",
+            CompilerKind::OptimizingMs => "ms",
+        }
+    }
+
+    /// Stable code for fingerprinting.
+    fn code(&self) -> u64 {
+        match self {
+            CompilerKind::Weak => 0,
+            CompilerKind::Optimizing => 1,
+            CompilerKind::OptimizingMs => 2,
+        }
+    }
+}
+
+/// What to run: the axes of the experiment matrix plus engine knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// workload axis
+    pub workloads: Vec<Workload>,
+    /// machine axis
+    pub machines: Vec<MachineDesc>,
+    /// personality axis
+    pub compilers: Vec<CompilerKind>,
+    /// SLMS configuration for the `slms` variant of every cell
+    pub slms: SlmsConfig,
+    /// worker threads (`None` = all available cores)
+    pub threads: Option<usize>,
+}
+
+impl BatchConfig {
+    /// The paper's full matrix: every workload × the four machine presets
+    /// × the three personalities × {original, SLMS}.
+    pub fn full_matrix() -> Self {
+        use slc_sim::presets::{arm7tdmi, itanium2, pentium, power4};
+        BatchConfig {
+            workloads: slc_workloads::all(),
+            machines: vec![itanium2(), pentium(), power4(), arm7tdmi()],
+            compilers: CompilerKind::ALL.to_vec(),
+            slms: SlmsConfig::default(),
+            threads: None,
+        }
+    }
+
+    /// Number of cells this config enumerates.
+    pub fn n_cells(&self) -> usize {
+        self.workloads.len() * self.machines.len() * self.compilers.len() * Variant::ALL.len()
+    }
+}
+
+/// Identity of one matrix cell in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellId {
+    /// workload name
+    pub workload: String,
+    /// suite label
+    pub suite: String,
+    /// machine name
+    pub machine: String,
+    /// personality label
+    pub compiler: &'static str,
+    /// variant label (`orig` / `slms`)
+    pub variant: &'static str,
+}
+
+/// Everything measured for one completed cell.
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// simulated cycles
+    pub cycles: u64,
+    /// dynamic operations executed
+    pub ops: u64,
+    /// L1 hits
+    pub l1_hits: u64,
+    /// L1 misses
+    pub l1_misses: u64,
+    /// dynamic spill accesses
+    pub spill_accesses: u64,
+    /// modeled energy
+    pub energy: f64,
+    /// did SLMS transform at least one loop (always false for `orig`)
+    pub transformed: bool,
+    /// source-level II of the first transformed loop
+    pub slms_ii: Option<i64>,
+    /// per-innermost-loop compile facts
+    pub loops: Vec<LoopInfo>,
+}
+
+/// One row of the report: identity plus outcome. Failures carry a
+/// stage-prefixed message (`parse: …` / `lower: …`) instead of aborting
+/// the batch.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// which cell
+    pub id: CellId,
+    /// metrics, or the degradation error
+    pub outcome: Result<CellMetrics, String>,
+}
+
+/// Wall-clock accounting (non-deterministic; reported separately from the
+/// canonical JSON).
+#[derive(Debug, Clone, Copy)]
+pub struct TimingReport {
+    /// worker threads used
+    pub threads: usize,
+    /// end-to-end wall time
+    pub wall_ns: u64,
+    /// time inside parse misses
+    pub parse_ns: u64,
+    /// time inside SLMS misses
+    pub slms_ns: u64,
+    /// time inside lowering misses
+    pub lower_ns: u64,
+    /// time inside scheduling misses
+    pub compile_ns: u64,
+    /// time inside simulation misses
+    pub sim_ns: u64,
+}
+
+/// Result of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// per-cell rows in matrix-enumeration order
+    pub cells: Vec<CellResult>,
+    /// cache statistics (cumulative over the engine's lifetime)
+    pub cache: CacheReport,
+    /// wall-clock accounting for this run
+    pub timing: TimingReport,
+}
+
+impl BatchReport {
+    /// Cells that completed.
+    pub fn completed(&self) -> usize {
+        self.cells.iter().filter(|c| c.outcome.is_ok()).count()
+    }
+
+    /// Cells that degraded to an error.
+    pub fn failed(&self) -> usize {
+        self.cells.len() - self.completed()
+    }
+
+    /// The canonical report: deterministic — byte-identical across runs
+    /// and thread counts for the same `BatchConfig` and engine history.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Json> = self.cells.iter().map(cell_json).collect();
+        Json::obj()
+            .field("schema", REPORT_SCHEMA)
+            .field("cells_total", self.cells.len())
+            .field("cells_completed", self.completed())
+            .field("cells_failed", self.failed())
+            .field(
+                "cache",
+                Json::obj()
+                    .field("parse", store_json(self.cache.parse))
+                    .field("slms", store_json(self.cache.slms))
+                    .field("lir", store_json(self.cache.lir))
+                    .field("compile", store_json(self.cache.compile))
+                    .field("sim", store_json(self.cache.sim)),
+            )
+            .field("cells", Json::Arr(cells))
+            .to_pretty()
+    }
+
+    /// Wall-clock sidecar (not deterministic).
+    pub fn timing_json(&self) -> String {
+        let t = &self.timing;
+        Json::obj()
+            .field("schema", "slc-batch-timing-v1")
+            .field("threads", t.threads)
+            .field("wall_ms", t.wall_ns as f64 / 1e6)
+            .field(
+                "stage_ms",
+                Json::obj()
+                    .field("parse", t.parse_ns as f64 / 1e6)
+                    .field("slms", t.slms_ns as f64 / 1e6)
+                    .field("lower", t.lower_ns as f64 / 1e6)
+                    .field("compile", t.compile_ns as f64 / 1e6)
+                    .field("simulate", t.sim_ns as f64 / 1e6),
+            )
+            .to_pretty()
+    }
+
+    /// Short human summary (cells, failures, hit rate, wall time).
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cells ({} ok, {} failed) on {} threads in {:.1} ms; \
+             cache hit-rate {:.1}% (slms {}/{}, lir {}/{}, compile {}/{}, sim {}/{})",
+            self.cells.len(),
+            self.completed(),
+            self.failed(),
+            self.timing.threads,
+            self.timing.wall_ns as f64 / 1e6,
+            self.cache.overall_hit_rate() * 100.0,
+            self.cache.slms.hits,
+            self.cache.slms.hits + self.cache.slms.misses,
+            self.cache.lir.hits,
+            self.cache.lir.hits + self.cache.lir.misses,
+            self.cache.compile.hits,
+            self.cache.compile.hits + self.cache.compile.misses,
+            self.cache.sim.hits,
+            self.cache.sim.hits + self.cache.sim.misses,
+        )
+    }
+}
+
+fn store_json(s: crate::cache::StoreStats) -> Json {
+    Json::obj().field("hits", s.hits).field("misses", s.misses)
+}
+
+fn loop_json(l: &LoopInfo) -> Json {
+    Json::obj()
+        .field("var", l.var.as_str())
+        .field("trips", l.trips)
+        .field("bundles_per_iter", l.bundles_per_iter)
+        .field("ms_applied", l.ms_applied)
+        .field("ii", l.ii)
+        .field("stages", l.stages)
+        .field("reg_pressure", l.reg_pressure)
+        .field("spilled", l.spilled)
+}
+
+fn cell_json(c: &CellResult) -> Json {
+    let base = Json::obj()
+        .field("workload", c.id.workload.as_str())
+        .field("suite", c.id.suite.as_str())
+        .field("machine", c.id.machine.as_str())
+        .field("compiler", c.id.compiler)
+        .field("variant", c.id.variant);
+    match &c.outcome {
+        Err(e) => base.field("ok", false).field("error", e.as_str()),
+        Ok(m) => base
+            .field("ok", true)
+            .field("cycles", m.cycles)
+            .field("ops", m.ops)
+            .field("l1_hits", m.l1_hits)
+            .field("l1_misses", m.l1_misses)
+            .field("spill_accesses", m.spill_accesses)
+            .field("energy", m.energy)
+            .field("transformed", m.transformed)
+            .field("slms_ii", m.slms_ii)
+            .field("loops", Json::Arr(m.loops.iter().map(loop_json).collect())),
+    }
+}
+
+type ParseArtifact = Result<(Program, u64), String>;
+type SlmsArtifact = (Program, Vec<LoopOutcome>, u64);
+
+/// The engine: the artifact stores plus per-stage timing accumulators.
+/// Create once and call [`BatchEngine::run`] repeatedly to share the cache
+/// across runs (a second identical run is answered almost entirely from
+/// the cache).
+#[derive(Default)]
+pub struct BatchEngine {
+    parse: KeyedStore<ParseArtifact>,
+    slms: KeyedStore<SlmsArtifact>,
+    lir: KeyedStore<Result<LirProgram, LowerError>>,
+    compile: KeyedStore<Result<crate::compile::CompileResult, LowerError>>,
+    sim: KeyedStore<SimResult>,
+    parse_ns: AtomicU64,
+    slms_ns: AtomicU64,
+    lower_ns: AtomicU64,
+    compile_ns: AtomicU64,
+    sim_ns: AtomicU64,
+}
+
+fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    slot.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+impl BatchEngine {
+    /// Fresh engine with empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot cumulative cache statistics.
+    pub fn cache_report(&self) -> CacheReport {
+        CacheReport {
+            parse: self.parse.stats(),
+            slms: self.slms.stats(),
+            lir: self.lir.stats(),
+            compile: self.compile.stats(),
+            sim: self.sim.stats(),
+        }
+    }
+
+    /// Evaluate the whole matrix. Cells run concurrently; the result
+    /// vector is in matrix-enumeration order regardless of thread count.
+    pub fn run(&self, cfg: &BatchConfig) -> BatchReport {
+        let cells = enumerate_matrix(cfg.workloads.len(), cfg.machines.len(), cfg.compilers.len());
+        let threads = effective_threads(cfg.threads, cells.len());
+        let t0 = Instant::now();
+        let results = par_map_indexed(cells.len(), threads, |i| self.eval_cell(cfg, cells[i]));
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        BatchReport {
+            cells: results,
+            cache: self.cache_report(),
+            timing: TimingReport {
+                threads,
+                wall_ns,
+                parse_ns: self.parse_ns.load(Ordering::Relaxed),
+                slms_ns: self.slms_ns.load(Ordering::Relaxed),
+                lower_ns: self.lower_ns.load(Ordering::Relaxed),
+                compile_ns: self.compile_ns.load(Ordering::Relaxed),
+                sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    fn eval_cell(&self, cfg: &BatchConfig, cell: MatrixCell) -> CellResult {
+        let w = &cfg.workloads[cell.workload];
+        let m = &cfg.machines[cell.machine];
+        let kind = cfg.compilers[cell.compiler];
+        let id = CellId {
+            workload: w.name.to_string(),
+            suite: w.suite.to_string(),
+            machine: m.name.clone(),
+            compiler: kind.label(),
+            variant: cell.variant.label(),
+        };
+
+        // 1. parse (cached per source text)
+        let src_fp = slc_analysis::fingerprint_str(w.source);
+        let parsed = self.parse.get_or_compute(src_fp, || {
+            timed(&self.parse_ns, || {
+                parse_program(w.source)
+                    .map(|p| {
+                        let fp = slc_analysis::program_fingerprint(&p);
+                        (p, fp)
+                    })
+                    .map_err(|e| e.to_string())
+            })
+        });
+        let (orig_prog, orig_fp) = match parsed.as_ref() {
+            Ok(x) => x,
+            Err(e) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("parse: {e}")),
+                }
+            }
+        };
+
+        // 2. SLMS (cached per program × config, shared across machines and
+        //    personalities)
+        let slms_art: Option<Arc<SlmsArtifact>> = match cell.variant {
+            Variant::Original => None,
+            Variant::Slms => {
+                let key = slms_cache_key(*orig_fp, &cfg.slms);
+                Some(self.slms.get_or_compute(key, || {
+                    timed(&self.slms_ns, || {
+                        let (p, outcomes) = slms_program(orig_prog, &cfg.slms);
+                        let fp = slc_analysis::program_fingerprint(&p);
+                        (p, outcomes, fp)
+                    })
+                }))
+            }
+        };
+        let (prog, prog_fp, transformed, slms_ii) = match slms_art.as_deref() {
+            None => (orig_prog, *orig_fp, false, None),
+            Some((p, outcomes, fp)) => (
+                p,
+                *fp,
+                outcomes.iter().any(|o| o.result.is_ok()),
+                outcomes
+                    .iter()
+                    .find_map(|o| o.result.as_ref().ok().map(|r| r.ii)),
+            ),
+        };
+
+        // 3. schedule (cached per program × machine × personality; lowering
+        //    cached separately because it is machine-independent)
+        let compile_key =
+            slc_analysis::fingerprint::combine(&[prog_fp, m.fingerprint(), kind.code()]);
+        let compiled = self.compile.get_or_compute(compile_key, || {
+            let lir = self
+                .lir
+                .get_or_compute(prog_fp, || timed(&self.lower_ns, || lower_program(prog)));
+            match lir.as_ref() {
+                Ok(l) => Ok(timed(&self.compile_ns, || compile_lir(l, m, kind))),
+                Err(e) => Err(e.clone()),
+            }
+        });
+        let comp = match compiled.as_ref() {
+            Ok(c) => c,
+            Err(e) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("lower: {e}")),
+                }
+            }
+        };
+
+        // 4. simulate (cached under the same key as the schedule)
+        let sim = self.sim.get_or_compute(compile_key, || {
+            timed(&self.sim_ns, || simulate(&comp.compiled, m))
+        });
+        let power = EnergyModel::default().report(&sim);
+
+        CellResult {
+            id,
+            outcome: Ok(CellMetrics {
+                cycles: sim.cycles,
+                ops: sim.total_ops(),
+                l1_hits: sim.cache.hits,
+                l1_misses: sim.cache.misses,
+                spill_accesses: sim.spill_accesses,
+                energy: power.energy,
+                transformed,
+                slms_ii,
+                loops: comp.loops.clone(),
+            }),
+        }
+    }
+}
+
+/// One-shot convenience: fresh engine, one run.
+pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
+    BatchEngine::new().run(cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_sim::presets::itanium2;
+    use slc_workloads::Suite;
+
+    fn tiny_cfg() -> BatchConfig {
+        BatchConfig {
+            workloads: slc_workloads::paper_examples(),
+            machines: vec![itanium2()],
+            compilers: vec![CompilerKind::Optimizing],
+            slms: SlmsConfig::default(),
+            threads: Some(2),
+        }
+    }
+
+    #[test]
+    fn report_in_matrix_order_and_complete() {
+        let cfg = tiny_cfg();
+        let rep = run_batch(&cfg);
+        assert_eq!(rep.cells.len(), cfg.n_cells());
+        assert_eq!(rep.failed(), 0);
+        for (k, cell) in rep.cells.iter().enumerate() {
+            let w = &cfg.workloads[k / 2];
+            assert_eq!(cell.id.workload, w.name);
+            assert_eq!(cell.id.variant, if k % 2 == 0 { "orig" } else { "slms" });
+        }
+    }
+
+    #[test]
+    fn first_run_already_shares_artifacts() {
+        // two machines × two personalities share SLMS and LIR artifacts
+        let cfg = BatchConfig {
+            machines: vec![itanium2(), slc_sim::presets::power4()],
+            compilers: vec![CompilerKind::Weak, CompilerKind::Optimizing],
+            ..tiny_cfg()
+        };
+        let rep = run_batch(&cfg);
+        assert!(rep.cache.slms.hits > 0, "{:?}", rep.cache);
+        assert!(rep.cache.lir.hits > 0, "{:?}", rep.cache);
+    }
+
+    #[test]
+    fn second_run_hits_cache() {
+        let engine = BatchEngine::new();
+        let cfg = tiny_cfg();
+        let first = engine.run(&cfg);
+        let misses_after_first = engine.cache_report().compile.misses;
+        let second = engine.run(&cfg);
+        // no new computations in the second run
+        assert_eq!(engine.cache_report().compile.misses, misses_after_first);
+        assert!(second.cache.compile.hits > first.cache.compile.hits);
+        assert!(second.cache.overall_hit_rate() > 0.0);
+        // and the canonical cells are identical
+        for (a, b) in first.cells.iter().zip(&second.cells) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.outcome.as_ref().map(|m| m.cycles).ok(),
+                b.outcome.as_ref().map(|m| m.cycles).ok()
+            );
+        }
+    }
+
+    #[test]
+    fn degraded_cell_does_not_poison_batch() {
+        let mut cfg = tiny_cfg();
+        cfg.workloads.push(Workload {
+            name: "bad_while",
+            suite: Suite::Paper,
+            source: "float a[8]; int i; i = 0; while (i < 4) { a[i] = 1.0; i = i + 1; }",
+        });
+        let rep = run_batch(&cfg);
+        let bad: Vec<_> = rep
+            .cells
+            .iter()
+            .filter(|c| c.id.workload == "bad_while")
+            .collect();
+        assert_eq!(bad.len(), 2);
+        for c in bad {
+            let err = c.outcome.as_ref().unwrap_err();
+            assert!(err.starts_with("lower:"), "{err}");
+        }
+        assert_eq!(rep.failed(), 2);
+        assert_eq!(rep.completed(), rep.cells.len() - 2);
+    }
+}

@@ -1,0 +1,173 @@
+//! Content-hash-keyed memoization of expensive compilation artifacts.
+//!
+//! The batch engine evaluates a large experiment matrix in which many
+//! cells share work: the SLMS transformation of a workload is identical
+//! for every machine and personality, the lowered LIR is identical for
+//! every machine, and a (program, machine, personality) schedule is
+//! identical for both the figure harness and the CLI. Each such artifact
+//! is cached once under a stable content fingerprint
+//! (see `slc_analysis::fingerprint`).
+//!
+//! **Determinism invariant.** Each key is computed *exactly once*: the
+//! first thread to claim a key holds a per-slot lock while computing, and
+//! every other thread blocks on that slot and then records a hit. Total
+//! misses therefore equal the number of distinct keys ever requested and
+//! total lookups equal hits + misses — both independent of thread count
+//! and scheduling, which is what lets cache statistics appear in the
+//! byte-identical batch report.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/entry counters of one store, snapshot for reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// lookups answered from the map
+    pub hits: u64,
+    /// lookups that had to compute (== distinct keys)
+    pub misses: u64,
+}
+
+impl StoreStats {
+    /// Fraction of lookups answered from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Slot<V> = Arc<Mutex<Option<Arc<V>>>>;
+
+/// One memoization map: `u64` fingerprint → shared artifact.
+pub struct KeyedStore<V> {
+    map: Mutex<HashMap<u64, Slot<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> Default for KeyedStore<V> {
+    fn default() -> Self {
+        KeyedStore {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<V> KeyedStore<V> {
+    /// Return the artifact for `key`, computing it with `compute` on the
+    /// first request. Concurrent requests for the same key block until the
+    /// first computation finishes and then share its result; `compute`
+    /// runs exactly once per key.
+    pub fn get_or_compute<F: FnOnce() -> V>(&self, key: u64, compute: F) -> Arc<V> {
+        let slot = {
+            let mut map = self.map.lock().expect("cache map poisoned");
+            map.entry(key).or_default().clone()
+        };
+        // the global map lock is released; only this key's slot is held
+        let mut guard = slot.lock().expect("cache slot poisoned");
+        if let Some(v) = guard.as_ref() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = Arc::new(compute());
+        *guard = Some(v.clone());
+        v
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cache statistics of every artifact kind, in report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheReport {
+    /// source text → parsed program
+    pub parse: StoreStats,
+    /// (program, SLMS config) → transformed program + outcomes
+    pub slms: StoreStats,
+    /// program → lowered LIR (machine-independent)
+    pub lir: StoreStats,
+    /// (program, machine, personality) → schedules + compile facts
+    pub compile: StoreStats,
+    /// (program, machine, personality) → simulation result
+    pub sim: StoreStats,
+}
+
+impl CacheReport {
+    /// Aggregate hit rate across all stores.
+    pub fn overall_hit_rate(&self) -> f64 {
+        let (mut h, mut m) = (0u64, 0u64);
+        for s in [self.parse, self.slms, self.lir, self.compile, self.sim] {
+            h += s.hits;
+            m += s.misses;
+        }
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_per_key() {
+        let store: KeyedStore<u64> = KeyedStore::default();
+        let calls = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let v = store.get_or_compute(42, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                7
+            });
+            assert_eq!(*v, 7);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses), (9, 1));
+        assert!(s.hit_rate() > 0.89 && s.hit_rate() < 0.91);
+    }
+
+    #[test]
+    fn concurrent_misses_are_deterministic() {
+        let store: Arc<KeyedStore<usize>> = Arc::new(KeyedStore::default());
+        let calls = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let calls = calls.clone();
+                s.spawn(move || {
+                    for k in 0..50u64 {
+                        let v = store.get_or_compute(k % 5, || {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            (k % 5) as usize
+                        });
+                        assert_eq!(*v, (k % 5) as usize);
+                    }
+                });
+            }
+        });
+        // 5 distinct keys → exactly 5 computations and 5 misses,
+        // regardless of interleaving
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+        let s = store.stats();
+        assert_eq!(s.misses, 5);
+        assert_eq!(s.hits, 8 * 50 - 5);
+    }
+}

@@ -13,7 +13,7 @@
 //! machine's architected register count.
 
 use slc_ast::Program;
-use slc_machine::ir::{Bundle, Lir, LirLoop, Op};
+use slc_machine::ir::{Bundle, Lir, LirLoop, LirProgram, Op};
 use slc_machine::lower::{lower_program, LowerError};
 use slc_machine::mach::MachineDesc;
 use slc_machine::{list_schedule, max_pressure, modulo_schedule, spills};
@@ -75,12 +75,7 @@ fn is_innermost(l: &LirLoop) -> bool {
     l.body.iter().all(|it| matches!(it, Lir::Block(_)))
 }
 
-fn build_loop(
-    l: &LirLoop,
-    m: &MachineDesc,
-    kind: CompilerKind,
-    infos: &mut Vec<LoopInfo>,
-) -> Seg {
+fn build_loop(l: &LirLoop, m: &MachineDesc, kind: CompilerKind, infos: &mut Vec<LoopInfo>) -> Seg {
     let arch_regs = m.int_regs + m.fp_regs;
     if is_innermost(l) {
         // innermost: single block body (lowering guarantees one block)
@@ -171,6 +166,15 @@ pub fn compile(
     kind: CompilerKind,
 ) -> Result<CompileResult, LowerError> {
     let lir = lower_program(prog)?;
+    Ok(compile_lir(&lir, m, kind))
+}
+
+/// Schedule an already-lowered program for a machine with one of the
+/// personalities. Lowering is machine-independent, so the batch engine
+/// caches the [`LirProgram`] once per source program and calls this for
+/// every (machine, personality) cell; `compile` is the lower-then-schedule
+/// composition.
+pub fn compile_lir(lir: &LirProgram, m: &MachineDesc, kind: CompilerKind) -> CompileResult {
     let mut infos = Vec::new();
     let segs = lir
         .items
@@ -180,13 +184,13 @@ pub fn compile(
             Lir::Loop(l) => build_loop(l, m, kind, &mut infos),
         })
         .collect();
-    Ok(CompileResult {
+    CompileResult {
         compiled: CompiledProgram {
             segs,
-            arrays: lir.arrays,
+            arrays: lir.arrays.clone(),
         },
         loops: infos,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -201,7 +205,8 @@ mod tests {
 
     #[test]
     fn weak_emits_one_op_per_bundle() {
-        let p = prog("float A[16]; float B[16]; int i; for (i = 0; i < 16; i++) A[i] = B[i] * 2.0;");
+        let p =
+            prog("float A[16]; float B[16]; int i; for (i = 0; i < 16; i++) A[i] = B[i] * 2.0;");
         let m = itanium2();
         let r = compile(&p, &m, CompilerKind::Weak).unwrap();
         assert_eq!(r.loops.len(), 1);
@@ -256,10 +261,9 @@ mod more_tests {
     fn ims_falls_back_on_tight_recurrence() {
         // first-order recurrence with FP latency: IMS's II ≥ latency chain
         // exceeds the list schedule → profitability gate keeps list code
-        let p = parse_program(
-            "float A[64]; int i; for (i = 1; i < 60; i++) A[i] = A[i - 1] * 0.5;",
-        )
-        .unwrap();
+        let p =
+            parse_program("float A[64]; int i; for (i = 1; i < 60; i++) A[i] = A[i - 1] * 0.5;")
+                .unwrap();
         let m = itanium2();
         let r = compile(&p, &m, CompilerKind::OptimizingMs).unwrap();
         assert!(!r.loops[0].ms_applied, "{:?}", r.loops[0]);

@@ -110,18 +110,84 @@ pub fn measure_workload(
     })
 }
 
-/// Run a whole suite; failures to lower (none expected in the shipped
-/// workloads) surface as errors.
+/// Run a whole suite through the batch engine (cells evaluated
+/// concurrently, shared artifacts memoized); failures to lower (none
+/// expected in the shipped workloads) panic, as the serial path did. The
+/// rows are bit-identical to mapping [`measure_workload`] over the suite —
+/// `tests/batch_differential.rs` holds the engine to that.
 pub fn measure_suite(
     ws: &[Workload],
     m: &MachineDesc,
     kind: CompilerKind,
     slms_cfg: &SlmsConfig,
 ) -> Vec<LoopRow> {
+    measure_suite_on(&crate::batch::BatchEngine::new(), ws, m, kind, slms_cfg)
+}
+
+/// [`measure_suite`] against a caller-owned engine, so several suites (the
+/// figure harness runs a dozen overlapping ones) share one artifact cache.
+pub fn measure_suite_on(
+    engine: &crate::batch::BatchEngine,
+    ws: &[Workload],
+    m: &MachineDesc,
+    kind: CompilerKind,
+    slms_cfg: &SlmsConfig,
+) -> Vec<LoopRow> {
+    let cfg = crate::batch::BatchConfig {
+        workloads: ws.to_vec(),
+        machines: vec![m.clone()],
+        compilers: vec![kind],
+        slms: slms_cfg.clone(),
+        threads: None,
+    };
+    let report = engine.run(&cfg);
+    rows_from_report(ws, &report)
+}
+
+/// Pair up the `orig`/`slms` cells of a single-machine single-personality
+/// batch report into figure rows.
+pub(crate) fn rows_from_report(
+    ws: &[Workload],
+    report: &crate::batch::BatchReport,
+) -> Vec<LoopRow> {
+    assert_eq!(
+        report.cells.len(),
+        2 * ws.len(),
+        "one machine × one personality"
+    );
     ws.iter()
-        .map(|w| {
-            measure_workload(w, m, kind, slms_cfg)
-                .unwrap_or_else(|e| panic!("workload {} failed to lower: {e}", w.name))
+        .enumerate()
+        .map(|(i, w)| {
+            let metrics = |cell: &crate::batch::CellResult| {
+                cell.outcome
+                    .clone()
+                    .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name))
+            };
+            let base = metrics(&report.cells[2 * i]);
+            let after = metrics(&report.cells[2 * i + 1]);
+            let pick = |loops: &[crate::compile::LoopInfo]| {
+                loops
+                    .iter()
+                    .max_by_key(|l| l.trips)
+                    .map(|l| (l.bundles_per_iter, l.ms_applied))
+                    .unwrap_or((0, false))
+            };
+            let (base_bundles, base_ms) = pick(&base.loops);
+            let (slms_bundles, slms_ms) = pick(&after.loops);
+            LoopRow {
+                name: w.name,
+                suite: w.suite.to_string(),
+                base_cycles: base.cycles,
+                slms_cycles: after.cycles,
+                speedup: base.cycles as f64 / after.cycles.max(1) as f64,
+                power_ratio: base.energy / after.energy.max(1e-12),
+                transformed: after.transformed,
+                slms_ii: after.slms_ii,
+                base_ms,
+                slms_ms,
+                base_bundles,
+                slms_bundles,
+            }
         })
         .collect()
 }
@@ -214,13 +280,8 @@ mod tests {
             .into_iter()
             .find(|w| w.name == "intro_dot")
             .unwrap();
-        let row = measure_workload(
-            &w,
-            &itanium2(),
-            CompilerKind::Weak,
-            &SlmsConfig::default(),
-        )
-        .unwrap();
+        let row =
+            measure_workload(&w, &itanium2(), CompilerKind::Weak, &SlmsConfig::default()).unwrap();
         assert!(row.transformed);
         assert!(
             row.speedup > 1.0,

@@ -12,12 +12,26 @@
 //! ```
 //!
 //! [`fn@compile`] builds simulatable programs; [`experiments`] produces the
-//! per-loop speedup rows behind each figure of §9.
+//! per-loop speedup rows behind each figure of §9; [`batch`] evaluates the
+//! whole workload × machine × personality matrix concurrently with
+//! memoization of every shared artifact.
 
+pub mod batch;
+pub mod cache;
 pub mod compile;
 pub mod experiments;
+pub mod json;
+pub mod par;
 
-pub use compile::{compile, CompileResult, CompilerKind, LoopInfo};
-pub use experiments::{
-    format_rows, measure_gap, measure_suite, measure_workload, run, GapRow, LoopRow, Metrics,
+pub use batch::{
+    run_batch, BatchConfig, BatchEngine, BatchReport, CellId, CellMetrics, CellResult,
+    TimingReport, REPORT_SCHEMA,
 };
+pub use cache::{CacheReport, KeyedStore, StoreStats};
+pub use compile::{compile, compile_lir, CompileResult, CompilerKind, LoopInfo};
+pub use experiments::{
+    format_rows, measure_gap, measure_suite, measure_suite_on, measure_workload, run, GapRow,
+    LoopRow, Metrics,
+};
+pub use json::Json;
+pub use par::{effective_threads, par_map_indexed};

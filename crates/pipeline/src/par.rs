@@ -1,0 +1,89 @@
+//! Minimal data-parallel executor for the batch engine.
+//!
+//! The environment this workspace builds in has no registry access, so
+//! `rayon` is unavailable; this module provides the one primitive the
+//! engine needs — an ordered parallel map over an index range — on plain
+//! `std::thread::scope` with an atomic work queue. Results are returned in
+//! index order, so the output is independent of how work interleaves
+//! across threads.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Resolve a requested thread count: `None` means "all available cores",
+/// and the result is always clamped to `[1, n_items]`.
+pub fn effective_threads(requested: Option<usize>, n_items: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    requested.unwrap_or(hw).clamp(1, n_items.max(1))
+}
+
+/// Apply `f` to every index in `0..n` using up to `threads` worker
+/// threads, returning results in index order. With `threads == 1` the map
+/// runs on the caller's thread; the output is identical either way as long
+/// as `f` is a pure function of its index.
+pub fn par_map_indexed<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, U)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                // receiver outlives all senders inside the scope
+                let _ = tx.send((i, f(i)));
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+        for (i, u) in rx {
+            out[i] = Some(u);
+        }
+        out.into_iter()
+            .map(|o| o.expect("worker delivered every index"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_and_complete() {
+        let out = par_map_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_equals_parallel() {
+        let serial = par_map_indexed(57, 1, |i| i as u64 * 3 + 1);
+        let parallel = par_map_indexed(57, 7, |i| i as u64 * 3 + 1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_oversubscribed() {
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(par_map_indexed(2, 64, |i| i), vec![0, 1]);
+        assert_eq!(effective_threads(Some(0), 10), 1);
+        assert_eq!(effective_threads(Some(99), 3), 3);
+    }
+}

@@ -110,11 +110,7 @@ impl Env {
         }
     }
 
-    fn linear_index(
-        &self,
-        name: &str,
-        idx: &[i64],
-    ) -> Result<usize, RuntimeError> {
+    fn linear_index(&self, name: &str, idx: &[i64]) -> Result<usize, RuntimeError> {
         let dims = self
             .dims
             .get(name)
@@ -594,11 +590,7 @@ pub fn equivalent(
         for d in &reference.decls {
             if d.is_array() {
                 let (a, b) = (&e1.arrays[&d.name], &e2.arrays[&d.name]);
-                if let Some(k) = a
-                    .iter()
-                    .zip(b.iter())
-                    .position(|(x, y)| !x.bit_eq(*y))
-                {
+                if let Some(k) = a.iter().zip(b.iter()).position(|(x, y)| !x.bit_eq(*y)) {
                     return Err(Mismatch::Differs {
                         name: format!("{}[{k}]", d.name),
                         left: format!("{:?}", a[k]),
@@ -659,10 +651,7 @@ mod tests {
 
     #[test]
     fn while_loop() {
-        let p = parse_program(
-            "int i; int n; n = 10; while (i < n) i += 3;",
-        )
-        .unwrap();
+        let p = parse_program("int i; int n; n = 10; while (i < n) i += 3;").unwrap();
         let env = run_program(&p).unwrap();
         assert_eq!(env.scalars["i"], Value::I(12));
     }
@@ -754,10 +743,7 @@ mod tests {
 
     #[test]
     fn downward_loop() {
-        let p = parse_program(
-            "float A[10]; int i; for (i = 9; i >= 0; i--) A[i] = i;",
-        )
-        .unwrap();
+        let p = parse_program("float A[10]; int i; for (i = 9; i >= 0; i--) A[i] = i;").unwrap();
         let env = run_program(&p).unwrap();
         assert_eq!(env.arrays["A"][9], Value::F(9.0));
         assert_eq!(env.scalars["i"], Value::I(-1));

@@ -185,11 +185,7 @@ impl SimState<'_> {
                 // ahead of the loop's nominal index
                 if op.iter_offset != 0 {
                     if let Some((var, c)) = l.terms.iter().next() {
-                        let step = self
-                            .env
-                            .get(&format!("__step_{var}"))
-                            .copied()
-                            .unwrap_or(1);
+                        let step = self.env.get(&format!("__step_{var}")).copied().unwrap_or(1);
                         v += c * op.iter_offset * step;
                     }
                 }
@@ -206,7 +202,9 @@ impl SimState<'_> {
 
     /// Charge a memory access; returns extra latency (0 on hit).
     fn mem_access(&mut self, op: &Op) -> u64 {
-        let Some(addr) = self.addr_of(op) else { return 0 };
+        let Some(addr) = self.addr_of(op) else {
+            return 0;
+        };
         if self.cache.access(addr) {
             0
         } else {
@@ -286,10 +284,7 @@ impl SimState<'_> {
         // has no FPU): the emulation routine blocks the pipeline for its
         // full latency instead of overlapping.
         let fp_blocking = self.m.issue_width == 1
-            && matches!(
-                op.class(),
-                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
-            );
+            && matches!(op.class(), OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv);
         if fp_blocking {
             stall = stall.max(lat);
         }
@@ -326,8 +321,7 @@ impl SimState<'_> {
                 // the machine's spill penalty, spread over the memory ports.
                 let spill_cycles = if l.extra_mem_per_iter > 0 {
                     let units = self.m.units_of(OpClass::Mem).max(1) as u64;
-                    let cost =
-                        l.extra_mem_per_iter as u64 * (1 + self.m.spill_penalty as u64);
+                    let cost = l.extra_mem_per_iter as u64 * (1 + self.m.spill_penalty as u64);
                     cost.div_ceil(units)
                 } else {
                     0

@@ -16,7 +16,9 @@ use slc_ast::{ForLoop, Stmt};
 /// cover the §6 use cases.
 pub fn fuse(a: &Stmt, b: &Stmt) -> Result<Stmt, TransformError> {
     let (Stmt::For(fa), Stmt::For(fb)) = (a, b) else {
-        return Err(TransformError::ShapeMismatch("both must be for loops".into()));
+        return Err(TransformError::ShapeMismatch(
+            "both must be for loops".into(),
+        ));
     };
     if !same_header(fa, fb) {
         return Err(TransformError::HeaderMismatch);
@@ -83,11 +85,12 @@ mod tests {
 
     #[test]
     fn fuse_rejects_different_bounds() {
-        let s = parse_stmts(
-            "for (i = 1; i < 9; i++) x = 1; for (i = 1; i < 8; i++) y = 2;",
-        )
-        .unwrap();
-        assert_eq!(fuse(&s[0], &s[1]).unwrap_err(), TransformError::HeaderMismatch);
+        let s =
+            parse_stmts("for (i = 1; i < 9; i++) x = 1; for (i = 1; i < 8; i++) y = 2;").unwrap();
+        assert_eq!(
+            fuse(&s[0], &s[1]).unwrap_err(),
+            TransformError::HeaderMismatch
+        );
     }
 
     #[test]

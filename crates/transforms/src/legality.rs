@@ -103,12 +103,7 @@ enum DimSol {
     Unknown,
 }
 
-fn dim_sol(
-    a: &slc_ast::Expr,
-    b: &slc_ast::Expr,
-    outer: (&str, i64),
-    inner: (&str, i64),
-) -> DimSol {
+fn dim_sol(a: &slc_ast::Expr, b: &slc_ast::Expr, outer: (&str, i64), inner: (&str, i64)) -> DimSol {
     let (Some(la), Some(lb)) = (linearize(a), linearize(b)) else {
         return DimSol::Unknown;
     };
@@ -156,12 +151,7 @@ fn dim_sol(
 
 /// Check the direction-vector condition for one access pair. Returns true
 /// when a `(<, >)` direction (after normalization) cannot be ruled out.
-fn pair_blocks(
-    x: &ArrayAccess,
-    y: &ArrayAccess,
-    outer: (&str, i64),
-    inner: (&str, i64),
-) -> bool {
+fn pair_blocks(x: &ArrayAccess, y: &ArrayAccess, outer: (&str, i64), inner: (&str, i64)) -> bool {
     if x.array != y.array || (!x.write && !y.write) {
         return false;
     }
@@ -305,9 +295,8 @@ mod tests {
 
     #[test]
     fn accumulator_blocks() {
-        let v = legality(
-            "for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { s = s + a[j][i]; } }",
-        );
+        let v =
+            legality("for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { s = s + a[j][i]; } }");
         assert!(matches!(v, InterchangeLegality::Illegal(_)));
     }
 
@@ -326,10 +315,9 @@ mod tests {
         )
         .unwrap();
         assert!(interchange_checked(&s[0]).is_err());
-        let s = parse_stmts(
-            "for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { a[i][j] = 0.0; } }",
-        )
-        .unwrap();
+        let s =
+            parse_stmts("for (j = 0; j < 8; j++) { for (i = 0; i < 8; i++) { a[i][j] = 0.0; } }")
+                .unwrap();
         assert!(interchange_checked(&s[0]).is_ok());
     }
 }

@@ -110,8 +110,12 @@ mod tests {
         let out = normalize(&mut prog, &s[0], "k").unwrap();
         let src = stmts_to_source(&out);
         assert!(src.contains("k1 < 10"), "got {src}");
-        assert!(src.contains("A[k1 * -2 + 30]") || src.contains("A[30 - k1 * 2]")
-            || src.contains("A[k1 * (-2) + 30]"), "got {src}");
+        assert!(
+            src.contains("A[k1 * -2 + 30]")
+                || src.contains("A[30 - k1 * 2]")
+                || src.contains("A[k1 * (-2) + 30]"),
+            "got {src}"
+        );
     }
 
     #[test]

@@ -53,11 +53,7 @@ pub fn unroll(s: &Stmt, factor: i64) -> Result<Vec<Stmt>, TransformError> {
     for j in passes * factor..trip {
         for st in &f.body {
             let mut stc = st.clone();
-            slc_ast::visit::substitute_scalar(
-                &mut stc,
-                &f.var,
-                &Expr::Int(init + j * s_step),
-            );
+            slc_ast::visit::substitute_scalar(&mut stc, &f.var, &Expr::Int(init + j * s_step));
             slc_ast::visit::map_exprs(&mut stc, &mut slc_ast::visit::simplify);
             out.push(stc);
         }

@@ -498,6 +498,77 @@ pub fn paper_examples() -> Vec<Workload> {
     ]
 }
 
+/// Which side of the paper's original-vs-SLMS comparison a matrix cell
+/// measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// the loop as written
+    Original,
+    /// after Source Level Modulo Scheduling
+    Slms,
+}
+
+impl Variant {
+    /// Both variants, in canonical report order.
+    pub const ALL: [Variant; 2] = [Variant::Original, Variant::Slms];
+
+    /// Short label used in reports (`orig` / `slms`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Original => "orig",
+            Variant::Slms => "slms",
+        }
+    }
+}
+
+impl std::fmt::Display for Variant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One cell of the experiment matrix, as indices into the axis vectors
+/// (workload × machine × compiler personality × variant). Index-based so
+/// this crate does not need to know machine or compiler types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixCell {
+    /// index into the workload axis
+    pub workload: usize,
+    /// index into the machine axis
+    pub machine: usize,
+    /// index into the compiler-personality axis
+    pub compiler: usize,
+    /// original or SLMS'd source
+    pub variant: Variant,
+}
+
+/// Enumerate the full cross product in canonical (deterministic) order:
+/// workload-major, then machine, then compiler, with the original/SLMS
+/// pair adjacent. The order is part of the batch report contract — cells
+/// appear in the JSON exactly in this order regardless of thread count.
+pub fn enumerate_matrix(
+    n_workloads: usize,
+    n_machines: usize,
+    n_compilers: usize,
+) -> Vec<MatrixCell> {
+    let mut cells = Vec::with_capacity(n_workloads * n_machines * n_compilers * 2);
+    for w in 0..n_workloads {
+        for m in 0..n_machines {
+            for c in 0..n_compilers {
+                for v in Variant::ALL {
+                    cells.push(MatrixCell {
+                        workload: w,
+                        machine: m,
+                        compiler: c,
+                        variant: v,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
 /// Every workload.
 pub fn all() -> Vec<Workload> {
     let mut v = livermore();
@@ -520,7 +591,11 @@ mod tests {
     #[test]
     fn all_sources_parse() {
         let ws = all();
-        assert!(ws.len() >= 30, "expected a substantial suite, got {}", ws.len());
+        assert!(
+            ws.len() >= 30,
+            "expected a substantial suite, got {}",
+            ws.len()
+        );
         for w in &ws {
             let p = w.program();
             assert!(!p.stmts.is_empty(), "{} has no statements", w.name);
@@ -547,6 +622,25 @@ mod tests {
         ] {
             assert!(by_suite(s).len() >= 5, "suite {s} too small");
         }
+    }
+
+    #[test]
+    fn matrix_order_is_canonical() {
+        let cells = enumerate_matrix(2, 2, 1);
+        assert_eq!(cells.len(), 8);
+        // workload-major, orig/slms adjacent
+        assert_eq!(
+            (cells[0].workload, cells[0].machine, cells[0].variant),
+            (0, 0, Variant::Original)
+        );
+        assert_eq!(
+            (cells[1].workload, cells[1].machine, cells[1].variant),
+            (0, 0, Variant::Slms)
+        );
+        assert_eq!((cells[2].workload, cells[2].machine), (0, 1));
+        assert_eq!(cells[4].workload, 1);
+        // enumeration is deterministic
+        assert_eq!(cells, enumerate_matrix(2, 2, 1));
     }
 
     #[test]

@@ -1,9 +1,19 @@
 //! Regenerate every figure/table of the paper and print the full report.
 //!
 //! ```bash
-//! cargo run --release --example figures
+//! cargo run --release --example figures            # figure tables (stdout)
+//! cargo run --release --example figures -- --batch # + full-matrix batch run,
+//!                                                  #   writes BENCH_batch.json
 //! ```
 
 fn main() {
     println!("{}", slc_bench::harness::full_report());
+
+    if std::env::args().any(|a| a == "--batch") {
+        let cfg = slc::pipeline::BatchConfig::full_matrix();
+        let report = slc::pipeline::run_batch(&cfg);
+        eprintln!("batch: {}", report.summary());
+        std::fs::write("BENCH_batch.json", report.to_json()).expect("write BENCH_batch.json");
+        eprintln!("batch: wrote BENCH_batch.json");
+    }
 }

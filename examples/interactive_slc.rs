@@ -101,5 +101,8 @@ fn main() {
             ..SlmsConfig::default()
         },
     );
-    println!("\n── SLC output for v2 (paper notation) ──\n{}", to_paper_style(&out));
+    println!(
+        "\n── SLC output for v2 (paper notation) ──\n{}",
+        to_paper_style(&out)
+    );
 }

@@ -7,9 +7,9 @@
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, Program};
+use slc::sim::astinterp::equivalent;
 use slc::slms::extensions::unroll_while;
 use slc::slms::{slms_program, Expansion, SlmsConfig};
-use slc::sim::astinterp::equivalent;
 use slc::transforms::{fuse, interchange};
 
 fn cfg(expansion: Expansion) -> SlmsConfig {
@@ -67,8 +67,15 @@ fn main() {
     )
     .unwrap();
     let (out, oc) = slms_program(&p, &cfg(Expansion::Mve));
-    println!("fig 7: renamed {:?}", oc[0].result.as_ref().unwrap().renamed);
-    show("Fig 7 — MVE on two loop variants (reg1/reg2, scal1/scal2)", &p, &out);
+    println!(
+        "fig 7: renamed {:?}",
+        oc[0].result.as_ref().unwrap().renamed
+    );
+    show(
+        "Fig 7 — MVE on two loop variants (reg1/reg2, scal1/scal2)",
+        &p,
+        &out,
+    );
 
     // §5 max loop with if-conversion.
     let p = parse_program(
@@ -94,7 +101,11 @@ fn main() {
         "§6 interchange: inner loop now SLMS-able: {}",
         oc.iter().any(|o| o.result.is_ok())
     );
-    show("§6 — loop interchange, then SLMS on the new inner loop", &p, &out);
+    show(
+        "§6 — loop interchange, then SLMS on the new inner loop",
+        &p,
+        &out,
+    );
 
     // §6 fusion then SLMS (the II = 3 example).
     let p = parse_program(

@@ -5,9 +5,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use slc::slms::{slms_program, SlmsConfig};
 use slc::ast::{parse_program, to_paper_style, to_source};
 use slc::sim::astinterp::equivalent;
+use slc::slms::{slms_program, SlmsConfig};
 
 fn main() {
     // The paper's introductory example: a dot product whose two statements
@@ -36,7 +36,10 @@ for (i = 0; i < 1000; i++) {
     }
 
     // Paper-style rendering: kernel rows joined with `||`.
-    println!("\n== after SLMS (paper notation) ==\n{}", to_paper_style(&optimized));
+    println!(
+        "\n== after SLMS (paper notation) ==\n{}",
+        to_paper_style(&optimized)
+    );
 
     // The transformation is observationally identity — verify it.
     match equivalent(&prog, &optimized, &[1, 2, 3]) {

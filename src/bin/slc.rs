@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! USAGE: slc [OPTIONS] [FILE]          (FILE defaults to stdin)
+//!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!
 //!   --expansion <mve|scalar|off>   how false dependences are removed (mve)
 //!   --no-filter                    disable the §4 memory-ref-ratio filter
@@ -18,6 +19,16 @@
 //!   --compiler <weak|opt|ms>       final-compiler personality (opt)
 //!   --emit-asm                     dump the scheduled innermost-loop bundles
 //!                                  of the optimized program (stderr)
+//!
+//! BATCH OPTIONS (see README.md for the report schema):
+//!   --threads <N>                  worker threads (default: all cores)
+//!   --out <PATH>                   canonical JSON report (BENCH_batch.json;
+//!                                  deterministic — byte-identical across
+//!                                  runs and thread counts)
+//!   --timing <PATH>                wall-clock sidecar JSON (not written
+//!                                  unless requested; not deterministic)
+//!   --repeat <N>                   run the matrix N times on one shared
+//!                                  cache (N>1 demonstrates memoization)
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
@@ -36,6 +47,66 @@ fn usage() -> ! {
     exit(2)
 }
 
+fn batch_usage() -> ! {
+    eprintln!("usage: slc batch [--threads N] [--out PATH] [--timing PATH] [--repeat N]");
+    exit(2)
+}
+
+fn batch_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::pipeline::{BatchConfig, BatchEngine};
+
+    let mut cfg = BatchConfig::full_matrix();
+    let mut out_path = String::from("BENCH_batch.json");
+    let mut timing_path: Option<String> = None;
+    let mut repeat = 1usize;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.threads = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| batch_usage()),
+                )
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
+            "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| batch_usage())
+            }
+            _ => batch_usage(),
+        }
+    }
+
+    let engine = BatchEngine::new();
+    let mut report = engine.run(&cfg);
+    for pass in 1..repeat {
+        eprintln!("slc batch: pass {}: {}", pass, report.summary());
+        report = engine.run(&cfg);
+    }
+    eprintln!("slc batch: {}", report.summary());
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("slc batch: cannot write {out_path}: {e}");
+        exit(1)
+    }
+    eprintln!("slc batch: wrote {out_path}");
+    if let Some(tp) = timing_path {
+        if let Err(e) = std::fs::write(&tp, report.timing_json()) {
+            eprintln!("slc batch: cannot write {tp}: {e}");
+            exit(1)
+        }
+        eprintln!("slc batch: wrote {tp}");
+    }
+    exit(if report.failed() == 0 { 0 } else { 1 })
+}
+
 fn main() {
     let mut cfg = SlmsConfig::default();
     let mut paper_style = false;
@@ -46,7 +117,11 @@ fn main() {
     let mut compiler = CompilerKind::Optimizing;
     let mut file: Option<String> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("batch") {
+        args.next();
+        batch_main(args);
+    }
     while let Some(a) = args.next() {
         match a.as_str() {
             "--expansion" => {

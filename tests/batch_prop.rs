@@ -1,0 +1,106 @@
+//! Property-based testing of the batch engine's memoization: for random
+//! affine loops, a cache hit must return exactly what a cold computation
+//! returns, and the canonical report must not depend on the thread count.
+
+use proptest::prelude::*;
+use slc_core::SlmsConfig;
+use slc_pipeline::{run_batch, BatchConfig, BatchEngine, CompilerKind};
+use slc_workloads::{Suite, Workload};
+
+/// A random but parseable single-loop program. Offsets and constants vary;
+/// the shape is kept simple because the property under test is cache
+/// correctness, not the transformation itself (tests/prop_slms.rs covers
+/// that with a richer generator).
+fn loop_source(arr: usize, off: i64, k: i64, terms: usize, mul: bool) -> String {
+    let op = if mul { "*" } else { "+" };
+    let rhs = (0..terms)
+        .map(|t| {
+            let a = (arr + t) % 3;
+            let o = off + t as i64 - 1;
+            let idx = match o {
+                0 => "i".to_string(),
+                o if o > 0 => format!("i + {o}"),
+                o => format!("i - {}", -o),
+            };
+            format!("A{a}[{idx}]")
+        })
+        .collect::<Vec<_>>()
+        .join(&format!(" {op} "));
+    format!(
+        "float A0[64]; float A1[64]; float A2[64]; int i;\n\
+         for (i = 4; i < 60; i++) A{arr}[i] = {rhs} {op} {k}.0;\n"
+    )
+}
+
+fn workload_from(src: String) -> Workload {
+    Workload {
+        name: "prop_loop",
+        suite: Suite::Paper,
+        source: Box::leak(src.into_boxed_str()),
+    }
+}
+
+fn config_for(w: Workload, threads: usize) -> BatchConfig {
+    BatchConfig {
+        workloads: vec![w],
+        machines: vec![slc_sim::presets::itanium2()],
+        compilers: vec![CompilerKind::Optimizing, CompilerKind::OptimizingMs],
+        slms: SlmsConfig::default(),
+        threads: Some(threads),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// A second run of the same engine answers every cell from the cache,
+    /// and the cached artifacts reproduce the cold results bit-for-bit.
+    #[test]
+    fn cached_hit_equals_cold_miss(
+        arr in 0usize..3,
+        off in -2i64..3,
+        k in 1i64..9,
+        terms in 1usize..4,
+        mul in any::<bool>(),
+    ) {
+        let cfg = config_for(workload_from(loop_source(arr, off, k, terms, mul)), 2);
+        let engine = BatchEngine::new();
+        let cold = engine.run(&cfg);
+        let misses_after_cold = engine.cache_report().compile.misses;
+        let warm = engine.run(&cfg);
+        // every artifact came from the cache the second time
+        prop_assert_eq!(engine.cache_report().compile.misses, misses_after_cold);
+        // a completely fresh engine agrees too (cold == cold)
+        let fresh = run_batch(&cfg);
+        for (a, b) in cold.cells.iter().zip(&warm.cells).chain(cold.cells.iter().zip(&fresh.cells)) {
+            prop_assert_eq!(&a.id, &b.id);
+            match (&a.outcome, &b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.cycles, y.cycles);
+                    prop_assert_eq!(x.ops, y.ops);
+                    prop_assert_eq!(x.energy.to_bits(), y.energy.to_bits());
+                    prop_assert_eq!(&x.loops, &y.loops);
+                    prop_assert_eq!(x.transformed, y.transformed);
+                    prop_assert_eq!(x.slms_ii, y.slms_ii);
+                }
+                (Err(x), Err(y)) => prop_assert_eq!(x, y),
+                _ => prop_assert!(false, "outcome kind changed"),
+            }
+        }
+    }
+
+    /// One worker thread and several produce byte-identical reports.
+    #[test]
+    fn report_json_is_thread_invariant(
+        arr in 0usize..3,
+        off in -2i64..3,
+        k in 1i64..9,
+        terms in 1usize..4,
+        mul in any::<bool>(),
+    ) {
+        let w = workload_from(loop_source(arr, off, k, terms, mul));
+        let serial = run_batch(&config_for(w.clone(), 1)).to_json();
+        let parallel = run_batch(&config_for(w, 4)).to_json();
+        prop_assert_eq!(serial, parallel);
+    }
+}

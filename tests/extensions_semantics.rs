@@ -28,7 +28,10 @@ fn while_unroll_equivalent() {
         stmts.push(out);
         let q = with_stmts(&p, stmts);
         if let Err(m) = equivalent(&p, &q, SEEDS) {
-            panic!("while unroll ×{factor} mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+            panic!(
+                "while unroll ×{factor} mismatch: {m:?}\n{}",
+                slc_ast::to_source(&q)
+            );
         }
     }
 }
@@ -51,7 +54,10 @@ fn while_unroll_linked_list_search_shape() {
     stmts.push(out);
     let q = with_stmts(&p, stmts);
     if let Err(m) = equivalent(&p, &q, SEEDS) {
-        panic!("list search unroll mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+        panic!(
+            "list search unroll mismatch: {m:?}\n{}",
+            slc_ast::to_source(&q)
+        );
     }
 }
 
@@ -87,7 +93,10 @@ fn frequent_path_with_trailing_statements() {
     let out = frequent_path_ms(&mut q, &loop_stmt).unwrap();
     q.stmts = out.stmts;
     if let Err(m) = equivalent(&p, &q, SEEDS) {
-        panic!("frequent-path (trailing) mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+        panic!(
+            "frequent-path (trailing) mismatch: {m:?}\n{}",
+            slc_ast::to_source(&q)
+        );
     }
 }
 
@@ -103,6 +112,9 @@ fn frequent_path_downward_loop() {
     let out = frequent_path_ms(&mut q, &loop_stmt).unwrap();
     q.stmts = out.stmts;
     if let Err(m) = equivalent(&p, &q, SEEDS) {
-        panic!("frequent-path downward mismatch: {m:?}\n{}", slc_ast::to_source(&q));
+        panic!(
+            "frequent-path downward mismatch: {m:?}\n{}",
+            slc_ast::to_source(&q)
+        );
     }
 }

@@ -4,11 +4,11 @@
 //! version, which closes the loop on the entire source→IR path the cycle
 //! simulator relies on.
 
+use slc_ast::{Program, Ty};
 use slc_core::{slms_program, SlmsConfig};
 use slc_machine::lirinterp::{exec_lir, RVal};
 use slc_machine::lower_program;
 use slc_sim::astinterp::{random_env, run_in_env, Value};
-use slc_ast::{Program, Ty};
 use std::collections::HashMap;
 
 /// Run both interpreters from the same random state; compare every declared

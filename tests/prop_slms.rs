@@ -62,8 +62,11 @@ fn rhs_strategy() -> impl Strategy<Value = RhsT> {
 
 fn stmt_strategy() -> impl Strategy<Value = StmtT> {
     prop_oneof![
-        (0usize..3, -2i64..3, rhs_strategy())
-            .prop_map(|(arr, off, rhs)| StmtT::Store { arr, off, rhs }),
+        (0usize..3, -2i64..3, rhs_strategy()).prop_map(|(arr, off, rhs)| StmtT::Store {
+            arr,
+            off,
+            rhs
+        }),
         (0usize..2, rhs_strategy()).prop_map(|(tmp, rhs)| StmtT::Def { tmp, rhs }),
         rhs_strategy().prop_map(|rhs| StmtT::Accum { rhs }),
         (0usize..3, 0usize..3, -2i64..3, -2i64..3, rhs_strategy()).prop_map(

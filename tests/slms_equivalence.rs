@@ -6,9 +6,9 @@
 //! expansion, and any off-by-one in the placement or the drain logic shows
 //! up here as a bit difference.
 
+use slc_ast::parse_program;
 use slc_core::{slms_program, Expansion, SlmsConfig};
 use slc_sim::astinterp::equivalent;
-use slc_ast::parse_program;
 
 const SEEDS: &[u64] = &[1, 7, 42, 1234, 99999];
 
@@ -199,10 +199,7 @@ fn odd_trip_counts_with_mve() {
         let (out, outcomes) = slms_program(&prog, &cfg(Expansion::Mve));
         if outcomes[0].result.is_ok() {
             if let Err(m) = equivalent(&prog, &out, SEEDS) {
-                panic!(
-                    "mismatch at trip {n}: {m:?}\n{}",
-                    slc_ast::to_source(&out)
-                );
+                panic!("mismatch at trip {n}: {m:?}\n{}", slc_ast::to_source(&out));
             }
         }
     }
@@ -246,7 +243,10 @@ fn symbolic_bound_downward() {
     let (out, outcomes) = slms_program(&prog, &cfg(Expansion::Off));
     assert!(outcomes.iter().any(|o| o.result.is_ok()), "{outcomes:?}");
     if let Err(m) = equivalent(&prog, &out, &[11, 22, 33, 44]) {
-        panic!("symbolic downward mismatch: {m:?}\n{}", slc_ast::to_source(&out));
+        panic!(
+            "symbolic downward mismatch: {m:?}\n{}",
+            slc_ast::to_source(&out)
+        );
     }
 }
 
@@ -260,7 +260,10 @@ fn symbolic_bound_with_decomposition() {
     let (out, outcomes) = slms_program(&prog, &cfg(Expansion::Off));
     assert!(outcomes.iter().any(|o| o.result.is_ok()), "{outcomes:?}");
     if let Err(m) = equivalent(&prog, &out, &[9, 18, 27]) {
-        panic!("symbolic+decompose mismatch: {m:?}\n{}", slc_ast::to_source(&out));
+        panic!(
+            "symbolic+decompose mismatch: {m:?}\n{}",
+            slc_ast::to_source(&out)
+        );
     }
 }
 

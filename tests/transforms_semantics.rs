@@ -17,10 +17,7 @@ fn with_stmts(base: &Program, stmts: Vec<Stmt>) -> Program {
 
 fn assert_equiv(a: &Program, b: &Program, what: &str) {
     if let Err(m) = equivalent(a, b, SEEDS) {
-        panic!(
-            "{what} changed semantics: {m:?}\n{}",
-            slc_ast::to_source(b)
-        );
+        panic!("{what} changed semantics: {m:?}\n{}", slc_ast::to_source(b));
     }
 }
 
@@ -118,10 +115,22 @@ fn distribution_preserves_semantics_when_parallel() {
 #[test]
 fn unroll_preserves_semantics() {
     for (src, f) in [
-        ("float a[64]; int i; for (i = 0; i < 60; i++) a[i] = a[i] + 1.0;", 4),
-        ("float a[64]; int i; for (i = 1; i < 60; i++) a[i] = a[i - 1] * 0.5;", 2),
-        ("float a[64]; int i; for (i = 0; i < 59; i += 2) a[i] = i;", 3),
-        ("float a[64]; int i; for (i = 59; i > 3; i--) a[i] = a[i] + 2.0;", 5),
+        (
+            "float a[64]; int i; for (i = 0; i < 60; i++) a[i] = a[i] + 1.0;",
+            4,
+        ),
+        (
+            "float a[64]; int i; for (i = 1; i < 60; i++) a[i] = a[i - 1] * 0.5;",
+            2,
+        ),
+        (
+            "float a[64]; int i; for (i = 0; i < 59; i += 2) a[i] = i;",
+            3,
+        ),
+        (
+            "float a[64]; int i; for (i = 59; i > 3; i--) a[i] = a[i] + 2.0;",
+            5,
+        ),
     ] {
         let p = parse_program(src).unwrap();
         let out = unroll(&p.stmts[0], f).unwrap();
@@ -143,10 +152,8 @@ fn reverse_preserves_semantics_when_parallel() {
 
 #[test]
 fn peel_preserves_semantics() {
-    let p = parse_program(
-        "float a[64]; int i; for (i = 1; i < 40; i++) a[i] = a[i - 1] + 1.0;",
-    )
-    .unwrap();
+    let p = parse_program("float a[64]; int i; for (i = 1; i < 40; i++) a[i] = a[i - 1] + 1.0;")
+        .unwrap();
     for k in [1, 3, 10] {
         let out = peel_front(&p.stmts[0], k).unwrap();
         let q = with_stmts(&p, out);
