@@ -98,6 +98,22 @@ pub fn combine(parts: &[u64]) -> u64 {
     h.finish()
 }
 
+/// Fingerprint of a tagged record: a textual tag (length-prefixed, so tags
+/// cannot collide by concatenation) followed by ordered numeric parts.
+/// This is the building block of *pass* and *plan* fingerprints: each pass
+/// feeds its name as the tag and its parameters as parts, and a plan is
+/// `combine` over its passes — so any change to a plan's shape, order or
+/// arguments changes the cache key the batch engine memoizes under.
+pub fn tagged(tag: &str, parts: &[u64]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write_str(tag);
+    h.write_usize(parts.len());
+    for p in parts {
+        h.write_u64(*p);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -31,6 +31,7 @@
 
 pub mod expr;
 pub mod lexer;
+pub mod loopid;
 pub mod parser;
 pub mod pretty;
 pub mod program;
@@ -39,6 +40,7 @@ pub mod visit;
 
 pub use expr::{BinOp, CmpOp, Expr, LValue, UnOp};
 pub use lexer::{Lexer, Token};
+pub use loopid::{innermost_loop_ids, LoopId};
 pub use parser::{parse_expr, parse_program, parse_stmts, ParseError};
 pub use pretty::{to_paper_style, to_source};
 pub use program::{Decl, Program, Ty};

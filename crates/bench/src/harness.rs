@@ -10,7 +10,7 @@ use slc_core::{slms_program, Expansion, SlmsConfig};
 use slc_machine::mach::MachineDesc;
 use slc_pipeline::{
     format_rows, measure_gap, measure_suite_on, measure_workload, run, BatchEngine, CompilerKind,
-    GapRow, LoopRow,
+    GapRow, LoopRow, PassManager, PassPlan,
 };
 use slc_sim::presets::{arm7tdmi, itanium2, pentium, power4};
 use slc_workloads::{by_suite, linpack, livermore, nas, paper_examples, stone, Suite, Workload};
@@ -301,15 +301,27 @@ pub fn sec7_cases() -> String {
     out
 }
 
-/// §6 interaction study: SLMS∘fusion vs fusion∘SLMS (Fig. 9 loops).
-pub fn sec6_interactions() -> String {
-    use slc_transforms::fuse;
-    let src = "float a[2012]; float b[2012]; int i;\n\
+/// Source of the §6 / Fig. 9 order-study loops, shared with the tests that
+/// cross-check the plan-driven study against hand-applied transforms.
+pub const SEC6_SRC: &str = "float a[2012]; float b[2012]; int i;\n\
                for (i = 1; i < 2000; i++) { a[i] = a[i - 1] * 2.0 + a[i + 1] * 2.0; }\n\
                for (i = 1; i < 2000; i++) { b[i] = b[i - 1] * 2.0 + b[i + 1] * 2.0; }";
-    let prog = slc_ast::parse_program(src).unwrap();
+
+/// The two §6 orderings as pass plans: SLMS alone vs fusion-then-SLMS.
+pub fn sec6_plans() -> (PassPlan, PassPlan) {
+    (
+        PassPlan::parse("slms").unwrap(),
+        PassPlan::parse("fuse:0+1,slms").unwrap(),
+    )
+}
+
+/// §6 interaction study: SLMS∘fusion vs fusion∘SLMS (Fig. 9 loops), driven
+/// by the two [`sec6_plans`] — the ordering is *data*, not code.
+pub fn sec6_interactions() -> String {
+    let prog = slc_ast::parse_program(SEC6_SRC).unwrap();
     let m = itanium2();
-    let cfg = nofilter_cfg();
+    let pm = PassManager::new(nofilter_cfg());
+    let (plan_slms, plan_fuse_slms) = sec6_plans();
     let mut out = String::from("== §6 — transformation-order study (Fig. 9) ==\n");
 
     // original
@@ -319,17 +331,25 @@ pub fn sec6_interactions() -> String {
     // SLMS → fusion order: SLMS each loop separately (kernels differ, so
     // fusion of the two SLMS'd loops is not header-compatible — the paper's
     // point is exactly that order changes the result; we measure SLMS-only).
-    let (slms_first, _) = slms_program(&prog, &cfg);
+    let (slms_first, sink_a) = pm.run(&prog, &plan_slms).expect("plan applies");
     let a = run(&slms_first, &m, CompilerKind::Optimizing).unwrap();
     out.push_str(&format!("SLMS per loop: {} cycles\n", a.sim.cycles));
 
     // fusion → SLMS order
-    let fused_stmt = fuse(&prog.stmts[0], &prog.stmts[1]).expect("same headers");
-    let mut fused = prog.clone();
-    fused.stmts = vec![fused_stmt];
-    let (slms_after_fuse, _) = slms_program(&fused, &cfg);
+    let (slms_after_fuse, sink_b) = pm.run(&prog, &plan_fuse_slms).expect("plan applies");
     let b = run(&slms_after_fuse, &m, CompilerKind::Optimizing).unwrap();
     out.push_str(&format!("fusion→SLMS:   {} cycles\n", b.sim.cycles));
+
+    let iis = |sink: &slc_core::DiagSink| -> Vec<i64> {
+        sink.all_outcomes()
+            .filter_map(|o| o.result.as_ref().ok().map(|r| r.ii))
+            .collect()
+    };
+    out.push_str(&format!(
+        "plan `{plan_slms}`: per-loop II {:?} | plan `{plan_fuse_slms}`: per-loop II {:?}\n",
+        iis(&sink_a),
+        iis(&sink_b)
+    ));
     out
 }
 

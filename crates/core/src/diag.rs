@@ -1,0 +1,284 @@
+//! Structured, explainable per-loop diagnostics.
+//!
+//! SLMS makes a chain of decisions per loop — filter, if-conversion, MII
+//! iteration, decomposition retries, emission — and the §6 transformations
+//! make one structural decision each. Solver-based schedulers (SMT/SAT
+//! modulo scheduling) expose exactly this kind of infeasibility/decision
+//! trace to let users debug why an II is or is not achievable; this module
+//! is the source-level equivalent. Every decision is recorded as a
+//! [`DiagEvent`] carrying the *computed numbers* (the measured `LS/(LS+AO)`
+//! ratio, the per-round placement II, the decomposition victims), not a
+//! pre-formatted string, so reports, the `slc explain` CLI mode, and tests
+//! all render from the same data.
+//!
+//! The [`DiagSink`] groups events per pass (one [`PassDiag`] per pass of a
+//! `PassPlan`; a bare [`slms_program`](crate::slms_program) call fills a
+//! single implicit pass). Wall-clock per pass is recorded in the sink but
+//! is *not* part of any canonical report — it flows into the batch engine's
+//! non-deterministic timing sidecar only.
+
+use crate::filter::FilterVerdict;
+use crate::{LoopOutcome, SlmsError};
+
+/// One recorded decision while transforming a single loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiagEvent {
+    /// The §4 bad-case filter ran; the verdict carries the measured
+    /// `LS/(LS+AO)` ratio (or arithmetic density) and the threshold.
+    FilterChecked {
+        /// verdict with measured numbers
+        verdict: FilterVerdict,
+    },
+    /// Source-level if-conversion rewrote the body (§3.1).
+    IfConverted,
+    /// Symbolic bounds: the runtime-guarded, expansion-free path was taken.
+    SymbolicGuard,
+    /// One round of the §5 MII iteration: with `n_mis` multi-instructions
+    /// the fixed-placement bound produced `placement_ii` (`None` = no
+    /// `II < n_mis` exists at this body shape).
+    MiiAttempt {
+        /// decomposition round (0 = original body)
+        round: usize,
+        /// multi-instructions in the candidate body
+        n_mis: usize,
+        /// feasible placement II, if any
+        placement_ii: Option<i64>,
+    },
+    /// A multi-instruction was decomposed to break a self dependence,
+    /// introducing temporary `temp` (§5 step 5 retry).
+    Decomposed {
+        /// decomposition round that produced this split (1-based)
+        round: usize,
+        /// name of the introduced temporary
+        temp: String,
+    },
+    /// The loop was scheduled and emitted.
+    Scheduled {
+        /// achieved initiation interval
+        ii: i64,
+        /// the paper's cycle-based MII, for comparison
+        cycles_mii: Option<i64>,
+        /// MVE kernel unroll factor (1 = none)
+        unroll: i64,
+        /// pipeline depth in iterations
+        max_offset: i64,
+    },
+    /// The loop was left unchanged; the structured reason.
+    Rejected {
+        /// why SLMS declined
+        error: SlmsError,
+    },
+}
+
+impl std::fmt::Display for DiagEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiagEvent::FilterChecked { verdict } => match verdict {
+                FilterVerdict::Pass => write!(f, "filter: {verdict}"),
+                _ => write!(f, "filter: REJECTED — {verdict}"),
+            },
+            DiagEvent::IfConverted => write!(f, "if-conversion: compound conditional flattened"),
+            DiagEvent::SymbolicGuard => {
+                write!(f, "symbolic bounds: emitting runtime-guarded pipeline")
+            }
+            DiagEvent::MiiAttempt {
+                round,
+                n_mis,
+                placement_ii,
+            } => match placement_ii {
+                Some(ii) => write!(f, "MII round {round}: {n_mis} MIs → placement II = {ii}"),
+                None => write!(f, "MII round {round}: {n_mis} MIs → no valid II < {n_mis}"),
+            },
+            DiagEvent::Decomposed { round, temp } => {
+                write!(
+                    f,
+                    "decomposition round {round}: split via temporary `{temp}`"
+                )
+            }
+            DiagEvent::Scheduled {
+                ii,
+                cycles_mii,
+                unroll,
+                max_offset,
+            } => {
+                write!(f, "scheduled: II = {ii}")?;
+                match cycles_mii {
+                    Some(c) => write!(f, " (cycle-MII {c})")?,
+                    None => write!(f, " (cycle-MII infeasible)")?,
+                }
+                write!(f, ", depth {max_offset}, unroll ×{unroll}")
+            }
+            DiagEvent::Rejected { error } => write!(f, "rejected: {error}"),
+        }
+    }
+}
+
+/// Render the decision trace of one loop outcome as an indented block.
+pub fn render_loop_trace(outcome: &LoopOutcome) -> String {
+    let mut out = format!("{}\n", outcome.id.verbose());
+    for ev in &outcome.trace {
+        out.push_str(&format!("  {ev}\n"));
+    }
+    match &outcome.result {
+        Ok(r) => out.push_str(&format!(
+            "  ⇒ transformed: II = {} over {} MIs{}{}\n",
+            r.ii,
+            r.n_mis,
+            if r.if_converted { ", if-converted" } else { "" },
+            if r.decomposed.is_empty() {
+                String::new()
+            } else {
+                format!(", decomposed {:?}", r.decomposed)
+            },
+        )),
+        Err(e) => out.push_str(&format!("  ⇒ left unchanged: {e}\n")),
+    }
+    out
+}
+
+/// Diagnostics of one pass over the program.
+#[derive(Debug, Clone, Default)]
+pub struct PassDiag {
+    /// pass name as rendered in the plan (e.g. `slms`, `fuse:0+1`)
+    pub pass: String,
+    /// per-loop outcomes with their decision traces (SLMS passes)
+    pub loops: Vec<LoopOutcome>,
+    /// free-form structural notes (transform passes)
+    pub notes: Vec<String>,
+    /// wall clock spent inside the pass (non-deterministic; sidecar only)
+    pub elapsed_ns: u64,
+}
+
+/// Collector for the diagnostics of a whole pass plan.
+#[derive(Debug, Clone, Default)]
+pub struct DiagSink {
+    /// one entry per executed pass, in plan order
+    pub passes: Vec<PassDiag>,
+}
+
+impl DiagSink {
+    /// Fresh, empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Start recording a pass; returns the index for [`DiagSink::pass_mut`].
+    pub fn begin_pass(&mut self, name: impl Into<String>) -> usize {
+        self.passes.push(PassDiag {
+            pass: name.into(),
+            ..PassDiag::default()
+        });
+        self.passes.len() - 1
+    }
+
+    /// Mutable access to a pass diag opened by [`DiagSink::begin_pass`].
+    pub fn pass_mut(&mut self, idx: usize) -> &mut PassDiag {
+        &mut self.passes[idx]
+    }
+
+    /// All loop outcomes across every pass, in execution order.
+    pub fn all_outcomes(&self) -> impl Iterator<Item = &LoopOutcome> {
+        self.passes.iter().flat_map(|p| p.loops.iter())
+    }
+
+    /// Render the full human-readable decision trace.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for p in &self.passes {
+            out.push_str(&format!("── pass {} ──\n", p.pass));
+            for n in &p.notes {
+                out.push_str(&format!("  {n}\n"));
+            }
+            for o in &p.loops {
+                out.push_str(&render_loop_trace(o));
+            }
+            if p.notes.is_empty() && p.loops.is_empty() {
+                out.push_str("  (no loops visited)\n");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{slms_program, SlmsConfig};
+    use slc_ast::parse_program;
+
+    #[test]
+    fn trace_records_filter_and_schedule() {
+        let p = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+        )
+        .unwrap();
+        let (_, outcomes) = slms_program(&p, &SlmsConfig::default());
+        assert_eq!(outcomes.len(), 1);
+        let o = &outcomes[0];
+        assert!(matches!(
+            o.trace.first(),
+            Some(DiagEvent::FilterChecked {
+                verdict: FilterVerdict::Pass
+            })
+        ));
+        assert!(o.trace.iter().any(|e| matches!(
+            e,
+            DiagEvent::MiiAttempt {
+                round: 0,
+                n_mis: 2,
+                placement_ii: Some(1)
+            }
+        )));
+        assert!(o
+            .trace
+            .iter()
+            .any(|e| matches!(e, DiagEvent::Scheduled { ii: 1, .. })));
+        let text = render_loop_trace(o);
+        assert!(text.contains("loop#0"), "{text}");
+        assert!(text.contains("placement II = 1"), "{text}");
+    }
+
+    #[test]
+    fn filtered_loop_trace_carries_ratio() {
+        let p = parse_program(
+            "float X[8][8]; float CT; int k; int i; int j;\n\
+             for (k = 0; k < 8; k++) { CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT; }",
+        )
+        .unwrap();
+        let (_, outcomes) = slms_program(&p, &SlmsConfig::default());
+        let o = &outcomes[0];
+        assert!(o.result.is_err());
+        let text = render_loop_trace(o);
+        assert!(text.contains("memory-ref ratio"), "{text}");
+        assert!(text.contains("0.85"), "{text}");
+    }
+
+    #[test]
+    fn decomposition_rounds_traced() {
+        let p = parse_program(
+            "float A[64]; int i;\n\
+             for (i = 2; i < 60; i++) A[i] = A[i - 1] + A[i - 2] + A[i + 1] + A[i + 2];",
+        )
+        .unwrap();
+        let cfg = SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        };
+        let (_, outcomes) = slms_program(&p, &cfg);
+        let o = &outcomes[0];
+        assert!(o.result.is_ok());
+        let attempts = o
+            .trace
+            .iter()
+            .filter(|e| matches!(e, DiagEvent::MiiAttempt { .. }))
+            .count();
+        let splits = o
+            .trace
+            .iter()
+            .filter(|e| matches!(e, DiagEvent::Decomposed { .. }))
+            .count();
+        assert!(splits >= 1, "{:?}", o.trace);
+        assert_eq!(attempts, splits + 1, "{:?}", o.trace);
+    }
+}

@@ -61,6 +61,22 @@ impl FilterVerdict {
     }
 }
 
+impl std::fmt::Display for FilterVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FilterVerdict::Pass => write!(f, "passed the §4 filter"),
+            FilterVerdict::MemRefRatio { ratio, threshold } => write!(
+                f,
+                "memory-ref ratio LS/(LS+AO) = {ratio:.3} ≥ threshold {threshold:.2}"
+            ),
+            FilterVerdict::LowArithDensity { density, min } => write!(
+                f,
+                "arithmetic density {density:.3} ops/ref below minimum {min:.2}"
+            ),
+        }
+    }
+}
+
 /// Apply the §4 filter to a loop body.
 pub fn filter_loop(body: &[Stmt], var: &str, cfg: &FilterConfig) -> FilterVerdict {
     let c = op_counts(body, var);

@@ -23,6 +23,7 @@
 
 pub mod decompose;
 pub mod delay;
+pub mod diag;
 pub mod emit;
 pub mod emit_symbolic;
 pub mod extensions;
@@ -30,6 +31,7 @@ pub mod filter;
 pub mod ifconv;
 pub mod mii;
 
+pub use diag::{render_loop_trace, DiagEvent, DiagSink, PassDiag};
 pub use emit::{emit, EmitOutput, ExpandVar, Expansion};
 pub use emit_symbolic::emit_symbolic_guarded;
 pub use extensions::{frequent_path_ms, unroll_while, FrequentPathOutput};
@@ -38,7 +40,7 @@ pub use ifconv::{if_convert, needs_if_conversion};
 pub use mii::{constraints_of, cycles_mii, placement_mii, Constraint};
 
 use slc_analysis::{build_ddg, partition_mis, AnalysisError, Ddg, DepKind, Distance};
-use slc_ast::{AssignOp, LValue, Program, Stmt};
+use slc_ast::{AssignOp, LValue, LoopId, Program, Stmt};
 use std::collections::HashSet;
 
 /// Configuration of the SLMS driver.
@@ -145,7 +147,7 @@ impl std::fmt::Display for SlmsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SlmsError::NotAForLoop => write!(f, "not a for loop"),
-            SlmsError::Filtered(v) => write!(f, "filtered as a bad case: {v:?}"),
+            SlmsError::Filtered(v) => write!(f, "filtered as a bad case: {v}"),
             SlmsError::Analysis(e) => write!(f, "{e}"),
             SlmsError::VarWrittenInBody => write!(f, "induction variable written in body"),
             SlmsError::NoValidIi => write!(f, "no valid initiation interval"),
@@ -284,6 +286,32 @@ pub fn slms_loop(
     loop_stmt: &Stmt,
     cfg: &SlmsConfig,
 ) -> Result<SlmsOutput, SlmsError> {
+    slms_loop_traced(prog, loop_stmt, cfg, &mut Vec::new())
+}
+
+/// [`slms_loop`] with a decision trace: every filter verdict, MII round,
+/// decomposition retry and the final schedule (or structured rejection) is
+/// appended to `events`. The transformation result is identical to
+/// [`slms_loop`] — tracing never changes what is emitted.
+pub fn slms_loop_traced(
+    prog: &mut Program,
+    loop_stmt: &Stmt,
+    cfg: &SlmsConfig,
+    events: &mut Vec<DiagEvent>,
+) -> Result<SlmsOutput, SlmsError> {
+    let r = slms_loop_inner(prog, loop_stmt, cfg, events);
+    if let Err(e) = &r {
+        events.push(DiagEvent::Rejected { error: e.clone() });
+    }
+    r
+}
+
+fn slms_loop_inner(
+    prog: &mut Program,
+    loop_stmt: &Stmt,
+    cfg: &SlmsConfig,
+    events: &mut Vec<DiagEvent>,
+) -> Result<SlmsOutput, SlmsError> {
     let Stmt::For(f) = loop_stmt else {
         return Err(SlmsError::NotAForLoop);
     };
@@ -303,6 +331,9 @@ pub fn slms_loop(
 
     if cfg.apply_filter {
         let verdict = filter_loop(&f.body, &f.var, &cfg.filter);
+        events.push(DiagEvent::FilterChecked {
+            verdict: verdict.clone(),
+        });
         if !verdict.passed() {
             return Err(SlmsError::Filtered(verdict));
         }
@@ -320,6 +351,7 @@ pub fn slms_loop(
         let conv = if_convert(&mut scratch, &body);
         body = conv.body;
         if_converted = true;
+        events.push(DiagEvent::IfConverted);
     }
 
     // Symbolic bounds: only the guarded, expansion-free path can handle
@@ -327,6 +359,9 @@ pub fn slms_loop(
     let symbolic = f.trip_count().is_none();
     if symbolic && (!cfg.allow_symbolic_guard || f.step.abs() != 1) {
         return Err(SlmsError::SymbolicBounds);
+    }
+    if symbolic {
+        events.push(DiagEvent::SymbolicGuard);
     }
 
     // Decomposition loop (§5 step 5).
@@ -346,7 +381,13 @@ pub fn slms_loop(
                     .is_some_and(|s| expand.iter().any(|v| v.name == s))
         };
         let cons = constraints_of(&ddg, &removable);
-        if let Some(ii) = placement_mii(&cons, mis.len()) {
+        let placement = placement_mii(&cons, mis.len());
+        events.push(DiagEvent::MiiAttempt {
+            round: decomposed.len(),
+            n_mis: mis.len(),
+            placement_ii: placement,
+        });
+        if let Some(ii) = placement {
             break (ii, mis, expand);
         }
         if decomposed.len() >= cfg.max_decompositions {
@@ -362,7 +403,11 @@ pub fn slms_loop(
         let mut progressed = false;
         for k in order {
             if let Some(t) = decompose::break_self_dep(&mut scratch, &mut body, k, &f.var, f.step) {
-                decomposed.push(t);
+                decomposed.push(t.clone());
+                events.push(DiagEvent::Decomposed {
+                    round: decomposed.len(),
+                    temp: t,
+                });
                 progressed = true;
                 break;
             }
@@ -389,6 +434,12 @@ pub fn slms_loop(
     };
     let final_ddg = build_ddg(&mis, &f.var, f.step);
     let cmii = cycles_mii(&constraints_of(&final_ddg, &removable), mis.len());
+    events.push(DiagEvent::Scheduled {
+        ii,
+        cycles_mii: cmii,
+        unroll: out.unroll,
+        max_offset: out.max_offset,
+    });
 
     *prog = scratch;
     Ok(SlmsOutput {
@@ -410,10 +461,15 @@ pub fn slms_loop(
 /// Outcome of attempting SLMS on one loop inside a program.
 #[derive(Debug, Clone)]
 pub struct LoopOutcome {
-    /// Short description of the loop (`for (i = …) [k stmts]`).
-    pub loop_desc: String,
+    /// Stable identity of the loop (variable, pre-order index, body
+    /// length); `id.to_string()` renders the legacy
+    /// `for (i = …) [k stmts]` description.
+    pub id: LoopId,
     /// `Ok(report)` when transformed, `Err(reason)` when left unchanged.
     pub result: Result<SlmsReport, SlmsError>,
+    /// The decision trace behind the result (filter verdict with the
+    /// measured ratio, MII rounds, decomposition retries, final schedule).
+    pub trace: Vec<DiagEvent>,
 }
 
 /// Apply SLMS to every eligible innermost `for` loop of a program.
@@ -435,7 +491,8 @@ pub fn slms_program(prog: &Program, cfg: &SlmsConfig) -> (Program, Vec<LoopOutco
     let mut new_prog = prog.clone();
     let mut outcomes = Vec::new();
     let stmts = std::mem::take(&mut new_prog.stmts);
-    let new_stmts = transform_stmts(&mut new_prog, stmts, cfg, &mut outcomes);
+    let mut next_loop = 0usize;
+    let new_stmts = transform_stmts(&mut new_prog, stmts, cfg, &mut outcomes, &mut next_loop);
     new_prog.stmts = new_stmts;
     (new_prog, outcomes)
 }
@@ -445,6 +502,7 @@ fn transform_stmts(
     stmts: Vec<Stmt>,
     cfg: &SlmsConfig,
     outcomes: &mut Vec<LoopOutcome>,
+    next_loop: &mut usize,
 ) -> Vec<Stmt> {
     let mut out = Vec::new();
     for s in stmts {
@@ -452,32 +510,38 @@ fn transform_stmts(
             Stmt::For(f) => {
                 let is_innermost = !f.body.iter().any(Stmt::contains_loop);
                 if is_innermost {
-                    let desc = format!("for ({} = …) [{} stmts]", f.var, f.body.len());
+                    let id = LoopId::of(&f, *next_loop);
+                    *next_loop += 1;
                     let stmt = Stmt::For(f);
-                    match slms_loop(prog, &stmt, cfg) {
+                    let mut trace = Vec::new();
+                    match slms_loop_traced(prog, &stmt, cfg, &mut trace) {
                         Ok(res) => {
                             outcomes.push(LoopOutcome {
-                                loop_desc: desc,
+                                id,
                                 result: Ok(res.report),
+                                trace,
                             });
                             out.extend(res.stmts);
                         }
                         Err(e) => {
                             outcomes.push(LoopOutcome {
-                                loop_desc: desc,
+                                id,
                                 result: Err(e),
+                                trace,
                             });
                             out.push(stmt);
                         }
                     }
                 } else {
                     let mut f = f;
-                    f.body = transform_stmts(prog, f.body, cfg, outcomes);
+                    f.body = transform_stmts(prog, f.body, cfg, outcomes, next_loop);
                     out.push(Stmt::For(f));
                 }
             }
             Stmt::Block(b) => {
-                out.push(Stmt::Block(transform_stmts(prog, b, cfg, outcomes)));
+                out.push(Stmt::Block(transform_stmts(
+                    prog, b, cfg, outcomes, next_loop,
+                )));
             }
             Stmt::If {
                 cond,
@@ -486,8 +550,8 @@ fn transform_stmts(
             } => {
                 out.push(Stmt::If {
                     cond,
-                    then_branch: transform_stmts(prog, then_branch, cfg, outcomes),
-                    else_branch: transform_stmts(prog, else_branch, cfg, outcomes),
+                    then_branch: transform_stmts(prog, then_branch, cfg, outcomes, next_loop),
+                    else_branch: transform_stmts(prog, else_branch, cfg, outcomes, next_loop),
                 });
             }
             other => out.push(other),

@@ -6,9 +6,12 @@
 //! expensive intermediate artifact:
 //!
 //! * **parse** — source text → AST, keyed by source fingerprint;
-//! * **slms** — AST → transformed AST + per-loop outcomes (this is where
-//!   the DDG construction and the MII/difMin iteration happen), keyed by
-//!   (program, config) fingerprint — shared by every machine/personality;
+//! * **slms** — AST → transformed AST + per-loop outcomes for the
+//!   configured [`PassPlan`] (this is where the DDG construction and the
+//!   MII/difMin iteration happen), keyed by (program, *plan*) fingerprint —
+//!   the plan fingerprint covers every pass, its arguments and the
+//!   resolved SLMS config, and the artifact is shared by every
+//!   machine/personality;
 //! * **lir** — AST → lowered LIR, machine-independent, shared likewise;
 //! * **compile** — LIR → schedules + per-loop compile facts, keyed by
 //!   (program, machine, personality);
@@ -24,23 +27,25 @@
 //!    computed exactly once per distinct key (so cache counters are
 //!    schedule-independent), and wall-clock timing lives in a separate
 //!    non-deterministic sidecar ([`BatchReport::timing_json`]);
-//! 3. a failing cell (parse or lowering error) degrades to a recorded
-//!    per-cell error while every other cell still completes.
+//! 3. a failing cell (parse, plan or lowering error) degrades to a
+//!    recorded per-cell error while every other cell still completes.
 
 use crate::cache::{CacheReport, KeyedStore};
 use crate::compile::{compile_lir, CompilerKind, LoopInfo};
 use crate::json::Json;
 use crate::par::{effective_threads, par_map_indexed};
+use crate::passes::{PassManager, PassPlan};
 use slc_ast::{parse_program, Program};
-use slc_core::{slms_cache_key, slms_program, LoopOutcome, SlmsConfig};
+use slc_core::{LoopOutcome, SlmsConfig};
 use slc_machine::ir::LirProgram;
 use slc_machine::lower::{lower_program, LowerError};
 use slc_machine::mach::MachineDesc;
 use slc_sim::cycle::{simulate, SimResult};
 use slc_sim::power::EnergyModel;
 use slc_workloads::{enumerate_matrix, MatrixCell, Variant, Workload};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Schema tag written into every report.
@@ -84,6 +89,9 @@ pub struct BatchConfig {
     pub compilers: Vec<CompilerKind>,
     /// SLMS configuration for the `slms` variant of every cell
     pub slms: SlmsConfig,
+    /// pass plan the `slms` variant runs (default: `slms` alone; the §6
+    /// ordering studies swap in plans like `fuse:0+1,slms`)
+    pub plan: PassPlan,
     /// worker threads (`None` = all available cores)
     pub threads: Option<usize>,
 }
@@ -98,6 +106,7 @@ impl BatchConfig {
             machines: vec![itanium2(), pentium(), power4(), arm7tdmi()],
             compilers: CompilerKind::ALL.to_vec(),
             slms: SlmsConfig::default(),
+            plan: PassPlan::slms_only(),
             threads: None,
         }
     }
@@ -147,8 +156,8 @@ pub struct CellMetrics {
 }
 
 /// One row of the report: identity plus outcome. Failures carry a
-/// stage-prefixed message (`parse: …` / `lower: …`) instead of aborting
-/// the batch.
+/// stage-prefixed message (`parse: …` / `plan: …` / `lower: …`) instead of
+/// aborting the batch.
 #[derive(Debug, Clone)]
 pub struct CellResult {
     /// which cell
@@ -157,9 +166,20 @@ pub struct CellResult {
     pub outcome: Result<CellMetrics, String>,
 }
 
+/// Wall clock and run count of one pass across every plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTiming {
+    /// plan-syntax pass name (`slms`, `fuse:0+1`)
+    pub pass: String,
+    /// cumulative wall time inside the pass
+    pub ns: u64,
+    /// times the pass executed (cache hits do not re-run passes)
+    pub runs: u64,
+}
+
 /// Wall-clock accounting (non-deterministic; reported separately from the
 /// canonical JSON).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TimingReport {
     /// worker threads used
     pub threads: usize,
@@ -167,7 +187,7 @@ pub struct TimingReport {
     pub wall_ns: u64,
     /// time inside parse misses
     pub parse_ns: u64,
-    /// time inside SLMS misses
+    /// time inside plan misses (all passes, SLMS included)
     pub slms_ns: u64,
     /// time inside lowering misses
     pub lower_ns: u64,
@@ -175,6 +195,8 @@ pub struct TimingReport {
     pub compile_ns: u64,
     /// time inside simulation misses
     pub sim_ns: u64,
+    /// per-pass breakdown of `slms_ns`, sorted by pass name
+    pub passes: Vec<PassTiming>,
 }
 
 /// Result of one batch run.
@@ -221,11 +243,21 @@ impl BatchReport {
             .to_pretty()
     }
 
-    /// Wall-clock sidecar (not deterministic).
+    /// Wall-clock sidecar (not deterministic). v2 adds the per-pass
+    /// breakdown of the transformation stage.
     pub fn timing_json(&self) -> String {
         let t = &self.timing;
+        let mut passes = Json::obj();
+        for p in &t.passes {
+            passes = passes.field(
+                p.pass.as_str(),
+                Json::obj()
+                    .field("ms", p.ns as f64 / 1e6)
+                    .field("runs", p.runs),
+            );
+        }
         Json::obj()
-            .field("schema", "slc-batch-timing-v1")
+            .field("schema", "slc-batch-timing-v2")
             .field("threads", t.threads)
             .field("wall_ms", t.wall_ns as f64 / 1e6)
             .field(
@@ -237,6 +269,7 @@ impl BatchReport {
                     .field("compile", t.compile_ns as f64 / 1e6)
                     .field("simulate", t.sim_ns as f64 / 1e6),
             )
+            .field("pass_ms", passes)
             .to_pretty()
     }
 
@@ -303,7 +336,9 @@ fn cell_json(c: &CellResult) -> Json {
 }
 
 type ParseArtifact = Result<(Program, u64), String>;
-type SlmsArtifact = (Program, Vec<LoopOutcome>, u64);
+/// Transformed program + all per-loop outcomes across the plan + program
+/// fingerprint — or the plan's structural failure, which degrades the cell.
+type PlanArtifact = Result<(Program, Vec<LoopOutcome>, u64), String>;
 
 /// The engine: the artifact stores plus per-stage timing accumulators.
 /// Create once and call [`BatchEngine::run`] repeatedly to share the cache
@@ -312,7 +347,7 @@ type SlmsArtifact = (Program, Vec<LoopOutcome>, u64);
 #[derive(Default)]
 pub struct BatchEngine {
     parse: KeyedStore<ParseArtifact>,
-    slms: KeyedStore<SlmsArtifact>,
+    slms: KeyedStore<PlanArtifact>,
     lir: KeyedStore<Result<LirProgram, LowerError>>,
     compile: KeyedStore<Result<crate::compile::CompileResult, LowerError>>,
     sim: KeyedStore<SimResult>,
@@ -321,6 +356,7 @@ pub struct BatchEngine {
     lower_ns: AtomicU64,
     compile_ns: AtomicU64,
     sim_ns: AtomicU64,
+    pass_ns: Mutex<BTreeMap<String, (u64, u64)>>,
 }
 
 fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
@@ -355,6 +391,17 @@ impl BatchEngine {
         let t0 = Instant::now();
         let results = par_map_indexed(cells.len(), threads, |i| self.eval_cell(cfg, cells[i]));
         let wall_ns = t0.elapsed().as_nanos() as u64;
+        let passes = self
+            .pass_ns
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(pass, &(ns, runs))| PassTiming {
+                pass: pass.clone(),
+                ns,
+                runs,
+            })
+            .collect();
         BatchReport {
             cells: results,
             cache: self.cache_report(),
@@ -366,6 +413,7 @@ impl BatchEngine {
                 lower_ns: self.lower_ns.load(Ordering::Relaxed),
                 compile_ns: self.compile_ns.load(Ordering::Relaxed),
                 sim_ns: self.sim_ns.load(Ordering::Relaxed),
+                passes,
             },
         }
     }
@@ -404,22 +452,48 @@ impl BatchEngine {
             }
         };
 
-        // 2. SLMS (cached per program × config, shared across machines and
-        //    personalities)
-        let slms_art: Option<Arc<SlmsArtifact>> = match cell.variant {
+        // 2. pass plan (cached per program × plan fingerprint, shared
+        //    across machines and personalities)
+        let plan_art: Option<Arc<PlanArtifact>> = match cell.variant {
             Variant::Original => None,
             Variant::Slms => {
-                let key = slms_cache_key(*orig_fp, &cfg.slms);
+                let key = slc_analysis::fingerprint::combine(&[
+                    *orig_fp,
+                    cfg.plan.fingerprint(&cfg.slms),
+                ]);
                 Some(self.slms.get_or_compute(key, || {
                     timed(&self.slms_ns, || {
-                        let (p, outcomes) = slms_program(orig_prog, &cfg.slms);
-                        let fp = slc_analysis::program_fingerprint(&p);
-                        (p, outcomes, fp)
+                        let pm = PassManager::new(cfg.slms.clone());
+                        match pm.run(orig_prog, &cfg.plan) {
+                            Ok((p, sink)) => {
+                                let mut per_pass = self.pass_ns.lock().unwrap();
+                                for pd in &sink.passes {
+                                    let slot = per_pass.entry(pd.pass.clone()).or_insert((0, 0));
+                                    slot.0 += pd.elapsed_ns;
+                                    slot.1 += 1;
+                                }
+                                drop(per_pass);
+                                let fp = slc_analysis::program_fingerprint(&p);
+                                let outcomes = sink.all_outcomes().cloned().collect::<Vec<_>>();
+                                Ok((p, outcomes, fp))
+                            }
+                            Err(e) => Err(e.to_string()),
+                        }
                     })
                 }))
             }
         };
-        let (prog, prog_fp, transformed, slms_ii) = match slms_art.as_deref() {
+        let plan_art = match plan_art.as_deref() {
+            None => None,
+            Some(Ok(x)) => Some(x),
+            Some(Err(e)) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("plan: {e}")),
+                }
+            }
+        };
+        let (prog, prog_fp, transformed, slms_ii) = match plan_art {
             None => (orig_prog, *orig_fp, false, None),
             Some((p, outcomes, fp)) => (
                 p,
@@ -494,6 +568,7 @@ mod tests {
             machines: vec![itanium2()],
             compilers: vec![CompilerKind::Optimizing],
             slms: SlmsConfig::default(),
+            plan: PassPlan::slms_only(),
             threads: Some(2),
         }
     }
@@ -543,6 +618,40 @@ mod tests {
                 b.outcome.as_ref().map(|m| m.cycles).ok()
             );
         }
+    }
+
+    #[test]
+    fn bad_plan_degrades_slms_cells_only() {
+        let mut cfg = tiny_cfg();
+        cfg.plan = PassPlan::parse("fuse:0+9,slms").unwrap();
+        let rep = run_batch(&cfg);
+        for c in &rep.cells {
+            match c.id.variant {
+                "orig" => assert!(c.outcome.is_ok(), "{:?}", c.outcome),
+                _ => {
+                    let e = c.outcome.as_ref().unwrap_err();
+                    assert!(e.starts_with("plan: pass fuse:0+9"), "{e}");
+                }
+            }
+        }
+        assert_eq!(rep.failed(), rep.cells.len() / 2);
+    }
+
+    #[test]
+    fn per_pass_timing_lands_in_sidecar() {
+        let rep = run_batch(&tiny_cfg());
+        let slms = rep
+            .timing
+            .passes
+            .iter()
+            .find(|p| p.pass == "slms")
+            .expect("slms pass timed");
+        assert!(slms.runs >= 1);
+        let sidecar = rep.timing_json();
+        assert!(sidecar.contains("slc-batch-timing-v2"), "{sidecar}");
+        assert!(sidecar.contains("pass_ms"), "{sidecar}");
+        // but nothing non-deterministic in the canonical report
+        assert!(!rep.to_json().contains("pass_ms"));
     }
 
     #[test]

@@ -138,6 +138,7 @@ pub fn measure_suite_on(
         machines: vec![m.clone()],
         compilers: vec![kind],
         slms: slms_cfg.clone(),
+        plan: crate::passes::PassPlan::slms_only(),
         threads: None,
     };
     let report = engine.run(&cfg);

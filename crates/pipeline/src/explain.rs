@@ -1,0 +1,98 @@
+//! Rendering of pass-plan decision traces — the engine behind `slc explain`.
+//!
+//! The paper's SLC is an interactive tool: the user applies a
+//! transformation and inspects what happened. `slc explain` is the batch
+//! form of that inspection — it runs a [`PassPlan`](crate::PassPlan) over a
+//! program and prints, for every loop, the full decision trace: the §4
+//! filter verdict with its measured memory-ref ratio, each MII /
+//! decomposition round, and the final II (or the structured reason the
+//! loop was left alone).
+
+use crate::passes::{PassManager, PassPlan};
+use slc_ast::parse_program;
+use slc_core::SlmsConfig;
+use slc_workloads::Workload;
+
+/// Run `plan` over `src` and render the per-loop decision trace. On a hard
+/// failure (parse error, structural transform error) the rendered text
+/// reports it — `explain` never panics on a valid plan over any workload.
+pub fn explain_source(src: &str, plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    let prog = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return format!("plan: {plan}\nparse error: {e}\n"),
+    };
+    let pm = PassManager::new(cfg.clone());
+    match pm.run(&prog, plan) {
+        Ok((out, sink)) => {
+            let mut text = format!("plan: {plan}\n");
+            text.push_str(&sink.render());
+            let total: usize = sink.all_outcomes().count();
+            let transformed: usize = sink.all_outcomes().filter(|o| o.result.is_ok()).count();
+            let n_passes = sink.passes.len();
+            text.push_str(&format!(
+                "summary: {n_passes} pass(es), {transformed}/{total} loop(s) pipelined, \
+                 {} statement(s) in output\n",
+                out.stmts.len()
+            ));
+            text
+        }
+        Err(e) => format!("plan: {plan}\nplan failed: {e}\n"),
+    }
+}
+
+/// Render the decision trace of one named workload.
+pub fn explain_workload(w: &Workload, plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    format!(
+        "═══ {} [{}] ═══\n{}",
+        w.name,
+        w.suite,
+        explain_source(w.source, plan, cfg)
+    )
+}
+
+/// Render traces for every workload in every suite (the `slc explain --all`
+/// mode, and the guarantee the integration tests pin down: no loop in any
+/// suite panics the explainer).
+pub fn explain_all(plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    let mut out = String::new();
+    for w in slc_workloads::all() {
+        out.push_str(&explain_workload(&w, plan, cfg));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explain_reports_filter_ratio_or_schedule() {
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let text = explain_source(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+            &plan,
+            &cfg,
+        );
+        assert!(text.contains("── pass slms ──"), "{text}");
+        assert!(text.contains("scheduled: II = 1"), "{text}");
+        assert!(
+            text.contains("summary: 1 pass(es), 1/1 loop(s) pipelined"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_survives_hard_plan_failure() {
+        let plan = PassPlan::parse("fuse:0+7,slms").unwrap();
+        let cfg = SlmsConfig::default();
+        let text = explain_source(
+            "float A[8]; int i; for (i = 0; i < 4; i++) A[i] = 1.0;",
+            &plan,
+            &cfg,
+        );
+        assert!(text.contains("plan failed: pass fuse:0+7"), "{text}");
+    }
+}

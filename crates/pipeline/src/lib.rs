@@ -12,16 +12,21 @@
 //! ```
 //!
 //! [`fn@compile`] builds simulatable programs; [`experiments`] produces the
-//! per-loop speedup rows behind each figure of §9; [`batch`] evaluates the
-//! whole workload × machine × personality matrix concurrently with
-//! memoization of every shared artifact.
+//! per-loop speedup rows behind each figure of §9; [`passes`] wraps SLMS
+//! and every §6 transformation behind one [`Pass`] signature driven by
+//! parseable [`PassPlan`]s; [`explain`] renders their per-loop decision
+//! traces; [`batch`] evaluates the whole workload × machine × personality
+//! matrix concurrently with memoization of every shared artifact, keyed by
+//! plan fingerprints.
 
 pub mod batch;
 pub mod cache;
 pub mod compile;
 pub mod experiments;
+pub mod explain;
 pub mod json;
 pub mod par;
+pub mod passes;
 
 pub use batch::{
     run_batch, BatchConfig, BatchEngine, BatchReport, CellId, CellMetrics, CellResult,
@@ -33,5 +38,9 @@ pub use experiments::{
     format_rows, measure_gap, measure_suite, measure_suite_on, measure_workload, run, GapRow,
     LoopRow, Metrics,
 };
+pub use explain::{explain_all, explain_source, explain_workload};
 pub use json::Json;
 pub use par::{effective_threads, par_map_indexed};
+pub use passes::{
+    CompiledPass, Pass, PassError, PassManager, PassPlan, PassSpec, PlanParseError, PLAN_SYNTAX,
+};

@@ -41,6 +41,13 @@ pub enum TransformError {
     SymbolicBounds,
     /// Requested split/peel/unroll parameter out of range.
     BadParameter(String),
+    /// A pass plan addressed a loop index the program does not have.
+    TargetNotFound {
+        /// requested top-level loop index
+        index: usize,
+        /// top-level loops actually present
+        n_loops: usize,
+    },
 }
 
 impl std::fmt::Display for TransformError {
@@ -50,6 +57,10 @@ impl std::fmt::Display for TransformError {
             TransformError::HeaderMismatch => write!(f, "loop headers differ"),
             TransformError::SymbolicBounds => write!(f, "constant bounds required"),
             TransformError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            TransformError::TargetNotFound { index, n_loops } => write!(
+                f,
+                "no loop #{index}: program has {n_loops} top-level loop(s)"
+            ),
         }
     }
 }

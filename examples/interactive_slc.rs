@@ -1,32 +1,45 @@
 //! The source-level-compiler workflow of §2/§8: the user inspects the
 //! tool's output, edits the source, and re-runs — watching the II and the
-//! simulated cycle count respond.
+//! simulated cycle count respond. Every interaction is expressed as a
+//! [`PassPlan`]: the menu of transformations the user picks from is data
+//! (`slms:nofilter`, `fuse:0+1,slms:nofilter`, …), and the tool's
+//! explanation of *why* a loop got its II comes from the same run.
 //!
 //! ```bash
 //! cargo run --example interactive_slc
 //! ```
 
 use slc::ast::{parse_program, to_paper_style};
-use slc::pipeline::{run, CompilerKind};
+use slc::pipeline::{run, CompilerKind, PassManager, PassPlan};
 use slc::sim::presets::itanium2;
-use slc::slms::{slms_program, SlmsConfig};
+use slc::slms::{render_loop_trace, SlmsConfig};
 
-fn cycles(src: &str, slms: bool) -> (u64, Option<i64>) {
-    let prog = parse_program(src).unwrap();
-    let cfg = SlmsConfig {
+fn manager() -> PassManager {
+    // the interactive sessions of §8 study loops the §4 filter would veto
+    PassManager::new(SlmsConfig {
         apply_filter: false,
         ..SlmsConfig::default()
-    };
-    let (p, outcomes) = if slms {
-        slms_program(&prog, &cfg)
-    } else {
-        (prog.clone(), vec![])
-    };
-    let ii = outcomes
-        .iter()
+    })
+}
+
+/// Run `plan` over `src`; return simulated cycles and the first loop's II.
+fn cycles(src: &str, plan: &str) -> (u64, Option<i64>) {
+    let prog = parse_program(src).unwrap();
+    let plan = PassPlan::parse(plan).unwrap();
+    let (p, sink) = manager().run(&prog, &plan).expect("plan applies");
+    let ii = sink
+        .all_outcomes()
         .find_map(|o| o.result.as_ref().ok().map(|r| r.ii));
     let m = itanium2();
     (run(&p, &m, CompilerKind::Optimizing).unwrap().cycles(), ii)
+}
+
+/// Untransformed baseline.
+fn plain_cycles(src: &str) -> u64 {
+    let prog = parse_program(src).unwrap();
+    run(&prog, &itanium2(), CompilerKind::Optimizing)
+        .unwrap()
+        .cycles()
 }
 
 fn main() {
@@ -36,9 +49,19 @@ fn main() {
     let v1 = "float x[4096]; float y[4096]; float temp; int lw; int j;\n\
               lw = 6;\n\
               for (j = 4; j < 4000; j += 2) { temp -= x[lw] * y[j]; lw += 1; }";
-    let (c1, ii1) = cycles(v1, true);
-    let (c0, _) = cycles(v1, false);
+    let (c1, ii1) = cycles(v1, "slms");
+    let c0 = plain_cycles(v1);
     println!("v1 (as written):        {c0} cycles plain, {c1} cycles after SLMS (II = {ii1:?})");
+
+    // ...and asks the tool *why* — the same plan, explained.
+    let prog1 = parse_program(v1).unwrap();
+    let (_, sink1) = manager()
+        .run(&prog1, &PassPlan::parse("slms").unwrap())
+        .unwrap();
+    println!("── why? ──");
+    for o in sink1.all_outcomes() {
+        print!("{}", render_loop_trace(o));
+    }
 
     // Step 2: the tool reports the dependence cycle through `lw`; the user
     // moves the increment ahead of the use (the §8 edit), so MVE can
@@ -46,15 +69,15 @@ fn main() {
     let v2 = "float x[4096]; float y[4096]; float temp; int lw; int j;\n\
               lw = 6;\n\
               for (j = 4; j < 4000; j += 2) { lw += 1; temp -= x[lw - 1] * y[j]; }";
-    let (c2, ii2) = cycles(v2, true);
-    println!("v2 (lw++ hoisted):      {c2} cycles after SLMS (II = {ii2:?})");
+    let (c2, ii2) = cycles(v2, "slms");
+    println!("\nv2 (lw++ hoisted):      {c2} cycles after SLMS (II = {ii2:?})");
 
     // Step 3: the user also decomposes the multiply-accumulate by hand,
     // exposing the load to the scheduler.
     let v3 = "float x[4096]; float y[4096]; float temp; float r; int lw; int j;\n\
               lw = 6;\n\
               for (j = 4; j < 4000; j += 2) { lw += 1; r = x[lw - 1] * y[j]; temp -= r; }";
-    let (c3, ii3) = cycles(v3, true);
+    let (c3, ii3) = cycles(v3, "slms");
     println!("v3 (manual decompose):  {c3} cycles after SLMS (II = {ii3:?})");
 
     // Step 4: §2's register-lifetime hint — moving loads next to their uses
@@ -84,23 +107,28 @@ fn main() {
             .loops[0]
             .reg_pressure
     };
-    let (cb, _) = cycles(before, false);
-    let (ca, _) = cycles(after, false);
+    let cb = plain_cycles(before);
+    let ca = plain_cycles(after);
     println!(
         "\n§2 lifetime hint: {cb} → {ca} cycles; register pressure (unscheduled) {} → {}",
         pressure(before),
         pressure(after)
     );
 
+    // Step 5: the §6 ordering study as two plans — the user compares
+    // SLMS-per-loop with fuse-then-SLMS just by editing the plan string.
+    let twin = "float a[2012]; float b[2012]; int i;\n\
+                for (i = 1; i < 2000; i++) { a[i] = a[i - 1] * 2.0 + a[i + 1] * 2.0; }\n\
+                for (i = 1; i < 2000; i++) { b[i] = b[i - 1] * 2.0 + b[i + 1] * 2.0; }";
+    let (cs, _) = cycles(twin, "slms");
+    let (cf, _) = cycles(twin, "fuse:0+1,slms");
+    println!("\n§6 order study: plan `slms` = {cs} cycles, plan `fuse:0+1,slms` = {cf} cycles");
+
     // Show what the user actually sees for v2.
     let prog = parse_program(v2).unwrap();
-    let (out, _) = slms_program(
-        &prog,
-        &SlmsConfig {
-            apply_filter: false,
-            ..SlmsConfig::default()
-        },
-    );
+    let (out, _) = manager()
+        .run(&prog, &PassPlan::parse("slms").unwrap())
+        .unwrap();
     println!(
         "\n── SLC output for v2 (paper notation) ──\n{}",
         to_paper_style(&out)

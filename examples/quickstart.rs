@@ -29,9 +29,9 @@ for (i = 0; i < 1000; i++) {
         match &o.result {
             Ok(rep) => println!(
                 "transformed {}: II = {}, {} MIs, pipeline depth {}, unroll ×{}",
-                o.loop_desc, rep.ii, rep.n_mis, rep.max_offset, rep.unroll
+                o.id, rep.ii, rep.n_mis, rep.max_offset, rep.unroll
             ),
-            Err(e) => println!("skipped {}: {e}", o.loop_desc),
+            Err(e) => println!("skipped {}: {e}", o.id),
         }
     }
 

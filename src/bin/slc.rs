@@ -1,14 +1,17 @@
 //! `slc` — the source-level compiler as a command-line tool.
 //!
-//! Reads a mini-language program, applies Source Level Modulo Scheduling to
-//! every eligible innermost loop, prints the optimized source, and
-//! (optionally) verifies equivalence and simulates both versions on one of
-//! the built-in machine models.
+//! Reads a mini-language program, applies a pass plan (by default: Source
+//! Level Modulo Scheduling of every eligible innermost loop), prints the
+//! optimized source, and (optionally) verifies equivalence and simulates
+//! both versions on one of the built-in machine models.
 //!
 //! ```text
 //! USAGE: slc [OPTIONS] [FILE]          (FILE defaults to stdin)
+//!        slc explain [OPTIONS] [FILE]  (print the per-loop decision trace)
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!
+//!   --passes <PLAN>                comma-separated pass plan (default: slms)
+//!                                  e.g. `normalize,fuse:0+1,slms`
 //!   --expansion <mve|scalar|off>   how false dependences are removed (mve)
 //!   --no-filter                    disable the §4 memory-ref-ratio filter
 //!   --paper-style                  print `stmt; || stmt;` kernels
@@ -20,35 +23,113 @@
 //!   --emit-asm                     dump the scheduled innermost-loop bundles
 //!                                  of the optimized program (stderr)
 //!
+//! EXPLAIN OPTIONS: --passes/--expansion/--no-filter as above, plus
+//!   --all                          explain every built-in workload suite
+//!
 //! BATCH OPTIONS (see README.md for the report schema):
+//!   --passes <PLAN>                pass plan for the transformed variant
 //!   --threads <N>                  worker threads (default: all cores)
 //!   --out <PATH>                   canonical JSON report (BENCH_batch.json;
 //!                                  deterministic — byte-identical across
 //!                                  runs and thread counts)
 //!   --timing <PATH>                wall-clock sidecar JSON (not written
-//!                                  unless requested; not deterministic)
+//!                                  unless requested; not deterministic;
+//!                                  includes the per-pass breakdown)
 //!   --repeat <N>                   run the matrix N times on one shared
 //!                                  cache (N>1 demonstrates memoization)
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
-use slc::pipeline::{run, CompilerKind};
+use slc::pipeline::{explain_all, explain_source, run, CompilerKind, PassManager, PassPlan};
 use slc::sim::astinterp::equivalent;
 use slc::sim::presets;
-use slc::slms::{slms_program, Expansion, SlmsConfig};
+use slc::slms::{render_loop_trace, Expansion, SlmsConfig};
 use std::io::Read;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slc [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
-         \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]"
+        "usage: slc [--passes PLAN] [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
+         \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]\n\
+         \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [FILE]\n\
+         \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH] [--repeat N]"
     );
     exit(2)
 }
 
+/// Reject an option value with the accepted alternatives spelled out.
+fn die_invalid(flag: &str, got: Option<&str>, valid: &str) -> ! {
+    match got {
+        Some(v) => eprintln!("slc: invalid value `{v}` for {flag} (valid: {valid})"),
+        None => eprintln!("slc: {flag} requires a value (valid: {valid})"),
+    }
+    exit(2)
+}
+
+const MACHINES: &str = "itanium2, pentium, power4, arm7";
+const COMPILERS: &str = "weak, opt, ms";
+const EXPANSIONS: &str = "mve, scalar, off";
+
+fn parse_machine(flag: &str, got: Option<&str>) -> slc::machine::mach::MachineDesc {
+    match got {
+        Some("itanium2") => presets::itanium2(),
+        Some("pentium") => presets::pentium(),
+        Some("power4") => presets::power4(),
+        Some("arm7") => presets::arm7tdmi(),
+        other => die_invalid(flag, other, MACHINES),
+    }
+}
+
+fn parse_compiler(flag: &str, got: Option<&str>) -> CompilerKind {
+    match got {
+        Some("weak") => CompilerKind::Weak,
+        Some("opt") => CompilerKind::Optimizing,
+        Some("ms") => CompilerKind::OptimizingMs,
+        other => die_invalid(flag, other, COMPILERS),
+    }
+}
+
+fn parse_expansion(flag: &str, got: Option<&str>) -> Expansion {
+    match got {
+        Some("mve") => Expansion::Mve,
+        Some("scalar") => Expansion::ScalarExpand,
+        Some("off") => Expansion::Off,
+        other => die_invalid(flag, other, EXPANSIONS),
+    }
+}
+
+fn parse_plan(flag: &str, got: Option<&str>) -> PassPlan {
+    let text = got.unwrap_or_else(|| {
+        die_invalid(
+            flag,
+            None,
+            "a comma-separated pass plan, e.g. normalize,fuse:0+1,slms",
+        )
+    });
+    PassPlan::parse(text).unwrap_or_else(|e| {
+        eprintln!("slc: invalid value `{text}` for {flag}: {e}");
+        exit(2)
+    })
+}
+
+fn read_input(file: &Option<String>) -> String {
+    match file {
+        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("slc: cannot read {path}: {e}");
+            exit(1)
+        }),
+        None => {
+            let mut buf = String::new();
+            std::io::stdin().read_to_string(&mut buf).unwrap();
+            buf
+        }
+    }
+}
+
 fn batch_usage() -> ! {
-    eprintln!("usage: slc batch [--threads N] [--out PATH] [--timing PATH] [--repeat N]");
+    eprintln!(
+        "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH] [--repeat N]"
+    );
     exit(2)
 }
 
@@ -71,6 +152,7 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
                         .unwrap_or_else(|| batch_usage()),
                 )
             }
+            "--passes" => cfg.plan = parse_plan("--passes", args.next().as_deref()),
             "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--repeat" => {
@@ -107,62 +189,81 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
     exit(if report.failed() == 0 { 0 } else { 1 })
 }
 
+fn explain_main(args: impl Iterator<Item = String>) -> ! {
+    let mut cfg = SlmsConfig::default();
+    let mut plan = PassPlan::slms_only();
+    let mut all = false;
+    let mut file: Option<String> = None;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--passes" => plan = parse_plan("--passes", args.next().as_deref()),
+            "--no-filter" => cfg.apply_filter = false,
+            "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
+            "--all" => all = true,
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => usage(),
+        }
+    }
+
+    if all {
+        print!("{}", explain_all(&plan, &cfg));
+        exit(0)
+    }
+    let src = read_input(&file);
+    let text = explain_source(&src, &plan, &cfg);
+    print!("{text}");
+    exit(
+        if text.contains("parse error:") || text.contains("plan failed:") {
+            1
+        } else {
+            0
+        },
+    )
+}
+
 fn main() {
     let mut cfg = SlmsConfig::default();
+    let mut plan = PassPlan::slms_only();
     let mut paper_style = false;
     let mut report = false;
     let mut verify = false;
-    let mut simulate: Option<String> = None;
+    let mut simulate = None;
     let mut emit_asm = false;
     let mut compiler = CompilerKind::Optimizing;
     let mut file: Option<String> = None;
 
     let mut args = std::env::args().skip(1).peekable();
-    if args.peek().map(String::as_str) == Some("batch") {
-        args.next();
-        batch_main(args);
+    match args.peek().map(String::as_str) {
+        Some("batch") => {
+            args.next();
+            batch_main(args);
+        }
+        Some("explain") => {
+            args.next();
+            explain_main(args);
+        }
+        _ => {}
     }
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--expansion" => {
-                cfg.expansion = match args.next().as_deref() {
-                    Some("mve") => Expansion::Mve,
-                    Some("scalar") => Expansion::ScalarExpand,
-                    Some("off") => Expansion::Off,
-                    _ => usage(),
-                }
-            }
+            "--passes" => plan = parse_plan("--passes", args.next().as_deref()),
+            "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
             "--no-filter" => cfg.apply_filter = false,
             "--paper-style" => paper_style = true,
             "--report" => report = true,
             "--verify" => verify = true,
             "--emit-asm" => emit_asm = true,
-            "--simulate" => simulate = Some(args.next().unwrap_or_else(|| usage())),
-            "--compiler" => {
-                compiler = match args.next().as_deref() {
-                    Some("weak") => CompilerKind::Weak,
-                    Some("opt") => CompilerKind::Optimizing,
-                    Some("ms") => CompilerKind::OptimizingMs,
-                    _ => usage(),
-                }
-            }
+            "--simulate" => simulate = Some(parse_machine("--simulate", args.next().as_deref())),
+            "--compiler" => compiler = parse_compiler("--compiler", args.next().as_deref()),
             "--help" | "-h" => usage(),
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
     }
 
-    let src = match &file {
-        Some(path) => std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("slc: cannot read {path}: {e}");
-            exit(1)
-        }),
-        None => {
-            let mut buf = String::new();
-            std::io::stdin().read_to_string(&mut buf).unwrap();
-            buf
-        }
-    };
+    let src = read_input(&file);
     let prog = match parse_program(&src) {
         Ok(p) => p,
         Err(e) => {
@@ -171,13 +272,20 @@ fn main() {
         }
     };
 
-    let (out, outcomes) = slms_program(&prog, &cfg);
+    let pm = PassManager::new(cfg);
+    let (out, sink) = match pm.run(&prog, &plan) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("slc: {e}");
+            exit(1)
+        }
+    };
     if report {
-        for o in &outcomes {
+        for o in sink.all_outcomes() {
             match &o.result {
                 Ok(r) => eprintln!(
                     "slc: {} → II = {} ({} MIs, depth {}, unroll ×{}{}{})",
-                    o.loop_desc,
+                    o.id,
                     r.ii,
                     r.n_mis,
                     r.max_offset,
@@ -189,7 +297,10 @@ fn main() {
                         format!(", decomposed {:?}", r.decomposed)
                     },
                 ),
-                Err(e) => eprintln!("slc: {} left unchanged: {e}", o.loop_desc),
+                Err(e) => eprintln!("slc: {} left unchanged: {e}", o.id),
+            }
+            for line in render_loop_trace(o).lines().skip(1) {
+                eprintln!("slc:   {}", line.trim_start());
             }
         }
     }
@@ -229,14 +340,7 @@ fn main() {
         }
     }
 
-    if let Some(mname) = simulate {
-        let m = match mname.as_str() {
-            "itanium2" => presets::itanium2(),
-            "pentium" => presets::pentium(),
-            "power4" => presets::power4(),
-            "arm7" => presets::arm7tdmi(),
-            _ => usage(),
-        };
+    if let Some(m) = simulate {
         match (run(&prog, &m, compiler), run(&out, &m, compiler)) {
             (Ok(base), Ok(after)) => eprintln!(
                 "slc: {} cycles → {} cycles on {} ({:.3}× speedup, energy ×{:.3})",

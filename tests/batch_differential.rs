@@ -4,7 +4,7 @@
 //! report must be byte-identical across thread counts.
 
 use slc_core::{slms_program, SlmsConfig};
-use slc_pipeline::{compile, run_batch, BatchConfig, BatchEngine, CompilerKind};
+use slc_pipeline::{compile, run_batch, BatchConfig, BatchEngine, CompilerKind, PassPlan};
 use slc_sim::cycle::simulate;
 use slc_sim::power::EnergyModel;
 use slc_workloads::Variant;
@@ -102,6 +102,7 @@ fn report_is_thread_count_invariant() {
         machines: vec![slc_sim::presets::itanium2(), slc_sim::presets::arm7tdmi()],
         compilers: vec![CompilerKind::Weak, CompilerKind::OptimizingMs],
         slms: SlmsConfig::default(),
+        plan: PassPlan::slms_only(),
         threads: Some(1),
     };
     let serial = run_batch(&base).to_json();
@@ -165,4 +166,51 @@ fn measure_suite_matches_measure_workload() {
         assert_eq!(row.base_bundles, reference.base_bundles, "{}", w.name);
         assert_eq!(row.slms_bundles, reference.slms_bundles, "{}", w.name);
     }
+}
+
+/// Plan-keyed caching: a non-trivial pass plan is (a) thread-count
+/// invariant like the default, and (b) keyed separately from other plans
+/// on a shared engine — changing the plan forces fresh transform work.
+#[test]
+fn plan_keyed_reports_are_thread_invariant_and_isolated() {
+    let base = BatchConfig {
+        workloads: slc_workloads::paper_examples(),
+        machines: vec![slc_sim::presets::itanium2()],
+        compilers: vec![CompilerKind::Optimizing],
+        slms: SlmsConfig::default(),
+        plan: PassPlan::parse("normalize,slms").unwrap(),
+        threads: Some(1),
+    };
+    let serial = run_batch(&base).to_json();
+    for threads in [2, 8] {
+        let cfg = BatchConfig {
+            threads: Some(threads),
+            ..base.clone()
+        };
+        assert_eq!(
+            serial,
+            run_batch(&cfg).to_json(),
+            "plan-keyed report differs with {threads} threads"
+        );
+    }
+
+    let engine = BatchEngine::new();
+    engine.run(&base);
+    let misses_plan_a = engine.cache_report().slms.misses;
+    // same engine, same inputs, different plan → new cache keys, new misses
+    let cfg_b = BatchConfig {
+        plan: PassPlan::slms_only(),
+        ..base.clone()
+    };
+    engine.run(&cfg_b);
+    let misses_plan_b = engine.cache_report().slms.misses;
+    assert!(
+        misses_plan_b > misses_plan_a,
+        "distinct plans must not share transform artifacts ({misses_plan_a} vs {misses_plan_b})"
+    );
+    // and re-running either plan is now fully cached
+    let hits_before = engine.cache_report().slms.hits;
+    engine.run(&base);
+    assert_eq!(engine.cache_report().slms.misses, misses_plan_b);
+    assert!(engine.cache_report().slms.hits > hits_before);
 }

@@ -46,6 +46,7 @@ fn config_for(w: Workload, threads: usize) -> BatchConfig {
         machines: vec![slc_sim::presets::itanium2()],
         compilers: vec![CompilerKind::Optimizing, CompilerKind::OptimizingMs],
         slms: SlmsConfig::default(),
+        plan: slc_pipeline::PassPlan::slms_only(),
         threads: Some(threads),
     }
 }

@@ -167,6 +167,51 @@ fn sec6_order_of_transformations_matters() {
     );
 }
 
+/// The plan-driven §6 study must measure exactly what the hand-applied
+/// transforms measure: same per-loop IIs, same transformed programs.
+#[test]
+fn sec6_plans_match_hand_coded_transforms() {
+    use slc_core::slms_program;
+    use slc_pipeline::PassManager;
+    use slc_transforms::fuse;
+
+    let prog = slc_ast::parse_program(harness::SEC6_SRC).unwrap();
+    let cfg = harness::nofilter_cfg();
+    let pm = PassManager::new(cfg.clone());
+    let (plan_slms, plan_fuse_slms) = harness::sec6_plans();
+
+    let iis = |outcomes: &[slc_core::LoopOutcome]| -> Vec<i64> {
+        outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok().map(|r| r.ii))
+            .collect()
+    };
+
+    // SLMS-per-loop: plan vs direct slms_program
+    let (hand, hand_outcomes) = slms_program(&prog, &cfg);
+    let (via_plan, sink) = pm.run(&prog, &plan_slms).unwrap();
+    assert_eq!(slc_ast::to_source(&hand), slc_ast::to_source(&via_plan));
+    let plan_iis: Vec<i64> = sink
+        .all_outcomes()
+        .filter_map(|o| o.result.as_ref().ok().map(|r| r.ii))
+        .collect();
+    assert_eq!(iis(&hand_outcomes), plan_iis);
+    assert_eq!(plan_iis.len(), 2, "both twin loops pipelined");
+
+    // fusion→SLMS: plan vs hand-applied fuse + slms_program
+    let fused_stmt = fuse(&prog.stmts[0], &prog.stmts[1]).expect("same headers");
+    let mut fused = prog.clone();
+    fused.stmts = vec![fused_stmt];
+    let (hand2, hand2_outcomes) = slms_program(&fused, &cfg);
+    let (via_plan2, sink2) = pm.run(&prog, &plan_fuse_slms).unwrap();
+    assert_eq!(slc_ast::to_source(&hand2), slc_ast::to_source(&via_plan2));
+    let plan2_iis: Vec<i64> = sink2
+        .all_outcomes()
+        .filter_map(|o| o.result.as_ref().ok().map(|r| r.ii))
+        .collect();
+    assert_eq!(iis(&hand2_outcomes), plan2_iis);
+}
+
 #[test]
 fn arm_power_and_cycles_improve_for_compute_loops() {
     // ddot-like loops hide load latency on ARM → both metrics improve.

@@ -1,0 +1,122 @@
+//! Property-based testing of the pass framework: (1) plan text round-trips
+//! — `parse(render(plan)) == plan` for arbitrary plans; (2) any *valid*
+//! plan over random affine loops preserves interpreter semantics — the
+//! composition of §6 transforms and SLMS is observationally the identity.
+
+use proptest::prelude::*;
+use slc_ast::parse_program;
+use slc_core::SlmsConfig;
+use slc_pipeline::{PassManager, PassPlan, PassSpec};
+use slc_sim::astinterp::equivalent;
+
+fn spec_strategy() -> impl Strategy<Value = PassSpec> {
+    prop_oneof![
+        (any::<bool>(), 0usize..9).prop_map(|(all, t)| PassSpec::Normalize {
+            target: if all { None } else { Some(t) }
+        }),
+        (0usize..9, 0usize..9).prop_map(|(a, b)| PassSpec::Fuse { a, b }),
+        (0usize..9, 0usize..9).prop_map(|(target, split)| PassSpec::Distribute { target, split }),
+        (0usize..9).prop_map(|target| PassSpec::Interchange { target }),
+        (0usize..9).prop_map(|target| PassSpec::Reverse { target }),
+        (0usize..9, 0i64..9).prop_map(|(target, n)| PassSpec::Peel { target, n }),
+        (0usize..9, 1i64..9).prop_map(|(target, factor)| PassSpec::Unroll { target, factor }),
+        any::<bool>().prop_map(|no_filter| PassSpec::Slms { no_filter }),
+    ]
+}
+
+/// Plans that are legal on [`twin_loops`]: two top-level loops with
+/// identical headers, element-wise bodies (no loop-carried dependences),
+/// disjoint write sets, two statements each — so fusion, distribution,
+/// reversal, peeling, unrolling and SLMS all apply in any of these orders.
+const VALID_PLANS: [&str; 16] = [
+    "slms",
+    "slms:nofilter",
+    "normalize",
+    "normalize,slms",
+    "fuse:0+1,normalize,slms",
+    "fuse:0+1,slms:nofilter",
+    "fuse:0+1,distribute:0+2,slms",
+    "fuse:0+1,unroll:0+2,slms:nofilter",
+    "distribute:0+1,slms",
+    "distribute:1+1,slms:nofilter",
+    "reverse:0,slms",
+    "reverse:1,normalize,slms",
+    "unroll:0+2,slms:nofilter",
+    "unroll:1+3",
+    "peel:0+2,slms",
+    "peel:1+1,normalize,slms",
+];
+
+fn twin_loops(init: i64, bound: i64, step: i64, k1: i64, k2: i64, k3: i64) -> String {
+    format!(
+        "float A[96]; float B[96]; float C[96]; float D[96]; float E[96]; float F[96]; int i;\n\
+         for (i = {init}; i < {bound}; i += {step}) {{\n\
+           A[i] = B[i] * {k1}.0 + C[i];\n\
+           D[i] = A[i] + {k2}.0;\n\
+         }}\n\
+         for (i = {init}; i < {bound}; i += {step}) {{\n\
+           E[i] = C[i] * {k3}.0;\n\
+           F[i] = E[i] + B[i];\n\
+         }}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn plan_text_roundtrips(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+    ) {
+        let plan = PassPlan { specs };
+        let text = plan.to_string();
+        let reparsed = PassPlan::parse(&text).unwrap_or_else(|e| {
+            panic!("rendered plan `{text}` failed to parse: {e}")
+        });
+        prop_assert_eq!(&reparsed, &plan, "{}", text);
+        // rendering is canonical: a second round trip is a fixpoint
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_text_independent(
+        specs in proptest::collection::vec(spec_strategy(), 1..6),
+    ) {
+        let plan = PassPlan { specs };
+        let cfg = SlmsConfig::default();
+        let fp = plan.fingerprint(&cfg);
+        prop_assert_eq!(fp, plan.fingerprint(&cfg));
+        // parse(render(plan)) keys the same cache slot
+        let reparsed = PassPlan::parse(&plan.to_string()).unwrap();
+        prop_assert_eq!(fp, reparsed.fingerprint(&cfg));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn valid_plans_preserve_semantics(
+        plan_idx in 0usize..16,
+        init in 0i64..4,
+        span in 8i64..40,
+        step in prop_oneof![Just(1i64), Just(2), Just(3)],
+        k1 in 1i64..5,
+        k2 in 1i64..5,
+        k3 in 1i64..5,
+    ) {
+        let src = twin_loops(init, init + span, step, k1, k2, k3);
+        let prog = parse_program(&src).unwrap();
+        let plan = PassPlan::parse(VALID_PLANS[plan_idx]).unwrap();
+        let pm = PassManager::new(SlmsConfig::default());
+        let (out, _sink) = pm
+            .run(&prog, &plan)
+            .unwrap_or_else(|e| panic!("plan `{plan}` failed on:\n{src}\n{e}"));
+        if let Err(m) = equivalent(&prog, &out, &[3, 17, 2024]) {
+            panic!(
+                "plan `{plan}` changed semantics: {m:?}\nsrc:\n{src}\nout:\n{}",
+                slc_ast::to_source(&out)
+            );
+        }
+    }
+}
