@@ -11,9 +11,8 @@
 use crate::access::accesses_of_stmt;
 use crate::ddg::{Ddg, DepKind, Distance};
 use crate::mi::Mi;
-use slc_ast::visit::rewrite_expr;
-use slc_ast::Expr;
-use std::collections::HashMap;
+use slc_ast::{BinOp, Expr, Interner, Symbol, UnOp};
+use std::collections::{BTreeSet, HashMap};
 
 /// A ground-truth dependence observed by enumeration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -28,16 +27,49 @@ pub struct GroundDep {
     pub dist: i64,
 }
 
+/// Evaluate a subscript with `var := val`, directly on the tree — the same
+/// semantics as substituting and calling [`Expr::const_int`] (ints, unary
+/// negation, `+ - * / %` with non-zero divisors), but without cloning and
+/// rewriting the expression once per iteration.
 fn eval_subscript(e: &Expr, var: &str, val: i64) -> Option<i64> {
-    let mut c = e.clone();
-    rewrite_expr(&mut c, &mut |node| {
-        if let Expr::Var(n) = node {
-            if n == var {
-                *node = Expr::Int(val);
+    match e {
+        Expr::Int(v) => Some(*v),
+        Expr::Var(n) if n == var => Some(val),
+        Expr::Unary(UnOp::Neg, a) => eval_subscript(a, var, val).map(|v| -v),
+        Expr::Binary(op, a, b) => {
+            let (a, b) = (eval_subscript(a, var, val)?, eval_subscript(b, var, val)?);
+            match op {
+                BinOp::Add => Some(a + b),
+                BinOp::Sub => Some(a - b),
+                BinOp::Mul => Some(a * b),
+                BinOp::Div => (b != 0).then(|| a / b),
+                BinOp::Mod => (b != 0).then(|| a % b),
+                _ => None,
             }
         }
-    });
-    c.const_int()
+        _ => None,
+    }
+}
+
+/// A touched cell: interned array plus subscript vector. Subscripts of up to
+/// four dimensions (every workload in the suite) stay inline — no per-cell
+/// heap allocation in the enumeration loop.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Cell {
+    Inline(Symbol, u8, [i64; 4]),
+    Heap(Symbol, Vec<i64>),
+}
+
+impl Cell {
+    fn new(array: Symbol, idx: &[i64]) -> Cell {
+        if idx.len() <= 4 {
+            let mut buf = [0i64; 4];
+            buf[..idx.len()].copy_from_slice(idx);
+            Cell::Inline(array, idx.len() as u8, buf)
+        } else {
+            Cell::Heap(array, idx.to_vec())
+        }
+    }
 }
 
 /// Enumerate dependences of `mis` over iterations `lo..hi` (step 1) of
@@ -55,26 +87,27 @@ pub fn brute_force_deps(
     max_dist: i64,
 ) -> Option<Vec<GroundDep>> {
     // cell → chronological list of (iteration, mi, access-ordinal, write)
-    type Touches = HashMap<(String, Vec<i64>), Vec<(i64, usize, usize, bool)>>;
-    let mut touched: Touches = HashMap::new();
+    let mut names = Interner::new();
+    let mut touched: HashMap<Cell, Vec<(i64, usize, usize, bool)>> = HashMap::new();
+    let mut idx_buf: Vec<i64> = Vec::new();
     for (p, mi) in mis.iter().enumerate() {
         let acc = accesses_of_stmt(&mi.stmt);
+        // intern each access's array once, outside the iteration sweep
+        let syms: Vec<Symbol> = acc.arrays.iter().map(|a| names.intern(&a.array)).collect();
         for i in lo..hi {
             for (ord, a) in acc.arrays.iter().enumerate() {
-                let cell: Option<Vec<i64>> = a
-                    .indices
-                    .iter()
-                    .map(|ix| eval_subscript(ix, var, i))
-                    .collect();
-                let cell = cell?;
+                idx_buf.clear();
+                for ix in &a.indices {
+                    idx_buf.push(eval_subscript(ix, var, i)?);
+                }
                 touched
-                    .entry((a.array.clone(), cell))
+                    .entry(Cell::new(syms[ord], &idx_buf))
                     .or_default()
                     .push((i, p, ord, a.write));
             }
         }
     }
-    let mut out: Vec<GroundDep> = Vec::new();
+    let mut out: BTreeSet<GroundDep> = BTreeSet::new();
     for accesses in touched.values() {
         for (k1, &(i1, p, _o1, w1)) in accesses.iter().enumerate() {
             for &(i2, q, _o2, w2) in &accesses[k1..] {
@@ -100,20 +133,17 @@ pub fn brute_force_deps(
                     (true, true) => DepKind::Output,
                     _ => continue,
                 };
-                let dep = GroundDep {
+                out.insert(GroundDep {
                     from: first.1,
                     to: second.1,
                     kind,
                     dist,
-                };
-                if !out.contains(&dep) {
-                    out.push(dep);
-                }
+                });
             }
         }
     }
-    out.sort();
-    Some(out)
+    // BTreeSet iteration is already sorted and deduplicated
+    Some(out.into_iter().collect())
 }
 
 /// True if the DDG covers the ground-truth dependence (an edge with the same

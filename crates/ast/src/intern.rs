@@ -1,0 +1,87 @@
+//! String interning for hot-path consumers of the AST.
+//!
+//! The AST itself keeps `String` names — they are cheap at parse/transform
+//! time and keep `Program`'s structural equality and fingerprints stable.
+//! Interpreters and simulators, however, touch names once per loop *trip*
+//! (millions of times per batch run), where `HashMap<String, _>` lookups and
+//! `clone()`s dominate. They intern every name once up front and then index
+//! flat `Vec` frames by [`Symbol`].
+//!
+//! The interner is deliberately minimal: append-only, no external deps, and
+//! `Symbol` is a plain `u32` newtype so it can key dense vectors directly.
+
+use std::collections::HashMap;
+
+/// An interned name: an index into the owning [`Interner`]'s table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The symbol's dense index, for `Vec` frame addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only symbol table mapping names to dense [`Symbol`] ids.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, Symbol>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its symbol (stable across repeated calls).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&s) = self.map.get(name) {
+            return s;
+        }
+        let s = Symbol(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), s);
+        s
+    }
+
+    /// Look up a name without interning it.
+    pub fn get(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The name behind a symbol.
+    pub fn resolve(&self, s: Symbol) -> &str {
+        &self.names[s.index()]
+    }
+
+    /// Number of interned symbols (also the frame size needed to index all
+    /// symbols issued so far).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(it.intern("a"), a);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(b), "b");
+        assert_eq!(it.get("c"), None);
+    }
+}

@@ -30,6 +30,7 @@
 //! compiler.
 
 pub mod expr;
+pub mod intern;
 pub mod lexer;
 pub mod loopid;
 pub mod parser;
@@ -39,6 +40,7 @@ pub mod stmt;
 pub mod visit;
 
 pub use expr::{BinOp, CmpOp, Expr, LValue, UnOp};
+pub use intern::{Interner, Symbol};
 pub use lexer::{Lexer, Token};
 pub use loopid::{innermost_loop_ids, LoopId};
 pub use parser::{parse_expr, parse_program, parse_stmts, ParseError};

@@ -1,0 +1,84 @@
+//! Simulator and interpreter throughput: the hot-path optimisations this
+//! workspace ships (symbol interning, compiled address streams, steady-state
+//! fast-forward) are wall-clock-only — results are bit-identical — so this
+//! bench is where their effect is visible. Reported both as ns/iter (shim
+//! default) and as simulated trips per second, Fast vs Reference fidelity.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slc_pipeline::{compile, CompilerKind};
+use slc_sim::astinterp::{run_in_env, run_in_env_tree, Env, DEFAULT_BUDGET};
+use slc_sim::cycle::{simulate_with, SimFidelity};
+use slc_sim::presets::itanium2;
+use slc_sim::{resolve, run_resolved};
+use std::time::Instant;
+
+/// Median-of-batches trips/sec for one simulator invocation.
+fn trips_per_sec(trips: u64, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..5 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    trips as f64 / best.max(1e-12)
+}
+
+fn bench(c: &mut Criterion) {
+    let m = itanium2();
+    let mut g = c.benchmark_group("sim_throughput");
+    for name in ["kernel1_hydro", "kernel18_hydro2d"] {
+        let w = slc_workloads::livermore()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
+        let prog = w.program();
+        let comp = compile(&prog, &m, CompilerKind::Optimizing).unwrap();
+
+        // cycle simulator, fast vs reference fidelity
+        let trips = simulate_with(&comp.compiled, &m, SimFidelity::Fast)
+            .ff
+            .trips_total;
+        g.bench_function(&format!("cycle_fast/{name}"), |b| {
+            b.iter(|| simulate_with(black_box(&comp.compiled), &m, SimFidelity::Fast))
+        });
+        g.bench_function(&format!("cycle_reference/{name}"), |b| {
+            b.iter(|| simulate_with(black_box(&comp.compiled), &m, SimFidelity::Reference))
+        });
+        let fast = trips_per_sec(trips, || {
+            black_box(simulate_with(&comp.compiled, &m, SimFidelity::Fast));
+        });
+        let reference = trips_per_sec(trips, || {
+            black_box(simulate_with(&comp.compiled, &m, SimFidelity::Reference));
+        });
+        println!(
+            "  throughput cycle/{name}: fast {fast:.0} trips/s, reference {reference:.0} trips/s ({:.1}x)",
+            fast / reference.max(1e-12)
+        );
+
+        // AST interpreter, resolved vs tree walk
+        let rp = resolve(&prog);
+        let env0 = Env::zeroed(&prog);
+        g.bench_function(&format!("interp_resolved/{name}"), |b| {
+            b.iter(|| {
+                let mut env = env0.clone();
+                run_resolved(black_box(&rp), &mut env, DEFAULT_BUDGET)
+            })
+        });
+        g.bench_function(&format!("interp_resolve_and_run/{name}"), |b| {
+            b.iter(|| {
+                let mut env = env0.clone();
+                run_in_env(black_box(&prog), &mut env)
+            })
+        });
+        g.bench_function(&format!("interp_tree/{name}"), |b| {
+            b.iter(|| {
+                let mut env = env0.clone();
+                run_in_env_tree(black_box(&prog), &mut env)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -220,9 +220,16 @@ impl Op {
     /// Source registers (including the predicate guard).
     pub fn srcs(&self) -> Vec<VReg> {
         let mut out = Vec::new();
+        self.visit_srcs(|r| out.push(r));
+        out
+    }
+
+    /// Visit source registers (including the predicate guard) without
+    /// allocating — the cycle simulator calls this once per op per trip.
+    pub fn visit_srcs(&self, mut f: impl FnMut(VReg)) {
         let mut push = |o: &Operand| {
             if let Operand::Reg(r) = o {
-                out.push(*r);
+                f(*r);
             }
         };
         match &self.kind {
@@ -241,9 +248,8 @@ impl Op {
             OpKind::Branch => {}
         }
         if let Some((p, _)) = self.pred {
-            out.push(p);
+            f(p);
         }
-        out
     }
 
     /// Memory access info: (array, address linform, is_store).

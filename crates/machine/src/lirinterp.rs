@@ -14,8 +14,17 @@
 //! from the symbolic linear forms evaluated against the live loop indices.
 //! Programs whose memory ops carry no linear form (non-affine subscripts)
 //! cannot be value-executed and report [`LirExecError::UnknownAddress`].
+//!
+//! Hot path: the program is *compiled once* before execution — array names
+//! interned to dense slots, the register file flattened to a `Vec` with a
+//! written-mask, and each memory op's linear form resolved into
+//! `konst + Σ coeff · slot` terms (env slot first, scalar-register fallback,
+//! preserving the original lookup order). The per-trip inner loop then never
+//! touches a `HashMap`. The public [`exec_lir`] API and the returned
+//! [`LirState`] (maps keyed by name/register) are unchanged.
 
 use crate::ir::{BinKind, Lir, LirLoop, LirProgram, Op, OpKind, Operand, VReg};
+use slc_ast::Interner;
 use std::collections::HashMap;
 
 /// Runtime value of a register (dynamically typed like the AST oracle).
@@ -88,60 +97,157 @@ pub struct LirState {
     pub scalar_regs: HashMap<String, VReg>,
 }
 
-impl LirState {
-    fn operand(&self, o: &Operand) -> RVal {
-        match o {
-            Operand::Reg(r) => self.regs.get(r).copied().unwrap_or(RVal::F(0.0)),
-            Operand::ImmI(v) => RVal::I(*v),
-            Operand::ImmF(v) => RVal::F(*v),
-        }
-    }
+/// One linear-form term, resolved at compile time. The env slot is `None`
+/// when the variable is not a loop variable anywhere in the program (so the
+/// env lookup can never hit) and the register is `None` when the variable is
+/// not a tracked scalar either.
+#[derive(Debug, Clone, Copy)]
+struct CTerm {
+    env: Option<u32>,
+    reg: Option<VReg>,
+    coeff: i64,
+}
 
-    fn addr(&self, op: &Op) -> Result<(String, i64), LirExecError> {
-        let (array, lin, _) = op.mem().expect("mem op");
-        let Some(lin) = lin else {
-            return Err(LirExecError::UnknownAddress(array.to_string()));
-        };
-        let mut v = lin.konst;
-        for (var, c) in &lin.terms {
-            let val = match self.env.get(var) {
-                Some(x) => *x,
-                None => match self.scalar_regs.get(var).and_then(|r| self.regs.get(r)) {
-                    Some(RVal::I(x)) => *x,
-                    Some(RVal::F(x)) if x.fract() == 0.0 => *x as i64,
-                    _ => return Err(LirExecError::UnknownAddress(array.to_string())),
-                },
-            };
-            v += c * val;
-        }
-        Ok((array.to_string(), v))
-    }
+/// A compiled memory address: `konst + Σ coeff · value(term)` into an
+/// interned array slot. `known == false` marks a non-affine subscript that
+/// errors when (and only when) the op actually executes.
+#[derive(Debug, Clone)]
+struct CAddr {
+    array: u32,
+    known: bool,
+    konst: i64,
+    terms: Vec<CTerm>,
+}
 
-    fn exec_op(&mut self, op: &Op) -> Result<(), LirExecError> {
-        if let Some((p, sense)) = op.pred {
-            let pv = self.regs.get(&p).copied().unwrap_or(RVal::I(0));
-            if pv.truthy() != sense {
-                return Ok(());
+#[derive(Debug, Clone)]
+enum CKind {
+    Load {
+        dst: VReg,
+        addr: CAddr,
+    },
+    Store {
+        src: Operand,
+        addr: CAddr,
+    },
+    Bin {
+        op: BinKind,
+        fp: bool,
+        dst: VReg,
+        a: Operand,
+        b: Operand,
+    },
+    Mov {
+        dst: VReg,
+        src: Operand,
+    },
+    /// intrinsic with the dispatch resolved: 0=abs 1=sqrt 2=exp 3=sign
+    /// 4=min 5=max 6=unknown (evaluates to 0.0, like the tree walk)
+    Intrinsic {
+        which: u8,
+        dst: VReg,
+        args: Vec<Operand>,
+    },
+    Branch,
+}
+
+#[derive(Debug, Clone)]
+struct COp {
+    pred: Option<(VReg, bool)>,
+    kind: CKind,
+}
+
+#[derive(Debug, Clone)]
+enum CItem {
+    Block(Vec<COp>),
+    Loop {
+        var: u32,
+        init: i64,
+        step: i64,
+        trips: i64,
+        body: Vec<CItem>,
+    },
+}
+
+struct Compiler<'p> {
+    arrays: Interner,
+    /// loop variables only — the dynamic env can never hold anything else
+    env_vars: Interner,
+    scalar_regs: HashMap<&'p str, VReg>,
+    max_reg: u32,
+}
+
+impl<'p> Compiler<'p> {
+    fn collect_loop_vars(&mut self, items: &[Lir]) {
+        for item in items {
+            if let Lir::Loop(l) = item {
+                self.env_vars.intern(&l.var);
+                self.collect_loop_vars(&l.body);
             }
         }
-        match &op.kind {
-            OpKind::Load { dst, .. } => {
-                let (array, idx) = self.addr(op)?;
-                let arr = self.arrays.entry(array.clone()).or_default();
-                if idx < 0 || idx as usize >= arr.len() {
-                    return Err(LirExecError::OutOfBounds { array, index: idx });
+    }
+
+    fn note_reg(&mut self, r: VReg) {
+        self.max_reg = self.max_reg.max(r + 1);
+    }
+
+    fn note_operand(&mut self, o: &Operand) {
+        if let Operand::Reg(r) = o {
+            self.note_reg(*r);
+        }
+    }
+
+    fn addr(&mut self, op: &Op) -> CAddr {
+        let (array, lin, _) = op.mem().expect("mem op");
+        let array = self.arrays.intern(array).0;
+        let Some(lin) = lin else {
+            return CAddr {
+                array,
+                known: false,
+                konst: 0,
+                terms: Vec::new(),
+            };
+        };
+        let terms = lin
+            .terms
+            .iter()
+            .map(|(var, c)| {
+                let reg = self.scalar_regs.get(var.as_str()).copied();
+                if let Some(r) = reg {
+                    self.note_reg(r);
                 }
-                let v = arr[idx as usize];
-                self.regs.insert(*dst, RVal::F(v));
+                CTerm {
+                    env: self.env_vars.get(var).map(|s| s.0),
+                    reg,
+                    coeff: *c,
+                }
+            })
+            .collect();
+        CAddr {
+            array,
+            known: true,
+            konst: lin.konst,
+            terms,
+        }
+    }
+
+    fn op(&mut self, op: &Op) -> COp {
+        if let Some((p, _)) = op.pred {
+            self.note_reg(p);
+        }
+        let kind = match &op.kind {
+            OpKind::Load { dst, .. } => {
+                self.note_reg(*dst);
+                CKind::Load {
+                    dst: *dst,
+                    addr: self.addr(op),
+                }
             }
             OpKind::Store { src, .. } => {
-                let v = self.operand(src).as_f64();
-                let (array, idx) = self.addr(op)?;
-                let arr = self.arrays.entry(array.clone()).or_default();
-                if idx < 0 || idx as usize >= arr.len() {
-                    return Err(LirExecError::OutOfBounds { array, index: idx });
+                self.note_operand(src);
+                CKind::Store {
+                    src: *src,
+                    addr: self.addr(op),
                 }
-                arr[idx as usize] = v;
             }
             OpKind::Bin {
                 op: k,
@@ -150,55 +256,229 @@ impl LirState {
                 a,
                 b,
             } => {
-                let (va, vb) = (self.operand(a), self.operand(b));
-                let out = exec_bin(*k, *fp, va, vb)?;
-                self.regs.insert(*dst, out);
+                self.note_reg(*dst);
+                self.note_operand(a);
+                self.note_operand(b);
+                CKind::Bin {
+                    op: *k,
+                    fp: *fp,
+                    dst: *dst,
+                    a: *a,
+                    b: *b,
+                }
             }
             OpKind::Mov { dst, src } => {
-                let v = self.operand(src);
-                self.regs.insert(*dst, v);
+                self.note_reg(*dst);
+                self.note_operand(src);
+                CKind::Mov {
+                    dst: *dst,
+                    src: *src,
+                }
             }
             OpKind::Intrinsic {
                 name, dst, args, ..
             } => {
+                self.note_reg(*dst);
+                for a in args {
+                    self.note_operand(a);
+                }
+                let which = match name.as_str() {
+                    "abs" => 0,
+                    "sqrt" => 1,
+                    "exp" => 2,
+                    "sign" => 3,
+                    "min" => 4,
+                    "max" => 5,
+                    _ => 6,
+                };
+                CKind::Intrinsic {
+                    which,
+                    dst: *dst,
+                    args: args.clone(),
+                }
+            }
+            OpKind::Branch => CKind::Branch,
+        };
+        COp {
+            pred: op.pred,
+            kind,
+        }
+    }
+
+    fn items(&mut self, items: &[Lir]) -> Vec<CItem> {
+        items
+            .iter()
+            .map(|item| match item {
+                Lir::Block(ops) => CItem::Block(ops.iter().map(|o| self.op(o)).collect()),
+                Lir::Loop(l) => self.loop_(l),
+            })
+            .collect()
+    }
+
+    fn loop_(&mut self, l: &LirLoop) -> CItem {
+        CItem::Loop {
+            var: self.env_vars.intern(&l.var).0,
+            init: l.init,
+            step: l.step,
+            trips: l.trips,
+            body: self.items(&l.body),
+        }
+    }
+}
+
+/// Dense execution frame. Register reads distinguish "never written" from
+/// real values so the defaults (`F(0.0)` for operands, `I(0)` for
+/// predicates, address-term error for linform scalars) match the map-based
+/// semantics exactly.
+struct Exec {
+    regs: Vec<RVal>,
+    written: Vec<bool>,
+    arrays: Vec<Vec<f64>>,
+    present: Vec<bool>,
+    env: Vec<Option<i64>>,
+}
+
+impl Exec {
+    fn operand(&self, o: &Operand) -> RVal {
+        match o {
+            Operand::Reg(r) => {
+                if self.written[*r as usize] {
+                    self.regs[*r as usize]
+                } else {
+                    RVal::F(0.0)
+                }
+            }
+            Operand::ImmI(v) => RVal::I(*v),
+            Operand::ImmF(v) => RVal::F(*v),
+        }
+    }
+
+    fn set_reg(&mut self, r: VReg, v: RVal) {
+        self.regs[r as usize] = v;
+        self.written[r as usize] = true;
+    }
+
+    fn addr(&self, a: &CAddr, names: &Interner) -> Result<(u32, i64), LirExecError> {
+        let unknown =
+            || LirExecError::UnknownAddress(names.resolve(slc_ast::Symbol(a.array)).to_string());
+        if !a.known {
+            return Err(unknown());
+        }
+        let mut v = a.konst;
+        for t in &a.terms {
+            let val = match t.env.and_then(|s| self.env[s as usize]) {
+                Some(x) => x,
+                None => match t.reg {
+                    Some(r) if self.written[r as usize] => match self.regs[r as usize] {
+                        RVal::I(x) => x,
+                        RVal::F(x) if x.fract() == 0.0 => x as i64,
+                        _ => return Err(unknown()),
+                    },
+                    _ => return Err(unknown()),
+                },
+            };
+            v += t.coeff * val;
+        }
+        Ok((a.array, v))
+    }
+
+    fn exec_op(&mut self, op: &COp, names: &Interner) -> Result<(), LirExecError> {
+        if let Some((p, sense)) = op.pred {
+            let pv = if self.written[p as usize] {
+                self.regs[p as usize]
+            } else {
+                RVal::I(0)
+            };
+            if pv.truthy() != sense {
+                return Ok(());
+            }
+        }
+        match &op.kind {
+            CKind::Load { dst, addr } => {
+                let (slot, idx) = self.addr(addr, names)?;
+                self.present[slot as usize] = true;
+                let arr = &self.arrays[slot as usize];
+                if idx < 0 || idx as usize >= arr.len() {
+                    return Err(LirExecError::OutOfBounds {
+                        array: names.resolve(slc_ast::Symbol(slot)).to_string(),
+                        index: idx,
+                    });
+                }
+                let v = arr[idx as usize];
+                self.set_reg(*dst, RVal::F(v));
+            }
+            CKind::Store { src, addr } => {
+                let v = self.operand(src).as_f64();
+                let (slot, idx) = self.addr(addr, names)?;
+                self.present[slot as usize] = true;
+                let arr = &mut self.arrays[slot as usize];
+                if idx < 0 || idx as usize >= arr.len() {
+                    return Err(LirExecError::OutOfBounds {
+                        array: names.resolve(slc_ast::Symbol(slot)).to_string(),
+                        index: idx,
+                    });
+                }
+                arr[idx as usize] = v;
+            }
+            CKind::Bin {
+                op: k,
+                fp,
+                dst,
+                a,
+                b,
+            } => {
+                let (va, vb) = (self.operand(a), self.operand(b));
+                let out = exec_bin(*k, *fp, va, vb)?;
+                self.set_reg(*dst, out);
+            }
+            CKind::Mov { dst, src } => {
+                let v = self.operand(src);
+                self.set_reg(*dst, v);
+            }
+            CKind::Intrinsic { which, dst, args } => {
                 let f = |k: usize| args.get(k).map(|a| self.operand(a).as_f64()).unwrap_or(0.0);
-                let out = match name.as_str() {
-                    "abs" => f(0).abs(),
-                    "sqrt" => f(0).sqrt(),
-                    "exp" => f(0).exp(),
-                    "sign" => f(0).signum(),
-                    "min" => f(0).min(f(1)),
-                    "max" => f(0).max(f(1)),
+                let out = match which {
+                    0 => f(0).abs(),
+                    1 => f(0).sqrt(),
+                    2 => f(0).exp(),
+                    3 => f(0).signum(),
+                    4 => f(0).min(f(1)),
+                    5 => f(0).max(f(1)),
                     _ => 0.0,
                 };
-                self.regs.insert(*dst, RVal::F(out));
+                self.set_reg(*dst, RVal::F(out));
             }
-            OpKind::Branch => {}
+            CKind::Branch => {}
         }
         Ok(())
     }
 
-    fn exec_loop(&mut self, l: &LirLoop) -> Result<(), LirExecError> {
-        for t in 0..l.trips {
-            self.env.insert(l.var.clone(), l.init + t * l.step);
-            for item in &l.body {
-                self.exec_item(item)?;
-            }
-        }
-        // loop variable register already updated by the lowered control ops
-        self.env.insert(l.var.clone(), l.init + l.trips * l.step);
-        Ok(())
-    }
-
-    fn exec_item(&mut self, item: &Lir) -> Result<(), LirExecError> {
+    fn exec_item(&mut self, item: &CItem, names: &Interner) -> Result<(), LirExecError> {
         match item {
-            Lir::Block(ops) => {
+            CItem::Block(ops) => {
                 for op in ops {
-                    self.exec_op(op)?;
+                    self.exec_op(op, names)?;
                 }
                 Ok(())
             }
-            Lir::Loop(l) => self.exec_loop(l),
+            CItem::Loop {
+                var,
+                init,
+                step,
+                trips,
+                body,
+            } => {
+                for t in 0..*trips {
+                    self.env[*var as usize] = Some(init + t * step);
+                    for item in body {
+                        self.exec_item(item, names)?;
+                    }
+                }
+                // loop variable register already updated by the lowered
+                // control ops
+                self.env[*var as usize] = Some(init + trips * step);
+                Ok(())
+            }
         }
     }
 }
@@ -287,18 +567,96 @@ pub fn exec_lir(
     init_arrays: HashMap<String, Vec<f64>>,
     init_regs: HashMap<VReg, RVal>,
 ) -> Result<LirState, LirExecError> {
+    // compile once: intern names, resolve address terms, size the frame
+    let mut c = Compiler {
+        arrays: Interner::new(),
+        env_vars: Interner::new(),
+        scalar_regs: prog
+            .scalar_regs
+            .iter()
+            .map(|(n, r)| (n.as_str(), *r))
+            .collect(),
+        max_reg: prog.n_regs,
+    };
+    for (name, _) in &prog.arrays {
+        c.arrays.intern(name);
+    }
+    c.collect_loop_vars(&prog.items);
+    let items = c.items(&prog.items);
+    for r in init_regs.keys() {
+        c.max_reg = c.max_reg.max(r + 1);
+    }
+
+    let mut init_arrays = init_arrays;
+    let mut ex = Exec {
+        regs: vec![RVal::F(0.0); c.max_reg as usize],
+        written: vec![false; c.max_reg as usize],
+        arrays: Vec::with_capacity(c.arrays.len()),
+        present: Vec::with_capacity(c.arrays.len()),
+        env: vec![None; c.env_vars.len()],
+    };
+    for (r, v) in &init_regs {
+        ex.set_reg(*r, *v);
+    }
+    // declared arrays start zeroed; seeded arrays are moved in; arrays only
+    // mentioned by (out-of-spec) mem ops materialize lazily as empty, like
+    // the old `entry().or_default()` did
+    let declared: HashMap<&str, usize> =
+        prog.arrays.iter().map(|(n, l)| (n.as_str(), *l)).collect();
+    for s in 0..c.arrays.len() as u32 {
+        let name = c.arrays.resolve(slc_ast::Symbol(s));
+        match init_arrays.remove(name) {
+            Some(a) => {
+                ex.arrays.push(a);
+                ex.present.push(true);
+            }
+            None => match declared.get(name) {
+                Some(len) => {
+                    ex.arrays.push(vec![0.0; *len]);
+                    ex.present.push(true);
+                }
+                None => {
+                    ex.arrays.push(Vec::new());
+                    ex.present.push(false);
+                }
+            },
+        }
+    }
+
+    let mut result = Ok(());
+    for item in &items {
+        result = ex.exec_item(item, &c.arrays);
+        if result.is_err() {
+            break;
+        }
+    }
+    result?;
+
+    // flatten the frame back into the map-keyed public state
     let mut st = LirState {
-        regs: init_regs,
-        arrays: init_arrays,
+        regs: HashMap::new(),
+        arrays: init_arrays, // entries never referenced by the program
         env: HashMap::new(),
         scalar_regs: prog.scalar_regs.iter().cloned().collect(),
     };
-    // ensure declared arrays exist
-    for (name, len) in &prog.arrays {
-        st.arrays.entry(name.clone()).or_insert(vec![0.0; *len]);
+    for (r, w) in ex.written.iter().enumerate() {
+        if *w {
+            st.regs.insert(r as VReg, ex.regs[r]);
+        }
     }
-    for item in &prog.items {
-        st.exec_item(item)?;
+    for (s, a) in ex.arrays.into_iter().enumerate() {
+        if ex.present[s] {
+            st.arrays
+                .insert(c.arrays.resolve(slc_ast::Symbol(s as u32)).to_string(), a);
+        }
+    }
+    for (s, v) in ex.env.iter().enumerate() {
+        if let Some(v) = v {
+            st.env.insert(
+                c.env_vars.resolve(slc_ast::Symbol(s as u32)).to_string(),
+                *v,
+            );
+        }
     }
     Ok(st)
 }
@@ -368,5 +726,18 @@ mod tests {
             "{:?}",
             st.regs
         );
+    }
+
+    #[test]
+    fn final_env_and_seeded_arrays_roundtrip() {
+        let p = parse_program("float A[3]; int i; for (i = 0; i < 3; i++) A[i] = 1.0;").unwrap();
+        let lir = lower_program(&p).unwrap();
+        let mut arrays = HashMap::new();
+        // an array the program never mentions must pass through untouched
+        arrays.insert("UNRELATED".to_string(), vec![7.0]);
+        let st = exec_lir(&lir, arrays, HashMap::new()).unwrap();
+        assert_eq!(st.env.get("i"), Some(&3));
+        assert_eq!(st.arrays["UNRELATED"], vec![7.0]);
+        assert_eq!(st.arrays["A"], vec![1.0; 3]);
     }
 }

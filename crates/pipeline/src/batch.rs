@@ -40,7 +40,7 @@ use slc_core::{LoopOutcome, SlmsConfig};
 use slc_machine::ir::LirProgram;
 use slc_machine::lower::{lower_program, LowerError};
 use slc_machine::mach::MachineDesc;
-use slc_sim::cycle::{simulate, SimResult};
+use slc_sim::cycle::{simulate_with, FfStats, SimFidelity, SimResult};
 use slc_sim::power::EnergyModel;
 use slc_workloads::{enumerate_matrix, MatrixCell, Variant, Workload};
 use std::collections::BTreeMap;
@@ -197,6 +197,10 @@ pub struct TimingReport {
     pub sim_ns: u64,
     /// per-pass breakdown of `slms_ns`, sorted by pass name
     pub passes: Vec<PassTiming>,
+    /// steady-state fast-forward counters accumulated over simulation
+    /// misses (deterministic per config, but reported in the sidecar next
+    /// to the wall-clock they explain)
+    pub steady: FfStats,
 }
 
 /// Result of one batch run.
@@ -270,6 +274,47 @@ impl BatchReport {
                     .field("simulate", t.sim_ns as f64 / 1e6),
             )
             .field("pass_ms", passes)
+            .field(
+                "sim_steady_state",
+                Json::obj()
+                    .field("fast_loops", t.steady.fast_loops)
+                    .field("fallback_loops", t.steady.fallback_loops)
+                    .field("ff_hits", t.steady.ff_hits)
+                    .field("ff_misses", t.steady.ff_misses)
+                    .field("trips_total", t.steady.trips_total)
+                    .field("trips_skipped", t.steady.trips_skipped),
+            )
+            .to_pretty()
+    }
+
+    /// Simulator throughput baseline (`BENCH_sim.json`): the simulate
+    /// stage's wall clock against the trip counts it covered, plus the
+    /// steady-state fast-forward counters that explain the rate. Derived
+    /// from the v2 timing sidecar, so it is wall-clock data — a baseline to
+    /// compare against, not part of the canonical deterministic report.
+    pub fn sim_bench_json(&self) -> String {
+        let t = &self.timing;
+        let sim_s = t.sim_ns as f64 / 1e9;
+        let trips_per_sec = if sim_s > 0.0 {
+            t.steady.trips_total as f64 / sim_s
+        } else {
+            0.0
+        };
+        Json::obj()
+            .field("schema", "slc-sim-bench-v1")
+            .field("threads", t.threads)
+            .field("simulate_ms", t.sim_ns as f64 / 1e6)
+            .field("trips_total", t.steady.trips_total)
+            .field("trips_per_sec", trips_per_sec)
+            .field(
+                "steady_state",
+                Json::obj()
+                    .field("fast_loops", t.steady.fast_loops)
+                    .field("fallback_loops", t.steady.fallback_loops)
+                    .field("ff_hits", t.steady.ff_hits)
+                    .field("ff_misses", t.steady.ff_misses)
+                    .field("trips_skipped", t.steady.trips_skipped),
+            )
             .to_pretty()
     }
 
@@ -357,6 +402,8 @@ pub struct BatchEngine {
     compile_ns: AtomicU64,
     sim_ns: AtomicU64,
     pass_ns: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// steady-state fast-forward counters (six lanes matching `FfStats`)
+    ff: [AtomicU64; 6],
 }
 
 fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
@@ -414,6 +461,14 @@ impl BatchEngine {
                 compile_ns: self.compile_ns.load(Ordering::Relaxed),
                 sim_ns: self.sim_ns.load(Ordering::Relaxed),
                 passes,
+                steady: FfStats {
+                    fast_loops: self.ff[0].load(Ordering::Relaxed),
+                    fallback_loops: self.ff[1].load(Ordering::Relaxed),
+                    ff_hits: self.ff[2].load(Ordering::Relaxed),
+                    ff_misses: self.ff[3].load(Ordering::Relaxed),
+                    trips_total: self.ff[4].load(Ordering::Relaxed),
+                    trips_skipped: self.ff[5].load(Ordering::Relaxed),
+                },
             },
         }
     }
@@ -530,7 +585,20 @@ impl BatchEngine {
 
         // 4. simulate (cached under the same key as the schedule)
         let sim = self.sim.get_or_compute(compile_key, || {
-            timed(&self.sim_ns, || simulate(&comp.compiled, m))
+            timed(&self.sim_ns, || {
+                let out = simulate_with(&comp.compiled, m, SimFidelity::Fast);
+                for (slot, v) in self.ff.iter().zip([
+                    out.ff.fast_loops,
+                    out.ff.fallback_loops,
+                    out.ff.ff_hits,
+                    out.ff.ff_misses,
+                    out.ff.trips_total,
+                    out.ff.trips_skipped,
+                ]) {
+                    slot.fetch_add(v, Ordering::Relaxed);
+                }
+                out.result
+            })
         });
         let power = EnergyModel::default().report(&sim);
 

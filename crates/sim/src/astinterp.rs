@@ -227,7 +227,7 @@ pub struct Interp<'a> {
     steps_left: u64,
 }
 
-fn arith(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
+pub(crate) fn arith(op: BinOp, a: Value, b: Value) -> Result<Value, RuntimeError> {
     use Value::*;
     Ok(match (op, a, b) {
         (BinOp::Add, I(x), I(y)) => I(x.wrapping_add(y)),
@@ -384,6 +384,13 @@ impl<'a> Interp<'a> {
         Ok(Flow::Normal)
     }
 
+    /// Execute a statement list to completion (crate-internal entry point
+    /// for the differential tests against [`crate::fastinterp`]).
+    #[cfg(test)]
+    pub(crate) fn run_block(&mut self, stmts: &[Stmt]) -> Result<(), RuntimeError> {
+        self.exec_block(stmts).map(|_| ())
+    }
+
     /// Execute one statement.
     fn exec(&mut self, s: &Stmt) -> Result<Flow, RuntimeError> {
         if self.steps_left == 0 {
@@ -407,14 +414,19 @@ impl<'a> Interp<'a> {
                 }
             }
             Stmt::For(f) => {
+                // hoisted out of the trip loop: one allocation per loop
+                // entry instead of three per iteration
+                let target = LValue::Var(f.var.clone());
+                let cond_var = Expr::Var(f.var.clone());
+                let step_expr = Expr::Int(f.step);
                 // init
-                self.assign(&LValue::Var(f.var.clone()), AssignOp::Set, &f.init)?;
+                self.assign(&target, AssignOp::Set, &f.init)?;
                 loop {
                     if self.steps_left == 0 {
                         return Err(RuntimeError::StepBudgetExhausted);
                     }
                     self.steps_left -= 1;
-                    let v = self.eval(&Expr::Var(f.var.clone()))?;
+                    let v = self.eval(&cond_var)?;
                     let b = self.eval(&f.bound)?;
                     let cont = match f.cmp {
                         CmpOp::Lt => v.as_f64() < b.as_f64(),
@@ -430,11 +442,7 @@ impl<'a> Interp<'a> {
                     if let Flow::Break = self.exec_block(&f.body)? {
                         break;
                     }
-                    self.assign(
-                        &LValue::Var(f.var.clone()),
-                        AssignOp::Add,
-                        &Expr::Int(f.step),
-                    )?;
+                    self.assign(&target, AssignOp::Add, &step_expr)?;
                 }
                 Ok(Flow::Normal)
             }
@@ -481,7 +489,22 @@ fn intrinsic(name: &str, args: &[Value]) -> Result<Value, RuntimeError> {
 pub const DEFAULT_BUDGET: u64 = 50_000_000;
 
 /// Run a program to completion in `env`.
+///
+/// Routes through the slot-indexed interpreter in [`crate::fastinterp`];
+/// semantics are bit-identical to the tree walk
+/// (see [`run_in_env_tree`]).
 pub fn run_in_env(prog: &Program, env: &mut Env) -> Result<(), RuntimeError> {
+    for d in &prog.decls {
+        env.declare(d);
+    }
+    let rp = crate::fastinterp::resolve(prog);
+    crate::fastinterp::run_resolved(&rp, env, DEFAULT_BUDGET)
+}
+
+/// [`run_in_env`] via the original tree-walking interpreter. Kept as the
+/// reference implementation: the differential tests and the interpreter
+/// throughput benchmark run both paths and hold them equal.
+pub fn run_in_env_tree(prog: &Program, env: &mut Env) -> Result<(), RuntimeError> {
     for d in &prog.decls {
         env.declare(d);
     }
@@ -508,8 +531,8 @@ pub fn run_program(prog: &Program) -> Result<Env, RuntimeError> {
 /// [`run_program`] with an explicit step budget.
 pub fn run_program_budget(prog: &Program, budget: u64) -> Result<Env, RuntimeError> {
     let mut env = Env::zeroed(prog);
-    let mut interp = Interp::new(&mut env, budget);
-    interp.exec_block(&prog.stmts)?;
+    let rp = crate::fastinterp::resolve(prog);
+    crate::fastinterp::run_resolved(&rp, &mut env, budget)?;
     Ok(env)
 }
 
@@ -581,12 +604,25 @@ pub fn equivalent(
     transformed: &Program,
     seeds: &[u64],
 ) -> Result<(), Mismatch> {
+    // resolve each program once; every seed reuses the resolved form
+    let rp_ref = crate::fastinterp::resolve(reference);
+    let rp_tr = crate::fastinterp::resolve(transformed);
     for &seed in seeds {
         let env0 = random_env(reference, seed);
         let mut e1 = env0.clone();
-        run_in_env(reference, &mut e1).map_err(Mismatch::Runtime)?;
+        for d in &reference.decls {
+            e1.declare(d);
+        }
+        crate::fastinterp::run_resolved(&rp_ref, &mut e1, DEFAULT_BUDGET)
+            .map_err(Mismatch::Runtime)?;
         let mut e2 = env0;
-        run_in_env(transformed, &mut e2).map_err(Mismatch::Runtime)?;
+        // the transformed program may declare temporaries the reference
+        // does not have; zero-init them exactly like `run_in_env` would
+        for d in &transformed.decls {
+            e2.declare(d);
+        }
+        crate::fastinterp::run_resolved(&rp_tr, &mut e2, DEFAULT_BUDGET)
+            .map_err(Mismatch::Runtime)?;
         for d in &reference.decls {
             if d.is_array() {
                 let (a, b) = (&e1.arrays[&d.name], &e2.arrays[&d.name]);

@@ -23,6 +23,35 @@
 //!   (hence SLMS) determines how much it can find.
 //! * Spill traffic charged by the register allocator adds
 //!   `⌈extra/mem_units⌉` cycles per loop iteration.
+//!
+//! # Fast path ([`SimFidelity::Fast`], the default)
+//!
+//! The hot shape — an innermost counted loop whose body is a single
+//! scheduled block — is executed through a compiled fast path that is
+//! **exact by construction** (no approximation; [`SimFidelity::Reference`]
+//! keeps the naive trip-by-trip walk as the differential oracle):
+//!
+//! 1. **Compiled address streams.** Each memory op's linear form is lowered
+//!    once per loop entry into `addr(t) = A + B·t` (element units); trips
+//!    advance a cursor by `B` instead of re-walking the `LinForm` term map
+//!    and hashing loop-variable names per access.
+//! 2. **Decoupled cache pass.** The cache model's behaviour depends only on
+//!    the address sequence — never on stall timing — so phase A runs the
+//!    cache alone over *all* trips (streams + spill probes, in static op
+//!    order, exactly the order the naive walk issues probes) and records a
+//!    per-access miss flag.
+//! 3. **Steady-state fast-forward.** Phase B replays timing trip by trip,
+//!    consuming recorded flags. The timing recurrence is translation
+//!    invariant: shifting the current cycle and every live scoreboard entry
+//!    by Δ shifts the outcome by Δ. Per trip the simulator fingerprints the
+//!    *relative* machine state (scoreboard ready offsets clamped at 0,
+//!    current-cycle issue-slot usage); when a fingerprint repeats with
+//!    period `p` **and** the remaining recorded miss flags are verified
+//!    `p`-periodic by direct comparison, the remaining full periods are
+//!    skipped and the cycle counter advanced by `periods × Δcycle`. Dynamic
+//!    op counts, spill accesses and cache statistics are per-trip constants
+//!    or already known from phase A, so every reported number is
+//!    bit-identical to the reference walk.
 
 use slc_machine::ir::{Bundle, Op, OpClass, ALL_CLASSES};
 use slc_machine::mach::{IssueModel, MachineDesc};
@@ -38,7 +67,7 @@ pub struct CacheStats {
 }
 
 /// Simulation result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimResult {
     /// total cycles
     pub cycles: u64,
@@ -55,6 +84,59 @@ impl SimResult {
     pub fn total_ops(&self) -> u64 {
         self.class_counts.iter().sum()
     }
+}
+
+/// Simulation fidelity: same numbers, different wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimFidelity {
+    /// Compiled address streams + decoupled cache pass + steady-state
+    /// fast-forward. Exact; the production default.
+    #[default]
+    Fast,
+    /// The naive symbolic trip-by-trip walk, kept as the differential
+    /// oracle for the fast path.
+    Reference,
+}
+
+/// Steady-state fast-forward counters (diagnostics; not part of
+/// [`SimResult`] so reference and fast runs compare equal).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FfStats {
+    /// loop entries executed through the compiled fast path
+    pub fast_loops: u64,
+    /// loop entries that fell back to the trip-by-trip walk (nested bodies,
+    /// oversized flag buffers, reference fidelity)
+    pub fallback_loops: u64,
+    /// fast-path loop entries where fast-forward fired
+    pub ff_hits: u64,
+    /// fast-path loop entries where no steady state was detected
+    pub ff_misses: u64,
+    /// total loop trips simulated or skipped
+    pub trips_total: u64,
+    /// trips skipped by fast-forward extrapolation
+    pub trips_skipped: u64,
+}
+
+impl FfStats {
+    /// Accumulate counters from another run.
+    pub fn merge(&mut self, o: &FfStats) {
+        self.fast_loops += o.fast_loops;
+        self.fallback_loops += o.fallback_loops;
+        self.ff_hits += o.ff_hits;
+        self.ff_misses += o.ff_misses;
+        self.trips_total += o.trips_total;
+        self.trips_skipped += o.trips_skipped;
+    }
+}
+
+/// Result of [`simulate_with`]: the reported numbers plus fast-path
+/// diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutcome {
+    /// the reported simulation numbers (fidelity-independent)
+    pub result: SimResult,
+    /// fast-path / steady-state counters
+    pub ff: FfStats,
 }
 
 /// One compiled program segment.
@@ -152,12 +234,109 @@ fn class_idx(c: OpClass) -> usize {
     ALL_CLASSES.iter().position(|&x| x == c).unwrap()
 }
 
+/// Per-cycle issue-slot usage for the in-order model, as a tagged ring.
+///
+/// Exactness: the in-order walk only ever *reads* usage at cycles
+/// `t ≥ current cycle`, and every written tag satisfies `tag ≤ current
+/// cycle` immediately after the write (the issue advances `cycle` to the
+/// slot it issued in). Operand readiness bounds the lookahead by
+/// `max latency + miss penalty + 1`, so with a capacity larger than that
+/// window two live cycles can never collide in a slot and stale tags can be
+/// lazily reset — bit-identical to an unbounded map.
+struct UsageRing {
+    tags: Vec<u64>,
+    classes: Vec<[u32; 7]>,
+    issued: Vec<u32>,
+    mask: u64,
+}
+
+impl UsageRing {
+    fn new(m: &MachineDesc) -> UsageRing {
+        let span =
+            m.latency.iter().copied().max().unwrap_or(1) as u64 + m.cache.miss_penalty as u64 + 4;
+        let cap = span.next_power_of_two().max(64) as usize;
+        UsageRing {
+            tags: vec![u64::MAX; cap],
+            classes: vec![[0; 7]; cap],
+            issued: vec![0; cap],
+            mask: cap as u64 - 1,
+        }
+    }
+
+    /// Usage counters for cycle `t`, resetting a stale slot.
+    #[inline]
+    fn slot(&mut self, t: u64) -> (&mut [u32; 7], &mut u32) {
+        let i = (t & self.mask) as usize;
+        if self.tags[i] != t {
+            self.tags[i] = t;
+            self.classes[i] = [0; 7];
+            self.issued[i] = 0;
+        }
+        (&mut self.classes[i], &mut self.issued[i])
+    }
+
+    /// Read-only view of cycle `t`'s counters, if that slot is live.
+    #[inline]
+    fn peek(&self, t: u64) -> Option<(&[u32; 7], u32)> {
+        let i = (t & self.mask) as usize;
+        if self.tags[i] == t {
+            Some((&self.classes[i], self.issued[i]))
+        } else {
+            None
+        }
+    }
+}
+
+/// A memory op's address stream inside one loop entry: `elem(t) = cur`,
+/// advanced by `step` per trip, byte address
+/// `base.saturating_add_signed(elem) * elem_bytes` — the exact arithmetic
+/// of the symbolic walk, strength-reduced.
+struct AddrStream {
+    /// array base (element offset); `None` when the array is unmapped and
+    /// the op never probes the cache (matches the symbolic walk)
+    base: Option<u64>,
+    cur: i64,
+    step: i64,
+}
+
+/// Pre-resolved op for the fast path: class/latency/operands flattened so a
+/// trip touches no `String`s, no `LinForm`s and no allocation.
+struct FastOp {
+    ci: usize,
+    lat: u64,
+    dst: Option<usize>,
+    srcs: Vec<usize>,
+    /// `(stream index, is_store)` for memory ops
+    mem: Option<(usize, bool)>,
+    fp_blocking: bool,
+}
+
+/// Flag-buffer ceiling for the decoupled cache pass (bytes); pathological
+/// trip counts fall back to the trip-by-trip walk instead of allocating.
+const MAX_FLAG_BYTES: usize = 64 << 20;
+
+/// How many multiples of the base flag period the steady-state detector
+/// compares against (covers scoreboard transients whose period is a small
+/// multiple of the miss-pattern period).
+const FF_PERIOD_MULTIPLES: i64 = 8;
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
 struct SimState<'m> {
     m: &'m MachineDesc,
+    fidelity: SimFidelity,
     cache: Cache,
     result: SimResult,
-    /// register → cycle at which its value is ready
-    ready: HashMap<u32, u64>,
+    ff: FfStats,
+    /// register → cycle at which its value is ready (dense scoreboard;
+    /// absent-from-map and 0 are equivalent: both mean "no constraint")
+    ready: Vec<u64>,
     /// current cycle (next issue opportunity)
     cycle: u64,
     /// loop variable environment (plus `__step_<var>` entries)
@@ -166,8 +345,10 @@ struct SimState<'m> {
     base: HashMap<String, u64>,
     /// dedicated spill slot base
     spill_base: u64,
-    /// per-cycle resource usage for the in-order model (pruned window)
-    usage: HashMap<u64, ([usize; 7], usize)>,
+    /// per-cycle resource usage for the in-order model
+    usage: UsageRing,
+    /// reusable per-access miss-flag buffer for the decoupled cache pass
+    flags: Vec<u8>,
 }
 
 impl SimState<'_> {
@@ -216,11 +397,7 @@ impl SimState<'_> {
         // stall until every source is ready
         let mut start = self.cycle;
         for op in bundle {
-            for r in op.srcs() {
-                if let Some(&t) = self.ready.get(&r) {
-                    start = start.max(t);
-                }
-            }
+            op.visit_srcs(|r| start = start.max(self.ready[r as usize]));
         }
         let mut store_stall = 0u64;
         for op in bundle {
@@ -238,7 +415,7 @@ impl SimState<'_> {
                 }
             }
             if let Some(d) = op.dst() {
-                self.ready.insert(d, start + lat);
+                self.ready[d as usize] = start + lat;
             }
         }
         self.cycle = start + 1 + store_stall;
@@ -247,16 +424,14 @@ impl SimState<'_> {
     fn exec_op_inorder(&mut self, op: &Op) {
         // operand readiness
         let mut t = self.cycle;
-        for r in op.srcs() {
-            if let Some(&rt) = self.ready.get(&r) {
-                t = t.max(rt);
-            }
-        }
+        op.visit_srcs(|r| t = t.max(self.ready[r as usize]));
         // find an issue slot with free resources
         let ci = class_idx(op.class());
+        let width = self.m.issue_width as u32;
+        let cap = self.m.units[ci].max(1) as u32;
         loop {
-            let (classes, issued) = self.usage.entry(t).or_insert(([0; 7], 0));
-            if *issued < self.m.issue_width && classes[ci] < self.m.units[ci].max(1) {
+            let (classes, issued) = self.usage.slot(t);
+            if *issued < width && classes[ci] < cap {
                 classes[ci] += 1;
                 *issued += 1;
                 break;
@@ -278,7 +453,7 @@ impl SimState<'_> {
             }
         }
         if let Some(d) = op.dst() {
-            self.ready.insert(d, t + lat);
+            self.ready[d as usize] = t + lat;
         }
         // Single-issue cores execute floating point in software (ARM7TDMI
         // has no FPU): the emulation routine blocks the pipeline for its
@@ -290,11 +465,6 @@ impl SimState<'_> {
         }
         // in-order: the next op cannot issue before this one
         self.cycle = t + stall;
-        // prune the usage window
-        if self.usage.len() > 64 {
-            let cutoff = self.cycle.saturating_sub(8);
-            self.usage.retain(|&c, _| c >= cutoff);
-        }
     }
 
     fn exec_seg(&mut self, seg: &Seg) {
@@ -316,39 +486,429 @@ impl SimState<'_> {
             Seg::Loop(l) => {
                 self.env.insert(l.var.clone(), l.init);
                 self.env.insert(format!("__step_{}", l.var), l.step);
-                // Spill stores/reloads are dependent memory traffic the
-                // scheduler could not hide: each access costs its slot plus
-                // the machine's spill penalty, spread over the memory ports.
-                let spill_cycles = if l.extra_mem_per_iter > 0 {
-                    let units = self.m.units_of(OpClass::Mem).max(1) as u64;
-                    let cost = l.extra_mem_per_iter as u64 * (1 + self.m.spill_penalty as u64);
-                    cost.div_ceil(units)
-                } else {
-                    0
-                };
-                for t in 0..l.trips {
-                    for s in &l.body {
-                        self.exec_seg(s);
-                    }
-                    if l.extra_mem_per_iter > 0 {
-                        // spill traffic: touches the spill slots (usually hits)
-                        for k in 0..l.extra_mem_per_iter {
-                            let addr =
-                                (self.spill_base + (k % 64) as u64) * self.m.elem_bytes as u64;
-                            self.cache.access(addr);
-                        }
-                        self.result.spill_accesses += l.extra_mem_per_iter as u64;
-                        self.cycle += spill_cycles;
-                    }
-                    self.env.insert(l.var.clone(), l.init + (t + 1) * l.step);
+                self.ff.trips_total += l.trips.max(0) as u64;
+                if self.fidelity == SimFidelity::Fast && self.try_exec_loop_fast(l) {
+                    return;
                 }
+                self.ff.fallback_loops += 1;
+                self.exec_loop_reference(l);
             }
         }
     }
+
+    /// The naive trip-by-trip walk (reference fidelity; also the fallback
+    /// for loop shapes the fast path does not compile).
+    fn exec_loop_reference(&mut self, l: &SimLoop) {
+        // Spill stores/reloads are dependent memory traffic the
+        // scheduler could not hide: each access costs its slot plus
+        // the machine's spill penalty, spread over the memory ports.
+        let spill_cycles = self.spill_cycles_of(l);
+        for t in 0..l.trips {
+            for s in &l.body {
+                self.exec_seg(s);
+            }
+            if l.extra_mem_per_iter > 0 {
+                // spill traffic: touches the spill slots (usually hits)
+                self.probe_spills(l.extra_mem_per_iter);
+                self.result.spill_accesses += l.extra_mem_per_iter as u64;
+                self.cycle += spill_cycles;
+            }
+            self.env.insert(l.var.clone(), l.init + (t + 1) * l.step);
+        }
+    }
+
+    fn spill_cycles_of(&self, l: &SimLoop) -> u64 {
+        if l.extra_mem_per_iter > 0 {
+            let units = self.m.units_of(OpClass::Mem).max(1) as u64;
+            let cost = l.extra_mem_per_iter as u64 * (1 + self.m.spill_penalty as u64);
+            cost.div_ceil(units)
+        } else {
+            0
+        }
+    }
+
+    fn probe_spills(&mut self, extra: usize) {
+        for k in 0..extra {
+            let addr = (self.spill_base + (k % 64) as u64) * self.m.elem_bytes as u64;
+            self.cache.access(addr);
+        }
+    }
+
+    /// Compile one memory op's linear form into an address stream, exactly
+    /// mirroring `addr_of` evaluated in the current environment (the loop
+    /// variable contributes `init` to the anchor and `coeff · step` to the
+    /// per-trip increment).
+    fn compile_stream(&self, op: &Op, l: &SimLoop) -> AddrStream {
+        let (array, lin, _) = op.mem().expect("mem op");
+        let Some(&base) = self.base.get(array) else {
+            return AddrStream {
+                base: None,
+                cur: 0,
+                step: 0,
+            };
+        };
+        let (anchor, step) = match lin {
+            Some(lf) => {
+                let mut v = lf.konst;
+                let mut per_trip = 0i64;
+                for (var, c) in &lf.terms {
+                    let val = self.env.get(var).copied().unwrap_or(0);
+                    v += c * val;
+                    if *var == l.var {
+                        per_trip += c * l.step;
+                    }
+                }
+                if op.iter_offset != 0 {
+                    if let Some((var, c)) = lf.terms.iter().next() {
+                        let s = self.env.get(&format!("__step_{var}")).copied().unwrap_or(1);
+                        v += c * op.iter_offset * s;
+                    }
+                }
+                (v, per_trip)
+            }
+            None => (0, 0),
+        };
+        AddrStream {
+            base: Some(base),
+            cur: anchor,
+            step,
+        }
+    }
+
+    /// Fast path for an innermost loop whose body is one scheduled block.
+    /// Returns false (having executed nothing) when the shape or size is
+    /// ineligible. Exactness is argued in the module docs.
+    fn try_exec_loop_fast(&mut self, l: &SimLoop) -> bool {
+        let [Seg::Straight(bundles)] = l.body.as_slice() else {
+            return false;
+        };
+        if l.trips <= 0 {
+            // zero-trip loop: entry bindings stay, nothing executes
+            self.ff.fast_loops += 1;
+            return true;
+        }
+        let nstreams: usize = bundles
+            .iter()
+            .map(|b| b.iter().filter(|o| o.mem().is_some()).count())
+            .sum();
+        if (l.trips as u128) * (nstreams as u128) > MAX_FLAG_BYTES as u128 {
+            return false;
+        }
+        self.ff.fast_loops += 1;
+
+        // ---- compile: flatten ops, lower address streams ----
+        let mut streams: Vec<AddrStream> = Vec::with_capacity(nstreams);
+        let mut fast_bundles: Vec<Vec<FastOp>> = Vec::with_capacity(bundles.len());
+        let mut per_trip_counts = [0u64; 7];
+        let mut regs_used: Vec<usize> = Vec::new();
+        for b in bundles {
+            let mut fb = Vec::with_capacity(b.len());
+            for op in b {
+                let ci = class_idx(op.class());
+                per_trip_counts[ci] += 1;
+                let mem = op.mem().map(|(_, _, is_store)| {
+                    streams.push(self.compile_stream(op, l));
+                    (streams.len() - 1, is_store)
+                });
+                let mut srcs = Vec::new();
+                op.visit_srcs(|r| srcs.push(r as usize));
+                regs_used.extend_from_slice(&srcs);
+                if let Some(d) = op.dst() {
+                    regs_used.push(d as usize);
+                }
+                fb.push(FastOp {
+                    ci,
+                    lat: self.m.latency_of(op.class()) as u64,
+                    dst: op.dst().map(|d| d as usize),
+                    srcs,
+                    mem,
+                    fp_blocking: matches!(
+                        op.class(),
+                        OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv
+                    ),
+                });
+            }
+            fast_bundles.push(fb);
+        }
+        regs_used.sort_unstable();
+        regs_used.dedup();
+
+        // ---- phase A: decoupled cache pass over all trips ----
+        let trips = l.trips;
+        let extra = l.extra_mem_per_iter;
+        let mut flags = std::mem::take(&mut self.flags);
+        flags.clear();
+        flags.reserve(trips as usize * nstreams);
+        let eb = self.m.elem_bytes as u64;
+        for _t in 0..trips {
+            for s in &mut streams {
+                match s.base {
+                    Some(base) => {
+                        let addr = base.saturating_add_signed(s.cur) * eb;
+                        flags.push(!self.cache.access(addr) as u8);
+                    }
+                    None => flags.push(0),
+                }
+                s.cur += s.step;
+            }
+            if extra > 0 {
+                self.probe_spills(extra);
+            }
+        }
+
+        // per-trip invariants: dynamic counts and spill traffic
+        for (i, c) in per_trip_counts.iter().enumerate() {
+            self.result.class_counts[i] += c * trips as u64;
+        }
+        if extra > 0 {
+            self.result.spill_accesses += extra as u64 * trips as u64;
+        }
+        let spill_cycles = self.spill_cycles_of(l);
+
+        // ---- phase B: timing with steady-state fast-forward ----
+        let miss_penalty = self.m.cache.miss_penalty as u64;
+        let width = self.m.issue_width as u32;
+        let single_issue = self.m.issue_width == 1;
+        let vliw = self.m.issue == IssueModel::StaticVliw;
+        let mut unit_caps = [0u32; 7];
+        for (i, u) in self.m.units.iter().enumerate() {
+            unit_caps[i] = (*u).max(1) as u32;
+        }
+
+        // Candidate miss-pattern period: an affine stream sweeping with byte
+        // stride `s` crosses cache lines in a pattern of period
+        // `line / gcd(s, line)` trips; the joint pattern's period divides
+        // the lcm over streams. Each term divides the line size, so the lcm
+        // does too — it stays small.
+        let line = self.m.cache.line.max(1) as i64;
+        let mut period: i64 = 1;
+        for s in &streams {
+            if s.base.is_some() && s.step != 0 {
+                let p = line / gcd(s.step.saturating_mul(eb as i64), line);
+                period = period / gcd(period, p) * p;
+            }
+        }
+        // First trip from which the recorded flags repeat with `period`:
+        // one backward scan (typically one block compare for aperiodic
+        // tails, one pass for periodic ones).
+        let steady_from: i64 = if nstreams == 0 {
+            0
+        } else {
+            let ns = nstreams;
+            let mut sf = period.min(trips);
+            for tt in (period..trips).rev() {
+                let a = tt as usize * ns;
+                let b = (tt - period) as usize * ns;
+                if flags[a..a + ns] != flags[b..b + ns] {
+                    sf = tt + 1;
+                    break;
+                }
+            }
+            sf
+        };
+
+        let ff_possible = trips >= 3 && steady_from + period < trips;
+        let kmax = FF_PERIOD_MULTIPLES.min((trips / period).max(1));
+        let klen = regs_used.len() + if vliw { 0 } else { 8 };
+        let rl = if ff_possible {
+            (period * kmax) as usize
+        } else {
+            1
+        };
+        // ring of the last `rl` per-trip state keys (flat, allocation-free)
+        let mut ring_keys = vec![0u64; rl * klen];
+        let mut ring_cycle = vec![0u64; rl];
+        let mut ring_set = vec![false; rl];
+        let mut key_buf: Vec<u64> = vec![0; klen];
+        let mut searching = ff_possible;
+        let mut fired = false;
+        let mut t: i64 = 0;
+        while t < trips {
+            if searching {
+                key_buf.clear();
+                for &r in &regs_used {
+                    key_buf.push(self.ready[r].saturating_sub(self.cycle));
+                }
+                if !vliw {
+                    match self.usage.peek(self.cycle) {
+                        Some((classes, issued)) => {
+                            key_buf.extend(classes.iter().map(|&c| c as u64));
+                            key_buf.push(issued as u64);
+                        }
+                        None => key_buf.extend([0u64; 8]),
+                    }
+                }
+                for k in 1..=kmax {
+                    let t0 = t - k * period;
+                    if t0 < steady_from {
+                        break;
+                    }
+                    let slot = (t0 % rl as i64) as usize;
+                    if !ring_set[slot] || ring_keys[slot * klen..(slot + 1) * klen] != key_buf {
+                        continue;
+                    }
+                    // state repeated over a verified-periodic flag window:
+                    // skip every remaining full period
+                    let p = k * period;
+                    let delta = self.cycle - ring_cycle[slot];
+                    let periods = (trips - t) / p;
+                    if periods > 0 {
+                        let adv = periods as u64 * delta;
+                        let old_cycle = self.cycle;
+                        self.cycle += adv;
+                        for &r in &regs_used {
+                            if self.ready[r] > old_cycle {
+                                self.ready[r] += adv;
+                            }
+                        }
+                        if !vliw && adv > 0 {
+                            // translate the live current-cycle slot
+                            if let Some((classes, issued)) =
+                                self.usage.peek(old_cycle).map(|(c, i)| (*c, i))
+                            {
+                                let (cl, is) = self.usage.slot(self.cycle);
+                                *cl = classes;
+                                *is = issued;
+                            }
+                        }
+                        self.ff.ff_hits += 1;
+                        self.ff.trips_skipped += (periods * p) as u64;
+                        t += periods * p;
+                        fired = true;
+                    }
+                    searching = false;
+                    break;
+                }
+                if t >= trips {
+                    break;
+                }
+                if searching {
+                    let slot = (t % rl as i64) as usize;
+                    ring_keys[slot * klen..(slot + 1) * klen].copy_from_slice(&key_buf);
+                    ring_cycle[slot] = self.cycle;
+                    ring_set[slot] = true;
+                }
+            }
+
+            // ---- simulate trip t ----
+            let fbase = t as usize * nstreams;
+            if vliw {
+                for fb in &fast_bundles {
+                    let mut start = self.cycle;
+                    for op in fb {
+                        for &r in &op.srcs {
+                            start = start.max(self.ready[r]);
+                        }
+                    }
+                    let mut store_stall = 0u64;
+                    for op in fb {
+                        let mut lat = op.lat;
+                        if let Some((si, is_store)) = op.mem {
+                            let extra_lat = if flags[fbase + si] != 0 {
+                                miss_penalty
+                            } else {
+                                0
+                            };
+                            if is_store {
+                                if single_issue {
+                                    store_stall += extra_lat;
+                                }
+                            } else {
+                                lat += extra_lat;
+                            }
+                        }
+                        if let Some(d) = op.dst {
+                            self.ready[d] = start + lat;
+                        }
+                    }
+                    self.cycle = start + 1 + store_stall;
+                }
+            } else {
+                for fb in &fast_bundles {
+                    for op in fb {
+                        let mut ti = self.cycle;
+                        for &r in &op.srcs {
+                            ti = ti.max(self.ready[r]);
+                        }
+                        loop {
+                            let (classes, issued) = self.usage.slot(ti);
+                            if *issued < width && classes[op.ci] < unit_caps[op.ci] {
+                                classes[op.ci] += 1;
+                                *issued += 1;
+                                break;
+                            }
+                            ti += 1;
+                        }
+                        let mut lat = op.lat;
+                        let mut stall = 0u64;
+                        if let Some((si, is_store)) = op.mem {
+                            let extra_lat = if flags[fbase + si] != 0 {
+                                miss_penalty
+                            } else {
+                                0
+                            };
+                            if is_store {
+                                if single_issue {
+                                    stall = extra_lat;
+                                }
+                            } else {
+                                lat += extra_lat;
+                            }
+                        }
+                        if let Some(d) = op.dst {
+                            self.ready[d] = ti + lat;
+                        }
+                        if single_issue && op.fp_blocking {
+                            stall = stall.max(lat);
+                        }
+                        self.cycle = ti + stall;
+                    }
+                }
+            }
+            if extra > 0 {
+                self.cycle += spill_cycles;
+            }
+            t += 1;
+        }
+        if !fired {
+            self.ff.ff_misses += 1;
+        }
+        // final loop-variable binding, as the trip-by-trip walk leaves it
+        self.env.insert(l.var.clone(), l.init + trips * l.step);
+        self.flags = flags;
+        true
+    }
 }
 
-/// Simulate a compiled program on a machine.
-pub fn simulate(prog: &CompiledProgram, m: &MachineDesc) -> SimResult {
+/// Largest register index used anywhere in the program (for the dense
+/// scoreboard).
+fn max_reg(segs: &[Seg]) -> u32 {
+    fn scan(segs: &[Seg], hi: &mut u32) {
+        for s in segs {
+            match s {
+                Seg::Straight(bundles) => {
+                    for b in bundles {
+                        for op in b {
+                            if let Some(d) = op.dst() {
+                                *hi = (*hi).max(d);
+                            }
+                            op.visit_srcs(|r| *hi = (*hi).max(r));
+                        }
+                    }
+                }
+                Seg::Loop(l) => scan(&l.body, hi),
+            }
+        }
+    }
+    let mut hi = 0;
+    scan(segs, &mut hi);
+    hi
+}
+
+/// Simulate a compiled program on a machine at a chosen fidelity, returning
+/// the reported numbers plus fast-path diagnostics. `Fast` and `Reference`
+/// produce identical [`SimResult`]s (enforced by the differential suite).
+pub fn simulate_with(prog: &CompiledProgram, m: &MachineDesc, fidelity: SimFidelity) -> SimOutcome {
     let mut base = HashMap::new();
     let mut next: u64 = 64; // leave a guard region
     for (name, len) in &prog.arrays {
@@ -358,24 +918,35 @@ pub fn simulate(prog: &CompiledProgram, m: &MachineDesc) -> SimResult {
     let spill_base = next;
     let mut st = SimState {
         m,
+        fidelity,
         cache: Cache::new(m),
         result: SimResult::default(),
-        ready: HashMap::new(),
+        ff: FfStats::default(),
+        ready: vec![0; max_reg(&prog.segs) as usize + 1],
         cycle: 0,
         env: HashMap::new(),
         base,
         spill_base,
-        usage: HashMap::new(),
+        usage: UsageRing::new(m),
+        flags: Vec::new(),
     };
     for seg in &prog.segs {
         st.exec_seg(seg);
     }
     // drain: final cycle count covers the last issue plus the longest
     // latency still in flight
-    let drain = st.ready.values().copied().max().unwrap_or(0);
+    let drain = st.ready.iter().copied().max().unwrap_or(0);
     st.result.cycles = st.cycle.max(drain);
     st.result.cache = st.cache.stats;
-    st.result
+    SimOutcome {
+        result: st.result,
+        ff: st.ff,
+    }
+}
+
+/// Simulate a compiled program on a machine (fast fidelity).
+pub fn simulate(prog: &CompiledProgram, m: &MachineDesc) -> SimResult {
+    simulate_with(prog, m, SimFidelity::Fast).result
 }
 
 #[cfg(test)]
@@ -420,11 +991,18 @@ mod tests {
         }
     }
 
+    fn both(p: &CompiledProgram, m: &MachineDesc) -> SimResult {
+        let fast = simulate_with(p, m, SimFidelity::Fast);
+        let reference = simulate_with(p, m, SimFidelity::Reference);
+        assert_eq!(fast.result, reference.result);
+        fast.result
+    }
+
     #[test]
     fn vliw_cycle_count_basic() {
         let m = MachineDesc::default();
         let p = prog_with_loop(vec![vec![load(0, 0)]], 10);
-        let r = simulate(&p, &m);
+        let r = both(&p, &m);
         assert!(r.cycles >= 10);
         assert_eq!(r.class_counts[5], 10); // Mem class index 5
     }
@@ -433,7 +1011,7 @@ mod tests {
     fn sequential_addresses_mostly_hit() {
         let m = MachineDesc::default(); // 64B lines, 8B elems → 8 per line
         let p = prog_with_loop(vec![vec![load(0, 0)]], 64);
-        let r = simulate(&p, &m);
+        let r = both(&p, &m);
         assert_eq!(r.cache.hits + r.cache.misses, 64);
         assert_eq!(r.cache.misses, 8, "{:?}", r.cache); // one per line
     }
@@ -457,7 +1035,7 @@ mod tests {
             arrays: vec![("A".into(), 8192)],
             ..mk()
         };
-        let r = simulate(&p, &m);
+        let r = both(&p, &m);
         // both streams are sequential: ~2 misses per line, not per access
         assert!(r.cache.misses < 40, "{:?}", r.cache);
     }
@@ -466,7 +1044,7 @@ mod tests {
     fn loop_carried_latency_stalls_vliw() {
         let m = MachineDesc::default(); // FpAdd latency 3
         let p = prog_with_loop(vec![vec![fadd(7, 7, 7)]], 10);
-        let r = simulate(&p, &m);
+        let r = both(&p, &m);
         assert!(r.cycles >= 3 * 9, "cycles {}", r.cycles);
     }
 
@@ -480,8 +1058,8 @@ mod tests {
         };
         let body = vec![vec![load(0, 0), load(1, 1)]];
         let p1 = prog_with_loop(body.clone(), 32);
-        let r1 = simulate(&p1, &mk(1));
-        let r2 = simulate(&p1, &mk(2));
+        let r1 = both(&p1, &mk(1));
+        let r2 = both(&p1, &mk(2));
         assert!(r2.cycles < r1.cycles, "{} !< {}", r2.cycles, r1.cycles);
     }
 
@@ -491,7 +1069,7 @@ mod tests {
         let mut op = load(0, 0);
         op.iter_offset = 2;
         let p = prog_with_loop(vec![vec![op]], 32);
-        let r = simulate(&p, &m);
+        let r = both(&p, &m);
         assert_eq!(r.cache.hits + r.cache.misses, 32);
     }
 
@@ -509,8 +1087,8 @@ mod tests {
             })],
             arrays: vec![("A".into(), 1024)],
         };
-        let r0 = simulate(&mk(0), &m);
-        let r4 = simulate(&mk(4), &m);
+        let r0 = both(&mk(0), &m);
+        let r4 = both(&mk(4), &m);
         assert!(r4.cycles > r0.cycles);
         assert_eq!(r4.spill_accesses, 200);
     }
@@ -521,8 +1099,59 @@ mod tests {
         // packed schedule: 2 loads per bundle vs serial 1 per bundle
         let packed = prog_with_loop(vec![vec![load(0, 0), load(1, 1)]], 64);
         let serial = prog_with_loop(vec![vec![load(0, 0)], vec![load(1, 1)]], 64);
-        let rp = simulate(&packed, &m);
-        let rs = simulate(&serial, &m);
+        let rp = both(&packed, &m);
+        let rs = both(&serial, &m);
         assert!(rp.cycles < rs.cycles);
+    }
+
+    #[test]
+    fn fast_forward_fires_on_steady_loop() {
+        let m = MachineDesc::default();
+        let p = prog_with_loop(vec![vec![load(0, 0)], vec![fadd(1, 0, 1)]], 2000);
+        let out = simulate_with(&p, &m, SimFidelity::Fast);
+        assert!(out.ff.fast_loops >= 1);
+        assert!(out.ff.ff_hits >= 1, "{:?}", out.ff);
+        assert!(out.ff.trips_skipped > 0, "{:?}", out.ff);
+        let reference = simulate_with(&p, &m, SimFidelity::Reference);
+        assert_eq!(out.result, reference.result);
+        assert_eq!(reference.ff.fallback_loops, 1);
+    }
+
+    #[test]
+    fn nested_loops_fall_back_outside_and_fast_path_inside() {
+        let m = MachineDesc::default();
+        let inner = SimLoop {
+            var: "j".into(),
+            init: 0,
+            step: 1,
+            trips: 64,
+            body: vec![Seg::Straight(vec![vec![load(0, 0)]])],
+            extra_mem_per_iter: 0,
+        };
+        let p = CompiledProgram {
+            segs: vec![Seg::Loop(SimLoop {
+                var: "i".into(),
+                init: 0,
+                step: 1,
+                trips: 8,
+                body: vec![Seg::Loop(inner)],
+                extra_mem_per_iter: 0,
+            })],
+            arrays: vec![("A".into(), 1024)],
+        };
+        let out = simulate_with(&p, &m, SimFidelity::Fast);
+        assert_eq!(out.ff.fallback_loops, 1); // the outer loop
+        assert_eq!(out.ff.fast_loops, 8); // one inner entry per outer trip
+        let reference = simulate_with(&p, &m, SimFidelity::Reference);
+        assert_eq!(out.result, reference.result);
+    }
+
+    #[test]
+    fn zero_trip_loop_matches_reference() {
+        let m = MachineDesc::default();
+        let p = prog_with_loop(vec![vec![load(0, 0)]], 0);
+        let r = both(&p, &m);
+        assert_eq!(r.total_ops(), 0);
+        assert_eq!(r.cycles, 0);
     }
 }

@@ -10,6 +10,10 @@
 //!   final state bit-identical, and the interpreter checks exactly that. No
 //!   re-association ever happens in our transformations, so float comparison
 //!   is exact.
+//! * [`fastinterp`] — the interpreter's hot path: programs resolved once to
+//!   slot-indexed form (names interned via `slc-ast`), executed against flat
+//!   `Vec` frames. [`astinterp`]'s entry points route through it; the tree
+//!   walk remains as the reference the differential tests compare against.
 //! * [`cycle`] — a cycle-level simulator executing scheduled IR from
 //!   `slc-machine` on a parametric machine (issue width, functional units,
 //!   operation latencies, L1 cache), standing in for the paper's hardware.
@@ -20,10 +24,15 @@
 
 pub mod astinterp;
 pub mod cycle;
+pub mod fastinterp;
 pub mod power;
 pub mod presets;
 
 pub use astinterp::{equivalent, random_env, run_program, Env, RuntimeError, Value};
-pub use cycle::{simulate, CacheStats, CompiledProgram, Seg, SimLoop, SimResult};
+pub use cycle::{
+    simulate, simulate_with, CacheStats, CompiledProgram, FfStats, Seg, SimFidelity, SimLoop,
+    SimOutcome, SimResult,
+};
+pub use fastinterp::{resolve, run_resolved, ResolvedProgram};
 pub use power::{EnergyModel, PowerReport};
 pub use presets::{arm7tdmi, itanium2, pentium, power4};

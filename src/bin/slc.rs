@@ -35,6 +35,11 @@
 //!   --timing <PATH>                wall-clock sidecar JSON (not written
 //!                                  unless requested; not deterministic;
 //!                                  includes the per-pass breakdown)
+//!   --sim-bench <PATH>             simulator throughput baseline JSON
+//!                                  (BENCH_sim.json: simulate wall clock,
+//!                                  trips/sec, steady-state fast-forward
+//!                                  counters; wall-clock data, not part of
+//!                                  the canonical report)
 //!   --repeat <N>                   run the matrix N times on one shared
 //!                                  cache (N>1 demonstrates memoization)
 //! ```
@@ -52,7 +57,8 @@ fn usage() -> ! {
         "usage: slc [--passes PLAN] [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
          \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]\n\
          \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [FILE]\n\
-         \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH] [--repeat N]"
+         \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
+         \x20                [--sim-bench PATH] [--repeat N]"
     );
     exit(2)
 }
@@ -128,7 +134,8 @@ fn read_input(file: &Option<String>) -> String {
 
 fn batch_usage() -> ! {
     eprintln!(
-        "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH] [--repeat N]"
+        "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
+         \x20               [--sim-bench PATH] [--repeat N]"
     );
     exit(2)
 }
@@ -139,6 +146,7 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
     let mut cfg = BatchConfig::full_matrix();
     let mut out_path = String::from("BENCH_batch.json");
     let mut timing_path: Option<String> = None;
+    let mut sim_bench_path: Option<String> = None;
     let mut repeat = 1usize;
 
     let mut args = args;
@@ -155,6 +163,7 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             "--passes" => cfg.plan = parse_plan("--passes", args.next().as_deref()),
             "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
+            "--sim-bench" => sim_bench_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--repeat" => {
                 repeat = args
                     .next()
@@ -185,6 +194,13 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             exit(1)
         }
         eprintln!("slc batch: wrote {tp}");
+    }
+    if let Some(sp) = sim_bench_path {
+        if let Err(e) = std::fs::write(&sp, report.sim_bench_json()) {
+            eprintln!("slc batch: cannot write {sp}: {e}");
+            exit(1)
+        }
+        eprintln!("slc batch: wrote {sp}");
     }
     exit(if report.failed() == 0 { 0 } else { 1 })
 }
