@@ -108,25 +108,24 @@ pub fn break_self_dep(
     let acc = accesses_of_stmt(stmt);
     let writes: Vec<ArrayAccess> = acc.arrays.iter().filter(|a| a.write).cloned().collect();
     let loads = candidate_loads(stmt);
-    let chosen = loads.iter().rev().find(|l| {
-        let la = ArrayAccess {
-            array: match l {
-                Expr::Index(n, _) => n.clone(),
-                _ => unreachable!(),
-            },
-            indices: match l {
-                Expr::Index(_, idx) => idx.clone(),
-                _ => unreachable!(),
-            },
-            write: false,
-        };
-        eligible(&la, &writes, var, step)
-    })?;
-    let chosen = chosen.clone();
-    let arr_name = match &chosen {
-        Expr::Index(n, _) => n.clone(),
-        _ => unreachable!(),
-    };
+    // `candidate_loads` yields only `Expr::Index` nodes; destructure once so
+    // malformed candidates are skipped instead of panicking.
+    let (arr_name, chosen) = loads
+        .iter()
+        .rev()
+        .filter_map(|l| match l {
+            Expr::Index(name, indices) => Some((name, indices, l)),
+            _ => None,
+        })
+        .find(|(name, indices, _)| {
+            let la = ArrayAccess {
+                array: (*name).clone(),
+                indices: (*indices).clone(),
+                write: false,
+            };
+            eligible(&la, &writes, var, step)
+        })
+        .map(|(name, _, l)| (name.clone(), l.clone()))?;
     let temp = prog.fresh_name("reg");
     prog.ensure_scalar(&temp, array_elem_ty(prog, &arr_name));
     // Replace all equal occurrences in the MI.
@@ -170,16 +169,14 @@ pub fn split_wide(
     let temp = prog.fresh_name("t");
     prog.ensure_scalar(&temp, Ty::Float);
     let Stmt::Assign { value, .. } = &mut body[k] else {
-        unreachable!();
+        return None; // shape re-checked after the mutable reborrow
     };
     fn descend(e: &mut Expr, op: BinOp, depth: usize) -> &mut Expr {
         if depth == 0 {
             return e;
         }
         if matches!(e, Expr::Binary(o, _, _) if *o == op) {
-            let Expr::Binary(_, a, _) = e else {
-                unreachable!()
-            };
+            let Expr::Binary(_, a, _) = e else { return e };
             descend(a, op, depth - 1)
         } else {
             e

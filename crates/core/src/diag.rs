@@ -68,6 +68,22 @@ pub enum DiagEvent {
         /// why SLMS declined
         error: SlmsError,
     },
+    /// The static schedule verifier (`slc-verify`) checked this loop's
+    /// emitted prologue/kernel/epilogue and discharged every obligation.
+    Verified {
+        /// number of obligations proved (dependence edges × distances,
+        /// renaming residues, instance placements, …)
+        obligations: usize,
+    },
+    /// The static schedule verifier found a violation; `rule` names the
+    /// violated placement/dependence/renaming rule and `detail` carries the
+    /// rendered evidence.
+    VerifyViolation {
+        /// short rule name (e.g. `dependence`, `mve-residue`)
+        rule: String,
+        /// rendered evidence for the violation
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for DiagEvent {
@@ -109,6 +125,12 @@ impl std::fmt::Display for DiagEvent {
                 write!(f, ", depth {max_offset}, unroll ×{unroll}")
             }
             DiagEvent::Rejected { error } => write!(f, "rejected: {error}"),
+            DiagEvent::Verified { obligations } => {
+                write!(f, "verified: {obligations} static obligations discharged")
+            }
+            DiagEvent::VerifyViolation { rule, detail } => {
+                write!(f, "VERIFY VIOLATION [{rule}]: {detail}")
+            }
         }
     }
 }

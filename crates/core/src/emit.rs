@@ -117,7 +117,9 @@ pub fn emit(
     expand: &[ExpandVar],
 ) -> Result<EmitOutput, SlmsError> {
     let n = mis.len();
-    assert!(ii >= 1 && (ii as usize) < n, "emit requires 1 <= II < n");
+    if ii < 1 || (ii as usize) >= n {
+        return Err(SlmsError::InvalidIi { ii, n_mis: n });
+    }
     let t_count = f.trip_count().ok_or(SlmsError::SymbolicBounds)?;
     let init = f.init.const_int().ok_or(SlmsError::SymbolicBounds)?;
     let s = f.step;
@@ -267,10 +269,9 @@ pub fn emit(
                 rename(&mut st, off(k) + c, Some(shift));
                 members.push(st);
             }
-            if members.len() == 1 {
-                body.push(members.pop().unwrap());
-            } else {
-                body.push(Stmt::Par(members));
+            match members.len() {
+                1 => body.push(members.remove(0)),
+                _ => body.push(Stmt::Par(members)),
             }
         }
     }
@@ -296,10 +297,9 @@ pub fn emit(
             for &k in row {
                 members.push(const_instance(k, jj + off(k)));
             }
-            if members.len() == 1 {
-                out.push(members.pop().unwrap());
-            } else {
-                out.push(Stmt::Par(members));
+            match members.len() {
+                1 => out.push(members.remove(0)),
+                _ => out.push(Stmt::Par(members)),
             }
         }
     }
@@ -463,6 +463,16 @@ mod tests {
         let f = mk_loop("A[i] = 0.0; B[i] = 1.0;", "i", 0, 1);
         let err = emit(&mut prog, &f, &f.body.clone(), 1, Expansion::Off, &[]).unwrap_err();
         assert!(matches!(err, SlmsError::TooFewIterations { .. }));
+    }
+
+    #[test]
+    fn out_of_range_ii_rejected_structurally() {
+        let mut prog = parse_program("float A[8]; float B[8]; int i;").unwrap();
+        let f = mk_loop("A[i] = 0.0; B[i] = 1.0;", "i", 0, 8);
+        let err = emit(&mut prog, &f, &f.body.clone(), 2, Expansion::Off, &[]).unwrap_err();
+        assert_eq!(err, SlmsError::InvalidIi { ii: 2, n_mis: 2 });
+        let err = emit(&mut prog, &f, &f.body.clone(), 0, Expansion::Off, &[]).unwrap_err();
+        assert_eq!(err, SlmsError::InvalidIi { ii: 0, n_mis: 2 });
     }
 
     #[test]

@@ -141,6 +141,15 @@ pub enum SlmsError {
     },
     /// MVE would need to unroll the kernel more than the sanity cap.
     UnrollTooLarge(i64),
+    /// Emission was asked to place `n_mis` MIs at an II outside `1..n_mis`
+    /// (the fixed placement is undefined there — a driver bug, not a
+    /// property of the input loop).
+    InvalidIi {
+        /// requested initiation interval
+        ii: i64,
+        /// number of multi-instructions in the body
+        n_mis: usize,
+    },
 }
 
 impl std::fmt::Display for SlmsError {
@@ -156,6 +165,9 @@ impl std::fmt::Display for SlmsError {
                 write!(f, "trip count {trip} below pipeline depth {needed}")
             }
             SlmsError::UnrollTooLarge(u) => write!(f, "MVE unroll factor {u} too large"),
+            SlmsError::InvalidIi { ii, n_mis } => {
+                write!(f, "II = {ii} outside the valid range 1..{n_mis}")
+            }
         }
     }
 }

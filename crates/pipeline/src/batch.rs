@@ -94,6 +94,9 @@ pub struct BatchConfig {
     pub plan: PassPlan,
     /// worker threads (`None` = all available cores)
     pub threads: Option<usize>,
+    /// statically verify every `slms` pass and record per-workload
+    /// verdicts in the timing sidecar (the canonical report is unaffected)
+    pub verify: bool,
 }
 
 impl BatchConfig {
@@ -108,6 +111,7 @@ impl BatchConfig {
             slms: SlmsConfig::default(),
             plan: PassPlan::slms_only(),
             threads: None,
+            verify: false,
         }
     }
 
@@ -166,6 +170,22 @@ pub struct CellResult {
     pub outcome: Result<CellMetrics, String>,
 }
 
+/// Static-verification outcome of one workload's `slms` pass(es), as
+/// recorded when [`BatchConfig::verify`] gates the batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// workload name
+    pub workload: String,
+    /// loops whose emission was proven correct
+    pub verified: usize,
+    /// loops skipped (untransformed or symbolic-guarded)
+    pub skipped: usize,
+    /// total obligations discharged
+    pub obligations: usize,
+    /// total violations found (0 = clean)
+    pub violations: usize,
+}
+
 /// Wall clock and run count of one pass across every plan execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PassTiming {
@@ -197,6 +217,9 @@ pub struct TimingReport {
     pub sim_ns: u64,
     /// per-pass breakdown of `slms_ns`, sorted by pass name
     pub passes: Vec<PassTiming>,
+    /// per-workload static-verification verdicts, sorted by workload name
+    /// (empty unless [`BatchConfig::verify`] was set)
+    pub verify: Vec<VerifySummary>,
     /// steady-state fast-forward counters accumulated over simulation
     /// misses (deterministic per config, but reported in the sidecar next
     /// to the wall-clock they explain)
@@ -223,6 +246,12 @@ impl BatchReport {
     /// Cells that degraded to an error.
     pub fn failed(&self) -> usize {
         self.cells.len() - self.completed()
+    }
+
+    /// Total static-verification violations across workloads (0 unless the
+    /// run was gated with [`BatchConfig::verify`] and something is wrong).
+    pub fn verify_violations(&self) -> usize {
+        self.timing.verify.iter().map(|v| v.violations).sum()
     }
 
     /// The canonical report: deterministic — byte-identical across runs
@@ -274,6 +303,20 @@ impl BatchReport {
                     .field("simulate", t.sim_ns as f64 / 1e6),
             )
             .field("pass_ms", passes)
+            .field("verify", {
+                let mut verify = Json::obj();
+                for v in &t.verify {
+                    verify = verify.field(
+                        v.workload.as_str(),
+                        Json::obj()
+                            .field("verified_loops", v.verified)
+                            .field("skipped_loops", v.skipped)
+                            .field("obligations", v.obligations)
+                            .field("violations", v.violations),
+                    );
+                }
+                verify
+            })
             .field(
                 "sim_steady_state",
                 Json::obj()
@@ -402,6 +445,9 @@ pub struct BatchEngine {
     compile_ns: AtomicU64,
     sim_ns: AtomicU64,
     pass_ns: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// per-workload verification verdicts (filled only when the config
+    /// gates the run; keyed by workload name so repeat runs overwrite)
+    verify_stats: Mutex<BTreeMap<String, VerifySummary>>,
     /// steady-state fast-forward counters (six lanes matching `FfStats`)
     ff: [AtomicU64; 6],
 }
@@ -461,6 +507,13 @@ impl BatchEngine {
                 compile_ns: self.compile_ns.load(Ordering::Relaxed),
                 sim_ns: self.sim_ns.load(Ordering::Relaxed),
                 passes,
+                verify: self
+                    .verify_stats
+                    .lock()
+                    .unwrap()
+                    .values()
+                    .cloned()
+                    .collect(),
                 steady: FfStats {
                     fast_loops: self.ff[0].load(Ordering::Relaxed),
                     fallback_loops: self.ff[1].load(Ordering::Relaxed),
@@ -512,15 +565,51 @@ impl BatchEngine {
         let plan_art: Option<Arc<PlanArtifact>> = match cell.variant {
             Variant::Original => None,
             Variant::Slms => {
-                let key = slc_analysis::fingerprint::combine(&[
-                    *orig_fp,
-                    cfg.plan.fingerprint(&cfg.slms),
-                ]);
+                // The verify flag joins the key only when set, so default
+                // runs keep their historical cache behaviour (and the
+                // canonical report stays byte-identical).
+                let key = if cfg.verify {
+                    slc_analysis::fingerprint::combine(&[
+                        *orig_fp,
+                        cfg.plan.fingerprint(&cfg.slms),
+                        1,
+                    ])
+                } else {
+                    slc_analysis::fingerprint::combine(&[*orig_fp, cfg.plan.fingerprint(&cfg.slms)])
+                };
                 Some(self.slms.get_or_compute(key, || {
                     timed(&self.slms_ns, || {
                         let pm = PassManager::new(cfg.slms.clone());
-                        match pm.run(orig_prog, &cfg.plan) {
-                            Ok((p, sink)) => {
+                        match pm.run_with_verify(orig_prog, &cfg.plan, cfg.verify) {
+                            Ok((p, sink, verdicts)) => {
+                                if cfg.verify {
+                                    let mut sum = VerifySummary {
+                                        workload: w.name.to_string(),
+                                        verified: 0,
+                                        skipped: 0,
+                                        obligations: 0,
+                                        violations: 0,
+                                    };
+                                    for vd in &verdicts {
+                                        sum.obligations += vd.obligation_count();
+                                        sum.violations += vd.violation_count();
+                                        for l in &vd.loops {
+                                            match l.verdict {
+                                                slc_verify::LoopVerdict::Verified { .. } => {
+                                                    sum.verified += 1
+                                                }
+                                                slc_verify::LoopVerdict::Skipped { .. } => {
+                                                    sum.skipped += 1
+                                                }
+                                                slc_verify::LoopVerdict::Violated { .. } => {}
+                                            }
+                                        }
+                                    }
+                                    self.verify_stats
+                                        .lock()
+                                        .unwrap()
+                                        .insert(sum.workload.clone(), sum);
+                                }
                                 let mut per_pass = self.pass_ns.lock().unwrap();
                                 for pd in &sink.passes {
                                     let slot = per_pass.entry(pd.pass.clone()).or_insert((0, 0));
@@ -638,6 +727,7 @@ mod tests {
             slms: SlmsConfig::default(),
             plan: PassPlan::slms_only(),
             threads: Some(2),
+            verify: false,
         }
     }
 

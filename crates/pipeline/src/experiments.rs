@@ -140,6 +140,7 @@ pub fn measure_suite_on(
         slms: slms_cfg.clone(),
         plan: crate::passes::PassPlan::slms_only(),
         threads: None,
+        verify: false,
     };
     let report = engine.run(&cfg);
     rows_from_report(ws, &report)

@@ -592,19 +592,84 @@ impl PassManager {
     /// full diagnostics (one [`PassDiag`] per executed pass). On a
     /// structural failure the error names the failing pass; the sink
     /// gathered so far is discarded with the partial program.
+    ///
+    /// In debug builds every `slms` pass is additionally checked by the
+    /// static schedule verifier (`slc-verify`) and a violation trips a
+    /// `debug_assert` — release builds skip the check entirely.
     pub fn run(&self, prog: &Program, plan: &PassPlan) -> Result<(Program, DiagSink), PassError> {
+        let (out, sink, verdicts) = self.run_with_verify(prog, plan, cfg!(debug_assertions))?;
+        for vd in &verdicts {
+            debug_assert!(
+                vd.clean(),
+                "static schedule verification failed:\n{}",
+                vd.render()
+            );
+        }
+        Ok((out, sink))
+    }
+
+    /// Like [`PassManager::run`], but when `verify` is set the program
+    /// state *before* each `slms` pass is handed to the static schedule
+    /// verifier. One [`ProgramVerdict`](slc_verify::ProgramVerdict) per
+    /// `slms` pass is returned in plan order, and each loop's
+    /// `Verified`/`VerifyViolation` events are appended to its decision
+    /// trace in the sink (so `slc explain` renders them).
+    pub fn run_with_verify(
+        &self,
+        prog: &Program,
+        plan: &PassPlan,
+        verify: bool,
+    ) -> Result<(Program, DiagSink, Vec<slc_verify::ProgramVerdict>), PassError> {
         let mut sink = DiagSink::new();
         let mut cur = prog.clone();
-        for pass in self.compile(plan) {
+        let mut verdicts = Vec::new();
+        for (spec, pass) in plan.specs.iter().zip(self.compile(plan)) {
+            let pre = (verify && matches!(spec, PassSpec::Slms { .. })).then(|| cur.clone());
             cur = pass.apply(&cur, &mut sink)?;
+            if let (Some(pre), PassSpec::Slms { no_filter }) = (pre, spec) {
+                let cfg = resolve_slms(&self.slms, *no_filter);
+                let verdict = slc_verify::verify_slms_program(&pre, &cfg);
+                attach_verify_events(&mut sink, &verdict);
+                verdicts.push(verdict);
+            }
         }
-        Ok((cur, sink))
+        Ok((cur, sink, verdicts))
     }
 
     /// Parse-and-run convenience for CLI-style entry points.
     pub fn run_source(&self, src: &str, plan: &PassPlan) -> Result<(Program, DiagSink), String> {
         let prog = parse_program(src).map_err(|e| e.to_string())?;
         self.run(&prog, plan).map_err(|e| e.to_string())
+    }
+}
+
+/// Append the verifier's per-loop events to the matching loop outcomes of
+/// the most recently executed pass.
+fn attach_verify_events(sink: &mut DiagSink, verdict: &slc_verify::ProgramVerdict) {
+    use slc_core::diag::DiagEvent;
+    let Some(pd) = sink.passes.last_mut() else {
+        return;
+    };
+    for lr in &verdict.loops {
+        let Some(o) = pd.loops.iter_mut().find(|o| o.id == lr.id) else {
+            continue;
+        };
+        match &lr.verdict {
+            slc_verify::LoopVerdict::Verified { obligations } => {
+                o.trace.push(DiagEvent::Verified {
+                    obligations: *obligations,
+                })
+            }
+            slc_verify::LoopVerdict::Violated { violations, .. } => {
+                for viol in violations {
+                    o.trace.push(DiagEvent::VerifyViolation {
+                        rule: viol.rule().into(),
+                        detail: viol.to_string(),
+                    });
+                }
+            }
+            slc_verify::LoopVerdict::Skipped { .. } => {}
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 //! ```text
 //! USAGE: slc [OPTIONS] [FILE]          (FILE defaults to stdin)
 //!        slc explain [OPTIONS] [FILE]  (print the per-loop decision trace)
+//!        slc verify [OPTIONS] [FILE]   (statically verify SLMS schedules)
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!
 //!   --passes <PLAN>                comma-separated pass plan (default: slms)
@@ -26,6 +27,12 @@
 //! EXPLAIN OPTIONS: --passes/--expansion/--no-filter as above, plus
 //!   --all                          explain every built-in workload suite
 //!
+//! VERIFY OPTIONS: --expansion/--no-filter as above, plus
+//!   --all                          verify every built-in workload
+//!   (exit 0 = everything proven/skipped clean; 1 = violations or lint
+//!   errors; 2 = bad usage. Runs the translation validator on every
+//!   innermost loop SLMS transforms, plus the SLMS-Lxxx lint suite.)
+//!
 //! BATCH OPTIONS (see README.md for the report schema):
 //!   --passes <PLAN>                pass plan for the transformed variant
 //!   --threads <N>                  worker threads (default: all cores)
@@ -42,6 +49,11 @@
 //!                                  the canonical report)
 //!   --repeat <N>                   run the matrix N times on one shared
 //!                                  cache (N>1 demonstrates memoization)
+//!   --verify                       statically verify every slms pass; the
+//!                                  per-workload verdicts land in the
+//!                                  timing sidecar and a violation fails
+//!                                  the batch (the canonical report is
+//!                                  byte-identical either way)
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
@@ -57,8 +69,9 @@ fn usage() -> ! {
         "usage: slc [--passes PLAN] [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
          \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]\n\
          \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [FILE]\n\
+         \x20      slc verify [--expansion ...] [--no-filter] [--all] [FILE]\n\
          \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
-         \x20                [--sim-bench PATH] [--repeat N]"
+         \x20                [--sim-bench PATH] [--repeat N] [--verify]"
     );
     exit(2)
 }
@@ -135,7 +148,7 @@ fn read_input(file: &Option<String>) -> String {
 fn batch_usage() -> ! {
     eprintln!(
         "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
-         \x20               [--sim-bench PATH] [--repeat N]"
+         \x20               [--sim-bench PATH] [--repeat N] [--verify]"
     );
     exit(2)
 }
@@ -164,6 +177,7 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--sim-bench" => sim_bench_path = Some(args.next().unwrap_or_else(|| batch_usage())),
+            "--verify" => cfg.verify = true,
             "--repeat" => {
                 repeat = args
                     .next()
@@ -202,7 +216,90 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
         }
         eprintln!("slc batch: wrote {sp}");
     }
+    if cfg.verify {
+        let violations = report.verify_violations();
+        let (verified, obligations): (usize, usize) = report
+            .timing
+            .verify
+            .iter()
+            .map(|v| (v.verified, v.obligations))
+            .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
+        if violations == 0 {
+            eprintln!(
+                "slc batch: verify gate: {verified} loops proven \
+                 ({obligations} obligations), 0 violations"
+            );
+        } else {
+            eprintln!("slc batch: verify gate: {violations} VIOLATION(S) — see timing sidecar");
+            exit(1)
+        }
+    }
     exit(if report.failed() == 0 { 0 } else { 1 })
+}
+
+fn verify_usage() -> ! {
+    eprintln!("usage: slc verify [--expansion mve|scalar|off] [--no-filter] [--all] [FILE]");
+    exit(2)
+}
+
+/// Lint + statically verify one program; returns true when anything failed.
+fn verify_one(prog: &slc::ast::Program, cfg: &SlmsConfig) -> bool {
+    use slc::verify::{lint_program, verify_slms_program, LintSeverity};
+    let lints = lint_program(prog);
+    for l in &lints {
+        println!("  {l}");
+    }
+    let verdict = verify_slms_program(prog, cfg);
+    print!("{}", verdict.render());
+    let lint_errors = lints
+        .iter()
+        .filter(|l| l.severity == LintSeverity::Error)
+        .count();
+    println!(
+        "  summary: {} loop(s), {} obligations discharged, {} violation(s), {} lint error(s)",
+        verdict.loops.len(),
+        verdict.obligation_count(),
+        verdict.violation_count(),
+        lint_errors,
+    );
+    verdict.violation_count() > 0 || lint_errors > 0
+}
+
+fn verify_main(args: impl Iterator<Item = String>) -> ! {
+    let mut cfg = SlmsConfig::default();
+    let mut all = false;
+    let mut file: Option<String> = None;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--no-filter" => cfg.apply_filter = false,
+            "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
+            "--all" => all = true,
+            "--help" | "-h" => verify_usage(),
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => verify_usage(),
+        }
+    }
+
+    let mut bad = false;
+    if all {
+        for w in slc::workloads::all() {
+            println!("═══ {} [{}] ═══", w.name, w.suite);
+            bad |= verify_one(&w.program(), &cfg);
+        }
+    } else {
+        let src = read_input(&file);
+        let prog = match parse_program(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("slc verify: {e}");
+                exit(1)
+            }
+        };
+        bad = verify_one(&prog, &cfg);
+    }
+    exit(if bad { 1 } else { 0 })
 }
 
 fn explain_main(args: impl Iterator<Item = String>) -> ! {
@@ -259,6 +356,10 @@ fn main() {
         Some("explain") => {
             args.next();
             explain_main(args);
+        }
+        Some("verify") => {
+            args.next();
+            verify_main(args);
         }
         _ => {}
     }

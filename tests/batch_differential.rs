@@ -104,6 +104,7 @@ fn report_is_thread_count_invariant() {
         slms: SlmsConfig::default(),
         plan: PassPlan::slms_only(),
         threads: Some(1),
+        verify: false,
     };
     let serial = run_batch(&base).to_json();
     for threads in [2, 4, 8] {
@@ -180,6 +181,7 @@ fn plan_keyed_reports_are_thread_invariant_and_isolated() {
         slms: SlmsConfig::default(),
         plan: PassPlan::parse("normalize,slms").unwrap(),
         threads: Some(1),
+        verify: false,
     };
     let serial = run_batch(&base).to_json();
     for threads in [2, 8] {

@@ -48,6 +48,7 @@ fn config_for(w: Workload, threads: usize) -> BatchConfig {
         slms: SlmsConfig::default(),
         plan: slc_pipeline::PassPlan::slms_only(),
         threads: Some(threads),
+        verify: false,
     }
 }
 

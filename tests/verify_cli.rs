@@ -1,0 +1,84 @@
+//! Exit-code contract of `slc verify`: 0 = everything proven or skipped
+//! clean, 1 = violations or error-severity lints (or unreadable input),
+//! 2 = bad usage. The batch gate and CI smoke step rely on these codes.
+
+use std::io::Write;
+use std::process::Command;
+
+fn slc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_slc"))
+}
+
+fn write_temp(name: &str, src: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("slc_verify_cli_{name}_{}.c", std::process::id()));
+    std::fs::File::create(&path)
+        .unwrap()
+        .write_all(src.as_bytes())
+        .unwrap();
+    path
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let path = write_temp(
+        "clean",
+        "float A[32]; float B[32]; float s; float t; int i;\n\
+         for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+    );
+    let out = slc().arg("verify").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(stdout.contains("verified"), "stdout:\n{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn lint_error_exits_one() {
+    // `s` is initialised on one path only: the error-severity L001 fires.
+    let path = write_temp(
+        "lint",
+        "float A[10]; float s; int c;\n\
+         if (c > 0) s = 1.0;\n\
+         A[0] = s;",
+    );
+    let out = slc().arg("verify").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("SLMS-L001"), "stdout:\n{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn bad_flag_exits_two() {
+    let out = slc().arg("verify").arg("--bogus").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn bad_expansion_value_exits_two() {
+    let out = slc()
+        .args(["verify", "--expansion", "telepathy"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = slc()
+        .args(["verify", "/nonexistent/slc_no_such_file.c"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn all_workloads_exit_zero() {
+    let out = slc().args(["verify", "--all"]).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("obligations discharged"),
+        "stdout:\n{stdout}"
+    );
+}

@@ -1,0 +1,141 @@
+//! Property-based testing of the static schedule verifier: every random
+//! affine loop that SLMS successfully schedules must pass translation
+//! validation with zero violations, under every expansion mode. This is
+//! the no-false-positives half of the verifier's contract (the mutation
+//! harness in `verify_mutations.rs` is the no-false-negatives half).
+
+use proptest::prelude::*;
+use slc::ast::parse_program;
+use slc::slms::{Expansion, SlmsConfig};
+use slc::verify::{verify_slms_program, LoopVerdict};
+
+#[derive(Debug, Clone)]
+enum StmtT {
+    Store { arr: usize, off: i64, rhs: RhsT },
+    Def { tmp: usize, rhs: RhsT },
+    Accum { rhs: RhsT },
+}
+
+#[derive(Debug, Clone)]
+struct RhsT {
+    terms: Vec<TermT>,
+    mul: bool,
+}
+
+#[derive(Debug, Clone)]
+enum TermT {
+    Load { arr: usize, off: i64 },
+    Tmp(usize),
+    Const(i64),
+    Scalar,
+}
+
+fn term_strategy() -> impl Strategy<Value = TermT> {
+    prop_oneof![
+        (0usize..3, -3i64..4).prop_map(|(arr, off)| TermT::Load { arr, off }),
+        (0usize..2).prop_map(TermT::Tmp),
+        (1i64..5).prop_map(TermT::Const),
+        Just(TermT::Scalar),
+    ]
+}
+
+fn rhs_strategy() -> impl Strategy<Value = RhsT> {
+    (
+        proptest::collection::vec(term_strategy(), 1..4),
+        any::<bool>(),
+    )
+        .prop_map(|(terms, mul)| RhsT { terms, mul })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = StmtT> {
+    prop_oneof![
+        (0usize..3, -2i64..3, rhs_strategy()).prop_map(|(arr, off, rhs)| StmtT::Store {
+            arr,
+            off,
+            rhs
+        }),
+        (0usize..2, rhs_strategy()).prop_map(|(tmp, rhs)| StmtT::Def { tmp, rhs }),
+        rhs_strategy().prop_map(|rhs| StmtT::Accum { rhs }),
+    ]
+}
+
+fn off_str(off: i64) -> String {
+    match off {
+        0 => "i".to_string(),
+        o if o > 0 => format!("i + {o}"),
+        o => format!("i - {}", -o),
+    }
+}
+
+fn rhs_str(r: &RhsT) -> String {
+    let op = if r.mul { " * " } else { " + " };
+    r.terms
+        .iter()
+        .map(|t| match t {
+            TermT::Load { arr, off } => format!("A{arr}[{}]", off_str(*off)),
+            TermT::Tmp(k) => format!("t{k}"),
+            TermT::Const(c) => format!("{c}.0"),
+            TermT::Scalar => "s".to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(op)
+}
+
+fn render(stmts: &[StmtT], init: i64, bound: i64, step: i64) -> String {
+    let mut body = String::new();
+    for s in stmts {
+        let line = match s {
+            StmtT::Store { arr, off, rhs } => {
+                format!("A{arr}[{}] = {};", off_str(*off), rhs_str(rhs))
+            }
+            StmtT::Def { tmp, rhs } => format!("t{tmp} = {};", rhs_str(rhs)),
+            StmtT::Accum { rhs } => format!("s += {};", rhs_str(rhs)),
+        };
+        body.push_str(&line);
+        body.push('\n');
+    }
+    let stepstr = match step {
+        1 => "i++".to_string(),
+        -1 => "i--".to_string(),
+        k if k > 0 => format!("i += {k}"),
+        k => format!("i -= {}", -k),
+    };
+    let cmp = if step > 0 { "<" } else { ">" };
+    format!(
+        "float A0[96]; float A1[96]; float A2[96]; float t0; float t1; float s; int i;\n\
+         for (i = {init}; i {cmp} {bound}; {stepstr}) {{\n{body}}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Whatever SLMS emits for a random loop must verify clean — and when
+    /// the loop *was* transformed, the verdict must be `Verified` with a
+    /// positive obligation count, not silently skipped.
+    #[test]
+    fn scheduled_random_loops_verify_clean(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5),
+        init in 4i64..8,
+        span in 6i64..40,
+        step in prop_oneof![Just(1i64), Just(2), Just(-1)],
+    ) {
+        let (init, bound) = if step > 0 { (init, init + span) } else { (init + span, init) };
+        let src = render(&stmts, init, bound, step);
+        let prog = parse_program(&src).unwrap();
+        for expansion in [Expansion::Off, Expansion::Mve, Expansion::ScalarExpand] {
+            let cfg = SlmsConfig { apply_filter: false, expansion, ..SlmsConfig::default() };
+            let verdict = verify_slms_program(&prog, &cfg);
+            prop_assert!(
+                verdict.clean(),
+                "false positive under {expansion:?}:\n{}\nsrc:\n{src}",
+                verdict.render()
+            );
+            for l in &verdict.loops {
+                if let LoopVerdict::Verified { obligations } = l.verdict {
+                    prop_assert!(obligations > 0, "verified with zero obligations:\n{src}");
+                }
+            }
+        }
+    }
+}
