@@ -42,6 +42,16 @@ impl LoopId {
     pub fn verbose(&self) -> String {
         format!("loop#{} {}", self.stmt_index, self)
     }
+
+    /// Machine-readable identity, the `"loop"` member of every object
+    /// `slc explain --json` emits. Field names are part of the stable
+    /// output contract: `var`, `index`, `body_len`.
+    pub fn to_json(&self) -> slc_trace::Json {
+        slc_trace::Json::obj()
+            .field("var", self.var.as_str())
+            .field("index", self.stmt_index)
+            .field("body_len", self.body_len)
+    }
 }
 
 impl std::fmt::Display for LoopId {

@@ -1,0 +1,80 @@
+//! Bench guard for the tracing subsystem's zero-cost claim: the `_spanned`
+//! entry points with a *disabled* tracer must run at the same speed as the
+//! plain entry points. The hard guarantees (no clock syscalls, no
+//! allocations when disabled) live in `crates/trace/tests/zero_cost.rs`;
+//! this bench makes the wall-clock consequence visible and prints the
+//! measured overhead ratio so regressions show up in perf-smoke logs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slc_pipeline::{compile, CompilerKind};
+use slc_sim::cycle::{simulate_spanned, simulate_with, SimFidelity};
+use slc_sim::presets::itanium2;
+use slc_trace::Tracer;
+use std::time::Instant;
+
+/// Best-of-batches seconds for one invocation.
+fn best_secs(mut f: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..7 {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best.max(1e-12)
+}
+
+fn bench(c: &mut Criterion) {
+    let m = itanium2();
+    let mut g = c.benchmark_group("trace_overhead");
+    for name in ["kernel1_hydro", "kernel18_hydro2d"] {
+        let w = slc_workloads::livermore()
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
+        let prog = w.program();
+        let comp = compile(&prog, &m, CompilerKind::Optimizing).unwrap();
+        let off = Tracer::disabled();
+        let on = Tracer::enabled();
+
+        g.bench_function(&format!("plain/{name}"), |b| {
+            b.iter(|| simulate_with(black_box(&comp.compiled), &m, SimFidelity::Fast))
+        });
+        g.bench_function(&format!("spanned_disabled/{name}"), |b| {
+            b.iter(|| simulate_spanned(black_box(&comp.compiled), &m, SimFidelity::Fast, &off))
+        });
+        g.bench_function(&format!("spanned_enabled/{name}"), |b| {
+            b.iter(|| simulate_spanned(black_box(&comp.compiled), &m, SimFidelity::Fast, &on))
+        });
+
+        let plain = best_secs(|| {
+            black_box(simulate_with(&comp.compiled, &m, SimFidelity::Fast));
+        });
+        let disabled = best_secs(|| {
+            black_box(simulate_spanned(
+                &comp.compiled,
+                &m,
+                SimFidelity::Fast,
+                &off,
+            ));
+        });
+        let enabled = best_secs(|| {
+            black_box(simulate_spanned(&comp.compiled, &m, SimFidelity::Fast, &on));
+        });
+        println!(
+            "  trace_overhead/{name}: disabled {:.3}x plain, enabled {:.3}x plain",
+            disabled / plain,
+            enabled / plain
+        );
+        // generous guard: disabled-tracer overhead should be measurement
+        // noise; 1.5x headroom keeps this from flaking on loaded CI boxes
+        assert!(
+            disabled / plain < 1.5,
+            "disabled tracer costs {:.2}x over plain simulate — zero-cost path broken",
+            disabled / plain
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

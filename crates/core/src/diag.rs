@@ -19,6 +19,7 @@
 
 use crate::filter::FilterVerdict;
 use crate::{LoopOutcome, SlmsError};
+use slc_trace::Json;
 
 /// One recorded decision while transforming a single loop.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,6 +85,159 @@ pub enum DiagEvent {
         /// rendered evidence for the violation
         detail: String,
     },
+}
+
+impl DiagEvent {
+    /// Machine-readable rendering with stable field names — the `"trace"`
+    /// entries of `slc explain --json`. Every object carries an `"event"`
+    /// discriminator (`filter_checked`, `if_converted`, `symbolic_guard`,
+    /// `mii_attempt`, `decomposed`, `scheduled`, `rejected`, `verified`,
+    /// `verify_violation`); the remaining members are the event's computed
+    /// numbers under the same names as the struct fields.
+    pub fn to_json(&self) -> Json {
+        match self {
+            DiagEvent::FilterChecked { verdict } => {
+                let j = Json::obj()
+                    .field("event", "filter_checked")
+                    .field("passed", verdict.passed());
+                match verdict {
+                    FilterVerdict::Pass => j.field("verdict", "pass"),
+                    FilterVerdict::MemRefRatio { ratio, threshold } => j
+                        .field("verdict", "memref_ratio")
+                        .field("ratio", *ratio)
+                        .field("threshold", *threshold),
+                    FilterVerdict::LowArithDensity { density, min } => j
+                        .field("verdict", "low_arith_density")
+                        .field("density", *density)
+                        .field("min", *min),
+                }
+            }
+            DiagEvent::IfConverted => Json::obj().field("event", "if_converted"),
+            DiagEvent::SymbolicGuard => Json::obj().field("event", "symbolic_guard"),
+            DiagEvent::MiiAttempt {
+                round,
+                n_mis,
+                placement_ii,
+            } => Json::obj()
+                .field("event", "mii_attempt")
+                .field("round", *round)
+                .field("n_mis", *n_mis)
+                .field("placement_ii", *placement_ii),
+            DiagEvent::Decomposed { round, temp } => Json::obj()
+                .field("event", "decomposed")
+                .field("round", *round)
+                .field("temp", temp.as_str()),
+            DiagEvent::Scheduled {
+                ii,
+                cycles_mii,
+                unroll,
+                max_offset,
+            } => Json::obj()
+                .field("event", "scheduled")
+                .field("ii", *ii)
+                .field("cycles_mii", *cycles_mii)
+                .field("unroll", *unroll)
+                .field("max_offset", *max_offset),
+            DiagEvent::Rejected { error } => Json::obj()
+                .field("event", "rejected")
+                .field("error", slms_error_json(error)),
+            DiagEvent::Verified { obligations } => Json::obj()
+                .field("event", "verified")
+                .field("obligations", *obligations),
+            DiagEvent::VerifyViolation { rule, detail } => Json::obj()
+                .field("event", "verify_violation")
+                .field("rule", rule.as_str())
+                .field("detail", detail.as_str()),
+        }
+    }
+}
+
+/// Machine-readable rejection reason: a stable `"kind"` discriminator plus
+/// the human `"message"` (and the structured numbers where the variant
+/// carries them).
+pub fn slms_error_json(e: &SlmsError) -> Json {
+    let kind = match e {
+        SlmsError::NotAForLoop => "not_a_for_loop",
+        SlmsError::Filtered(_) => "filtered",
+        SlmsError::Analysis(_) => "analysis",
+        SlmsError::VarWrittenInBody => "var_written_in_body",
+        SlmsError::NoValidIi => "no_valid_ii",
+        SlmsError::SymbolicBounds => "symbolic_bounds",
+        SlmsError::TooFewIterations { .. } => "too_few_iterations",
+        SlmsError::UnrollTooLarge(_) => "unroll_too_large",
+        SlmsError::InvalidIi { .. } => "invalid_ii",
+    };
+    let j = Json::obj()
+        .field("kind", kind)
+        .field("message", e.to_string());
+    match e {
+        SlmsError::TooFewIterations { trip, needed } => {
+            j.field("trip", *trip).field("needed", *needed)
+        }
+        SlmsError::UnrollTooLarge(u) => j.field("unroll", *u),
+        SlmsError::InvalidIi { ii, n_mis } => j.field("ii", *ii).field("n_mis", *n_mis),
+        _ => j,
+    }
+}
+
+/// Machine-readable rendering of one loop outcome — the per-loop objects
+/// `slc explain --json` emits (one JSON object per loop). Stable members:
+/// `loop` ([`slc_ast::LoopId::to_json`]), `transformed`, `report` (schedule
+/// statistics, `null` when rejected), `error` (structured reason, `null`
+/// when transformed), `trace` (the [`DiagEvent::to_json`] list).
+pub fn loop_outcome_json(o: &LoopOutcome) -> Json {
+    let (report, error) = match &o.result {
+        Ok(r) => {
+            let renamed = r
+                .renamed
+                .iter()
+                .map(|(var, versions)| {
+                    Json::obj().field("var", var.as_str()).field(
+                        "versions",
+                        Json::Arr(versions.iter().map(|v| Json::from(v.as_str())).collect()),
+                    )
+                })
+                .collect();
+            let expanded = r
+                .expanded_arrays
+                .iter()
+                .map(|(var, arr)| {
+                    Json::obj()
+                        .field("var", var.as_str())
+                        .field("array", arr.as_str())
+                })
+                .collect();
+            let report = Json::obj()
+                .field("ii", r.ii)
+                .field("cycles_mii", r.cycles_mii)
+                .field("n_mis", r.n_mis)
+                .field("unroll", r.unroll)
+                .field("max_offset", r.max_offset)
+                .field("if_converted", r.if_converted)
+                .field(
+                    "decomposed",
+                    Json::Arr(
+                        r.decomposed
+                            .iter()
+                            .map(|t| Json::from(t.as_str()))
+                            .collect(),
+                    ),
+                )
+                .field("renamed", Json::Arr(renamed))
+                .field("expanded_arrays", Json::Arr(expanded));
+            (report, Json::Null)
+        }
+        Err(e) => (Json::Null, slms_error_json(e)),
+    };
+    Json::obj()
+        .field("loop", o.id.to_json())
+        .field("transformed", o.result.is_ok())
+        .field("report", report)
+        .field("error", error)
+        .field(
+            "trace",
+            Json::Arr(o.trace.iter().map(DiagEvent::to_json).collect()),
+        )
 }
 
 impl std::fmt::Display for DiagEvent {
@@ -274,6 +428,59 @@ mod tests {
         let text = render_loop_trace(o);
         assert!(text.contains("memory-ref ratio"), "{text}");
         assert!(text.contains("0.85"), "{text}");
+    }
+
+    #[test]
+    fn loop_outcome_json_stable_fields() {
+        let p = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+        )
+        .unwrap();
+        let (_, outcomes) = slms_program(&p, &SlmsConfig::default());
+        let j = loop_outcome_json(&outcomes[0]);
+        let text = j.to_string();
+        // round-trips through the parser
+        assert_eq!(Json::parse(&text).unwrap(), j);
+        assert_eq!(
+            j.get("loop")
+                .and_then(|l| l.get("var"))
+                .and_then(Json::as_str),
+            Some("i")
+        );
+        assert_eq!(j.get("transformed"), Some(&Json::Bool(true)));
+        assert_eq!(
+            j.get("report")
+                .and_then(|r| r.get("ii"))
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(j.get("error"), Some(&Json::Null));
+        let trace = j.get("trace").and_then(Json::as_arr).unwrap();
+        assert_eq!(
+            trace[0].get("event").and_then(Json::as_str),
+            Some("filter_checked")
+        );
+        assert!(trace
+            .iter()
+            .any(|e| e.get("event").and_then(Json::as_str) == Some("scheduled")));
+
+        // a rejected loop carries the structured error with a kind
+        let bad = parse_program(
+            "float X[8][8]; float CT; int k; int i; int j;\n\
+             for (k = 0; k < 8; k++) { CT = X[k][i]; X[k][i] = X[k][j] * 2.0; X[k][j] = CT; }",
+        )
+        .unwrap();
+        let (_, outcomes) = slms_program(&bad, &SlmsConfig::default());
+        let j = loop_outcome_json(&outcomes[0]);
+        assert_eq!(j.get("transformed"), Some(&Json::Bool(false)));
+        assert_eq!(
+            j.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("filtered")
+        );
+        assert_eq!(j.get("report"), Some(&Json::Null));
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod filter;
 pub mod ifconv;
 pub mod mii;
 
-pub use diag::{render_loop_trace, DiagEvent, DiagSink, PassDiag};
+pub use diag::{
+    loop_outcome_json, render_loop_trace, slms_error_json, DiagEvent, DiagSink, PassDiag,
+};
 pub use emit::{emit, EmitOutput, ExpandVar, Expansion};
 pub use emit_symbolic::emit_symbolic_guarded;
 pub use extensions::{frequent_path_ms, unroll_while, FrequentPathOutput};
@@ -41,6 +43,7 @@ pub use mii::{constraints_of, cycles_mii, placement_mii, Constraint};
 
 use slc_analysis::{build_ddg, partition_mis, AnalysisError, Ddg, DepKind, Distance};
 use slc_ast::{AssignOp, LValue, LoopId, Program, Stmt};
+use slc_trace::Tracer;
 use std::collections::HashSet;
 
 /// Configuration of the SLMS driver.
@@ -311,7 +314,22 @@ pub fn slms_loop_traced(
     cfg: &SlmsConfig,
     events: &mut Vec<DiagEvent>,
 ) -> Result<SlmsOutput, SlmsError> {
-    let r = slms_loop_inner(prog, loop_stmt, cfg, events);
+    slms_loop_spanned(prog, loop_stmt, cfg, events, &Tracer::disabled())
+}
+
+/// [`slms_loop_traced`] with wall-clock spans: the filter check, the MII /
+/// decomposition iteration and emission each open a span on `tracer`
+/// (category `"slms"`). Spans carry timings only — the decision trace in
+/// `events` and the transformation result are byte-identical whether the
+/// tracer is enabled or not.
+pub fn slms_loop_spanned(
+    prog: &mut Program,
+    loop_stmt: &Stmt,
+    cfg: &SlmsConfig,
+    events: &mut Vec<DiagEvent>,
+    tracer: &Tracer,
+) -> Result<SlmsOutput, SlmsError> {
+    let r = slms_loop_inner(prog, loop_stmt, cfg, events, tracer);
     if let Err(e) = &r {
         events.push(DiagEvent::Rejected { error: e.clone() });
     }
@@ -323,6 +341,7 @@ fn slms_loop_inner(
     loop_stmt: &Stmt,
     cfg: &SlmsConfig,
     events: &mut Vec<DiagEvent>,
+    tracer: &Tracer,
 ) -> Result<SlmsOutput, SlmsError> {
     let Stmt::For(f) = loop_stmt else {
         return Err(SlmsError::NotAForLoop);
@@ -342,7 +361,9 @@ fn slms_loop_inner(
     }
 
     if cfg.apply_filter {
+        let mut span = tracer.span("slms", "slms.filter");
         let verdict = filter_loop(&f.body, &f.var, &cfg.filter);
+        span.arg("passed", verdict.passed());
         events.push(DiagEvent::FilterChecked {
             verdict: verdict.clone(),
         });
@@ -377,6 +398,7 @@ fn slms_loop_inner(
     }
 
     // Decomposition loop (§5 step 5).
+    let mut mii_span = tracer.span("slms", "slms.mii");
     let mut decomposed: Vec<String> = Vec::new();
     let (ii, mis, expand) = loop {
         let mis = partition_mis(&body)?;
@@ -429,13 +451,22 @@ fn slms_loop_inner(
         }
     };
 
+    mii_span.arg("rounds", decomposed.len() + 1);
+    mii_span.arg("n_mis", mis.len());
+    mii_span.arg("ii", ii);
+    drop(mii_span);
+
     // Emit.
+    let mut emit_span = tracer.span("slms", "slms.emit");
     let mi_stmts: Vec<Stmt> = mis.iter().map(|m| m.stmt.clone()).collect();
     let out = if symbolic {
         emit_symbolic_guarded(f, &mi_stmts, ii)?
     } else {
         emit(&mut scratch, f, &mi_stmts, ii, cfg.expansion, &expand)?
     };
+    emit_span.arg("unroll", out.unroll);
+    emit_span.arg("max_offset", out.max_offset);
+    drop(emit_span);
 
     // Cycle-based MII for the report (recomputed on the final body).
     let removable = |e: &slc_analysis::DepEdge| -> bool {
@@ -500,11 +531,30 @@ pub struct LoopOutcome {
 /// assert!(to_paper_style(&optimized).contains("||")); // parallel kernel rows
 /// ```
 pub fn slms_program(prog: &Program, cfg: &SlmsConfig) -> (Program, Vec<LoopOutcome>) {
+    slms_program_spanned(prog, cfg, &Tracer::disabled())
+}
+
+/// [`slms_program`] with wall-clock spans: one span per visited innermost
+/// loop (category `"slms"`, named after the [`LoopId`]) with the per-stage
+/// child spans of [`slms_loop_spanned`] nested inside. The transformed
+/// program and outcomes are byte-identical to [`slms_program`].
+pub fn slms_program_spanned(
+    prog: &Program,
+    cfg: &SlmsConfig,
+    tracer: &Tracer,
+) -> (Program, Vec<LoopOutcome>) {
     let mut new_prog = prog.clone();
     let mut outcomes = Vec::new();
     let stmts = std::mem::take(&mut new_prog.stmts);
     let mut next_loop = 0usize;
-    let new_stmts = transform_stmts(&mut new_prog, stmts, cfg, &mut outcomes, &mut next_loop);
+    let new_stmts = transform_stmts(
+        &mut new_prog,
+        stmts,
+        cfg,
+        &mut outcomes,
+        &mut next_loop,
+        tracer,
+    );
     new_prog.stmts = new_stmts;
     (new_prog, outcomes)
 }
@@ -515,6 +565,7 @@ fn transform_stmts(
     cfg: &SlmsConfig,
     outcomes: &mut Vec<LoopOutcome>,
     next_loop: &mut usize,
+    tracer: &Tracer,
 ) -> Vec<Stmt> {
     let mut out = Vec::new();
     for s in stmts {
@@ -526,8 +577,10 @@ fn transform_stmts(
                     *next_loop += 1;
                     let stmt = Stmt::For(f);
                     let mut trace = Vec::new();
-                    match slms_loop_traced(prog, &stmt, cfg, &mut trace) {
+                    let mut span = tracer.span_dyn("slms", || format!("slms {}", id.verbose()));
+                    match slms_loop_spanned(prog, &stmt, cfg, &mut trace, tracer) {
                         Ok(res) => {
+                            span.arg("transformed", true);
                             outcomes.push(LoopOutcome {
                                 id,
                                 result: Ok(res.report),
@@ -536,6 +589,7 @@ fn transform_stmts(
                             out.extend(res.stmts);
                         }
                         Err(e) => {
+                            span.arg("transformed", false);
                             outcomes.push(LoopOutcome {
                                 id,
                                 result: Err(e),
@@ -546,13 +600,13 @@ fn transform_stmts(
                     }
                 } else {
                     let mut f = f;
-                    f.body = transform_stmts(prog, f.body, cfg, outcomes, next_loop);
+                    f.body = transform_stmts(prog, f.body, cfg, outcomes, next_loop, tracer);
                     out.push(Stmt::For(f));
                 }
             }
             Stmt::Block(b) => {
                 out.push(Stmt::Block(transform_stmts(
-                    prog, b, cfg, outcomes, next_loop,
+                    prog, b, cfg, outcomes, next_loop, tracer,
                 )));
             }
             Stmt::If {
@@ -562,8 +616,22 @@ fn transform_stmts(
             } => {
                 out.push(Stmt::If {
                     cond,
-                    then_branch: transform_stmts(prog, then_branch, cfg, outcomes, next_loop),
-                    else_branch: transform_stmts(prog, else_branch, cfg, outcomes, next_loop),
+                    then_branch: transform_stmts(
+                        prog,
+                        then_branch,
+                        cfg,
+                        outcomes,
+                        next_loop,
+                        tracer,
+                    ),
+                    else_branch: transform_stmts(
+                        prog,
+                        else_branch,
+                        cfg,
+                        outcomes,
+                        next_loop,
+                        tracer,
+                    ),
                 });
             }
             other => out.push(other),

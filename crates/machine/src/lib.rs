@@ -30,7 +30,7 @@ pub use asm::{bundles_to_string, op_to_string};
 pub use deps::{cross_deps, intra_deps, IrEdge};
 pub use ims::{modulo_schedule, res_mii, ModuloSchedule};
 pub use ir::{Bundle, Lir, LirLoop, LirProgram, Op, OpClass, OpKind, Operand, VReg};
-pub use lirinterp::{exec_lir, LirExecError, LirState, RVal};
+pub use lirinterp::{exec_lir, exec_lir_spanned, LirExecError, LirState, RVal};
 pub use listsched::{list_schedule, Schedule};
 pub use lower::{lower_program, LowerError};
 pub use mach::{CacheConfig, IssueModel, MachineDesc};

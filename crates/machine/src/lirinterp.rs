@@ -567,6 +567,20 @@ pub fn exec_lir(
     init_arrays: HashMap<String, Vec<f64>>,
     init_regs: HashMap<VReg, RVal>,
 ) -> Result<LirState, LirExecError> {
+    exec_lir_spanned(prog, init_arrays, init_regs, &slc_trace::Tracer::disabled())
+}
+
+/// [`exec_lir`] with a wall-clock span (category `"interp"`, name
+/// `lirinterp.run`) on `tracer`, covering the compile-once pass and the
+/// execution. The result is identical to [`exec_lir`].
+pub fn exec_lir_spanned(
+    prog: &LirProgram,
+    init_arrays: HashMap<String, Vec<f64>>,
+    init_regs: HashMap<VReg, RVal>,
+    tracer: &slc_trace::Tracer,
+) -> Result<LirState, LirExecError> {
+    let mut span = tracer.span("interp", "lirinterp.run");
+    span.arg("items", prog.items.len());
     // compile once: intern names, resolve address terms, size the frame
     let mut c = Compiler {
         arrays: Interner::new(),

@@ -25,23 +25,28 @@
 //! 2. the canonical JSON report is byte-identical across runs and thread
 //!    counts — cells appear in matrix-enumeration order, every artifact is
 //!    computed exactly once per distinct key (so cache counters are
-//!    schedule-independent), and wall-clock timing lives in a separate
-//!    non-deterministic sidecar ([`BatchReport::timing_json`]);
+//!    schedule-independent), wall-clock timing lives in a separate
+//!    non-deterministic sidecar ([`BatchReport::timing_json`]), and the
+//!    deterministic work counters ([`BatchReport::counters`]) are
+//!    accumulated only inside cache-miss closures, which makes them
+//!    thread-count-invariant too;
 //! 3. a failing cell (parse, plan or lowering error) degrades to a
 //!    recorded per-cell error while every other cell still completes.
 
 use crate::cache::{CacheReport, KeyedStore};
 use crate::compile::{compile_lir, CompilerKind, LoopInfo};
 use crate::json::Json;
-use crate::par::{effective_threads, par_map_indexed};
+use crate::par::{effective_threads, par_map_indexed_stats, WorkerStats};
 use crate::passes::{PassManager, PassPlan};
 use slc_ast::{parse_program, Program};
+use slc_core::diag::DiagEvent;
 use slc_core::{LoopOutcome, SlmsConfig};
 use slc_machine::ir::LirProgram;
 use slc_machine::lower::{lower_program, LowerError};
 use slc_machine::mach::MachineDesc;
-use slc_sim::cycle::{simulate_with, FfStats, SimFidelity, SimResult};
+use slc_sim::cycle::{simulate_spanned, FfStats, SimFidelity, SimResult};
 use slc_sim::power::EnergyModel;
+use slc_trace::{CounterRegistry, Tracer};
 use slc_workloads::{enumerate_matrix, MatrixCell, Variant, Workload};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,6 +55,29 @@ use std::time::Instant;
 
 /// Schema tag written into every report.
 pub const REPORT_SCHEMA: &str = "slc-batch-report-v1";
+
+/// Schema tag of the wall-clock timing sidecar.
+pub const TIMING_SCHEMA: &str = "slc-batch-timing-v3";
+
+/// Named relative tolerances for the counter perf gate
+/// (`BENCH_counters.json`). Counters not listed here are compared exactly:
+/// cache hit/miss counts, SLMS decision counts and verify obligations are
+/// pure functions of the matrix, while simulator totals are allowed small
+/// drift so that perf-neutral model tweaks do not churn the baseline. The
+/// steady-state fast-forward lanes get the widest band — they move whenever
+/// the detector's warm-up heuristics are tuned.
+pub const COUNTER_TOLERANCES: &[(&str, f64)] = &[
+    ("sim.cycles_total", 0.02),
+    ("sim.ops_total", 0.02),
+    ("sim.l1_hits", 0.02),
+    ("sim.l1_misses", 0.05),
+    ("sim.spill_accesses", 0.05),
+    ("sim.fast_loops", 0.10),
+    ("sim.fallback_loops", 0.10),
+    ("sim.ff_hits", 0.25),
+    ("sim.ff_misses", 0.25),
+    ("sim.trips_skipped", 0.25),
+];
 
 impl CompilerKind {
     /// Every personality, in canonical report order.
@@ -224,6 +252,9 @@ pub struct TimingReport {
     /// misses (deterministic per config, but reported in the sidecar next
     /// to the wall-clock they explain)
     pub steady: FfStats,
+    /// per-worker queue accounting for this run (scheduling-dependent, so
+    /// sidecar-only), worker-ordered
+    pub workers: Vec<WorkerStats>,
 }
 
 /// Result of one batch run.
@@ -233,6 +264,9 @@ pub struct BatchReport {
     pub cells: Vec<CellResult>,
     /// cache statistics (cumulative over the engine's lifetime)
     pub cache: CacheReport,
+    /// deterministic work counters (cumulative over the engine's lifetime;
+    /// see [`BatchEngine::counters`])
+    pub counters: CounterRegistry,
     /// wall-clock accounting for this run
     pub timing: TimingReport,
 }
@@ -276,8 +310,18 @@ impl BatchReport {
             .to_pretty()
     }
 
-    /// Wall-clock sidecar (not deterministic). v2 adds the per-pass
-    /// breakdown of the transformation stage.
+    /// The deterministic counter registry as the gate-able baseline
+    /// document (`slc-counters-v1`, what `BENCH_counters.json` pins), with
+    /// the named [`COUNTER_TOLERANCES`] attached. Separate from
+    /// [`BatchReport::to_json`] so the canonical report stays byte-for-byte
+    /// what it was before counters existed.
+    pub fn counters_json(&self) -> String {
+        self.counters.to_json(COUNTER_TOLERANCES)
+    }
+
+    /// Wall-clock sidecar (not deterministic). v2 added the per-pass
+    /// breakdown of the transformation stage; v3 adds per-worker queue
+    /// accounting from the work-stealing map.
     pub fn timing_json(&self) -> String {
         let t = &self.timing;
         let mut passes = Json::obj();
@@ -289,8 +333,18 @@ impl BatchReport {
                     .field("runs", p.runs),
             );
         }
+        let workers: Vec<Json> = t
+            .workers
+            .iter()
+            .map(|w| {
+                Json::obj()
+                    .field("worker", w.worker)
+                    .field("claimed", w.claimed)
+                    .field("empty_polls", w.empty_polls)
+            })
+            .collect();
         Json::obj()
-            .field("schema", "slc-batch-timing-v2")
+            .field("schema", TIMING_SCHEMA)
             .field("threads", t.threads)
             .field("wall_ms", t.wall_ns as f64 / 1e6)
             .field(
@@ -303,6 +357,7 @@ impl BatchReport {
                     .field("simulate", t.sim_ns as f64 / 1e6),
             )
             .field("pass_ms", passes)
+            .field("workers", Json::Arr(workers))
             .field("verify", {
                 let mut verify = Json::obj();
                 for v in &t.verify {
@@ -333,7 +388,7 @@ impl BatchReport {
     /// Simulator throughput baseline (`BENCH_sim.json`): the simulate
     /// stage's wall clock against the trip counts it covered, plus the
     /// steady-state fast-forward counters that explain the rate. Derived
-    /// from the v2 timing sidecar, so it is wall-clock data — a baseline to
+    /// from the timing sidecar, so it is wall-clock data — a baseline to
     /// compare against, not part of the canonical deterministic report.
     pub fn sim_bench_json(&self) -> String {
         let t = &self.timing;
@@ -450,6 +505,13 @@ pub struct BatchEngine {
     verify_stats: Mutex<BTreeMap<String, VerifySummary>>,
     /// steady-state fast-forward counters (six lanes matching `FfStats`)
     ff: [AtomicU64; 6],
+    /// deterministic work counters. Bumped **only inside cache-miss
+    /// closures** — each distinct artifact is computed exactly once, so the
+    /// totals are invariant under thread count and work-queue interleaving
+    /// (the property `tests/trace_differential.rs` pins down). Wall-clock
+    /// values must never land here; they go to the timing accumulators
+    /// above.
+    counters: Mutex<CounterRegistry>,
 }
 
 fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
@@ -476,14 +538,85 @@ impl BatchEngine {
         }
     }
 
+    /// Snapshot the deterministic counter registry: the work counters
+    /// accumulated inside miss closures plus the cache hit/miss statistics,
+    /// all under dotted names (`slms.mii_rounds`, `sim.cycles_total`,
+    /// `cache.compile.misses`, …). For a fixed engine history the snapshot
+    /// is identical across runs and thread counts — this is what
+    /// `slc stats` renders and the CI counter gate compares.
+    pub fn counters(&self) -> CounterRegistry {
+        let mut c = self.counters.lock().unwrap().clone();
+        let cr = self.cache_report();
+        for (name, s) in [
+            ("parse", cr.parse),
+            ("slms", cr.slms),
+            ("lir", cr.lir),
+            ("compile", cr.compile),
+            ("sim", cr.sim),
+        ] {
+            c.set(&format!("cache.{name}.hits"), s.hits);
+            c.set(&format!("cache.{name}.misses"), s.misses);
+        }
+        c
+    }
+
+    /// Accumulate the SLMS decision counters from one plan execution's
+    /// diagnostics. Called only from the plan-artifact miss closure, so the
+    /// totals count each distinct (program, plan) exactly once.
+    fn count_slms_outcomes(&self, sink: &slc_core::diag::DiagSink) {
+        let mut reg = self.counters.lock().unwrap();
+        for o in sink.all_outcomes() {
+            reg.add("slms.loops_total", 1);
+            if o.result.is_ok() {
+                reg.add("slms.loops_transformed", 1);
+            }
+            for ev in &o.trace {
+                match ev {
+                    DiagEvent::FilterChecked { verdict } if !verdict.passed() => {
+                        reg.add("slms.filter_rejects", 1);
+                    }
+                    DiagEvent::IfConverted => reg.add("slms.if_conversions", 1),
+                    DiagEvent::SymbolicGuard => reg.add("slms.symbolic_guards", 1),
+                    DiagEvent::MiiAttempt { .. } => reg.add("slms.mii_rounds", 1),
+                    DiagEvent::Decomposed { .. } => reg.add("slms.decompose_retries", 1),
+                    _ => {}
+                }
+            }
+        }
+    }
+
     /// Evaluate the whole matrix. Cells run concurrently; the result
     /// vector is in matrix-enumeration order regardless of thread count.
     pub fn run(&self, cfg: &BatchConfig) -> BatchReport {
+        self.run_traced(cfg, &Tracer::disabled())
+    }
+
+    /// [`BatchEngine::run`] with span collection: the whole run is wrapped
+    /// in a `batch.run` span, every cell gets a `cell` span on its worker's
+    /// track (tid = worker + 1; the orchestrating thread is track 0), and
+    /// each cache-miss closure opens a `stage` span
+    /// (`parse`/`plan`/`lower`/`compile`/`simulate`). With a disabled
+    /// tracer this is exactly [`BatchEngine::run`] — no clock reads, no
+    /// allocation, and a byte-identical canonical report either way.
+    pub fn run_traced(&self, cfg: &BatchConfig, tracer: &Tracer) -> BatchReport {
         let cells = enumerate_matrix(cfg.workloads.len(), cfg.machines.len(), cfg.compilers.len());
         let threads = effective_threads(cfg.threads, cells.len());
+        tracer.set_thread_track(0, "main");
+        let mut batch_span = tracer.span("batch", "batch.run");
+        batch_span.arg("cells", cells.len());
+        batch_span.arg("threads", threads);
         let t0 = Instant::now();
-        let results = par_map_indexed(cells.len(), threads, |i| self.eval_cell(cfg, cells[i]));
+        let (results, workers) = par_map_indexed_stats(cells.len(), threads, |worker, i| {
+            if tracer.is_enabled() {
+                tracer.set_thread_track(worker as u32 + 1, &format!("worker {worker}"));
+            }
+            self.eval_cell(cfg, cells[i], tracer)
+        });
         let wall_ns = t0.elapsed().as_nanos() as u64;
+        drop(batch_span);
+        // with threads == 1 the "worker" ran inline on this thread; rebind
+        // it to the orchestrator track for any spans the caller opens next
+        tracer.set_thread_track(0, "main");
         let passes = self
             .pass_ns
             .lock()
@@ -498,6 +631,7 @@ impl BatchEngine {
         BatchReport {
             cells: results,
             cache: self.cache_report(),
+            counters: self.counters(),
             timing: TimingReport {
                 threads,
                 wall_ns,
@@ -522,11 +656,12 @@ impl BatchEngine {
                     trips_total: self.ff[4].load(Ordering::Relaxed),
                     trips_skipped: self.ff[5].load(Ordering::Relaxed),
                 },
+                workers,
             },
         }
     }
 
-    fn eval_cell(&self, cfg: &BatchConfig, cell: MatrixCell) -> CellResult {
+    fn eval_cell(&self, cfg: &BatchConfig, cell: MatrixCell, tracer: &Tracer) -> CellResult {
         let w = &cfg.workloads[cell.workload];
         let m = &cfg.machines[cell.machine];
         let kind = cfg.compilers[cell.compiler];
@@ -537,10 +672,17 @@ impl BatchEngine {
             compiler: kind.label(),
             variant: cell.variant.label(),
         };
+        let mut cell_span = tracer.span_dyn("cell", || {
+            format!(
+                "{}/{}/{}/{}",
+                id.workload, id.machine, id.compiler, id.variant
+            )
+        });
 
         // 1. parse (cached per source text)
         let src_fp = slc_analysis::fingerprint_str(w.source);
         let parsed = self.parse.get_or_compute(src_fp, || {
+            let _sp = tracer.span("stage", "parse");
             timed(&self.parse_ns, || {
                 parse_program(w.source)
                     .map(|p| {
@@ -578,8 +720,9 @@ impl BatchEngine {
                     slc_analysis::fingerprint::combine(&[*orig_fp, cfg.plan.fingerprint(&cfg.slms)])
                 };
                 Some(self.slms.get_or_compute(key, || {
+                    let _sp = tracer.span("stage", "plan");
                     timed(&self.slms_ns, || {
-                        let pm = PassManager::new(cfg.slms.clone());
+                        let pm = PassManager::new(cfg.slms.clone()).with_tracer(tracer.clone());
                         match pm.run_with_verify(orig_prog, &cfg.plan, cfg.verify) {
                             Ok((p, sink, verdicts)) => {
                                 if cfg.verify {
@@ -605,6 +748,12 @@ impl BatchEngine {
                                             }
                                         }
                                     }
+                                    let mut reg = self.counters.lock().unwrap();
+                                    reg.add("verify.loops_verified", sum.verified as u64);
+                                    reg.add("verify.loops_skipped", sum.skipped as u64);
+                                    reg.add("verify.obligations", sum.obligations as u64);
+                                    reg.add("verify.violations", sum.violations as u64);
+                                    drop(reg);
                                     self.verify_stats
                                         .lock()
                                         .unwrap()
@@ -617,6 +766,7 @@ impl BatchEngine {
                                     slot.1 += 1;
                                 }
                                 drop(per_pass);
+                                self.count_slms_outcomes(&sink);
                                 let fp = slc_analysis::program_fingerprint(&p);
                                 let outcomes = sink.all_outcomes().cloned().collect::<Vec<_>>();
                                 Ok((p, outcomes, fp))
@@ -654,11 +804,15 @@ impl BatchEngine {
         let compile_key =
             slc_analysis::fingerprint::combine(&[prog_fp, m.fingerprint(), kind.code()]);
         let compiled = self.compile.get_or_compute(compile_key, || {
-            let lir = self
-                .lir
-                .get_or_compute(prog_fp, || timed(&self.lower_ns, || lower_program(prog)));
+            let lir = self.lir.get_or_compute(prog_fp, || {
+                let _sp = tracer.span("stage", "lower");
+                timed(&self.lower_ns, || lower_program(prog))
+            });
             match lir.as_ref() {
-                Ok(l) => Ok(timed(&self.compile_ns, || compile_lir(l, m, kind))),
+                Ok(l) => {
+                    let _sp = tracer.span("stage", "compile");
+                    Ok(timed(&self.compile_ns, || compile_lir(l, m, kind)))
+                }
                 Err(e) => Err(e.clone()),
             }
         });
@@ -674,8 +828,9 @@ impl BatchEngine {
 
         // 4. simulate (cached under the same key as the schedule)
         let sim = self.sim.get_or_compute(compile_key, || {
+            let _sp = tracer.span("stage", "simulate");
             timed(&self.sim_ns, || {
-                let out = simulate_with(&comp.compiled, m, SimFidelity::Fast);
+                let out = simulate_spanned(&comp.compiled, m, SimFidelity::Fast, tracer);
                 for (slot, v) in self.ff.iter().zip([
                     out.ff.fast_loops,
                     out.ff.fallback_loops,
@@ -686,10 +841,24 @@ impl BatchEngine {
                 ]) {
                     slot.fetch_add(v, Ordering::Relaxed);
                 }
+                let mut reg = self.counters.lock().unwrap();
+                reg.add("sim.cycles_total", out.result.cycles);
+                reg.add("sim.ops_total", out.result.total_ops());
+                reg.add("sim.l1_hits", out.result.cache.hits);
+                reg.add("sim.l1_misses", out.result.cache.misses);
+                reg.add("sim.spill_accesses", out.result.spill_accesses);
+                reg.add("sim.fast_loops", out.ff.fast_loops);
+                reg.add("sim.fallback_loops", out.ff.fallback_loops);
+                reg.add("sim.ff_hits", out.ff.ff_hits);
+                reg.add("sim.ff_misses", out.ff.ff_misses);
+                reg.add("sim.trips_total", out.ff.trips_total);
+                reg.add("sim.trips_skipped", out.ff.trips_skipped);
+                drop(reg);
                 out.result
             })
         });
         let power = EnergyModel::default().report(&sim);
+        cell_span.arg("cycles", sim.cycles);
 
         CellResult {
             id,
@@ -806,10 +975,71 @@ mod tests {
             .expect("slms pass timed");
         assert!(slms.runs >= 1);
         let sidecar = rep.timing_json();
-        assert!(sidecar.contains("slc-batch-timing-v2"), "{sidecar}");
+        assert!(sidecar.contains(TIMING_SCHEMA), "{sidecar}");
         assert!(sidecar.contains("pass_ms"), "{sidecar}");
+        // v3: per-worker queue accounting rides in the sidecar too
+        assert!(sidecar.contains("\"workers\""), "{sidecar}");
+        assert!(!rep.timing.workers.is_empty());
+        let claimed: u64 = rep.timing.workers.iter().map(|w| w.claimed).sum();
+        assert_eq!(claimed as usize, rep.cells.len());
         // but nothing non-deterministic in the canonical report
-        assert!(!rep.to_json().contains("pass_ms"));
+        let canon = rep.to_json();
+        assert!(!canon.contains("pass_ms"));
+        assert!(!canon.contains("workers"));
+        assert!(!canon.contains("counters"));
+    }
+
+    #[test]
+    fn counters_are_thread_count_invariant_and_gateable() {
+        let mut c1 = tiny_cfg();
+        c1.threads = Some(1);
+        c1.verify = true;
+        let mut c4 = c1.clone();
+        c4.threads = Some(4);
+        let a = run_batch(&c1);
+        let b = run_batch(&c4);
+        assert_eq!(
+            a.counters, b.counters,
+            "counters must not depend on threads"
+        );
+        assert!(a.counters.get("slms.loops_total") > 0);
+        assert!(a.counters.get("sim.cycles_total") > 0);
+        assert!(a.counters.get("cache.sim.misses") > 0);
+        assert!(a.counters.get("verify.obligations") > 0);
+        // the emitted baseline gates cleanly against the run it came from
+        let base = slc_trace::CounterBaseline::parse(&a.counters_json()).unwrap();
+        assert!(slc_trace::check_counters(&b.counters, &base).is_empty());
+        // and wall-clock never leaks into the registry
+        assert!(a
+            .counters
+            .iter()
+            .all(|(k, _)| !k.ends_with("_ns") && !k.ends_with("_ms")));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_covers_stages() {
+        let cfg = tiny_cfg();
+        let plain = run_batch(&cfg);
+        let tracer = Tracer::enabled();
+        let traced = BatchEngine::new().run_traced(&cfg, &tracer);
+        assert_eq!(
+            plain.to_json(),
+            traced.to_json(),
+            "tracing must not change the report"
+        );
+        assert_eq!(plain.counters, traced.counters);
+        let chrome = tracer.to_chrome_json().unwrap();
+        let summary = slc_trace::validate_chrome_trace(&chrome).unwrap();
+        for stage in ["batch.run", "parse", "plan", "lower", "compile", "simulate"] {
+            assert!(
+                summary.span_names.iter().any(|n| n == stage),
+                "missing {stage} span in {:?}",
+                summary.span_names
+            );
+        }
+        // cell spans land on worker tracks, which are all named
+        assert!(summary.tracks.iter().any(|&t| t >= 1));
+        assert_eq!(summary.track_names[0].1, "main");
     }
 
     #[test]

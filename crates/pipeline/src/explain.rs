@@ -8,9 +8,10 @@
 //! decomposition round, and the final II (or the structured reason the
 //! loop was left alone).
 
+use crate::json::Json;
 use crate::passes::{PassManager, PassPlan};
 use slc_ast::parse_program;
-use slc_core::SlmsConfig;
+use slc_core::{loop_outcome_json, SlmsConfig};
 use slc_workloads::Workload;
 
 /// Run `plan` over `src` and render the per-loop decision trace. On a hard
@@ -37,6 +38,82 @@ pub fn explain_source(src: &str, plan: &PassPlan, cfg: &SlmsConfig) -> String {
             text
         }
         Err(e) => format!("plan: {plan}\nplan failed: {e}\n"),
+    }
+}
+
+/// Machine-readable `explain`: run `plan` over `src` and emit one compact
+/// JSON object **per loop** (JSONL), each carrying the stable fields
+/// `workload` (null for raw sources), `plan`, `pass`, then the
+/// [`loop_outcome_json`] schema (`loop` / `transformed` / `report` /
+/// `error` / `trace`). Hard failures (parse error, structural transform
+/// error) become a single line with `plan` and `error` fields instead —
+/// like [`explain_source`], this never panics on a valid plan.
+pub fn explain_source_json(src: &str, plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    render_lines(explain_json_lines(None, src, plan, cfg))
+}
+
+/// One JSONL line per loop of one named workload (the `workload` field
+/// carries its name; see [`explain_source_json`] for the schema).
+pub fn explain_workload_json(w: &Workload, plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    render_lines(explain_json_lines(Some(w), w.source, plan, cfg))
+}
+
+/// JSONL traces for every workload in every suite (`slc explain --all
+/// --json`).
+pub fn explain_all_json(plan: &PassPlan, cfg: &SlmsConfig) -> String {
+    let mut out = String::new();
+    for w in slc_workloads::all() {
+        out.push_str(&explain_workload_json(&w, plan, cfg));
+    }
+    out
+}
+
+fn render_lines(lines: Vec<Json>) -> String {
+    let mut out = String::new();
+    for line in lines {
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+fn explain_json_lines(
+    w: Option<&Workload>,
+    src: &str,
+    plan: &PassPlan,
+    cfg: &SlmsConfig,
+) -> Vec<Json> {
+    let head = |mut obj: Json| -> Json {
+        obj = match w {
+            Some(w) => obj
+                .field("workload", w.name)
+                .field("suite", w.suite.to_string()),
+            None => obj.field("workload", Json::Null),
+        };
+        obj.field("plan", plan.to_string())
+    };
+    let prog = match parse_program(src) {
+        Ok(p) => p,
+        Err(e) => return vec![head(Json::obj()).field("error", format!("parse: {e}"))],
+    };
+    let pm = PassManager::new(cfg.clone());
+    match pm.run(&prog, plan) {
+        Ok((_, sink)) => {
+            let mut lines = Vec::new();
+            for pd in &sink.passes {
+                for o in &pd.loops {
+                    let mut line = head(Json::obj()).field("pass", pd.pass.as_str());
+                    if let Json::Obj(fields) = loop_outcome_json(o) {
+                        for (k, v) in fields {
+                            line = line.field(&k, v);
+                        }
+                    }
+                    lines.push(line);
+                }
+            }
+            lines
+        }
+        Err(e) => vec![head(Json::obj()).field("error", format!("plan: {e}"))],
     }
 }
 
@@ -82,6 +159,51 @@ mod tests {
             text.contains("summary: 1 pass(es), 1/1 loop(s) pipelined"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn explain_json_emits_one_parsable_object_per_loop() {
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let text = explain_source_json(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+            &plan,
+            &cfg,
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let obj = Json::parse(lines[0]).unwrap();
+        assert_eq!(obj.get("workload"), Some(&Json::Null));
+        assert_eq!(obj.get("plan").and_then(Json::as_str), Some("slms"));
+        assert_eq!(obj.get("pass").and_then(Json::as_str), Some("slms"));
+        assert_eq!(obj.get("transformed"), Some(&Json::Bool(true)));
+        let report = obj.get("report").unwrap();
+        assert_eq!(report.get("ii").and_then(Json::as_i64), Some(1));
+        let trace = obj.get("trace").and_then(Json::as_arr).unwrap();
+        assert!(!trace.is_empty());
+
+        // hard failures still produce exactly one stable line
+        let failed = explain_source_json("int x; x = ;", &plan, &cfg);
+        let obj = Json::parse(failed.lines().next().unwrap()).unwrap();
+        assert!(obj
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("parse:"));
+    }
+
+    #[test]
+    fn explain_all_json_lines_all_parse_and_name_workloads() {
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let text = explain_all_json(&plan, &cfg);
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            let obj = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+            assert!(obj.get("workload").and_then(Json::as_str).is_some());
+            assert!(obj.get("loop").is_some() || obj.get("error").is_some());
+        }
     }
 
     #[test]

@@ -24,13 +24,19 @@ pub mod cache;
 pub mod compile;
 pub mod experiments;
 pub mod explain;
-pub mod json;
 pub mod par;
 pub mod passes;
 
+/// Deterministic JSON value + writer/reader (moved to [`slc_trace::json`];
+/// re-exported here so existing `slc_pipeline::json::Json` paths keep
+/// working).
+pub mod json {
+    pub use slc_trace::json::*;
+}
+
 pub use batch::{
     run_batch, BatchConfig, BatchEngine, BatchReport, CellId, CellMetrics, CellResult,
-    TimingReport, REPORT_SCHEMA,
+    TimingReport, COUNTER_TOLERANCES, REPORT_SCHEMA, TIMING_SCHEMA,
 };
 pub use cache::{CacheReport, KeyedStore, StoreStats};
 pub use compile::{compile, compile_lir, CompileResult, CompilerKind, LoopInfo};
@@ -38,9 +44,12 @@ pub use experiments::{
     format_rows, measure_gap, measure_suite, measure_suite_on, measure_workload, run, GapRow,
     LoopRow, Metrics,
 };
-pub use explain::{explain_all, explain_source, explain_workload};
+pub use explain::{
+    explain_all, explain_all_json, explain_source, explain_source_json, explain_workload,
+    explain_workload_json,
+};
 pub use json::Json;
-pub use par::{effective_threads, par_map_indexed};
+pub use par::{effective_threads, par_map_indexed, par_map_indexed_stats, WorkerStats};
 pub use passes::{
     CompiledPass, Pass, PassError, PassManager, PassPlan, PassSpec, PlanParseError, PLAN_SYNTAX,
 };

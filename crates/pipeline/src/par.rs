@@ -19,6 +19,20 @@ pub fn effective_threads(requested: Option<usize>, n_items: usize) -> usize {
     requested.unwrap_or(hw).clamp(1, n_items.max(1))
 }
 
+/// Per-worker accounting from one [`par_map_indexed_stats`] run. The values
+/// depend on OS scheduling, so they belong in the wall-clock timing sidecar
+/// only — never in counters, fingerprints, or the canonical report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// worker index, `0..threads`
+    pub worker: usize,
+    /// items this worker claimed from the shared queue
+    pub claimed: u64,
+    /// claim attempts that found the queue drained (the worker's exit
+    /// probe)
+    pub empty_polls: u64,
+}
+
 /// Apply `f` to every index in `0..n` using up to `threads` worker
 /// threads, returning results in index order. With `threads == 1` the map
 /// runs on the caller's thread; the output is identical either way as long
@@ -28,37 +42,73 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    par_map_indexed_stats(n, threads, |_, i| f(i)).0
+}
+
+/// [`par_map_indexed`] with worker identity: `f(worker, index)` learns
+/// which worker runs it (workers are numbered `0..threads`), and the
+/// returned [`WorkerStats`] record how many queue items each worker
+/// claimed. Results stay in index order regardless of interleaving.
+pub fn par_map_indexed_stats<U, F>(n: usize, threads: usize, f: F) -> (Vec<U>, Vec<WorkerStats>)
+where
+    U: Send,
+    F: Fn(usize, usize) -> U + Sync,
+{
     if n == 0 {
-        return Vec::new();
+        return (Vec::new(), Vec::new());
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(|i| f(0, i)).collect();
+        let stats = vec![WorkerStats {
+            worker: 0,
+            claimed: n as u64,
+            empty_polls: 1,
+        }];
+        return (out, stats);
     }
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, U)>();
     std::thread::scope(|s| {
-        for _ in 0..threads {
-            let tx = tx.clone();
-            let next = &next;
-            let f = &f;
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                // receiver outlives all senders inside the scope
-                let _ = tx.send((i, f(i)));
-            });
-        }
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let tx = tx.clone();
+                let next = &next;
+                let f = &f;
+                s.spawn(move || {
+                    let mut stats = WorkerStats {
+                        worker: w,
+                        claimed: 0,
+                        empty_polls: 0,
+                    };
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            stats.empty_polls += 1;
+                            break;
+                        }
+                        stats.claimed += 1;
+                        // receiver outlives all senders inside the scope
+                        let _ = tx.send((i, f(w, i)));
+                    }
+                    stats
+                })
+            })
+            .collect();
         drop(tx);
         let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
         for (i, u) in rx {
             out[i] = Some(u);
         }
-        out.into_iter()
+        let stats = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+        let out = out
+            .into_iter()
             .map(|o| o.expect("worker delivered every index"))
-            .collect()
+            .collect();
+        (out, stats)
     })
 }
 
@@ -77,6 +127,23 @@ mod tests {
         let serial = par_map_indexed(57, 1, |i| i as u64 * 3 + 1);
         let parallel = par_map_indexed(57, 7, |i| i as u64 * 3 + 1);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn worker_stats_cover_every_item() {
+        for threads in [1, 4] {
+            let (out, stats) = par_map_indexed_stats(40, threads, |w, i| {
+                assert!(w < threads);
+                i * 2
+            });
+            assert_eq!(out, (0..40).map(|i| i * 2).collect::<Vec<_>>());
+            assert_eq!(stats.len(), threads);
+            assert_eq!(stats.iter().map(|s| s.claimed).sum::<u64>(), 40);
+            for (w, s) in stats.iter().enumerate() {
+                assert_eq!(s.worker, w);
+                assert!(s.empty_polls >= 1);
+            }
+        }
     }
 
     #[test]

@@ -31,7 +31,8 @@
 
 use slc_ast::{parse_program, Program, Stmt};
 use slc_core::diag::{DiagSink, PassDiag};
-use slc_core::{slms_program, SlmsConfig};
+use slc_core::{slms_program_spanned, SlmsConfig};
+use slc_trace::Tracer;
 use slc_transforms::{
     distribute, fuse, interchange, normalize, peel_front, reverse, unroll, TransformError,
 };
@@ -392,6 +393,7 @@ fn top_loop_positions(prog: &Program) -> Vec<usize> {
 pub struct CompiledPass {
     spec: PassSpec,
     slms: SlmsConfig,
+    tracer: Tracer,
 }
 
 impl CompiledPass {
@@ -427,7 +429,7 @@ impl CompiledPass {
         match &self.spec {
             PassSpec::Slms { no_filter } => {
                 let cfg = resolve_slms(&self.slms, *no_filter);
-                let (out, outcomes) = slms_program(prog, &cfg);
+                let (out, outcomes) = slms_program_spanned(prog, &cfg, &self.tracer);
                 let ok = outcomes.iter().filter(|o| o.result.is_ok()).count();
                 diag.notes.push(format!(
                     "{ok} of {} innermost loop(s) pipelined",
@@ -550,6 +552,9 @@ impl Pass for CompiledPass {
     }
 
     fn apply(&self, prog: &Program, sink: &mut DiagSink) -> Result<Program, PassError> {
+        let mut span = self
+            .tracer
+            .span_dyn("pass", || format!("pass {}", self.name()));
         let idx = sink.begin_pass(self.name());
         let t0 = Instant::now();
         let result = self.apply_inner(prog, sink.pass_mut(idx));
@@ -557,6 +562,7 @@ impl Pass for CompiledPass {
         if let Err(e) = &result {
             sink.pass_mut(idx).notes.push(format!("FAILED: {e}"));
         }
+        span.arg("ok", result.is_ok());
         result
     }
 }
@@ -567,12 +573,25 @@ pub struct PassManager {
     /// base SLMS configuration `slms` passes run with (modifiers like
     /// `:nofilter` adjust a copy)
     pub slms: SlmsConfig,
+    /// span collector (disabled by default; see [`PassManager::with_tracer`])
+    tracer: Tracer,
 }
 
 impl PassManager {
     /// Manager with the given base SLMS configuration.
     pub fn new(slms: SlmsConfig) -> Self {
-        PassManager { slms }
+        PassManager {
+            slms,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Collect spans while running plans: one `pass` span per executed pass
+    /// plus the `slms`/`verify` spans the core stages open. A disabled
+    /// tracer (the default) makes every span a no-op.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// Compile a plan into executable passes.
@@ -583,6 +602,7 @@ impl PassManager {
                 Box::new(CompiledPass {
                     spec: spec.clone(),
                     slms: self.slms.clone(),
+                    tracer: self.tracer.clone(),
                 }) as Box<dyn Pass>
             })
             .collect()
@@ -628,7 +648,7 @@ impl PassManager {
             cur = pass.apply(&cur, &mut sink)?;
             if let (Some(pre), PassSpec::Slms { no_filter }) = (pre, spec) {
                 let cfg = resolve_slms(&self.slms, *no_filter);
-                let verdict = slc_verify::verify_slms_program(&pre, &cfg);
+                let verdict = slc_verify::verify_slms_program_spanned(&pre, &cfg, &self.tracer);
                 attach_verify_events(&mut sink, &verdict);
                 verdicts.push(verdict);
             }
@@ -677,6 +697,7 @@ fn attach_verify_events(sink: &mut DiagSink, verdict: &slc_verify::ProgramVerdic
 mod tests {
     use super::*;
     use slc_ast::to_source;
+    use slc_core::slms_program;
 
     fn plan(s: &str) -> PassPlan {
         PassPlan::parse(s).unwrap()

@@ -330,6 +330,7 @@ fn gcd(a: i64, b: i64) -> i64 {
 
 struct SimState<'m> {
     m: &'m MachineDesc,
+    tracer: &'m slc_trace::Tracer,
     fidelity: SimFidelity,
     cache: Cache,
     result: SimResult,
@@ -484,13 +485,19 @@ impl SimState<'_> {
                 }
             },
             Seg::Loop(l) => {
+                let mut span = self
+                    .tracer
+                    .span_dyn("sim", || format!("sim.loop {}", l.var));
+                span.arg("trips", l.trips.max(0) as u64);
                 self.env.insert(l.var.clone(), l.init);
                 self.env.insert(format!("__step_{}", l.var), l.step);
                 self.ff.trips_total += l.trips.max(0) as u64;
                 if self.fidelity == SimFidelity::Fast && self.try_exec_loop_fast(l) {
+                    span.arg("path", "fast");
                     return;
                 }
                 self.ff.fallback_loops += 1;
+                span.arg("path", "fallback");
                 self.exec_loop_reference(l);
             }
         }
@@ -909,6 +916,19 @@ fn max_reg(segs: &[Seg]) -> u32 {
 /// the reported numbers plus fast-path diagnostics. `Fast` and `Reference`
 /// produce identical [`SimResult`]s (enforced by the differential suite).
 pub fn simulate_with(prog: &CompiledProgram, m: &MachineDesc, fidelity: SimFidelity) -> SimOutcome {
+    simulate_spanned(prog, m, fidelity, &slc_trace::Tracer::disabled())
+}
+
+/// [`simulate_with`] with wall-clock spans: one span per simulated loop
+/// (category `"sim"`) carrying its trip count and which path executed it
+/// (`fast` = steady-state fast-forward eligible, `fallback` = trip-by-trip
+/// reference walk). The [`SimOutcome`] is identical to [`simulate_with`].
+pub fn simulate_spanned(
+    prog: &CompiledProgram,
+    m: &MachineDesc,
+    fidelity: SimFidelity,
+    tracer: &slc_trace::Tracer,
+) -> SimOutcome {
     let mut base = HashMap::new();
     let mut next: u64 = 64; // leave a guard region
     for (name, len) in &prog.arrays {
@@ -918,6 +938,7 @@ pub fn simulate_with(prog: &CompiledProgram, m: &MachineDesc, fidelity: SimFidel
     let spill_base = next;
     let mut st = SimState {
         m,
+        tracer,
         fidelity,
         cache: Cache::new(m),
         result: SimResult::default(),

@@ -1,0 +1,35 @@
+//! slc-trace: spans, deterministic counters, and JSON plumbing.
+//!
+//! The observability layer for the SLMS workspace, sitting at the bottom of
+//! the crate graph (no dependencies) so every layer — batch engine, pass
+//! manager, SLMS core, verifier, simulators — can emit into it:
+//!
+//! * [`span`] — hierarchical wall-clock spans behind a clone-able
+//!   [`Tracer`] handle that is a guaranteed no-op (no clock reads, no
+//!   allocation) when disabled, with Chrome trace-event and JSONL exporters
+//!   plus a schema validator for the emitted documents.
+//! * [`counters`] — the [`CounterRegistry`] of *deterministic* counters
+//!   (thread-count- and wall-clock-invariant work measures) and the
+//!   count-based CI gate ([`check_counters`]) against a checked-in
+//!   baseline.
+//! * [`json`] — the deterministic JSON value/writer the whole workspace
+//!   uses for reports (moved here from slc-pipeline), now with a reader
+//!   ([`Json::parse`]) for baselines and trace validation.
+//!
+//! The cardinal rule, enforced by differential tests at the pipeline layer:
+//! wall-clock readings flow only into spans and timing sidecars, never into
+//! counters, cache keys, or the canonical batch report.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod json;
+pub mod span;
+
+pub use counters::{
+    check_counters, CounterBaseline, CounterRegistry, GateFailure, COUNTERS_SCHEMA,
+};
+pub use json::Json;
+pub use span::{
+    clock_reads, validate_chrome_trace, ArgValue, Span, TraceEvent, TraceSummary, Tracer,
+};

@@ -1,0 +1,550 @@
+//! Hierarchical span collection with a Chrome trace-event exporter.
+//!
+//! A [`Tracer`] is a cheap clone-able handle that is either *disabled* (the
+//! default — no buffer, no clock reads, no allocation; every operation is a
+//! branch on a `None`) or *enabled* (backed by a shared, thread-safe
+//! [`TraceBuf`]). Instrumented code asks the tracer for a [`Span`]; the span
+//! records its start time on creation and pushes one complete event into the
+//! buffer when dropped. Worker threads register a *track* (a Chrome `tid`)
+//! once via [`Tracer::set_thread_track`]; spans pick the current thread's
+//! track up from a thread-local, so a multi-threaded batch run renders as
+//! one timeline row per worker in Perfetto / `chrome://tracing`.
+//!
+//! The disabled path is deliberately verifiable: every real timestamp read
+//! bumps [`clock_reads`], so tests can assert that a disabled tracer
+//! performs zero timer syscalls (see `crates/trace/tests/zero_cost.rs`,
+//! which additionally proves zero allocation with a counting global
+//! allocator).
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Global count of real clock reads performed by enabled tracers. Test
+/// guard for the zero-cost-when-disabled contract; never reset.
+static CLOCK_READS: AtomicU64 = AtomicU64::new(0);
+
+/// Total [`Instant::now`] calls made by the span layer so far.
+pub fn clock_reads() -> u64 {
+    CLOCK_READS.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    /// Chrome track id for spans opened on this thread (0 = main).
+    static CURRENT_TID: Cell<u32> = const { Cell::new(0) };
+}
+
+/// A span argument value (rendered into the Chrome event's `args` object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// integer argument
+    I(i64),
+    /// float argument
+    F(f64),
+    /// string argument
+    S(String),
+    /// boolean argument
+    B(bool),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::I(v)
+    }
+}
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::I(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::from(v as u64)
+    }
+}
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::I(i64::from(v))
+    }
+}
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F(v)
+    }
+}
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::B(v)
+    }
+}
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::S(v.to_string())
+    }
+}
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::S(v)
+    }
+}
+
+impl From<ArgValue> for Json {
+    fn from(v: ArgValue) -> Json {
+        match v {
+            ArgValue::I(i) => Json::Int(i),
+            ArgValue::F(f) => Json::Float(f),
+            ArgValue::S(s) => Json::Str(s),
+            ArgValue::B(b) => Json::Bool(b),
+        }
+    }
+}
+
+/// One completed span, relative to the buffer's origin instant.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// span name (Chrome `name`)
+    pub name: String,
+    /// span category (Chrome `cat`): `"batch"`, `"stage"`, `"pass"`,
+    /// `"slms"`, `"sim"`, `"verify"`, `"interp"`
+    pub cat: &'static str,
+    /// track (Chrome `tid`): 0 = orchestrating thread, 1.. = workers
+    pub tid: u32,
+    /// start offset from the tracer's origin, nanoseconds
+    pub ts_ns: u64,
+    /// duration, nanoseconds
+    pub dur_ns: u64,
+    /// span arguments
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Shared collection buffer behind an enabled [`Tracer`].
+#[derive(Debug)]
+pub struct TraceBuf {
+    t0: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    tracks: Mutex<BTreeMap<u32, String>>,
+}
+
+impl TraceBuf {
+    fn now_ns(&self) -> u64 {
+        CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+        u64::try_from(self.t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Span collector handle: disabled (no-op, zero-cost) or enabled.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    buf: Option<Arc<TraceBuf>>,
+}
+
+impl Tracer {
+    /// The no-op collector: spans neither read the clock nor allocate.
+    pub fn disabled() -> Tracer {
+        Tracer { buf: None }
+    }
+
+    /// A fresh collector with its origin at "now".
+    pub fn enabled() -> Tracer {
+        CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+        Tracer {
+            buf: Some(Arc::new(TraceBuf {
+                t0: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                tracks: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Whether spans are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Bind the calling thread to Chrome track `tid`, naming it on first
+    /// registration. Call once per worker before opening spans.
+    pub fn set_thread_track(&self, tid: u32, name: &str) {
+        if let Some(buf) = &self.buf {
+            CURRENT_TID.set(tid);
+            let mut tracks = buf.tracks.lock().unwrap();
+            tracks.entry(tid).or_insert_with(|| name.to_string());
+        }
+    }
+
+    /// Open a span with a static name. Closed (recorded) on drop.
+    pub fn span(&self, cat: &'static str, name: &str) -> Span {
+        match &self.buf {
+            None => Span { rec: None },
+            Some(buf) => Span {
+                rec: Some(SpanRec {
+                    start_ns: buf.now_ns(),
+                    buf: Arc::clone(buf),
+                    name: name.to_string(),
+                    cat,
+                    tid: CURRENT_TID.get(),
+                    args: Vec::new(),
+                }),
+            },
+        }
+    }
+
+    /// Open a span whose name is built lazily — `make` runs only when the
+    /// tracer is enabled, so dynamic names cost nothing when disabled.
+    pub fn span_dyn(&self, cat: &'static str, make: impl FnOnce() -> String) -> Span {
+        match &self.buf {
+            None => Span { rec: None },
+            Some(_) => self.span(cat, &make()),
+        }
+    }
+
+    /// Number of completed spans recorded so far.
+    pub fn event_count(&self) -> usize {
+        self.buf
+            .as_ref()
+            .map_or(0, |b| b.events.lock().unwrap().len())
+    }
+
+    /// Snapshot of completed spans, sorted by (track, start, longest-first).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let Some(buf) = &self.buf else {
+            return Vec::new();
+        };
+        let mut evs = buf.events.lock().unwrap().clone();
+        evs.sort_by(|a, b| {
+            (a.tid, a.ts_ns, std::cmp::Reverse(a.dur_ns), &a.name).cmp(&(
+                b.tid,
+                b.ts_ns,
+                std::cmp::Reverse(b.dur_ns),
+                &b.name,
+            ))
+        });
+        evs
+    }
+
+    /// Registered (track id, name) pairs, id-ordered.
+    pub fn tracks(&self) -> Vec<(u32, String)> {
+        self.buf.as_ref().map_or(Vec::new(), |b| {
+            b.tracks
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect()
+        })
+    }
+
+    /// Export the Chrome trace-event document (the JSON Object Format:
+    /// `{"traceEvents": [...]}`), loadable in Perfetto. `None` if disabled.
+    ///
+    /// Emitted events: one `ph:"M"` `process_name` record, one `ph:"M"`
+    /// `thread_name` record per registered track, then every span as a
+    /// `ph:"X"` complete event with microsecond `ts`/`dur`.
+    pub fn to_chrome_json(&self) -> Option<String> {
+        self.buf.as_ref()?;
+        let mut events = Vec::new();
+        events.push(
+            Json::obj()
+                .field("ph", "M")
+                .field("name", "process_name")
+                .field("pid", 1i64)
+                .field("tid", 0i64)
+                .field("args", Json::obj().field("name", "slc")),
+        );
+        for (tid, name) in self.tracks() {
+            events.push(
+                Json::obj()
+                    .field("ph", "M")
+                    .field("name", "thread_name")
+                    .field("pid", 1i64)
+                    .field("tid", tid)
+                    .field("args", Json::obj().field("name", name)),
+            );
+        }
+        for ev in self.events() {
+            let mut args = Json::obj();
+            for (k, v) in ev.args {
+                args = args.field(k, v);
+            }
+            events.push(
+                Json::obj()
+                    .field("ph", "X")
+                    .field("name", ev.name)
+                    .field("cat", ev.cat)
+                    .field("pid", 1i64)
+                    .field("tid", ev.tid)
+                    .field("ts", ev.ts_ns as f64 / 1000.0)
+                    .field("dur", ev.dur_ns as f64 / 1000.0)
+                    .field("args", args),
+            );
+        }
+        let doc = Json::obj()
+            .field("displayTimeUnit", "ms")
+            .field("otherData", Json::obj().field("generator", "slc-trace"))
+            .field("traceEvents", Json::Arr(events));
+        Some(doc.to_pretty())
+    }
+
+    /// Export the structured event log: one compact JSON object per line
+    /// (`ts_us`, `dur_us`, `tid`, `cat`, `name`, `args`). `None` if disabled.
+    pub fn to_jsonl(&self) -> Option<String> {
+        self.buf.as_ref()?;
+        let mut out = String::new();
+        for ev in self.events() {
+            let mut args = Json::obj();
+            for (k, v) in ev.args {
+                args = args.field(k, v);
+            }
+            let line = Json::obj()
+                .field("ts_us", ev.ts_ns as f64 / 1000.0)
+                .field("dur_us", ev.dur_ns as f64 / 1000.0)
+                .field("tid", ev.tid)
+                .field("cat", ev.cat)
+                .field("name", ev.name)
+                .field("args", args);
+            out.push_str(&line.to_string());
+            out.push('\n');
+        }
+        Some(out)
+    }
+}
+
+struct SpanRec {
+    buf: Arc<TraceBuf>,
+    name: String,
+    cat: &'static str,
+    tid: u32,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl std::fmt::Debug for SpanRec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRec")
+            .field("name", &self.name)
+            .field("cat", &self.cat)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open span; records one complete event when dropped. Obtained from
+/// [`Tracer::span`] / [`Tracer::span_dyn`].
+#[derive(Debug)]
+#[must_use = "a span records its duration when dropped; binding it to _ closes it immediately"]
+pub struct Span {
+    rec: Option<SpanRec>,
+}
+
+impl Span {
+    /// Attach an argument. The conversion into [`ArgValue`] only happens
+    /// when the span is recording, so `&str`/`String` args are free on the
+    /// disabled path.
+    pub fn arg(&mut self, key: &'static str, v: impl Into<ArgValue>) {
+        if let Some(rec) = &mut self.rec {
+            rec.args.push((key, v.into()));
+        }
+    }
+
+    /// Whether this span will be recorded (i.e. the tracer was enabled).
+    pub fn is_recording(&self) -> bool {
+        self.rec.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(rec) = self.rec.take() {
+            let end_ns = rec.buf.now_ns();
+            let ev = TraceEvent {
+                name: rec.name,
+                cat: rec.cat,
+                tid: rec.tid,
+                ts_ns: rec.start_ns,
+                dur_ns: end_ns.saturating_sub(rec.start_ns),
+                args: rec.args,
+            };
+            rec.buf.events.lock().unwrap().push(ev);
+        }
+    }
+}
+
+/// Summary returned by [`validate_chrome_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// number of `ph:"X"` complete events
+    pub spans: usize,
+    /// distinct tracks (tids) carrying at least one span
+    pub tracks: Vec<i64>,
+    /// track names from `thread_name` metadata, tid-ordered
+    pub track_names: Vec<(i64, String)>,
+    /// distinct span names, sorted
+    pub span_names: Vec<String>,
+}
+
+/// Validate a Chrome trace-event JSON document: structure, required event
+/// fields, and that every track carrying spans is named via `thread_name`
+/// metadata (what Perfetto uses to label timeline rows).
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("top-level object must carry a traceEvents array")?;
+    let mut spans = 0usize;
+    let mut tracks = std::collections::BTreeSet::new();
+    let mut track_names = BTreeMap::new();
+    let mut span_names = std::collections::BTreeSet::new();
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string ph"))?;
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string name"))?;
+        let tid = ev
+            .get("tid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("event {i}: missing integer tid"))?;
+        ev.get("pid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("event {i}: missing integer pid"))?;
+        match ph {
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X event missing numeric ts"))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("event {i}: X event missing numeric dur"))?;
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("event {i}: negative ts/dur"));
+                }
+                spans += 1;
+                tracks.insert(tid);
+                span_names.insert(name.to_string());
+            }
+            "M" if name == "thread_name" => {
+                let tname = ev
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("event {i}: thread_name without args.name"))?;
+                track_names.insert(tid, tname.to_string());
+            }
+            "M" => {}
+            other => return Err(format!("event {i}: unsupported phase {other:?}")),
+        }
+    }
+    for tid in &tracks {
+        if !track_names.contains_key(tid) {
+            return Err(format!("track {tid} carries spans but has no thread_name"));
+        }
+    }
+    Ok(TraceSummary {
+        spans,
+        tracks: tracks.into_iter().collect(),
+        track_names: track_names.into_iter().collect(),
+        span_names: span_names.into_iter().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        // The no-clock-read / no-allocation contract is asserted in the
+        // isolated process test crates/trace/tests/zero_cost.rs (the global
+        // clock counter would race with other unit tests here).
+        let t = Tracer::disabled();
+        for _ in 0..1000 {
+            let mut s = t.span("stage", "parse");
+            s.arg("n", 3u64);
+            drop(s);
+            let _named = t.span_dyn("cell", || unreachable!("dyn name built while disabled"));
+        }
+        t.set_thread_track(7, "worker-7");
+        assert_eq!(t.event_count(), 0);
+        assert!(t.to_chrome_json().is_none());
+        assert!(t.to_jsonl().is_none());
+    }
+
+    #[test]
+    fn enabled_tracer_records_spans_with_args_and_tracks() {
+        let t = Tracer::enabled();
+        t.set_thread_track(0, "main");
+        {
+            let mut s = t.span("stage", "parse");
+            s.arg("n", 3u64);
+            s.arg("kind", "orig");
+        }
+        {
+            let _outer = t.span("cell", "outer");
+            let _inner = t.span_dyn("stage", || format!("inner-{}", 1));
+        }
+        assert_eq!(t.event_count(), 3);
+        let evs = t.events();
+        assert_eq!(evs[0].name, "parse");
+        assert_eq!(
+            evs[0].args,
+            vec![("n", ArgValue::I(3)), ("kind", ArgValue::S("orig".into()))]
+        );
+        // outer strictly encloses inner and sorts first at equal granularity
+        let outer = evs.iter().find(|e| e.name == "outer").unwrap();
+        let inner = evs.iter().find(|e| e.name == "inner-1").unwrap();
+        assert!(outer.ts_ns <= inner.ts_ns);
+        assert!(outer.ts_ns + outer.dur_ns >= inner.ts_ns + inner.dur_ns);
+        assert_eq!(t.tracks(), vec![(0, "main".to_string())]);
+    }
+
+    #[test]
+    fn chrome_export_validates_and_jsonl_lines_parse() {
+        let t = Tracer::enabled();
+        t.set_thread_track(1, "worker-1");
+        {
+            let mut s = t.span("stage", "simulate");
+            s.arg("cycles", 99u64);
+        }
+        let chrome = t.to_chrome_json().unwrap();
+        let summary = validate_chrome_trace(&chrome).unwrap();
+        assert_eq!(summary.spans, 1);
+        assert_eq!(summary.tracks, vec![1]);
+        assert_eq!(summary.track_names, vec![(1, "worker-1".to_string())]);
+        assert_eq!(summary.span_names, vec!["simulate".to_string()]);
+
+        let jsonl = t.to_jsonl().unwrap();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 1);
+        let obj = Json::parse(lines[0]).unwrap();
+        assert_eq!(obj.get("name").and_then(Json::as_str), Some("simulate"));
+        assert_eq!(obj.get("cat").and_then(Json::as_str), Some("stage"));
+        assert_eq!(
+            obj.get("args")
+                .and_then(|a| a.get("cycles"))
+                .and_then(Json::as_i64),
+            Some(99)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace(r#"{"foo":1}"#).is_err());
+        // span on an unnamed track
+        let bad = r#"{"traceEvents":[{"ph":"X","name":"s","pid":1,"tid":4,"ts":0.0,"dur":1.0,"args":{}}]}"#;
+        assert!(validate_chrome_trace(bad)
+            .unwrap_err()
+            .contains("thread_name"));
+        // missing dur
+        let bad2 = r#"{"traceEvents":[{"ph":"X","name":"s","pid":1,"tid":0,"ts":0.0}]}"#;
+        assert!(validate_chrome_trace(bad2).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! The zero-cost-when-disabled contract, proven in an isolated process:
+//! a disabled tracer performs **no timer syscalls** (global clock-read
+//! counter stays flat) and **no heap allocation** (counting global
+//! allocator observes zero new allocations across a hot span loop).
+//!
+//! This file must stay a single `#[test]` binary: both guards are global
+//! counters and would race with unrelated concurrent tests.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use slc_trace::{clock_reads, Tracer};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn disabled_tracer_is_zero_cost() {
+    let tracer = Tracer::disabled();
+    // Warm anything lazy in the harness path before sampling the counters.
+    {
+        let mut s = tracer.span("stage", "warmup");
+        s.arg("n", 0u64);
+    }
+    let clocks_before = clock_reads();
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        let mut s = tracer.span("stage", "parse");
+        s.arg("index", i);
+        s.arg("kind", "orig");
+        drop(s);
+        let _d = tracer.span_dyn("cell", || unreachable!("name built on disabled path"));
+        tracer.set_thread_track(3, "worker-3");
+    }
+    let clocks = clock_reads() - clocks_before;
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(clocks, 0, "disabled tracer read the clock {clocks} times");
+    assert_eq!(allocs, 0, "disabled tracer allocated {allocs} times");
+    assert_eq!(tracer.event_count(), 0);
+
+    // Sanity check the guards themselves: an enabled tracer must trip both.
+    let enabled = Tracer::enabled();
+    {
+        let mut s = enabled.span("stage", "parse");
+        s.arg("index", 1u64);
+    }
+    assert!(clock_reads() > clocks_before, "clock guard is not wired");
+    assert!(
+        ALLOCS.load(Ordering::Relaxed) > allocs_before,
+        "alloc guard is not wired"
+    );
+    assert_eq!(enabled.event_count(), 1);
+}

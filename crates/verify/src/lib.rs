@@ -36,6 +36,7 @@ pub use validate::{verify_emission, EmissionVerdict};
 
 use slc_ast::{LoopId, Program, Stmt};
 use slc_core::{slms_loop, DiagEvent, SlmsConfig};
+use slc_trace::Tracer;
 
 /// Reason string used when an emission is skipped because the loop has
 /// symbolic bounds (guarded emission is checked dynamically, not here).
@@ -338,11 +339,23 @@ impl ProgramVerdict {
 /// innermost loops in pre-order, with the program's declaration environment
 /// evolving exactly as the driver evolves it.
 pub fn verify_slms_program(prog: &Program, cfg: &SlmsConfig) -> ProgramVerdict {
+    verify_slms_program_spanned(prog, cfg, &Tracer::disabled())
+}
+
+/// [`verify_slms_program`] with wall-clock spans: one span per innermost
+/// loop (category `"verify"`, named after the [`LoopId`]) carrying the
+/// obligation/violation counts as span arguments. The verdict is identical
+/// to [`verify_slms_program`] — spans record timings only.
+pub fn verify_slms_program_spanned(
+    prog: &Program,
+    cfg: &SlmsConfig,
+    tracer: &Tracer,
+) -> ProgramVerdict {
     let mut cur = prog.clone();
     let mut loops = Vec::new();
     let mut next = 0usize;
     let stmts = cur.stmts.clone();
-    walk(&mut cur, &stmts, cfg, &mut loops, &mut next);
+    walk(&mut cur, &stmts, cfg, &mut loops, &mut next, tracer);
     ProgramVerdict { loops }
 }
 
@@ -352,6 +365,7 @@ fn walk(
     cfg: &SlmsConfig,
     out: &mut Vec<LoopReport>,
     next: &mut usize,
+    tracer: &Tracer,
 ) {
     for s in stmts {
         match s {
@@ -360,6 +374,7 @@ fn walk(
                 if is_innermost {
                     let id = LoopId::of(f, *next);
                     *next += 1;
+                    let mut span = tracer.span_dyn("verify", || format!("verify {}", id.verbose()));
                     let mut work = cur.clone();
                     match slms_loop(&mut work, s, cfg) {
                         Ok(res) => {
@@ -380,28 +395,46 @@ fn walk(
                                     }
                                 }
                             };
+                            match &verdict {
+                                LoopVerdict::Verified { obligations } => {
+                                    span.arg("obligations", *obligations);
+                                }
+                                LoopVerdict::Violated {
+                                    obligations,
+                                    violations,
+                                } => {
+                                    span.arg("obligations", *obligations);
+                                    span.arg("violations", violations.len());
+                                }
+                                LoopVerdict::Skipped { reason } => {
+                                    span.arg("skipped", reason.as_str());
+                                }
+                            }
                             *cur = work;
                             out.push(LoopReport { id, verdict });
                         }
-                        Err(e) => out.push(LoopReport {
-                            id,
-                            verdict: LoopVerdict::Skipped {
-                                reason: format!("not transformed: {e}"),
-                            },
-                        }),
+                        Err(e) => {
+                            span.arg("skipped", "not transformed");
+                            out.push(LoopReport {
+                                id,
+                                verdict: LoopVerdict::Skipped {
+                                    reason: format!("not transformed: {e}"),
+                                },
+                            });
+                        }
                     }
                 } else {
-                    walk(cur, &f.body, cfg, out, next);
+                    walk(cur, &f.body, cfg, out, next, tracer);
                 }
             }
-            Stmt::Block(b) => walk(cur, b, cfg, out, next),
+            Stmt::Block(b) => walk(cur, b, cfg, out, next, tracer),
             Stmt::If {
                 then_branch,
                 else_branch,
                 ..
             } => {
-                walk(cur, then_branch, cfg, out, next);
-                walk(cur, else_branch, cfg, out, next);
+                walk(cur, then_branch, cfg, out, next, tracer);
+                walk(cur, else_branch, cfg, out, next, tracer);
             }
             _ => {}
         }

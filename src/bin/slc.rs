@@ -10,6 +10,8 @@
 //!        slc explain [OPTIONS] [FILE]  (print the per-loop decision trace)
 //!        slc verify [OPTIONS] [FILE]   (statically verify SLMS schedules)
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
+//!        slc stats [STATS OPTIONS]     (deterministic counter registry + gate)
+//!        slc trace-check FILE          (validate a Chrome trace-event JSON)
 //!
 //!   --passes <PLAN>                comma-separated pass plan (default: slms)
 //!                                  e.g. `normalize,fuse:0+1,slms`
@@ -26,6 +28,12 @@
 //!
 //! EXPLAIN OPTIONS: --passes/--expansion/--no-filter as above, plus
 //!   --all                          explain every built-in workload suite
+//!   --json                         machine-readable output: one compact JSON
+//!                                  object per loop (JSONL) with stable field
+//!                                  names (workload/plan/pass + the
+//!                                  loop-outcome schema); hard failures
+//!                                  become a single line with an `error`
+//!                                  field
 //!
 //! VERIFY OPTIONS: --expansion/--no-filter as above, plus
 //!   --all                          verify every built-in workload
@@ -54,13 +62,35 @@
 //!                                  timing sidecar and a violation fails
 //!                                  the batch (the canonical report is
 //!                                  byte-identical either way)
+//!   --trace <PATH>                 record spans and write a Chrome
+//!                                  trace-event JSON (open in Perfetto /
+//!                                  chrome://tracing; one timeline row per
+//!                                  worker thread). The canonical report is
+//!                                  byte-identical with or without tracing.
+//!   --events <PATH>                structured span log, one compact JSON
+//!                                  object per line (JSONL)
+//!
+//! STATS OPTIONS — run the full matrix (static verification on) and print
+//! the deterministic counter registry:
+//!   --threads <N>                  worker threads (counters are invariant)
+//!   --json                         print the slc-counters-v1 document
+//!                                  instead of the aligned text table
+//!   --out <PATH>                   also write the slc-counters-v1 document
+//!                                  (regenerates BENCH_counters.json)
+//!   --check <PATH>                 gate against a counter baseline: every
+//!                                  baseline counter must match within its
+//!                                  named tolerance (exit 1 on any failure)
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
-use slc::pipeline::{explain_all, explain_source, run, CompilerKind, PassManager, PassPlan};
+use slc::pipeline::{
+    explain_all, explain_all_json, explain_source, explain_source_json, run, CompilerKind, Json,
+    PassManager, PassPlan,
+};
 use slc::sim::astinterp::equivalent;
 use slc::sim::presets;
 use slc::slms::{render_loop_trace, Expansion, SlmsConfig};
+use slc::trace::Tracer;
 use std::io::Read;
 use std::process::exit;
 
@@ -68,10 +98,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: slc [--passes PLAN] [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
          \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]\n\
-         \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [FILE]\n\
+         \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [--json] [FILE]\n\
          \x20      slc verify [--expansion ...] [--no-filter] [--all] [FILE]\n\
          \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
-         \x20                [--sim-bench PATH] [--repeat N] [--verify]"
+         \x20                [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH] [--events PATH]\n\
+         \x20      slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
+         \x20      slc trace-check FILE"
     );
     exit(2)
 }
@@ -148,7 +180,8 @@ fn read_input(file: &Option<String>) -> String {
 fn batch_usage() -> ! {
     eprintln!(
         "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
-         \x20               [--sim-bench PATH] [--repeat N] [--verify]"
+         \x20               [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH]\n\
+         \x20               [--events PATH]"
     );
     exit(2)
 }
@@ -160,6 +193,8 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
     let mut out_path = String::from("BENCH_batch.json");
     let mut timing_path: Option<String> = None;
     let mut sim_bench_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
+    let mut events_path: Option<String> = None;
     let mut repeat = 1usize;
 
     let mut args = args;
@@ -177,6 +212,8 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--sim-bench" => sim_bench_path = Some(args.next().unwrap_or_else(|| batch_usage())),
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| batch_usage())),
+            "--events" => events_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--verify" => cfg.verify = true,
             "--repeat" => {
                 repeat = args
@@ -189,11 +226,16 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
         }
     }
 
+    let tracer = if trace_path.is_some() || events_path.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
     let engine = BatchEngine::new();
-    let mut report = engine.run(&cfg);
+    let mut report = engine.run_traced(&cfg, &tracer);
     for pass in 1..repeat {
         eprintln!("slc batch: pass {}: {}", pass, report.summary());
-        report = engine.run(&cfg);
+        report = engine.run_traced(&cfg, &tracer);
     }
     eprintln!("slc batch: {}", report.summary());
 
@@ -216,6 +258,26 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
         }
         eprintln!("slc batch: wrote {sp}");
     }
+    if let Some(tp) = trace_path {
+        let doc = tracer.to_chrome_json().expect("tracer enabled for --trace");
+        if let Err(e) = std::fs::write(&tp, doc) {
+            eprintln!("slc batch: cannot write {tp}: {e}");
+            exit(1)
+        }
+        eprintln!(
+            "slc batch: wrote {tp} ({} spans on {} track(s))",
+            tracer.event_count(),
+            tracer.tracks().len()
+        );
+    }
+    if let Some(ep) = events_path {
+        let doc = tracer.to_jsonl().expect("tracer enabled for --events");
+        if let Err(e) = std::fs::write(&ep, doc) {
+            eprintln!("slc batch: cannot write {ep}: {e}");
+            exit(1)
+        }
+        eprintln!("slc batch: wrote {ep}");
+    }
     if cfg.verify {
         let violations = report.verify_violations();
         let (verified, obligations): (usize, usize) = report
@@ -235,6 +297,128 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
         }
     }
     exit(if report.failed() == 0 { 0 } else { 1 })
+}
+
+fn stats_usage() -> ! {
+    eprintln!("usage: slc stats [--threads N] [--json] [--out PATH] [--check PATH]");
+    exit(2)
+}
+
+/// `slc stats`: run the full matrix (static verification on, so the
+/// verify.* counters populate) on a fresh engine and render the
+/// deterministic counter registry. `--check` turns it into the CI counter
+/// gate.
+fn stats_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::pipeline::{BatchConfig, BatchEngine};
+    use slc::trace::{check_counters, CounterBaseline};
+
+    let mut threads: Option<usize> = None;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| stats_usage()),
+                )
+            }
+            "--json" => json = true,
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| stats_usage())),
+            "--check" => check_path = Some(args.next().unwrap_or_else(|| stats_usage())),
+            _ => stats_usage(),
+        }
+    }
+
+    let mut cfg = BatchConfig::full_matrix();
+    cfg.threads = threads;
+    cfg.verify = true;
+    let report = BatchEngine::new().run(&cfg);
+    if report.failed() > 0 {
+        eprintln!(
+            "slc stats: {} cell(s) failed — counters are not comparable",
+            report.failed()
+        );
+        exit(1)
+    }
+    if json {
+        print!("{}", report.counters_json());
+    } else {
+        print!("{}", report.counters.render_text());
+    }
+    if let Some(p) = &out_path {
+        if let Err(e) = std::fs::write(p, report.counters_json()) {
+            eprintln!("slc stats: cannot write {p}: {e}");
+            exit(1)
+        }
+        eprintln!("slc stats: wrote {p}");
+    }
+    if let Some(p) = &check_path {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("slc stats: cannot read {p}: {e}");
+            exit(1)
+        });
+        let base = CounterBaseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("slc stats: {p} is not a counter baseline: {e}");
+            exit(1)
+        });
+        let failures = check_counters(&report.counters, &base);
+        if failures.is_empty() {
+            eprintln!(
+                "slc stats: counter gate OK ({} baseline counter(s) within tolerance)",
+                base.counters.len()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("slc stats: GATE FAILURE: {f}");
+            }
+            eprintln!(
+                "slc stats: {} of {} baseline counter(s) out of tolerance \
+                 (regenerate with `slc stats --out {p}` if the drift is intended)",
+                failures.len(),
+                base.counters.len()
+            );
+            exit(1)
+        }
+    }
+    exit(0)
+}
+
+/// `slc trace-check FILE`: schema-validate a Chrome trace-event document
+/// (the Perfetto smoke check CI runs against `slc batch --trace` output).
+fn trace_check_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::trace::validate_chrome_trace;
+    let paths: Vec<String> = args.collect();
+    if paths.is_empty() || paths.iter().any(|p| p.starts_with('-')) {
+        eprintln!("usage: slc trace-check FILE...");
+        exit(2)
+    }
+    let mut bad = false;
+    for p in &paths {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("slc trace-check: cannot read {p}: {e}");
+            exit(1)
+        });
+        match validate_chrome_trace(&text) {
+            Ok(s) => eprintln!(
+                "slc trace-check: {p}: OK — {} span(s) on {} named track(s), \
+                 {} distinct span name(s)",
+                s.spans,
+                s.tracks.len(),
+                s.span_names.len()
+            ),
+            Err(e) => {
+                eprintln!("slc trace-check: {p}: INVALID — {e}");
+                bad = true;
+            }
+        }
+    }
+    exit(if bad { 1 } else { 0 })
 }
 
 fn verify_usage() -> ! {
@@ -306,6 +490,7 @@ fn explain_main(args: impl Iterator<Item = String>) -> ! {
     let mut cfg = SlmsConfig::default();
     let mut plan = PassPlan::slms_only();
     let mut all = false;
+    let mut json = false;
     let mut file: Option<String> = None;
 
     let mut args = args;
@@ -315,16 +500,34 @@ fn explain_main(args: impl Iterator<Item = String>) -> ! {
             "--no-filter" => cfg.apply_filter = false,
             "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
             "--all" => all = true,
+            "--json" => json = true,
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
     }
 
     if all {
-        print!("{}", explain_all(&plan, &cfg));
+        if json {
+            print!("{}", explain_all_json(&plan, &cfg));
+        } else {
+            print!("{}", explain_all(&plan, &cfg));
+        }
         exit(0)
     }
     let src = read_input(&file);
+    if json {
+        let text = explain_source_json(&src, &plan, &cfg);
+        print!("{text}");
+        // hard failures render as a single loop-less line whose top-level
+        // `error` field is set (per-loop `error` fields always ride along
+        // with a `pass` field and are not CLI failures)
+        let hard_failure = text
+            .lines()
+            .next()
+            .and_then(|l| Json::parse(l).ok())
+            .is_some_and(|o| o.get("pass").is_none() && o.get("error").is_some());
+        exit(if hard_failure { 1 } else { 0 })
+    }
     let text = explain_source(&src, &plan, &cfg);
     print!("{text}");
     exit(
@@ -360,6 +563,14 @@ fn main() {
         Some("verify") => {
             args.next();
             verify_main(args);
+        }
+        Some("stats") => {
+            args.next();
+            stats_main(args);
+        }
+        Some("trace-check") => {
+            args.next();
+            trace_check_main(args);
         }
         _ => {}
     }

@@ -12,6 +12,7 @@ pub use slc_core as slms;
 pub use slc_machine as machine;
 pub use slc_pipeline as pipeline;
 pub use slc_sim as sim;
+pub use slc_trace as trace;
 pub use slc_transforms as transforms;
 pub use slc_verify as verify;
 pub use slc_workloads as workloads;

@@ -1,0 +1,104 @@
+//! Differential tests for the tracing/metrics subsystem: instrumentation
+//! must be *observationally free*. The canonical batch report is
+//! byte-identical with tracing on or off, the deterministic counter
+//! registry is invariant under thread count, and wall clock never reaches
+//! a fingerprint, a cache key, or the canonical JSON.
+
+use slc_pipeline::{BatchConfig, BatchEngine};
+use slc_trace::Tracer;
+
+/// The full experiment matrix with tracing on vs off: byte-identical
+/// canonical report (same content hash), identical counters — and the
+/// traced run actually recorded something.
+#[test]
+fn tracing_on_and_off_produce_byte_identical_reports() {
+    let cfg = BatchConfig::full_matrix();
+    let off = BatchEngine::new().run(&cfg);
+
+    let tracer = Tracer::enabled();
+    let on = BatchEngine::new().run_traced(&cfg, &tracer);
+
+    let canon_off = off.to_json();
+    let canon_on = on.to_json();
+    assert_eq!(canon_off, canon_on, "tracing must not perturb the report");
+    assert_eq!(
+        slc_analysis::fingerprint_str(&canon_off),
+        slc_analysis::fingerprint_str(&canon_on)
+    );
+    assert_eq!(off.counters, on.counters);
+    assert_eq!(off.counters_json(), on.counters_json());
+    assert!(tracer.event_count() > 0, "traced run recorded no spans");
+}
+
+/// Counters are a pure function of the matrix: 1 thread and 8 threads must
+/// agree exactly, including the verify.* lane.
+#[test]
+fn counters_invariant_across_thread_counts_on_full_matrix() {
+    let mut c1 = BatchConfig::full_matrix();
+    c1.verify = true;
+    c1.threads = Some(1);
+    let mut c8 = c1.clone();
+    c8.threads = Some(8);
+
+    let a = BatchEngine::new().run(&c1);
+    let b = BatchEngine::new().run(&c8);
+    assert_eq!(a.counters, b.counters, "counters depend on thread count");
+    assert_eq!(a.counters_json(), b.counters_json());
+    assert_eq!(a.to_json(), b.to_json());
+}
+
+/// Wall-clock values must never enter a fingerprint or cache key: two runs
+/// separated by real time reuse every cached artifact (zero new misses)
+/// and render byte-identical canonical reports, while the timing sidecar
+/// stays quarantined (none of its fields appear in the canonical JSON or
+/// the counter registry).
+#[test]
+fn wall_clock_never_enters_fingerprints_or_cache_keys() {
+    let cfg = BatchConfig::full_matrix();
+
+    // the plan fingerprint (the slms cache-key ingredient) is stable
+    // across time
+    let fp1 = cfg.plan.fingerprint(&cfg.slms);
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let fp2 = cfg.plan.fingerprint(&cfg.slms);
+    assert_eq!(fp1, fp2);
+
+    let engine = BatchEngine::new();
+    let r1 = engine.run(&cfg);
+    let misses_after_first: u64 = {
+        let c = engine.cache_report();
+        c.parse.misses + c.slms.misses + c.lir.misses + c.compile.misses + c.sim.misses
+    };
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let r2 = engine.run(&cfg);
+    let misses_after_second: u64 = {
+        let c = engine.cache_report();
+        c.parse.misses + c.slms.misses + c.lir.misses + c.compile.misses + c.sim.misses
+    };
+    assert_eq!(
+        misses_after_first, misses_after_second,
+        "a second timed run recomputed artifacts — some cache key moved"
+    );
+
+    // a fresh engine at a later wall-clock time renders the identical bytes
+    // (the shared engine above accumulates cache *hits*, which the canonical
+    // report legitimately records, so byte-identity is checked fresh-vs-fresh)
+    let r3 = BatchEngine::new().run(&cfg);
+    assert_eq!(r1.to_json(), r3.to_json());
+
+    // sidecar fields stay out of the canonical report and the registry
+    let canon = r2.to_json();
+    for leak in [
+        "wall_ms",
+        "stage_ms",
+        "pass_ms",
+        "\"workers\"",
+        "empty_polls",
+    ] {
+        assert!(!canon.contains(leak), "{leak} leaked into canonical JSON");
+    }
+    assert!(r2
+        .counters
+        .iter()
+        .all(|(k, _)| !k.ends_with("_ns") && !k.ends_with("_ms")));
+}

@@ -1,0 +1,76 @@
+//! Schema checks for the exported traces: the Chrome trace-event document
+//! a traced batch run emits must validate, carry a span for every pipeline
+//! stage, and lay cells out as one named track per worker thread (what
+//! Perfetto renders as timeline rows). The JSONL event log must be one
+//! parsable object per line.
+
+use slc_pipeline::{BatchConfig, BatchEngine, Json};
+use slc_trace::{validate_chrome_trace, Tracer};
+
+fn traced_run(threads: usize) -> Tracer {
+    let mut cfg = BatchConfig::full_matrix();
+    cfg.threads = Some(threads);
+    cfg.verify = true;
+    let tracer = Tracer::enabled();
+    let report = BatchEngine::new().run_traced(&cfg, &tracer);
+    assert_eq!(report.failed(), 0);
+    tracer
+}
+
+#[test]
+fn chrome_trace_validates_with_stage_spans_and_worker_tracks() {
+    let tracer = traced_run(3);
+    let doc = tracer.to_chrome_json().expect("tracer is enabled");
+    let s = validate_chrome_trace(&doc).unwrap_or_else(|e| panic!("invalid trace: {e}"));
+    assert!(s.spans > 0);
+
+    // every pipeline stage shows up as a span
+    for stage in ["batch.run", "parse", "plan", "lower", "compile", "simulate"] {
+        assert!(
+            s.span_names.iter().any(|n| n == stage),
+            "missing {stage} span; got {:?}",
+            s.span_names.iter().take(20).collect::<Vec<_>>()
+        );
+    }
+    // ...and so do the deeper layers: pass framework, SLMS core stages,
+    // static verifier, simulator loops
+    for prefix in ["pass ", "slms.", "verify ", "sim.loop "] {
+        assert!(
+            s.span_names.iter().any(|n| n.starts_with(prefix)),
+            "no span named {prefix}*"
+        );
+    }
+
+    // one named track per worker plus the orchestrator track 0
+    assert_eq!(
+        s.track_names.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+        vec![0, 1, 2, 3]
+    );
+    assert_eq!(s.track_names[0].1, "main");
+    for w in 0..3 {
+        assert_eq!(s.track_names[w + 1].1, format!("worker {w}"));
+    }
+    // every track carries at least one span
+    assert_eq!(s.tracks, vec![0, 1, 2, 3]);
+}
+
+#[test]
+fn jsonl_event_log_is_one_object_per_line() {
+    let tracer = traced_run(2);
+    let log = tracer.to_jsonl().expect("tracer is enabled");
+    let mut cell_lines = 0usize;
+    for line in log.lines() {
+        let obj = Json::parse(line).unwrap_or_else(|e| panic!("{e}: {line}"));
+        for key in ["ts_us", "dur_us", "tid", "cat", "name"] {
+            assert!(obj.get(key).is_some(), "missing {key} in {line}");
+        }
+        if obj.get("cat").and_then(Json::as_str) == Some("cell") {
+            cell_lines += 1;
+        }
+    }
+    assert_eq!(
+        cell_lines,
+        BatchConfig::full_matrix().n_cells(),
+        "one cell span per matrix cell"
+    );
+}
