@@ -53,6 +53,29 @@ pub enum DiagEvent {
         /// name of the introduced temporary
         temp: String,
     },
+    /// The SAT-based exact scheduler ran on the final (decomposed) body:
+    /// `ii` is proven optimal over all MI orderings, the heuristic's
+    /// fixed placement achieved `heuristic_ii`, and the body was
+    /// reordered when the exact order wins. Solver work is recorded as
+    /// deterministic counts.
+    ExactScheduled {
+        /// proven-optimal II
+        ii: i64,
+        /// II of the heuristic (source-order) placement
+        heuristic_ii: i64,
+        /// whether the emitted body order differs from source order
+        reordered: bool,
+        /// SAT branching decisions across the solve
+        sat_decisions: u64,
+        /// SAT conflicts analyzed
+        sat_conflicts: u64,
+        /// SAT unit propagations
+        sat_propagations: u64,
+        /// SAT restarts
+        sat_restarts: u64,
+        /// clauses in the attached infeasibility proof (0 = `II == MII`)
+        proof_clauses: usize,
+    },
     /// The loop was scheduled and emitted.
     Scheduled {
         /// achieved initiation interval
@@ -91,9 +114,10 @@ impl DiagEvent {
     /// Machine-readable rendering with stable field names — the `"trace"`
     /// entries of `slc explain --json`. Every object carries an `"event"`
     /// discriminator (`filter_checked`, `if_converted`, `symbolic_guard`,
-    /// `mii_attempt`, `decomposed`, `scheduled`, `rejected`, `verified`,
-    /// `verify_violation`); the remaining members are the event's computed
-    /// numbers under the same names as the struct fields.
+    /// `mii_attempt`, `decomposed`, `exact_scheduled`, `scheduled`,
+    /// `rejected`, `verified`, `verify_violation`); the remaining members
+    /// are the event's computed numbers under the same names as the
+    /// struct fields.
     pub fn to_json(&self) -> Json {
         match self {
             DiagEvent::FilterChecked { verdict } => {
@@ -127,6 +151,25 @@ impl DiagEvent {
                 .field("event", "decomposed")
                 .field("round", *round)
                 .field("temp", temp.as_str()),
+            DiagEvent::ExactScheduled {
+                ii,
+                heuristic_ii,
+                reordered,
+                sat_decisions,
+                sat_conflicts,
+                sat_propagations,
+                sat_restarts,
+                proof_clauses,
+            } => Json::obj()
+                .field("event", "exact_scheduled")
+                .field("ii", *ii)
+                .field("heuristic_ii", *heuristic_ii)
+                .field("reordered", *reordered)
+                .field("sat_decisions", *sat_decisions)
+                .field("sat_conflicts", *sat_conflicts)
+                .field("sat_propagations", *sat_propagations)
+                .field("sat_restarts", *sat_restarts)
+                .field("proof_clauses", *proof_clauses),
             DiagEvent::Scheduled {
                 ii,
                 cycles_mii,
@@ -184,7 +227,11 @@ pub fn slms_error_json(e: &SlmsError) -> Json {
 /// `slc explain --json` emits (one JSON object per loop). Stable members:
 /// `loop` ([`slc_ast::LoopId::to_json`]), `transformed`, `report` (schedule
 /// statistics, `null` when rejected), `error` (structured reason, `null`
-/// when transformed), `trace` (the [`DiagEvent::to_json`] list).
+/// when transformed), `trace` (the [`DiagEvent::to_json`] list). When the
+/// exact scheduler ran, `report` additionally carries `scheduler`
+/// (`"exact"`), `heuristic_ii`, `exact_order`, and a `certificate`
+/// summary; heuristic runs emit byte-identical JSON to before the exact
+/// scheduler existed.
 pub fn loop_outcome_json(o: &LoopOutcome) -> Json {
     let (report, error) = match &o.result {
         Ok(r) => {
@@ -225,6 +272,27 @@ pub fn loop_outcome_json(o: &LoopOutcome) -> Json {
                 )
                 .field("renamed", Json::Arr(renamed))
                 .field("expanded_arrays", Json::Arr(expanded));
+            let report = match (&r.certificate, &r.exact_order, r.heuristic_ii) {
+                (Some(cert), Some(order), Some(heuristic_ii)) => report
+                    .field("scheduler", "exact")
+                    .field("heuristic_ii", heuristic_ii)
+                    .field(
+                        "exact_order",
+                        Json::Arr(order.iter().map(|&p| Json::from(p)).collect()),
+                    )
+                    .field(
+                        "certificate",
+                        Json::obj()
+                            .field("ii", cert.ii)
+                            .field("mii", cert.mii)
+                            .field("n_mis", cert.n_mis)
+                            .field(
+                                "proof_clauses",
+                                cert.proof.as_ref().map(|p| p.clauses.len() as i64),
+                            ),
+                    ),
+                _ => report,
+            };
             (report, Json::Null)
         }
         Err(e) => (Json::Null, slms_error_json(e)),
@@ -264,6 +332,28 @@ impl std::fmt::Display for DiagEvent {
                     f,
                     "decomposition round {round}: split via temporary `{temp}`"
                 )
+            }
+            DiagEvent::ExactScheduled {
+                ii,
+                heuristic_ii,
+                reordered,
+                sat_conflicts,
+                proof_clauses,
+                ..
+            } => {
+                write!(f, "exact: II = {ii} proven optimal")?;
+                if *reordered {
+                    write!(f, " by reordering (heuristic II = {heuristic_ii})")?;
+                } else {
+                    write!(f, " (heuristic order kept)")?;
+                }
+                match proof_clauses {
+                    0 => write!(f, ", II = MII"),
+                    c => write!(
+                        f,
+                        ", {c}-clause refutation of II − 1 ({sat_conflicts} conflicts)"
+                    ),
+                }
             }
             DiagEvent::Scheduled {
                 ii,
@@ -312,6 +402,40 @@ pub fn render_loop_trace(outcome: &LoopOutcome) -> String {
     out
 }
 
+/// A typed sidecar artifact a pass attaches to its diagnostics — data
+/// that is *about* the transformation but not part of the transformed
+/// program, carried alongside the loop outcomes so downstream consumers
+/// (the verifier, the batch gap report) need not re-run the pass.
+/// Historically passes had no such channel and stuffed everything into
+/// free-form `notes`; artifacts keep the payload structured.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassArtifact {
+    /// An II-optimality certificate the exact scheduler produced for one
+    /// loop, with the heuristic II for optimality-gap computation.
+    Certificate {
+        /// the loop the certificate covers
+        loop_id: slc_ast::LoopId,
+        /// II of the heuristic (source-order) placement
+        heuristic_ii: i64,
+        /// the re-checkable certificate
+        certificate: slc_exact::OptimalityCertificate,
+    },
+}
+
+impl PassArtifact {
+    /// The optimality gap this artifact witnesses (heuristic II − proven
+    /// optimal II; 0 = the heuristic was optimal).
+    pub fn optimality_gap(&self) -> i64 {
+        match self {
+            PassArtifact::Certificate {
+                heuristic_ii,
+                certificate,
+                ..
+            } => heuristic_ii - certificate.ii,
+        }
+    }
+}
+
 /// Diagnostics of one pass over the program.
 #[derive(Debug, Clone, Default)]
 pub struct PassDiag {
@@ -321,6 +445,8 @@ pub struct PassDiag {
     pub loops: Vec<LoopOutcome>,
     /// free-form structural notes (transform passes)
     pub notes: Vec<String>,
+    /// typed sidecar artifacts (certificates, …)
+    pub artifacts: Vec<PassArtifact>,
     /// wall clock spent inside the pass (non-deterministic; sidecar only)
     pub elapsed_ns: u64,
 }

@@ -32,7 +32,8 @@ pub mod ifconv;
 pub mod mii;
 
 pub use diag::{
-    loop_outcome_json, render_loop_trace, slms_error_json, DiagEvent, DiagSink, PassDiag,
+    loop_outcome_json, render_loop_trace, slms_error_json, DiagEvent, DiagSink, PassArtifact,
+    PassDiag,
 };
 pub use emit::{emit, EmitOutput, ExpandVar, Expansion};
 pub use emit_symbolic::emit_symbolic_guarded;
@@ -45,6 +46,19 @@ use slc_analysis::{build_ddg, partition_mis, AnalysisError, Ddg, DepKind, Distan
 use slc_ast::{AssignOp, LValue, LoopId, Program, Stmt};
 use slc_trace::Tracer;
 use std::collections::HashSet;
+
+/// Which scheduler picks the MI ordering of the emitted body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The paper's fixed placement over the body's source order (after
+    /// decomposition): MI `k` of iteration `j` lands at row `II·j + k`.
+    #[default]
+    Heuristic,
+    /// SAT-based exact search over all MI orderings of the final
+    /// (decomposed) body: finds the least II any ordering achieves and
+    /// attaches a re-checkable [`slc_exact::OptimalityCertificate`].
+    Exact,
+}
 
 /// Configuration of the SLMS driver.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +78,8 @@ pub struct SlmsConfig {
     /// runtime-guarded version (pipeline only when the trip count exceeds
     /// the depth). Expansion is forced off for such loops.
     pub allow_symbolic_guard: bool,
+    /// Which scheduler orders the MIs of the final body.
+    pub scheduler: SchedulerKind,
 }
 
 impl Default for SlmsConfig {
@@ -75,6 +91,7 @@ impl Default for SlmsConfig {
             if_conversion: true,
             max_decompositions: 8,
             allow_symbolic_guard: true,
+            scheduler: SchedulerKind::Heuristic,
         }
     }
 }
@@ -93,6 +110,7 @@ impl SlmsConfig {
             if_conversion,
             max_decompositions,
             allow_symbolic_guard,
+            scheduler,
         } = self;
         let mut h = slc_analysis::Fnv64::new();
         h.write_f64(filter.max_memref_ratio);
@@ -109,6 +127,10 @@ impl SlmsConfig {
         h.write_bool(*if_conversion);
         h.write_usize(*max_decompositions);
         h.write_bool(*allow_symbolic_guard);
+        h.write_u64(match scheduler {
+            SchedulerKind::Heuristic => 0,
+            SchedulerKind::Exact => 1,
+        });
         h.finish()
     }
 }
@@ -205,6 +227,17 @@ pub struct SlmsReport {
     pub if_converted: bool,
     /// Pipeline depth in iterations (`max_k off_k`).
     pub max_offset: i64,
+    /// II the fixed-placement heuristic achieved before the exact search.
+    /// `Some` exactly when the exact scheduler ran on this loop; the
+    /// optimality gap is `heuristic_ii − ii`.
+    pub heuristic_ii: Option<i64>,
+    /// Exact reordering as emitted-position → pre-reorder MI index
+    /// (identity when the heuristic order was already optimal). `Some`
+    /// exactly when the exact scheduler ran.
+    pub exact_order: Option<Vec<usize>>,
+    /// Re-checkable II-optimality certificate, in the emitted index
+    /// space. `Some` exactly when the exact scheduler ran.
+    pub certificate: Option<slc_exact::OptimalityCertificate>,
 }
 
 /// A successful transformation: replacement statements plus statistics.
@@ -400,7 +433,7 @@ fn slms_loop_inner(
     // Decomposition loop (§5 step 5).
     let mut mii_span = tracer.span("slms", "slms.mii");
     let mut decomposed: Vec<String> = Vec::new();
-    let (ii, mis, expand) = loop {
+    let (ii, mis, expand, cons) = loop {
         let mis = partition_mis(&body)?;
         let ddg = build_ddg(&mis, &f.var, f.step);
         let expand = if cfg.expansion == Expansion::Off || symbolic {
@@ -422,7 +455,7 @@ fn slms_loop_inner(
             placement_ii: placement,
         });
         if let Some(ii) = placement {
-            break (ii, mis, expand);
+            break (ii, mis, expand, cons);
         }
         if decomposed.len() >= cfg.max_decompositions {
             return Err(SlmsError::NoValidIi);
@@ -456,6 +489,77 @@ fn slms_loop_inner(
     mii_span.arg("ii", ii);
     drop(mii_span);
 
+    // Exact scheduling (optional): the heuristic fixes the placement to
+    // the body's source order; the SAT-based exact scheduler searches all
+    // MI orderings of the *same* decomposed body for the least II, proves
+    // optimality, and reorders the body when it wins. The certificate is
+    // relabeled into the emitted index space, so its witness is always
+    // the identity order of what we actually emit.
+    let heuristic_ii = ii;
+    let mut ii = ii;
+    let mut mis = mis;
+    let mut expand = expand;
+    let mut exact_info: Option<(Vec<usize>, slc_exact::OptimalityCertificate)> = None;
+    if cfg.scheduler == SchedulerKind::Exact {
+        let mut exact_span = tracer.span("slms", "slms.exact");
+        let deps: Vec<slc_exact::Dep> = cons
+            .iter()
+            .map(|c| slc_exact::Dep {
+                from: c.u,
+                to: c.v,
+                dist: c.d,
+            })
+            .collect();
+        if let Some(r) = slc_exact::ExactScheduler::default().solve(&deps, mis.len(), ii) {
+            let mut accepted = true;
+            if r.reordered {
+                // Re-derive the whole schedule on the permuted body; the
+                // fixed-placement bound must reproduce the proven II.
+                let permuted: Vec<Stmt> = r.order.iter().map(|&k| mis[k].stmt.clone()).collect();
+                let new_mis = partition_mis(&permuted)?;
+                let new_ddg = build_ddg(&new_mis, &f.var, f.step);
+                let new_expand = if cfg.expansion == Expansion::Off || symbolic {
+                    vec![]
+                } else {
+                    expandable_vars(&permuted, &new_ddg, &f.var, &original)
+                };
+                let new_removable = |e: &slc_analysis::DepEdge| -> bool {
+                    matches!(e.kind, DepKind::Anti | DepKind::Output)
+                        && e.scalar
+                            .as_deref()
+                            .is_some_and(|s| new_expand.iter().any(|v| v.name == s))
+                };
+                let new_cons = constraints_of(&new_ddg, &new_removable);
+                if placement_mii(&new_cons, new_mis.len()) == Some(r.ii) {
+                    ii = r.ii;
+                    mis = new_mis;
+                    expand = new_expand;
+                } else {
+                    // The removable-dependence set can shift under the
+                    // permutation; never emit an order whose placement
+                    // bound disagrees with the proven II.
+                    debug_assert!(false, "exact order does not reproduce the proven II");
+                    accepted = false;
+                }
+            }
+            if accepted {
+                exact_span.arg("ii", r.ii);
+                exact_span.arg("reordered", r.reordered);
+                events.push(DiagEvent::ExactScheduled {
+                    ii: r.ii,
+                    heuristic_ii,
+                    reordered: r.reordered,
+                    sat_decisions: r.stats.decisions,
+                    sat_conflicts: r.stats.conflicts,
+                    sat_propagations: r.stats.propagations,
+                    sat_restarts: r.stats.restarts,
+                    proof_clauses: r.certificate.proof.as_ref().map_or(0, |p| p.clauses.len()),
+                });
+                exact_info = Some((r.order, r.certificate));
+            }
+        }
+    }
+
     // Emit.
     let mut emit_span = tracer.span("slms", "slms.emit");
     let mi_stmts: Vec<Stmt> = mis.iter().map(|m| m.stmt.clone()).collect();
@@ -485,6 +589,10 @@ fn slms_loop_inner(
     });
 
     *prog = scratch;
+    let (exact_order, certificate) = match exact_info {
+        Some((o, c)) => (Some(o), Some(c)),
+        None => (None, None),
+    };
     Ok(SlmsOutput {
         stmts: out.stmts,
         report: SlmsReport {
@@ -497,6 +605,9 @@ fn slms_loop_inner(
             expanded_arrays: out.expanded_arrays,
             if_converted,
             max_offset: out.max_offset,
+            heuristic_ii: certificate.as_ref().map(|_| heuristic_ii),
+            exact_order,
+            certificate,
         },
     })
 }
@@ -748,6 +859,84 @@ mod tests {
         assert_eq!(out.report.ii, 1);
         assert_eq!(out.report.n_mis, 6);
         assert!(out.report.decomposed.is_empty());
+    }
+
+    #[test]
+    fn exact_scheduler_certifies_optimal_heuristic() {
+        // Dot product is already II = 1 in source order: the exact
+        // scheduler must keep the identity order, emit byte-identical
+        // statements, and attach a proof-free (II = MII) certificate.
+        let src = "float A[32]; float B[32]; float s; float t; int i;\n\
+                   for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }";
+        let mut heur_prog = parse_program(src).unwrap();
+        let loop_stmt = heur_prog.stmts[0].clone();
+        let heur = slms_loop(&mut heur_prog, &loop_stmt, &SlmsConfig::default()).unwrap();
+
+        let mut prog = parse_program(src).unwrap();
+        let cfg = SlmsConfig {
+            scheduler: SchedulerKind::Exact,
+            ..SlmsConfig::default()
+        };
+        let out = slms_loop(&mut prog, &loop_stmt, &cfg).unwrap();
+        assert_eq!(out.report.ii, 1);
+        assert_eq!(out.report.heuristic_ii, Some(1));
+        assert_eq!(out.report.exact_order.as_deref(), Some(&[0, 1][..]));
+        let cert = out.report.certificate.as_ref().unwrap();
+        assert_eq!((cert.ii, cert.mii, cert.n_mis), (1, 1, 2));
+        assert!(cert.proof.is_none(), "II = MII needs no refutation");
+        assert_eq!(
+            stmts_to_source(&out.stmts),
+            stmts_to_source(&heur.stmts),
+            "certified-optimal loops must emit exactly the heuristic output"
+        );
+    }
+
+    #[test]
+    fn exact_scheduler_reorders_to_beat_source_order() {
+        // The Z recurrence threads through the whole body in source order
+        // (producer last, consumer first ⇒ placement needs II·1 ≥ 3), but
+        // moving the consumer right after the producer achieves II = 1.
+        let src = "float A[64]; float B[64]; float C[64]; float Z[64]; int i;\n\
+                   for (i = 1; i < 60; i++) {\n\
+                     A[i] = Z[i - 1];\n\
+                     B[i] = B[i] + 1.0;\n\
+                     C[i] = C[i] * 2.0;\n\
+                     Z[i] = A[i] + 1.0;\n\
+                   }";
+        let mut heur_prog = parse_program(src).unwrap();
+        let loop_stmt = heur_prog.stmts[0].clone();
+        let heur = slms_loop(&mut heur_prog, &loop_stmt, &cfg_nofilter()).unwrap();
+        assert_eq!(heur.report.ii, 3, "source order pays for the recurrence");
+        assert_eq!(heur.report.certificate, None);
+
+        let mut prog = parse_program(src).unwrap();
+        let cfg = SlmsConfig {
+            apply_filter: false,
+            scheduler: SchedulerKind::Exact,
+            ..SlmsConfig::default()
+        };
+        let mut trace = Vec::new();
+        let out = slms_loop_traced(&mut prog, &loop_stmt, &cfg, &mut trace).unwrap();
+        assert_eq!(out.report.ii, 1, "exact order hides the recurrence");
+        assert_eq!(out.report.heuristic_ii, Some(3));
+        let order = out.report.exact_order.as_ref().unwrap();
+        assert_ne!(order.as_slice(), &[0, 1, 2, 3], "must actually reorder");
+        let cert = out.report.certificate.as_ref().unwrap();
+        assert_eq!((cert.ii, cert.mii), (1, 1));
+        assert!(trace.iter().any(|e| matches!(
+            e,
+            DiagEvent::ExactScheduled {
+                ii: 1,
+                heuristic_ii: 3,
+                reordered: true,
+                ..
+            }
+        )));
+        // the pipelined emission still covers all four statements
+        let src_out = stmts_to_source(&out.stmts);
+        for arr in ["A[", "B[", "C[", "Z["] {
+            assert!(src_out.contains(arr), "missing {arr}:\n{src_out}");
+        }
     }
 
     #[test]

@@ -183,6 +183,10 @@ pub struct CellMetrics {
     pub transformed: bool,
     /// source-level II of the first transformed loop
     pub slms_ii: Option<i64>,
+    /// per-loop optimality gaps (heuristic II − proven optimal II) of the
+    /// exact-scheduled loops, in loop order; empty for heuristic runs, so
+    /// the canonical report is untouched unless the exact scheduler ran
+    pub optimality_gaps: Vec<i64>,
     /// per-innermost-loop compile facts
     pub loops: Vec<LoopInfo>,
 }
@@ -286,6 +290,35 @@ impl BatchReport {
     /// run was gated with [`BatchConfig::verify`] and something is wrong).
     pub fn verify_violations(&self) -> usize {
         self.timing.verify.iter().map(|v| v.violations).sum()
+    }
+
+    /// Per-workload optimality gaps (heuristic II − proven optimal II) of
+    /// every exact-scheduled loop, deduplicated across machines and
+    /// personalities (the plan artifact is shared, so every cell of a
+    /// workload reports the same gaps). Empty unless the run's plan used
+    /// the exact scheduler. A gap of 0 certifies the heuristic II optimal;
+    /// a positive gap means the exact scheduler beat the heuristic.
+    pub fn optimality_gaps(&self) -> Vec<(String, Vec<i64>)> {
+        let mut map: BTreeMap<String, Vec<i64>> = BTreeMap::new();
+        for c in &self.cells {
+            if let Ok(m) = &c.outcome {
+                if !m.optimality_gaps.is_empty() {
+                    map.entry(c.id.workload.clone())
+                        .or_insert_with(|| m.optimality_gaps.clone());
+                }
+            }
+        }
+        map.into_iter().collect()
+    }
+
+    /// Exact-scheduled loops whose heuristic II exceeded the proven
+    /// optimum (what the CI `exact-gate` asserts is zero on the stock
+    /// workload suite).
+    pub fn positive_gap_count(&self) -> usize {
+        self.optimality_gaps()
+            .iter()
+            .map(|(_, gs)| gs.iter().filter(|&&g| g > 0).count())
+            .sum()
     }
 
     /// The canonical report: deterministic — byte-identical across runs
@@ -464,17 +497,29 @@ fn cell_json(c: &CellResult) -> Json {
         .field("variant", c.id.variant);
     match &c.outcome {
         Err(e) => base.field("ok", false).field("error", e.as_str()),
-        Ok(m) => base
-            .field("ok", true)
-            .field("cycles", m.cycles)
-            .field("ops", m.ops)
-            .field("l1_hits", m.l1_hits)
-            .field("l1_misses", m.l1_misses)
-            .field("spill_accesses", m.spill_accesses)
-            .field("energy", m.energy)
-            .field("transformed", m.transformed)
-            .field("slms_ii", m.slms_ii)
-            .field("loops", Json::Arr(m.loops.iter().map(loop_json).collect())),
+        Ok(m) => {
+            let base = base
+                .field("ok", true)
+                .field("cycles", m.cycles)
+                .field("ops", m.ops)
+                .field("l1_hits", m.l1_hits)
+                .field("l1_misses", m.l1_misses)
+                .field("spill_accesses", m.spill_accesses)
+                .field("energy", m.energy)
+                .field("transformed", m.transformed)
+                .field("slms_ii", m.slms_ii);
+            // exact-only field: heuristic cells keep the historical
+            // byte-identical report shape
+            let base = if m.optimality_gaps.is_empty() {
+                base
+            } else {
+                base.field(
+                    "optimality_gaps",
+                    Json::Arr(m.optimality_gaps.iter().map(|&g| Json::from(g)).collect()),
+                )
+            };
+            base.field("loops", Json::Arr(m.loops.iter().map(loop_json).collect()))
+        }
     }
 }
 
@@ -579,6 +624,31 @@ impl BatchEngine {
                     DiagEvent::SymbolicGuard => reg.add("slms.symbolic_guards", 1),
                     DiagEvent::MiiAttempt { .. } => reg.add("slms.mii_rounds", 1),
                     DiagEvent::Decomposed { .. } => reg.add("slms.decompose_retries", 1),
+                    DiagEvent::ExactScheduled {
+                        ii,
+                        heuristic_ii,
+                        reordered,
+                        sat_decisions,
+                        sat_conflicts,
+                        sat_propagations,
+                        sat_restarts,
+                        proof_clauses,
+                    } => {
+                        reg.add("exact.loops_scheduled", 1);
+                        if ii == heuristic_ii {
+                            reg.add("exact.optimal", 1);
+                        } else {
+                            reg.add("exact.improved", 1);
+                        }
+                        if *reordered {
+                            reg.add("exact.reordered", 1);
+                        }
+                        reg.add("exact.sat_decisions", *sat_decisions);
+                        reg.add("exact.sat_conflicts", *sat_conflicts);
+                        reg.add("exact.sat_propagations", *sat_propagations);
+                        reg.add("exact.sat_restarts", *sat_restarts);
+                        reg.add("exact.proof_clauses", *proof_clauses as u64);
+                    }
                     _ => {}
                 }
             }
@@ -787,8 +857,8 @@ impl BatchEngine {
                 }
             }
         };
-        let (prog, prog_fp, transformed, slms_ii) = match plan_art {
-            None => (orig_prog, *orig_fp, false, None),
+        let (prog, prog_fp, transformed, slms_ii, optimality_gaps) = match plan_art {
+            None => (orig_prog, *orig_fp, false, None, Vec::new()),
             Some((p, outcomes, fp)) => (
                 p,
                 *fp,
@@ -796,6 +866,11 @@ impl BatchEngine {
                 outcomes
                     .iter()
                     .find_map(|o| o.result.as_ref().ok().map(|r| r.ii)),
+                outcomes
+                    .iter()
+                    .filter_map(|o| o.result.as_ref().ok())
+                    .filter_map(|r| r.heuristic_ii.map(|h| h - r.ii))
+                    .collect(),
             ),
         };
 
@@ -871,6 +946,7 @@ impl BatchEngine {
                 energy: power.energy,
                 transformed,
                 slms_ii,
+                optimality_gaps,
                 loops: comp.loops.clone(),
             }),
         }
@@ -1040,6 +1116,26 @@ mod tests {
         // cell spans land on worker tracks, which are all named
         assert!(summary.tracks.iter().any(|&t| t >= 1));
         assert_eq!(summary.track_names[0].1, "main");
+    }
+
+    #[test]
+    fn exact_plan_reports_gaps_and_counters() {
+        let mut cfg = tiny_cfg();
+        cfg.plan = PassPlan::exact_only();
+        let rep = run_batch(&cfg);
+        assert_eq!(rep.failed(), 0);
+        let gaps = rep.optimality_gaps();
+        assert!(!gaps.is_empty(), "exact run should certify some loops");
+        assert!(gaps.iter().all(|(_, gs)| gs.iter().all(|&g| g >= 0)));
+        assert_eq!(rep.positive_gap_count(), 0);
+        assert!(rep.counters.get("exact.loops_scheduled") > 0);
+        assert!(rep.counters.get("exact.optimal") > 0);
+        assert!(rep.to_json().contains("optimality_gaps"));
+        // heuristic runs keep the historical report shape and counters
+        let heuristic = run_batch(&tiny_cfg());
+        assert!(!heuristic.to_json().contains("optimality_gaps"));
+        assert!(heuristic.optimality_gaps().is_empty());
+        assert_eq!(heuristic.counters.get("exact.loops_scheduled"), 0);
     }
 
     #[test]

@@ -30,8 +30,8 @@
 //! error: the loop stays, and the reason lands in the diagnostics.
 
 use slc_ast::{parse_program, Program, Stmt};
-use slc_core::diag::{DiagSink, PassDiag};
-use slc_core::{slms_program_spanned, SlmsConfig};
+use slc_core::diag::{DiagSink, PassArtifact, PassDiag};
+use slc_core::{slms_program_spanned, SchedulerKind, SlmsConfig};
 use slc_trace::Tracer;
 use slc_transforms::{
     distribute, fuse, interchange, normalize, peel_front, reverse, unroll, TransformError,
@@ -93,6 +93,14 @@ pub enum PassSpec {
         /// disable the §4 filter for this pass
         no_filter: bool,
     },
+    /// `exact` or `exact:nofilter`: SLMS with the exact (SAT-backed)
+    /// scheduler — every small-enough loop additionally gets an
+    /// [`OptimalityCertificate`](slc_exact::OptimalityCertificate), pushed
+    /// into the pass's [`PassArtifact`] channel.
+    Exact {
+        /// disable the §4 filter for this pass
+        no_filter: bool,
+    },
 }
 
 impl PassSpec {
@@ -107,6 +115,7 @@ impl PassSpec {
             PassSpec::Peel { .. } => "peel",
             PassSpec::Unroll { .. } => "unroll",
             PassSpec::Slms { .. } => "slms",
+            PassSpec::Exact { .. } => "exact",
         }
     }
 }
@@ -124,6 +133,8 @@ impl std::fmt::Display for PassSpec {
             PassSpec::Unroll { target, factor } => write!(f, "unroll:{target}+{factor}"),
             PassSpec::Slms { no_filter: false } => write!(f, "slms"),
             PassSpec::Slms { no_filter: true } => write!(f, "slms:nofilter"),
+            PassSpec::Exact { no_filter: false } => write!(f, "exact"),
+            PassSpec::Exact { no_filter: true } => write!(f, "exact:nofilter"),
         }
     }
 }
@@ -154,7 +165,8 @@ fn parse_err(item: &str, reason: impl Into<String>) -> PlanParseError {
 
 /// Known pass names with their argument syntax, for error messages.
 pub const PLAN_SYNTAX: &str = "normalize[:K] | fuse:A+B | distribute:K+S | interchange:K \
-                               | reverse:K | peel:K+N | unroll:K+F | slms[:nofilter]";
+                               | reverse:K | peel:K+N | unroll:K+F | slms[:nofilter] \
+                               | exact[:nofilter]";
 
 fn parse_spec(item: &str) -> Result<PassSpec, PlanParseError> {
     let (name, args) = match item.split_once(':') {
@@ -235,6 +247,14 @@ fn parse_spec(item: &str) -> Result<PassSpec, PlanParseError> {
                 format!("unknown slms modifier `{other}` (valid: nofilter)"),
             )),
         },
+        "exact" => match args {
+            None => Ok(PassSpec::Exact { no_filter: false }),
+            Some("nofilter") => Ok(PassSpec::Exact { no_filter: true }),
+            Some(other) => Err(parse_err(
+                item,
+                format!("unknown exact modifier `{other}` (valid: nofilter)"),
+            )),
+        },
         other => Err(parse_err(
             item,
             format!("unknown pass `{other}` (valid: {PLAN_SYNTAX})"),
@@ -256,6 +276,14 @@ impl PassPlan {
     pub fn slms_only() -> Self {
         PassPlan {
             specs: vec![PassSpec::Slms { no_filter: false }],
+        }
+    }
+
+    /// The exact-scheduler pipeline: one `exact` pass (what
+    /// `slc --scheduler exact` and `slc batch --scheduler exact` run).
+    pub fn exact_only() -> Self {
+        PassPlan {
+            specs: vec![PassSpec::Exact { no_filter: false }],
         }
     }
 
@@ -313,6 +341,10 @@ impl PassPlan {
                 PassSpec::Slms { no_filter } => slc_analysis::fingerprint::tagged(
                     "slms",
                     &[resolve_slms(slms_base, *no_filter).fingerprint()],
+                ),
+                PassSpec::Exact { no_filter } => slc_analysis::fingerprint::tagged(
+                    "exact",
+                    &[resolve_exact(slms_base, *no_filter).fingerprint()],
                 ),
             })
             .collect();
@@ -378,6 +410,12 @@ fn resolve_slms(base: &SlmsConfig, no_filter: bool) -> SlmsConfig {
     cfg
 }
 
+fn resolve_exact(base: &SlmsConfig, no_filter: bool) -> SlmsConfig {
+    let mut cfg = resolve_slms(base, no_filter);
+    cfg.scheduler = SchedulerKind::Exact;
+    cfg
+}
+
 /// Indices into `prog.stmts` of the top-level `for` loops, in source order.
 fn top_loop_positions(prog: &Program) -> Vec<usize> {
     prog.stmts
@@ -434,6 +472,29 @@ impl CompiledPass {
                 diag.notes.push(format!(
                     "{ok} of {} innermost loop(s) pipelined",
                     outcomes.len()
+                ));
+                diag.loops = outcomes;
+                Ok(out)
+            }
+            PassSpec::Exact { no_filter } => {
+                let cfg = resolve_exact(&self.slms, *no_filter);
+                let (out, outcomes) = slms_program_spanned(prog, &cfg, &self.tracer);
+                let ok = outcomes.iter().filter(|o| o.result.is_ok()).count();
+                for o in &outcomes {
+                    if let Ok(r) = &o.result {
+                        if let (Some(heuristic_ii), Some(cert)) = (r.heuristic_ii, &r.certificate) {
+                            diag.artifacts.push(PassArtifact::Certificate {
+                                loop_id: o.id.clone(),
+                                heuristic_ii,
+                                certificate: cert.clone(),
+                            });
+                        }
+                    }
+                }
+                diag.notes.push(format!(
+                    "{ok} of {} innermost loop(s) pipelined, {} with optimality certificate(s)",
+                    outcomes.len(),
+                    diag.artifacts.len()
                 ));
                 diag.loops = outcomes;
                 Ok(out)
@@ -644,10 +705,15 @@ impl PassManager {
         let mut cur = prog.clone();
         let mut verdicts = Vec::new();
         for (spec, pass) in plan.specs.iter().zip(self.compile(plan)) {
-            let pre = (verify && matches!(spec, PassSpec::Slms { .. })).then(|| cur.clone());
+            let is_sched = matches!(spec, PassSpec::Slms { .. } | PassSpec::Exact { .. });
+            let pre = (verify && is_sched).then(|| cur.clone());
             cur = pass.apply(&cur, &mut sink)?;
-            if let (Some(pre), PassSpec::Slms { no_filter }) = (pre, spec) {
-                let cfg = resolve_slms(&self.slms, *no_filter);
+            if let Some(pre) = pre {
+                let cfg = match spec {
+                    PassSpec::Slms { no_filter } => resolve_slms(&self.slms, *no_filter),
+                    PassSpec::Exact { no_filter } => resolve_exact(&self.slms, *no_filter),
+                    _ => unreachable!("pre-state is only cloned for scheduling passes"),
+                };
                 let verdict = slc_verify::verify_slms_program_spanned(&pre, &cfg, &self.tracer);
                 attach_verify_events(&mut sink, &verdict);
                 verdicts.push(verdict);
@@ -708,9 +774,12 @@ mod tests {
         for text in [
             "slms",
             "slms:nofilter",
+            "exact",
+            "exact:nofilter",
             "normalize",
             "normalize:2",
             "fuse:0+1,slms",
+            "fuse:0+1,exact",
             "normalize,fuse:0+1,slms",
             "distribute:1+2,interchange:0,reverse:3,peel:0+2,unroll:1+4",
         ] {
@@ -729,6 +798,7 @@ mod tests {
             "fuse:0+1+2",
             "unroll:a+2",
             "slms:x",
+            "exact:x",
             "peel",
         ] {
             assert!(PassPlan::parse(text).is_err(), "{text} should not parse");
@@ -762,6 +832,54 @@ mod tests {
             plan("slms:nofilter").fingerprint(&base),
             plan("slms").fingerprint(&nf)
         );
+        // the exact scheduler never shares a cache key with the heuristic
+        assert_ne!(
+            plan("exact").fingerprint(&base),
+            plan("slms").fingerprint(&base)
+        );
+        assert_ne!(
+            plan("exact").fingerprint(&base),
+            plan("exact:nofilter").fingerprint(&base)
+        );
+    }
+
+    #[test]
+    fn exact_plan_fills_the_artifact_channel() {
+        let prog = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+        )
+        .unwrap();
+        let pm = PassManager::default();
+        let (_, sink) = pm.run(&prog, &PassPlan::exact_only()).unwrap();
+        let arts = &sink.passes[0].artifacts;
+        assert_eq!(arts.len(), 1, "notes: {:?}", sink.passes[0].notes);
+        let PassArtifact::Certificate {
+            heuristic_ii,
+            certificate,
+            ..
+        } = &arts[0];
+        assert!(arts[0].optimality_gap() >= 0);
+        assert_eq!(*heuristic_ii - certificate.ii, arts[0].optimality_gap());
+        assert!(sink.passes[0].notes[0].contains("1 with optimality certificate"));
+        // the heuristic plan leaves the sidecar channel empty
+        let (_, sink) = pm.run(&prog, &PassPlan::slms_only()).unwrap();
+        assert!(sink.passes[0].artifacts.is_empty());
+    }
+
+    #[test]
+    fn exact_plan_verifies_like_slms() {
+        let prog = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }",
+        )
+        .unwrap();
+        let pm = PassManager::default();
+        let (_, _, verdicts) = pm
+            .run_with_verify(&prog, &PassPlan::exact_only(), true)
+            .unwrap();
+        assert_eq!(verdicts.len(), 1);
+        assert!(verdicts[0].clean(), "{}", verdicts[0].render());
     }
 
     #[test]

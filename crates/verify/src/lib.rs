@@ -149,6 +149,49 @@ pub enum Violation {
         /// rendered evidence
         detail: String,
     },
+    /// The report's exact reordering is not a valid permutation of the
+    /// scheduled body, or it breaks a same-iteration dependence.
+    ExactOrderInvalid {
+        /// rendered evidence
+        detail: String,
+    },
+    /// The exact scheduler was requested and in scope, but the report
+    /// carries no optimality certificate to re-check.
+    CertificateMissing {
+        /// MIs in the scheduled body
+        n_mis: usize,
+    },
+    /// The certificate's claimed II disagrees with the achieved schedule
+    /// (or the recorded heuristic II is below it).
+    CertificateIi {
+        /// rendered evidence
+        detail: String,
+    },
+    /// The certificate's claimed MII does not match the independently
+    /// recomputed lower bound.
+    CertificateMii {
+        /// rendered evidence
+        detail: String,
+    },
+    /// The emitted order itself does not satisfy the dependences at the
+    /// certificate's claimed II — the optimality witness fails.
+    CertificateWitness {
+        /// rendered evidence
+        detail: String,
+    },
+    /// The infeasibility proof is structurally broken: missing, redundant,
+    /// refuting the wrong II, or containing a clause the encoding cannot
+    /// derive.
+    CertificateProofClause {
+        /// rendered evidence
+        detail: String,
+    },
+    /// The infeasibility proof's clause set is satisfiable — it refutes
+    /// nothing, so the optimality claim is unproven.
+    CertificateProofSat {
+        /// rendered evidence
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -167,6 +210,13 @@ impl Violation {
             Violation::UnrollInconsistent { .. } => "unroll-residue",
             Violation::RestoreViolated { .. } => "live-out-restore",
             Violation::UnfaithfulMi { .. } => "mi-faithfulness",
+            Violation::ExactOrderInvalid { .. } => "exact-order",
+            Violation::CertificateMissing { .. } => "cert-missing",
+            Violation::CertificateIi { .. } => "cert-ii",
+            Violation::CertificateMii { .. } => "cert-mii",
+            Violation::CertificateWitness { .. } => "cert-witness",
+            Violation::CertificateProofClause { .. } => "cert-proof-clause",
+            Violation::CertificateProofSat { .. } => "cert-proof-sat",
         }
     }
 }
@@ -182,7 +232,20 @@ impl std::fmt::Display for Violation {
             | Violation::ExpansionSubscript { detail, .. }
             | Violation::RestoreViolated { detail, .. }
             | Violation::UnfaithfulMi { detail, .. }
-            | Violation::DependenceViolated { detail, .. } => f.write_str(detail),
+            | Violation::DependenceViolated { detail, .. }
+            | Violation::ExactOrderInvalid { detail }
+            | Violation::CertificateIi { detail }
+            | Violation::CertificateMii { detail }
+            | Violation::CertificateWitness { detail }
+            | Violation::CertificateProofClause { detail }
+            | Violation::CertificateProofSat { detail } => f.write_str(detail),
+            Violation::CertificateMissing { n_mis } => {
+                write!(
+                    f,
+                    "exact scheduling requested but the {n_mis}-MI loop carries no \
+                     optimality certificate"
+                )
+            }
             Violation::UnknownInstance { where_, stmt } => {
                 write!(
                     f,
@@ -488,6 +551,46 @@ mod tests {
         };
         let verdict = verify_slms_program(&prog, &cfg);
         assert!(verdict.clean(), "{}", verdict.render());
+    }
+
+    #[test]
+    fn exact_scheduled_loops_verify_with_certificates() {
+        // One loop the heuristic already schedules optimally (identity
+        // order, proof-free certificate) and one the exact scheduler must
+        // reorder (heuristic II = 3 → exact II = 1): both must verify
+        // clean, discharging the extra certificate obligations.
+        let prog = parse_program(
+            "float A[32]; float B[32]; float s; float t; int i;\n\
+             float P[64]; float Q[64]; float R[64]; float Z[64]; int k;\n\
+             for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }\n\
+             for (k = 1; k < 60; k++) {\n\
+               P[k] = Z[k - 1];\n\
+               Q[k] = Q[k] + 1.0;\n\
+               R[k] = R[k] * 2.0;\n\
+               Z[k] = P[k] + 1.0;\n\
+             }",
+        )
+        .unwrap();
+        let heuristic_cfg = SlmsConfig {
+            apply_filter: false,
+            ..SlmsConfig::default()
+        };
+        let base = verify_slms_program(&prog, &heuristic_cfg);
+        assert!(base.clean(), "{}", base.render());
+        let cfg = SlmsConfig {
+            apply_filter: false,
+            scheduler: slc_core::SchedulerKind::Exact,
+            ..SlmsConfig::default()
+        };
+        let verdict = verify_slms_program(&prog, &cfg);
+        assert_eq!(verdict.loops.len(), 2);
+        assert!(verdict.clean(), "{}", verdict.render());
+        assert!(
+            verdict.obligation_count() > base.obligation_count(),
+            "certificate re-checks must add obligations ({} vs {})",
+            verdict.obligation_count(),
+            base.obligation_count()
+        );
     }
 
     #[test]

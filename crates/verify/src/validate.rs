@@ -38,8 +38,8 @@ use slc_ast::visit::{
 };
 use slc_ast::{CmpOp, Expr, ForLoop, LValue, Program, Stmt};
 use slc_core::{
-    constraints_of, if_convert, needs_if_conversion, placement_mii, Expansion, SlmsConfig,
-    SlmsReport,
+    constraints_of, if_convert, needs_if_conversion, placement_mii, Constraint, Expansion,
+    SchedulerKind, SlmsConfig, SlmsReport,
 };
 use std::collections::HashMap;
 
@@ -635,15 +635,95 @@ pub fn verify_emission(
         matches!(e.kind, DepKind::Anti | DepKind::Output)
             && e.scalar.as_deref().is_some_and(renamed_or_expanded)
     };
-    match placement_mii(&constraints_of(&ddg, &removable), n) {
+    let cons = constraints_of(&ddg, &removable);
+    match placement_mii(&cons, n) {
         Some(mii) if ii >= mii => obligations += 1,
         Some(mii) => v.push(Violation::IiBelowMii { ii, mii }),
         None => v.push(Violation::IiBelowMii { ii, mii: n as i64 }),
     }
 
+    // ---- exact-scheduler optimality certificate ----------------------------
+    verify_certificate(report, cfg, &cons, n, ii, &mut v, &mut obligations);
+
     EmissionVerdict {
         obligations,
         violations: v,
+    }
+}
+
+/// Re-check the exact scheduler's II-optimality certificate against the
+/// dependences of the *recovered* body (never trusting the scheduler): the
+/// claimed II must be the achieved one, the recorded heuristic II must not
+/// beat it, and [`slc_exact::check_certificate`] must accept the witness,
+/// the recomputed MII, and the infeasibility proof. When the configuration
+/// requested exact scheduling and the loop is in solver scope, a missing
+/// certificate is itself a violation.
+fn verify_certificate(
+    report: &SlmsReport,
+    cfg: &SlmsConfig,
+    cons: &[Constraint],
+    n: usize,
+    ii: i64,
+    v: &mut Vec<Violation>,
+    obligations: &mut usize,
+) {
+    let Some(cert) = &report.certificate else {
+        if cfg.scheduler == SchedulerKind::Exact && n <= slc_exact::MAX_EXACT_MIS {
+            v.push(Violation::CertificateMissing { n_mis: n });
+        }
+        return;
+    };
+    if cert.ii != ii {
+        v.push(Violation::CertificateIi {
+            detail: format!(
+                "certificate claims optimal II = {}, the schedule achieves II = {ii}",
+                cert.ii
+            ),
+        });
+        return;
+    }
+    *obligations += 1;
+    if let Some(h) = report.heuristic_ii {
+        if h < ii {
+            v.push(Violation::CertificateIi {
+                detail: format!(
+                    "recorded heuristic II = {h} beats the certified optimum II = {ii}"
+                ),
+            });
+            return;
+        }
+        *obligations += 1;
+    }
+    let deps: Vec<slc_exact::Dep> = cons
+        .iter()
+        .map(|c| slc_exact::Dep {
+            from: c.u,
+            to: c.v,
+            dist: c.d,
+        })
+        .collect();
+    match slc_exact::check_certificate(&deps, n, cert) {
+        Ok(()) => {
+            // witness + MII + (possibly) a re-solved refutation
+            *obligations += 2 + cert.proof.as_ref().map_or(0, |p| p.clauses.len());
+        }
+        Err(e) => {
+            let detail = e.to_string();
+            v.push(match e {
+                slc_exact::CertError::MiiMismatch { .. }
+                | slc_exact::CertError::WrongMiCount { .. } => Violation::CertificateMii { detail },
+                slc_exact::CertError::WitnessInfeasible { .. } => {
+                    Violation::CertificateWitness { detail }
+                }
+                slc_exact::CertError::ProofMissing
+                | slc_exact::CertError::ProofUnexpected
+                | slc_exact::CertError::ProofIiMismatch { .. }
+                | slc_exact::CertError::UnfoundedClause { .. } => {
+                    Violation::CertificateProofClause { detail }
+                }
+                slc_exact::CertError::ProofSatisfiable => Violation::CertificateProofSat { detail },
+            });
+        }
     }
 }
 
@@ -839,7 +919,8 @@ fn restore_tail(
 }
 
 /// Prove the recovered kernel MIs are exactly the original loop body —
-/// after replaying if-conversion and inlining decomposition temporaries.
+/// after undoing the exact scheduler's reordering (if any), replaying
+/// if-conversion and inlining decomposition temporaries.
 fn check_faithful(
     original: &Program,
     f: &ForLoop,
@@ -848,6 +929,37 @@ fn check_faithful(
     v: &mut Vec<Violation>,
     obligations: &mut usize,
 ) {
+    // Undo the exact reordering first: `exact_order[p]` names the MI of
+    // the *pre-reorder* (source-order) body emitted at position `p`, so
+    // source order is recovered by scattering position `p` back to index
+    // `exact_order[p]`. The order must be a genuine permutation.
+    let depermuted: Vec<Stmt>;
+    let recovered = match &report.exact_order {
+        None => recovered,
+        Some(order) => {
+            let nn = recovered.len();
+            let mut slots: Vec<Option<Stmt>> = vec![None; nn];
+            let mut ok = order.len() == nn;
+            for (p, &k) in order.iter().enumerate() {
+                if !ok || k >= nn || slots[k].is_some() {
+                    ok = false;
+                    break;
+                }
+                slots[k] = Some(recovered[p].clone());
+            }
+            if !ok {
+                v.push(Violation::ExactOrderInvalid {
+                    detail: format!(
+                        "exact order {order:?} is not a permutation of the {nn}-MI body"
+                    ),
+                });
+                return;
+            }
+            *obligations += 1;
+            depermuted = slots.into_iter().map(|s| s.unwrap()).collect();
+            &depermuted
+        }
+    };
     let mut replay = original.clone();
     let mut body = f.body.clone();
     let needs_ic = needs_if_conversion(&body);

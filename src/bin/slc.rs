@@ -15,6 +15,12 @@
 //!
 //!   --passes <PLAN>                comma-separated pass plan (default: slms)
 //!                                  e.g. `normalize,fuse:0+1,slms`
+//!   --scheduler <heuristic|exact>  MI placement scheduler (heuristic). The
+//!                                  exact scheduler proves every small
+//!                                  loop's II optimal (SAT-backed) and
+//!                                  attaches the certificate to the report;
+//!                                  with the default plan it swaps in the
+//!                                  `exact` pass
 //!   --expansion <mve|scalar|off>   how false dependences are removed (mve)
 //!   --no-filter                    disable the §4 memory-ref-ratio filter
 //!   --paper-style                  print `stmt; || stmt;` kernels
@@ -35,7 +41,9 @@
 //!                                  become a single line with an `error`
 //!                                  field
 //!
-//! VERIFY OPTIONS: --expansion/--no-filter as above, plus
+//! VERIFY OPTIONS: --expansion/--no-filter/--scheduler as above (with
+//! `--scheduler exact` the translation validator additionally re-checks
+//! each loop's II-optimality certificate), plus
 //!   --all                          verify every built-in workload
 //!   (exit 0 = everything proven/skipped clean; 1 = violations or lint
 //!   errors; 2 = bad usage. Runs the translation validator on every
@@ -43,6 +51,12 @@
 //!
 //! BATCH OPTIONS (see README.md for the report schema):
 //!   --passes <PLAN>                pass plan for the transformed variant
+//!   --scheduler <heuristic|exact>  with `exact`, the slms variant runs the
+//!                                  exact scheduler, the report gains
+//!                                  per-loop optimality gaps, the default
+//!                                  --out becomes BENCH_batch_exact.json,
+//!                                  and a positive gap fails the run (the
+//!                                  CI exact gate)
 //!   --threads <N>                  worker threads (default: all cores)
 //!   --out <PATH>                   canonical JSON report (BENCH_batch.json;
 //!                                  deterministic — byte-identical across
@@ -70,8 +84,9 @@
 //!   --events <PATH>                structured span log, one compact JSON
 //!                                  object per line (JSONL)
 //!
-//! STATS OPTIONS — run the full matrix (static verification on) and print
-//! the deterministic counter registry:
+//! STATS OPTIONS — run the full matrix twice on one engine (heuristic then
+//! exact plan, static verification on) and print the deterministic counter
+//! registry (so both the `slms.*` and `exact.*` families populate):
 //!   --threads <N>                  worker threads (counters are invariant)
 //!   --json                         print the slc-counters-v1 document
 //!                                  instead of the aligned text table
@@ -89,18 +104,19 @@ use slc::pipeline::{
 };
 use slc::sim::astinterp::equivalent;
 use slc::sim::presets;
-use slc::slms::{render_loop_trace, Expansion, SlmsConfig};
+use slc::slms::{render_loop_trace, Expansion, SchedulerKind, SlmsConfig};
 use slc::trace::Tracer;
 use std::io::Read;
 use std::process::exit;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: slc [--passes PLAN] [--expansion mve|scalar|off] [--no-filter] [--paper-style]\n\
-         \x20          [--report] [--verify] [--simulate MACHINE] [--compiler weak|opt|ms] [FILE]\n\
+        "usage: slc [--passes PLAN] [--scheduler heuristic|exact] [--expansion mve|scalar|off]\n\
+         \x20          [--no-filter] [--paper-style] [--report] [--verify] [--simulate MACHINE]\n\
+         \x20          [--compiler weak|opt|ms] [FILE]\n\
          \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [--json] [FILE]\n\
-         \x20      slc verify [--expansion ...] [--no-filter] [--all] [FILE]\n\
-         \x20      slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
+         \x20      slc verify [--expansion ...] [--no-filter] [--scheduler ...] [--all] [FILE]\n\
+         \x20      slc batch [--passes PLAN] [--scheduler ...] [--threads N] [--out PATH] [--timing PATH]\n\
          \x20                [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH] [--events PATH]\n\
          \x20      slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
          \x20      slc trace-check FILE"
@@ -120,6 +136,7 @@ fn die_invalid(flag: &str, got: Option<&str>, valid: &str) -> ! {
 const MACHINES: &str = "itanium2, pentium, power4, arm7";
 const COMPILERS: &str = "weak, opt, ms";
 const EXPANSIONS: &str = "mve, scalar, off";
+const SCHEDULERS: &str = "heuristic, exact";
 
 fn parse_machine(flag: &str, got: Option<&str>) -> slc::machine::mach::MachineDesc {
     match got {
@@ -146,6 +163,14 @@ fn parse_expansion(flag: &str, got: Option<&str>) -> Expansion {
         Some("scalar") => Expansion::ScalarExpand,
         Some("off") => Expansion::Off,
         other => die_invalid(flag, other, EXPANSIONS),
+    }
+}
+
+fn parse_scheduler(flag: &str, got: Option<&str>) -> SchedulerKind {
+    match got {
+        Some("heuristic") => SchedulerKind::Heuristic,
+        Some("exact") => SchedulerKind::Exact,
+        other => die_invalid(flag, other, SCHEDULERS),
     }
 }
 
@@ -179,9 +204,9 @@ fn read_input(file: &Option<String>) -> String {
 
 fn batch_usage() -> ! {
     eprintln!(
-        "usage: slc batch [--passes PLAN] [--threads N] [--out PATH] [--timing PATH]\n\
-         \x20               [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH]\n\
-         \x20               [--events PATH]"
+        "usage: slc batch [--passes PLAN] [--scheduler heuristic|exact] [--threads N]\n\
+         \x20               [--out PATH] [--timing PATH] [--sim-bench PATH] [--repeat N]\n\
+         \x20               [--verify] [--trace PATH] [--events PATH]"
     );
     exit(2)
 }
@@ -190,12 +215,14 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
     use slc::pipeline::{BatchConfig, BatchEngine};
 
     let mut cfg = BatchConfig::full_matrix();
-    let mut out_path = String::from("BENCH_batch.json");
+    let mut out_path: Option<String> = None;
     let mut timing_path: Option<String> = None;
     let mut sim_bench_path: Option<String> = None;
     let mut trace_path: Option<String> = None;
     let mut events_path: Option<String> = None;
     let mut repeat = 1usize;
+    let mut scheduler = SchedulerKind::Heuristic;
+    let mut passes_given = false;
 
     let mut args = args;
     while let Some(a) = args.next() {
@@ -208,8 +235,12 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
                         .unwrap_or_else(|| batch_usage()),
                 )
             }
-            "--passes" => cfg.plan = parse_plan("--passes", args.next().as_deref()),
-            "--out" => out_path = args.next().unwrap_or_else(|| batch_usage()),
+            "--passes" => {
+                cfg.plan = parse_plan("--passes", args.next().as_deref());
+                passes_given = true;
+            }
+            "--scheduler" => scheduler = parse_scheduler("--scheduler", args.next().as_deref()),
+            "--out" => out_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--sim-bench" => sim_bench_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--trace" => trace_path = Some(args.next().unwrap_or_else(|| batch_usage())),
@@ -225,6 +256,25 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             _ => batch_usage(),
         }
     }
+
+    let exact = scheduler == SchedulerKind::Exact;
+    if exact {
+        // the slms variant of every cell runs the exact scheduler; a
+        // custom plan keeps its shape but schedules exactly
+        cfg.slms.scheduler = SchedulerKind::Exact;
+        if !passes_given {
+            cfg.plan = PassPlan::exact_only();
+        }
+    }
+    // the exact report lives beside the heuristic baseline by default so
+    // BENCH_batch.json stays byte-identical to the checked-in document
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(if exact {
+            "BENCH_batch_exact.json"
+        } else {
+            "BENCH_batch.json"
+        })
+    });
 
     let tracer = if trace_path.is_some() || events_path.is_some() {
         Tracer::enabled()
@@ -296,6 +346,33 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
             exit(1)
         }
     }
+    let gaps = report.optimality_gaps();
+    if !gaps.is_empty() {
+        let mut positive = 0usize;
+        let mut certified = 0usize;
+        for (w, gs) in &gaps {
+            eprintln!("slc batch: optimality gaps: {w}: {gs:?}");
+            certified += gs.len();
+            for (i, g) in gs.iter().enumerate() {
+                if *g > 0 {
+                    positive += 1;
+                    eprintln!(
+                        "slc batch: POSITIVE GAP: {w} loop {i}: \
+                         heuristic II exceeds the proven optimum by {g}"
+                    );
+                }
+            }
+        }
+        if positive == 0 {
+            eprintln!("slc batch: exact gate: {certified} loop(s) certified, 0 positive gaps");
+        } else {
+            eprintln!("slc batch: exact gate: {positive} loop(s) with a positive optimality gap");
+            exit(1)
+        }
+    } else if exact {
+        eprintln!("slc batch: exact gate: no loop produced a certificate");
+        exit(1)
+    }
     exit(if report.failed() == 0 { 0 } else { 1 })
 }
 
@@ -304,10 +381,11 @@ fn stats_usage() -> ! {
     exit(2)
 }
 
-/// `slc stats`: run the full matrix (static verification on, so the
-/// verify.* counters populate) on a fresh engine and render the
-/// deterministic counter registry. `--check` turns it into the CI counter
-/// gate.
+/// `slc stats`: run the full matrix twice on one engine — the heuristic
+/// plan and then the exact plan, static verification on both times — and
+/// render the cumulative deterministic counter registry (the `slms.*`,
+/// `verify.*` and `exact.*` families all populate). `--check` turns it
+/// into the CI counter gate.
 fn stats_main(args: impl Iterator<Item = String>) -> ! {
     use slc::pipeline::{BatchConfig, BatchEngine};
     use slc::trace::{check_counters, CounterBaseline};
@@ -338,11 +416,16 @@ fn stats_main(args: impl Iterator<Item = String>) -> ! {
     let mut cfg = BatchConfig::full_matrix();
     cfg.threads = threads;
     cfg.verify = true;
-    let report = BatchEngine::new().run(&cfg);
-    if report.failed() > 0 {
+    let engine = BatchEngine::new();
+    let heuristic = engine.run(&cfg);
+    let mut exact_cfg = cfg.clone();
+    exact_cfg.plan = PassPlan::exact_only();
+    exact_cfg.slms.scheduler = SchedulerKind::Exact;
+    let report = engine.run(&exact_cfg);
+    if heuristic.failed() > 0 || report.failed() > 0 {
         eprintln!(
             "slc stats: {} cell(s) failed — counters are not comparable",
-            report.failed()
+            heuristic.failed() + report.failed()
         );
         exit(1)
     }
@@ -422,7 +505,10 @@ fn trace_check_main(args: impl Iterator<Item = String>) -> ! {
 }
 
 fn verify_usage() -> ! {
-    eprintln!("usage: slc verify [--expansion mve|scalar|off] [--no-filter] [--all] [FILE]");
+    eprintln!(
+        "usage: slc verify [--expansion mve|scalar|off] [--no-filter]\n\
+         \x20                [--scheduler heuristic|exact] [--all] [FILE]"
+    );
     exit(2)
 }
 
@@ -459,6 +545,7 @@ fn verify_main(args: impl Iterator<Item = String>) -> ! {
         match a.as_str() {
             "--no-filter" => cfg.apply_filter = false,
             "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
+            "--scheduler" => cfg.scheduler = parse_scheduler("--scheduler", args.next().as_deref()),
             "--all" => all = true,
             "--help" | "-h" => verify_usage(),
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
@@ -574,9 +661,14 @@ fn main() {
         }
         _ => {}
     }
+    let mut passes_given = false;
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--passes" => plan = parse_plan("--passes", args.next().as_deref()),
+            "--passes" => {
+                plan = parse_plan("--passes", args.next().as_deref());
+                passes_given = true;
+            }
+            "--scheduler" => cfg.scheduler = parse_scheduler("--scheduler", args.next().as_deref()),
             "--expansion" => cfg.expansion = parse_expansion("--expansion", args.next().as_deref()),
             "--no-filter" => cfg.apply_filter = false,
             "--paper-style" => paper_style = true,
@@ -589,6 +681,10 @@ fn main() {
             _ if file.is_none() && !a.starts_with('-') => file = Some(a),
             _ => usage(),
         }
+    }
+
+    if cfg.scheduler == SchedulerKind::Exact && !passes_given {
+        plan = PassPlan::exact_only();
     }
 
     let src = read_input(&file);

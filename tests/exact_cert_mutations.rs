@@ -1,0 +1,305 @@
+//! Mutation harness for optimality-certificate checking.
+//!
+//! Mirror of `verify_mutations.rs` for the exact scheduler: take a genuine
+//! exact-scheduled emission, corrupt one certificate field (or the
+//! reordering witness) in a targeted way, and prove `slc verify` rejects
+//! the corruption *naming the violated rule*. Every certificate family is
+//! covered: the claimed II, the claimed MII, the MI count, the witness
+//! order, the attached refutation proof (missing, misdirected, unfounded
+//! and satisfiable variants), and the certificate's very presence.
+//!
+//! Three source loops drive the harness:
+//! * `DOT` — II = MII, so the genuine certificate carries **no** proof;
+//! * `DIAMOND` — two independent producers feed one consumer that loops
+//!   back to both, so position-distinctness forces II = 2 above the
+//!   difference-bound MII of 1 and the certificate **must** carry a
+//!   refutation of II = 1;
+//! * `GAP` — source order is pessimal; the exact scheduler reorders, so
+//!   the emission carries a non-identity witness permutation.
+
+use slc::ast::{parse_program, ForLoop, Program, Stmt};
+use slc::exact::{InfeasibilityProof, ProofClause};
+use slc::slms::{slms_loop, SchedulerKind, SlmsConfig, SlmsOutput, SlmsReport};
+use slc::verify::verify_emission;
+
+const DOT: &str = "float A[64]; float B[64]; float s; float t; int i;\n\
+                   for (i = 0; i < 32; i++) { t = A[i] * B[i]; s = s + t; }";
+const DIAMOND: &str = "float A[64]; float B[64]; float Z[64]; int i;\n\
+                       for (i = 1; i < 40; i++) { A[i] = Z[i - 1] + 1.0; \
+                       B[i] = Z[i - 1] * 2.0; Z[i] = A[i] + B[i]; }";
+const GAP: &str = "float A[64]; float B[64]; float C[64]; float Z[64]; int i;\n\
+                   for (i = 1; i < 40; i++) { A[i] = Z[i - 1]; B[i] = B[i] + 1.0; \
+                   C[i] = C[i] * 2.0; Z[i] = A[i] + 1.0; }";
+
+fn exact_cfg() -> SlmsConfig {
+    SlmsConfig {
+        apply_filter: false,
+        scheduler: SchedulerKind::Exact,
+        ..SlmsConfig::default()
+    }
+}
+
+/// Exact-schedule the first loop of `src`; return the pre-transform
+/// program, the loop, and the emission (certificate attached).
+fn scheduled(src: &str) -> (Program, ForLoop, SlmsOutput) {
+    let prog = parse_program(src).unwrap();
+    let stmt = prog
+        .stmts
+        .iter()
+        .find(|s| matches!(s, Stmt::For(_)))
+        .expect("source has a loop")
+        .clone();
+    let Stmt::For(f) = stmt.clone() else {
+        unreachable!()
+    };
+    let mut work = prog.clone();
+    let out = slms_loop(&mut work, &stmt, &exact_cfg()).expect("loop should schedule");
+    assert!(out.report.certificate.is_some(), "exact run must certify");
+    (prog, f, out)
+}
+
+fn rules_of(prog: &Program, f: &ForLoop, report: &SlmsReport, stmts: &[Stmt]) -> Vec<&'static str> {
+    verify_emission(prog, f, report, stmts, &exact_cfg())
+        .violations
+        .iter()
+        .map(|v| v.rule())
+        .collect()
+}
+
+/// The uncorrupted emissions all verify — the baseline every mutation
+/// deviates from. `DOT` certifies without a proof, `DIAMOND` with one,
+/// `GAP` with a non-identity witness.
+#[test]
+fn genuine_certificates_accepted() {
+    for (src, wants_proof, wants_reorder) in [
+        (DOT, false, false),
+        (DIAMOND, true, false),
+        (GAP, false, true),
+    ] {
+        let (prog, f, out) = scheduled(src);
+        let cert = out.report.certificate.as_ref().unwrap();
+        assert_eq!(cert.proof.is_some(), wants_proof, "{src}");
+        let order = out.report.exact_order.as_ref().unwrap();
+        let identity: Vec<usize> = (0..order.len()).collect();
+        assert_eq!(order != &identity, wants_reorder, "{src}");
+        let verdict = verify_emission(&prog, &f, &out.report, &out.stmts, &exact_cfg());
+        assert!(verdict.clean(), "{src}: {:?}", verdict.violations);
+    }
+}
+
+/// Mutation 1: inflating the claimed II detaches the certificate from the
+/// schedule that carries it.
+#[test]
+fn mutation_certificate_ii_inflated() {
+    let (prog, f, out) = scheduled(DOT);
+    let mut report = out.report.clone();
+    report.certificate.as_mut().unwrap().ii += 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-ii"), "got {r:?}");
+}
+
+/// Mutation 2: lowering the recorded heuristic II below the achieved II
+/// claims the heuristic beat the proven optimum.
+#[test]
+fn mutation_heuristic_ii_below_optimum() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    report.heuristic_ii = Some(report.certificate.as_ref().unwrap().ii - 1);
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-ii"), "got {r:?}");
+}
+
+/// Mutation 3: a corrupted MII claim no longer matches the independently
+/// recomputed lower bound.
+#[test]
+fn mutation_certificate_mii_corrupted() {
+    let (prog, f, out) = scheduled(DOT);
+    let mut report = out.report.clone();
+    report.certificate.as_mut().unwrap().mii -= 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-mii"), "got {r:?}");
+}
+
+/// Mutation 4: a wrong MI count means the certificate talks about a
+/// different loop.
+#[test]
+fn mutation_certificate_mi_count() {
+    let (prog, f, out) = scheduled(DOT);
+    let mut report = out.report.clone();
+    report.certificate.as_mut().unwrap().n_mis += 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-mii"), "got {r:?}");
+}
+
+/// Mutation 5: deleting the certificate from an exact-scheduled loop is
+/// itself a violation — optimality claims must stay re-checkable.
+#[test]
+fn mutation_certificate_deleted() {
+    let (prog, f, out) = scheduled(DOT);
+    let mut report = out.report.clone();
+    report.certificate = None;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-missing"), "got {r:?}");
+}
+
+/// Mutation 6: a witness that is not a permutation cannot un-permute the
+/// emission back to source order.
+#[test]
+fn mutation_order_not_a_permutation() {
+    let (prog, f, out) = scheduled(GAP);
+    let mut report = out.report.clone();
+    let order = report.exact_order.as_mut().unwrap();
+    order[1] = order[0];
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"exact-order"), "got {r:?}");
+}
+
+/// Mutation 7: a valid but wrong witness permutation un-permutes the
+/// kernel members to the wrong source MIs.
+#[test]
+fn mutation_order_wrong_permutation() {
+    let (prog, f, out) = scheduled(GAP);
+    let mut report = out.report.clone();
+    let n = report.exact_order.as_ref().unwrap().len();
+    report.exact_order = Some((0..n).collect());
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(
+        !r.is_empty(),
+        "identity witness accepted on a reordered kernel"
+    );
+    assert!(
+        r.iter()
+            .any(|x| ["mi-faithfulness", "kernel-copy", "mve-residue"].contains(x)),
+        "unexpected rules {r:?}"
+    );
+}
+
+/// Mutation 8: stripping the refutation proof from an II > MII
+/// certificate leaves the optimality claim unfounded.
+#[test]
+fn mutation_proof_stripped() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    report.certificate.as_mut().unwrap().proof = None;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-clause"), "got {r:?}");
+}
+
+/// Mutation 9: attaching a proof to an II = MII certificate claims a
+/// refutation nobody needs — and nobody checked.
+#[test]
+fn mutation_proof_unexpected() {
+    let (prog, f, out) = scheduled(DOT);
+    let mut report = out.report.clone();
+    let cert = report.certificate.as_mut().unwrap();
+    cert.proof = Some(InfeasibilityProof {
+        ii: cert.ii - 1,
+        clauses: vec![],
+    });
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-clause"), "got {r:?}");
+}
+
+/// Mutation 10: a proof refuting the wrong II proves nothing about
+/// optimality of the claimed II.
+#[test]
+fn mutation_proof_wrong_ii() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    report
+        .certificate
+        .as_mut()
+        .unwrap()
+        .proof
+        .as_mut()
+        .unwrap()
+        .ii += 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-clause"), "got {r:?}");
+}
+
+/// Mutation 11: an out-of-range clause is unfounded — the checker must
+/// not trust clause structure blindly.
+#[test]
+fn mutation_proof_unfounded_clause() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    let cert = report.certificate.as_mut().unwrap();
+    let n = cert.n_mis;
+    cert.proof
+        .as_mut()
+        .unwrap()
+        .clauses
+        .push(ProofClause::SlotAtLeastOne { mi: n });
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-clause"), "got {r:?}");
+}
+
+/// Mutation 12: a dependence clause citing a dependence the loop does not
+/// have is unfounded even when structurally in range.
+#[test]
+fn mutation_proof_fabricated_dependence() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    let cert = report.certificate.as_mut().unwrap();
+    cert.proof
+        .as_mut()
+        .unwrap()
+        .clauses
+        .push(ProofClause::DepForbids {
+            from: 0,
+            to: 1,
+            dist: 7,
+            pu: 1,
+            pv: 0,
+        });
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-clause"), "got {r:?}");
+}
+
+/// Mutation 13: truncating the proof to a satisfiable fragment refutes
+/// nothing — the checker re-solves the clause set.
+#[test]
+fn mutation_proof_satisfiable_fragment() {
+    let (prog, f, out) = scheduled(DIAMOND);
+    let mut report = out.report.clone();
+    let clauses = &mut report
+        .certificate
+        .as_mut()
+        .unwrap()
+        .proof
+        .as_mut()
+        .unwrap()
+        .clauses;
+    assert!(clauses.len() > 1, "proof unexpectedly small");
+    clauses.truncate(1);
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"cert-proof-sat"), "got {r:?}");
+}
+
+/// Mutation 14: swapping two members inside a kernel row changes the
+/// emitted MI order the witness certifies — the certificate's identity
+/// witness is no longer feasible for the emission's dependences.
+#[test]
+fn mutation_swap_kernel_members_breaks_witness() {
+    let (prog, f, out) = scheduled(GAP);
+    let mut bad = out.stmts.clone();
+    let k = bad
+        .iter_mut()
+        .find_map(|s| match s {
+            Stmt::For(f) => Some(f),
+            _ => None,
+        })
+        .expect("emission has a kernel loop");
+    let row = k
+        .body
+        .iter_mut()
+        .find_map(|s| match s {
+            Stmt::Par(m) if m.len() >= 2 => Some(m),
+            _ => None,
+        })
+        .expect("a multi-member kernel row");
+    row.swap(0, 1);
+    let r = rules_of(&prog, &f, &out.report, &bad);
+    assert!(!r.is_empty(), "member swap accepted");
+}

@@ -5,13 +5,23 @@
 //! baseline records — either an accidental perf regression or a deliberate
 //! change that needs `slc stats --out BENCH_counters.json` to be re-run.
 
-use slc_pipeline::{BatchConfig, BatchEngine};
+use slc_core::SchedulerKind;
+use slc_pipeline::{BatchConfig, BatchEngine, PassPlan};
 use slc_trace::{check_counters, CounterBaseline, COUNTERS_SCHEMA};
 
+/// Mirror of what `slc stats` runs: the heuristic full matrix plus the
+/// exact-scheduler matrix on one engine, so the baseline pins both the
+/// heuristic pipeline counters and the `exact.*` solver counters.
 fn stats_run() -> slc_trace::CounterRegistry {
     let mut cfg = BatchConfig::full_matrix();
     cfg.verify = true;
-    let report = BatchEngine::new().run(&cfg);
+    let engine = BatchEngine::new();
+    let heuristic = engine.run(&cfg);
+    assert_eq!(heuristic.failed(), 0);
+    let mut exact_cfg = cfg.clone();
+    exact_cfg.plan = PassPlan::exact_only();
+    exact_cfg.slms.scheduler = SchedulerKind::Exact;
+    let report = engine.run(&exact_cfg);
     assert_eq!(report.failed(), 0);
     report.counters
 }
