@@ -26,6 +26,7 @@ pub mod experiments;
 pub mod explain;
 pub mod par;
 pub mod passes;
+pub mod service;
 
 /// Deterministic JSON value + writer/reader (moved to [`slc_trace::json`];
 /// re-exported here so existing `slc_pipeline::json::Json` paths keep
@@ -52,4 +53,8 @@ pub use json::Json;
 pub use par::{effective_threads, par_map_indexed, par_map_indexed_stats, WorkerStats};
 pub use passes::{
     CompiledPass, Pass, PassError, PassManager, PassPlan, PassSpec, PlanParseError, PLAN_SYNTAX,
+};
+pub use service::{
+    verify_report, CellSpec, CompileOutcome, CompileService, PassTiming, ServiceError, StageNs,
+    VerifyOutcome, VerifySummary,
 };

@@ -1,0 +1,949 @@
+//! The shared compile-service core.
+//!
+//! Everything expensive in the toolkit — parsing, pass plans (DDG
+//! construction, MII/difMin iteration, exact scheduling), lowering,
+//! machine scheduling, cycle simulation — funnels through one
+//! [`CompileService`]: a set of content-hash-keyed artifact stores
+//! ([`KeyedStore`]) plus the deterministic counter registry and the
+//! per-stage wall-clock accumulators. The batch engine
+//! ([`crate::batch::BatchEngine`]) and the persistent `slc serve` daemon
+//! (`slc-serve`) are both thin clients of this layer: the batch engine
+//! drives [`CompileService::eval_cell`] over the experiment matrix, the
+//! daemon drives [`CompileService::compile_request`] (and friends) per
+//! connection — and because they share the same stores and the same key
+//! derivation, a daemon warmed by one request answers the next from
+//! cache exactly like a second batch pass does.
+//!
+//! **Determinism contract** (inherited from the batch engine, pinned by
+//! `tests/batch_differential.rs` and `tests/trace_differential.rs`):
+//! deterministic work counters are bumped **only inside cache-miss
+//! closures**, each distinct artifact is computed exactly once while
+//! resident, and wall-clock goes to separate timing accumulators, never
+//! into counters or reports. A service built with
+//! [`CompileService::bounded`] additionally enforces an LRU capacity per
+//! store — eviction order is deterministic under a fixed request order,
+//! and every evicted-then-recomputed artifact is re-fingerprinted against
+//! the evicted one (`serve.refp_mismatches` stays 0 unless recompilation
+//! is non-reproducible).
+
+use crate::cache::{CacheReport, KeyedStore};
+use crate::compile::{compile_lir, CompilerKind, LoopInfo};
+use crate::passes::{PassManager, PassPlan};
+use slc_ast::{parse_program, to_paper_style, to_source, Program};
+use slc_core::diag::{DiagEvent, DiagSink};
+use slc_core::{LoopOutcome, SlmsConfig};
+use slc_machine::ir::LirProgram;
+use slc_machine::lower::{lower_program, LowerError};
+use slc_machine::mach::MachineDesc;
+use slc_sim::cycle::{simulate_spanned, FfStats, SimFidelity, SimResult};
+use slc_sim::power::EnergyModel;
+use slc_trace::{CounterRegistry, Tracer};
+use slc_workloads::{Variant, Workload};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+impl CompilerKind {
+    /// Every personality, in canonical report order.
+    pub const ALL: [CompilerKind; 3] = [
+        CompilerKind::Weak,
+        CompilerKind::Optimizing,
+        CompilerKind::OptimizingMs,
+    ];
+
+    /// Short label used in reports and CLI flags (`weak` / `opt` / `ms`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CompilerKind::Weak => "weak",
+            CompilerKind::Optimizing => "opt",
+            CompilerKind::OptimizingMs => "ms",
+        }
+    }
+
+    /// Stable code for fingerprinting.
+    pub(crate) fn code(&self) -> u64 {
+        match self {
+            CompilerKind::Weak => 0,
+            CompilerKind::Optimizing => 1,
+            CompilerKind::OptimizingMs => 2,
+        }
+    }
+}
+
+/// Identity of one matrix cell in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellId {
+    /// workload name
+    pub workload: String,
+    /// suite label
+    pub suite: String,
+    /// machine name
+    pub machine: String,
+    /// personality label
+    pub compiler: &'static str,
+    /// variant label (`orig` / `slms`)
+    pub variant: &'static str,
+}
+
+/// Everything measured for one completed cell.
+#[derive(Debug, Clone)]
+pub struct CellMetrics {
+    /// simulated cycles
+    pub cycles: u64,
+    /// dynamic operations executed
+    pub ops: u64,
+    /// L1 hits
+    pub l1_hits: u64,
+    /// L1 misses
+    pub l1_misses: u64,
+    /// dynamic spill accesses
+    pub spill_accesses: u64,
+    /// modeled energy
+    pub energy: f64,
+    /// did SLMS transform at least one loop (always false for `orig`)
+    pub transformed: bool,
+    /// source-level II of the first transformed loop
+    pub slms_ii: Option<i64>,
+    /// per-loop optimality gaps (heuristic II − proven optimal II) of the
+    /// exact-scheduled loops, in loop order; empty for heuristic runs, so
+    /// the canonical report is untouched unless the exact scheduler ran
+    pub optimality_gaps: Vec<i64>,
+    /// per-innermost-loop compile facts
+    pub loops: Vec<LoopInfo>,
+}
+
+/// One row of the report: identity plus outcome. Failures carry a
+/// stage-prefixed message (`parse: …` / `plan: …` / `lower: …`) instead of
+/// aborting the batch.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// which cell
+    pub id: CellId,
+    /// metrics, or the degradation error
+    pub outcome: Result<CellMetrics, String>,
+}
+
+/// Static-verification outcome of one workload's `slms` pass(es), as
+/// recorded when a batch run is gated with verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// workload name
+    pub workload: String,
+    /// loops whose emission was proven correct
+    pub verified: usize,
+    /// loops skipped (untransformed or symbolic-guarded)
+    pub skipped: usize,
+    /// total obligations discharged
+    pub obligations: usize,
+    /// total violations found (0 = clean)
+    pub violations: usize,
+}
+
+/// Wall clock and run count of one pass across every plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PassTiming {
+    /// plan-syntax pass name (`slms`, `fuse:0+1`)
+    pub pass: String,
+    /// cumulative wall time inside the pass
+    pub ns: u64,
+    /// times the pass executed (cache hits do not re-run passes)
+    pub runs: u64,
+}
+
+/// Per-stage wall-clock accumulated inside cache-miss closures
+/// (non-deterministic; reported only through timing sidecars).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageNs {
+    /// time inside parse misses
+    pub parse: u64,
+    /// time inside plan misses (all passes, SLMS included)
+    pub slms: u64,
+    /// time inside lowering misses
+    pub lower: u64,
+    /// time inside scheduling misses
+    pub compile: u64,
+    /// time inside simulation misses
+    pub sim: u64,
+}
+
+/// What [`CompileService::eval_cell`] evaluates: one matrix cell plus the
+/// run-wide knobs it is evaluated under.
+#[derive(Debug, Clone, Copy)]
+pub struct CellSpec<'a> {
+    /// the workload axis value
+    pub workload: &'a Workload,
+    /// the machine axis value
+    pub machine: &'a MachineDesc,
+    /// the personality axis value
+    pub compiler: CompilerKind,
+    /// original or SLMS-transformed variant
+    pub variant: Variant,
+    /// pass plan the `slms` variant runs
+    pub plan: &'a PassPlan,
+    /// SLMS configuration for the plan
+    pub slms: &'a SlmsConfig,
+    /// statically verify the `slms` pass and record a per-workload verdict
+    pub verify: bool,
+}
+
+/// A typed compile-service failure, mirroring the CLI's stage-prefixed
+/// degradation messages (and its exit-code contract: every variant maps to
+/// exit 1 in one-shot mode and to a typed error response in the daemon).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// the source did not parse
+    Parse(String),
+    /// the pass plan failed structurally (bad fuse indices, …)
+    Plan(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Parse(e) => write!(f, "parse: {e}"),
+            ServiceError::Plan(e) => write!(f, "plan: {e}"),
+        }
+    }
+}
+
+/// Result of one daemon-style compile request.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// the optimized program, rendered exactly like the one-shot CLI
+    /// prints it (plain source or `--paper-style`)
+    pub output: String,
+    /// whether the transformed program came from the plan-artifact cache
+    /// (deterministic under a fixed request order: each distinct
+    /// (program, plan) key misses exactly once while resident)
+    pub cached: bool,
+}
+
+/// Result of one daemon-style verify request.
+#[derive(Debug, Clone)]
+pub struct VerifyOutcome {
+    /// no violations and no error-severity lints
+    pub clean: bool,
+    /// the report text, byte-identical to `slc verify` stdout
+    pub output: String,
+}
+
+type ParseArtifact = Result<(Program, u64), String>;
+/// Transformed program + all per-loop outcomes across the plan + program
+/// fingerprint — or the plan's structural failure, which degrades the cell.
+type PlanArtifact = Result<(Program, Vec<LoopOutcome>, u64), String>;
+
+fn parse_fp(a: &ParseArtifact) -> u64 {
+    match a {
+        Ok((_, fp)) => *fp,
+        Err(e) => slc_analysis::fingerprint_str(e),
+    }
+}
+
+fn plan_fp(a: &PlanArtifact) -> u64 {
+    match a {
+        Ok((_, outcomes, fp)) => slc_analysis::fingerprint::combine(&[*fp, outcomes.len() as u64]),
+        Err(e) => slc_analysis::fingerprint_str(e),
+    }
+}
+
+fn lir_fp(a: &Result<LirProgram, LowerError>) -> u64 {
+    slc_analysis::fingerprint_str(&format!("{a:?}"))
+}
+
+fn compile_fp(a: &Result<crate::compile::CompileResult, LowerError>) -> u64 {
+    slc_analysis::fingerprint_str(&format!("{a:?}"))
+}
+
+fn sim_fp(a: &SimResult) -> u64 {
+    slc_analysis::fingerprint_str(&format!("{a:?}"))
+}
+
+fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    slot.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    out
+}
+
+/// The shared service core: artifact stores, per-stage timing accumulators
+/// and the deterministic counter registry. Create once, share (it is
+/// `Sync`) between the batch engine, daemon connections and CLI helpers —
+/// all clients see one cache.
+#[derive(Default)]
+pub struct CompileService {
+    parse: KeyedStore<ParseArtifact>,
+    slms: KeyedStore<PlanArtifact>,
+    lir: KeyedStore<Result<LirProgram, LowerError>>,
+    compile: KeyedStore<Result<crate::compile::CompileResult, LowerError>>,
+    sim: KeyedStore<SimResult>,
+    parse_ns: AtomicU64,
+    slms_ns: AtomicU64,
+    lower_ns: AtomicU64,
+    compile_ns: AtomicU64,
+    sim_ns: AtomicU64,
+    pass_ns: Mutex<BTreeMap<String, (u64, u64)>>,
+    /// per-workload verification verdicts (filled only when a batch run
+    /// gates; keyed by workload name so repeat runs overwrite)
+    verify_stats: Mutex<BTreeMap<String, VerifySummary>>,
+    /// steady-state fast-forward counters (six lanes matching `FfStats`)
+    ff: [AtomicU64; 6],
+    /// daemon request admissions (every request the daemon dispatched)
+    requests: AtomicU64,
+    /// daemon backpressure rejections (admission queue full → `busy`)
+    rejections: AtomicU64,
+    /// daemon per-request deadline expiries (→ `timeout` responses)
+    timeouts: AtomicU64,
+    /// deterministic work counters. Bumped **only inside cache-miss
+    /// closures** — each distinct artifact is computed exactly once, so the
+    /// totals are invariant under thread count and work-queue interleaving
+    /// (the property `tests/trace_differential.rs` pins down). Wall-clock
+    /// values must never land here; they go to the timing accumulators
+    /// above.
+    counters: Mutex<CounterRegistry>,
+}
+
+impl CompileService {
+    /// Fresh service with empty, unbounded stores (the batch default: the
+    /// full matrix must stay fully memoized so cache counters are a pure
+    /// function of the matrix).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fresh service whose artifact stores hold at most `capacity` entries
+    /// each, evicting least-recently-used completed artifacts past that
+    /// (the daemon default: a long-running process must bound its
+    /// footprint). Every store re-fingerprints evicted-then-recomputed
+    /// artifacts; a mismatch shows up in `serve.refp_mismatches`.
+    pub fn bounded(capacity: usize) -> Self {
+        CompileService {
+            parse: KeyedStore::bounded(capacity, Some(parse_fp)),
+            slms: KeyedStore::bounded(capacity, Some(plan_fp)),
+            lir: KeyedStore::bounded(capacity, Some(lir_fp)),
+            compile: KeyedStore::bounded(capacity, Some(compile_fp)),
+            sim: KeyedStore::bounded(capacity, Some(sim_fp)),
+            ..CompileService::default()
+        }
+    }
+
+    /// Snapshot cumulative cache statistics.
+    pub fn cache_report(&self) -> CacheReport {
+        CacheReport {
+            parse: self.parse.stats(),
+            slms: self.slms.stats(),
+            lir: self.lir.stats(),
+            compile: self.compile.stats(),
+            sim: self.sim.stats(),
+        }
+    }
+
+    /// Snapshot the deterministic counter registry: the work counters
+    /// accumulated inside miss closures, the cache hit/miss/eviction
+    /// statistics and the service-level `serve.*` family, all under dotted
+    /// names (`slms.mii_rounds`, `cache.compile.misses`, `serve.hits`, …).
+    /// For a fixed request history the snapshot is identical across runs
+    /// and thread counts — this is what `slc stats` renders, the daemon's
+    /// `stats` request returns and the CI counter gate compares.
+    pub fn counters(&self) -> CounterRegistry {
+        let mut c = self.counters.lock().unwrap().clone();
+        let cr = self.cache_report();
+        for (name, s) in [
+            ("parse", cr.parse),
+            ("slms", cr.slms),
+            ("lir", cr.lir),
+            ("compile", cr.compile),
+            ("sim", cr.sim),
+        ] {
+            c.set(&format!("cache.{name}.hits"), s.hits);
+            c.set(&format!("cache.{name}.misses"), s.misses);
+            c.set(&format!("cache.{name}.evictions"), s.evictions);
+        }
+        c.set("serve.requests", self.requests.load(Ordering::Relaxed));
+        c.set("serve.rejections", self.rejections.load(Ordering::Relaxed));
+        c.set("serve.timeouts", self.timeouts.load(Ordering::Relaxed));
+        c.set("serve.hits", cr.total_hits());
+        c.set("serve.evictions", cr.total_evictions());
+        c.set("serve.refp_mismatches", cr.total_refp_mismatches());
+        c
+    }
+
+    /// Count one admitted daemon request.
+    pub fn note_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one admission-control rejection (`busy` response).
+    pub fn note_rejection(&self) {
+        self.rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one per-request deadline expiry (`timeout` response).
+    pub fn note_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Per-stage wall clock accumulated inside miss closures so far.
+    pub fn stage_ns(&self) -> StageNs {
+        StageNs {
+            parse: self.parse_ns.load(Ordering::Relaxed),
+            slms: self.slms_ns.load(Ordering::Relaxed),
+            lower: self.lower_ns.load(Ordering::Relaxed),
+            compile: self.compile_ns.load(Ordering::Relaxed),
+            sim: self.sim_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Per-pass wall clock and run counts, sorted by pass name.
+    pub fn pass_timings(&self) -> Vec<PassTiming> {
+        self.pass_ns
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(pass, &(ns, runs))| PassTiming {
+                pass: pass.clone(),
+                ns,
+                runs,
+            })
+            .collect()
+    }
+
+    /// Per-workload static-verification verdicts, sorted by workload name
+    /// (empty unless verification-gated cells ran).
+    pub fn verify_summaries(&self) -> Vec<VerifySummary> {
+        self.verify_stats
+            .lock()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Cumulative steady-state fast-forward counters over simulation
+    /// misses.
+    pub fn ff_stats(&self) -> FfStats {
+        FfStats {
+            fast_loops: self.ff[0].load(Ordering::Relaxed),
+            fallback_loops: self.ff[1].load(Ordering::Relaxed),
+            ff_hits: self.ff[2].load(Ordering::Relaxed),
+            ff_misses: self.ff[3].load(Ordering::Relaxed),
+            trips_total: self.ff[4].load(Ordering::Relaxed),
+            trips_skipped: self.ff[5].load(Ordering::Relaxed),
+        }
+    }
+
+    /// Accumulate the SLMS decision counters from one plan execution's
+    /// diagnostics. Called only from the plan-artifact miss closure, so the
+    /// totals count each distinct (program, plan) exactly once.
+    fn count_slms_outcomes(&self, sink: &DiagSink) {
+        let mut reg = self.counters.lock().unwrap();
+        for o in sink.all_outcomes() {
+            reg.add("slms.loops_total", 1);
+            if o.result.is_ok() {
+                reg.add("slms.loops_transformed", 1);
+            }
+            for ev in &o.trace {
+                match ev {
+                    DiagEvent::FilterChecked { verdict } if !verdict.passed() => {
+                        reg.add("slms.filter_rejects", 1);
+                    }
+                    DiagEvent::IfConverted => reg.add("slms.if_conversions", 1),
+                    DiagEvent::SymbolicGuard => reg.add("slms.symbolic_guards", 1),
+                    DiagEvent::MiiAttempt { .. } => reg.add("slms.mii_rounds", 1),
+                    DiagEvent::Decomposed { .. } => reg.add("slms.decompose_retries", 1),
+                    DiagEvent::ExactScheduled {
+                        ii,
+                        heuristic_ii,
+                        reordered,
+                        sat_decisions,
+                        sat_conflicts,
+                        sat_propagations,
+                        sat_restarts,
+                        proof_clauses,
+                    } => {
+                        reg.add("exact.loops_scheduled", 1);
+                        if ii == heuristic_ii {
+                            reg.add("exact.optimal", 1);
+                        } else {
+                            reg.add("exact.improved", 1);
+                        }
+                        if *reordered {
+                            reg.add("exact.reordered", 1);
+                        }
+                        reg.add("exact.sat_decisions", *sat_decisions);
+                        reg.add("exact.sat_conflicts", *sat_conflicts);
+                        reg.add("exact.sat_propagations", *sat_propagations);
+                        reg.add("exact.sat_restarts", *sat_restarts);
+                        reg.add("exact.proof_clauses", *proof_clauses as u64);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Parse `src` through the parse store. Returns the shared artifact
+    /// and whether the lookup was a cache hit.
+    fn parse_artifact(&self, src: &str, tracer: &Tracer) -> (Arc<ParseArtifact>, bool) {
+        let src_fp = slc_analysis::fingerprint_str(src);
+        self.parse.get_or_compute_hit(src_fp, || {
+            let _sp = tracer.span("stage", "parse");
+            timed(&self.parse_ns, || {
+                parse_program(src)
+                    .map(|p| {
+                        let fp = slc_analysis::program_fingerprint(&p);
+                        (p, fp)
+                    })
+                    .map_err(|e| e.to_string())
+            })
+        })
+    }
+
+    /// Run `plan` over a parsed program through the plan store (the same
+    /// key derivation for batch cells and daemon requests, so both share
+    /// one artifact). `verify_as` names the workload for the verdict table
+    /// when static verification gates the run.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_artifact(
+        &self,
+        orig_prog: &Program,
+        orig_fp: u64,
+        plan: &PassPlan,
+        slms: &SlmsConfig,
+        verify: bool,
+        verify_as: &str,
+        tracer: &Tracer,
+    ) -> (Arc<PlanArtifact>, bool) {
+        // The verify flag joins the key only when set, so default runs
+        // keep their historical cache behaviour (and the canonical report
+        // stays byte-identical).
+        let key = if verify {
+            slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms), 1])
+        } else {
+            slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms)])
+        };
+        self.slms.get_or_compute_hit(key, || {
+            let _sp = tracer.span("stage", "plan");
+            timed(&self.slms_ns, || {
+                let pm = PassManager::new(slms.clone()).with_tracer(tracer.clone());
+                match pm.run_with_verify(orig_prog, plan, verify) {
+                    Ok((p, sink, verdicts)) => {
+                        if verify {
+                            let mut sum = VerifySummary {
+                                workload: verify_as.to_string(),
+                                verified: 0,
+                                skipped: 0,
+                                obligations: 0,
+                                violations: 0,
+                            };
+                            for vd in &verdicts {
+                                sum.obligations += vd.obligation_count();
+                                sum.violations += vd.violation_count();
+                                for l in &vd.loops {
+                                    match l.verdict {
+                                        slc_verify::LoopVerdict::Verified { .. } => {
+                                            sum.verified += 1
+                                        }
+                                        slc_verify::LoopVerdict::Skipped { .. } => sum.skipped += 1,
+                                        slc_verify::LoopVerdict::Violated { .. } => {}
+                                    }
+                                }
+                            }
+                            let mut reg = self.counters.lock().unwrap();
+                            reg.add("verify.loops_verified", sum.verified as u64);
+                            reg.add("verify.loops_skipped", sum.skipped as u64);
+                            reg.add("verify.obligations", sum.obligations as u64);
+                            reg.add("verify.violations", sum.violations as u64);
+                            drop(reg);
+                            self.verify_stats
+                                .lock()
+                                .unwrap()
+                                .insert(sum.workload.clone(), sum);
+                        }
+                        let mut per_pass = self.pass_ns.lock().unwrap();
+                        for pd in &sink.passes {
+                            let slot = per_pass.entry(pd.pass.clone()).or_insert((0, 0));
+                            slot.0 += pd.elapsed_ns;
+                            slot.1 += 1;
+                        }
+                        drop(per_pass);
+                        self.count_slms_outcomes(&sink);
+                        let fp = slc_analysis::program_fingerprint(&p);
+                        let outcomes = sink.all_outcomes().cloned().collect::<Vec<_>>();
+                        Ok((p, outcomes, fp))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            })
+        })
+    }
+
+    /// Evaluate one matrix cell end to end (parse → plan → lower →
+    /// schedule → simulate), every stage memoized. This is the single
+    /// compile path: the batch engine calls it per matrix cell, and its
+    /// parse/plan stores are the very ones daemon requests hit.
+    pub fn eval_cell(&self, spec: &CellSpec<'_>, tracer: &Tracer) -> CellResult {
+        let w = spec.workload;
+        let m = spec.machine;
+        let kind = spec.compiler;
+        let id = CellId {
+            workload: w.name.to_string(),
+            suite: w.suite.to_string(),
+            machine: m.name.clone(),
+            compiler: kind.label(),
+            variant: spec.variant.label(),
+        };
+        let mut cell_span = tracer.span_dyn("cell", || {
+            format!(
+                "{}/{}/{}/{}",
+                id.workload, id.machine, id.compiler, id.variant
+            )
+        });
+
+        // 1. parse (cached per source text)
+        let (parsed, _) = self.parse_artifact(w.source, tracer);
+        let (orig_prog, orig_fp) = match parsed.as_ref() {
+            Ok(x) => x,
+            Err(e) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("parse: {e}")),
+                }
+            }
+        };
+
+        // 2. pass plan (cached per program × plan fingerprint, shared
+        //    across machines and personalities)
+        let plan_art: Option<Arc<PlanArtifact>> = match spec.variant {
+            Variant::Original => None,
+            Variant::Slms => {
+                let (art, _) = self.plan_artifact(
+                    orig_prog,
+                    *orig_fp,
+                    spec.plan,
+                    spec.slms,
+                    spec.verify,
+                    w.name,
+                    tracer,
+                );
+                Some(art)
+            }
+        };
+        let plan_art = match plan_art.as_deref() {
+            None => None,
+            Some(Ok(x)) => Some(x),
+            Some(Err(e)) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("plan: {e}")),
+                }
+            }
+        };
+        let (prog, prog_fp, transformed, slms_ii, optimality_gaps) = match plan_art {
+            None => (orig_prog, *orig_fp, false, None, Vec::new()),
+            Some((p, outcomes, fp)) => (
+                p,
+                *fp,
+                outcomes.iter().any(|o| o.result.is_ok()),
+                outcomes
+                    .iter()
+                    .find_map(|o| o.result.as_ref().ok().map(|r| r.ii)),
+                outcomes
+                    .iter()
+                    .filter_map(|o| o.result.as_ref().ok())
+                    .filter_map(|r| r.heuristic_ii.map(|h| h - r.ii))
+                    .collect(),
+            ),
+        };
+
+        // 3. schedule (cached per program × machine × personality; lowering
+        //    cached separately because it is machine-independent)
+        let compile_key =
+            slc_analysis::fingerprint::combine(&[prog_fp, m.fingerprint(), kind.code()]);
+        let compiled = self.compile.get_or_compute(compile_key, || {
+            let lir = self.lir.get_or_compute(prog_fp, || {
+                let _sp = tracer.span("stage", "lower");
+                timed(&self.lower_ns, || lower_program(prog))
+            });
+            match lir.as_ref() {
+                Ok(l) => {
+                    let _sp = tracer.span("stage", "compile");
+                    Ok(timed(&self.compile_ns, || compile_lir(l, m, kind)))
+                }
+                Err(e) => Err(e.clone()),
+            }
+        });
+        let comp = match compiled.as_ref() {
+            Ok(c) => c,
+            Err(e) => {
+                return CellResult {
+                    id,
+                    outcome: Err(format!("lower: {e}")),
+                }
+            }
+        };
+
+        // 4. simulate (cached under the same key as the schedule)
+        let sim = self.sim.get_or_compute(compile_key, || {
+            let _sp = tracer.span("stage", "simulate");
+            timed(&self.sim_ns, || {
+                let out = simulate_spanned(&comp.compiled, m, SimFidelity::Fast, tracer);
+                for (slot, v) in self.ff.iter().zip([
+                    out.ff.fast_loops,
+                    out.ff.fallback_loops,
+                    out.ff.ff_hits,
+                    out.ff.ff_misses,
+                    out.ff.trips_total,
+                    out.ff.trips_skipped,
+                ]) {
+                    slot.fetch_add(v, Ordering::Relaxed);
+                }
+                let mut reg = self.counters.lock().unwrap();
+                reg.add("sim.cycles_total", out.result.cycles);
+                reg.add("sim.ops_total", out.result.total_ops());
+                reg.add("sim.l1_hits", out.result.cache.hits);
+                reg.add("sim.l1_misses", out.result.cache.misses);
+                reg.add("sim.spill_accesses", out.result.spill_accesses);
+                reg.add("sim.fast_loops", out.ff.fast_loops);
+                reg.add("sim.fallback_loops", out.ff.fallback_loops);
+                reg.add("sim.ff_hits", out.ff.ff_hits);
+                reg.add("sim.ff_misses", out.ff.ff_misses);
+                reg.add("sim.trips_total", out.ff.trips_total);
+                reg.add("sim.trips_skipped", out.ff.trips_skipped);
+                drop(reg);
+                out.result
+            })
+        });
+        let power = EnergyModel::default().report(&sim);
+        cell_span.arg("cycles", sim.cycles);
+
+        CellResult {
+            id,
+            outcome: Ok(CellMetrics {
+                cycles: sim.cycles,
+                ops: sim.total_ops(),
+                l1_hits: sim.cache.hits,
+                l1_misses: sim.cache.misses,
+                spill_accesses: sim.spill_accesses,
+                energy: power.energy,
+                transformed,
+                slms_ii,
+                optimality_gaps,
+                loops: comp.loops.clone(),
+            }),
+        }
+    }
+
+    /// One daemon-style compile request: run `plan` over `src` and render
+    /// the optimized source exactly like the one-shot CLI does (plain
+    /// [`to_source`] or `--paper-style` [`to_paper_style`]). Parse and plan
+    /// artifacts are served from the shared stores under the same keys the
+    /// batch engine uses, so responses are byte-identical to one-shot
+    /// output while repeated requests skip all the work.
+    pub fn compile_request(
+        &self,
+        src: &str,
+        plan: &PassPlan,
+        slms: &SlmsConfig,
+        paper_style: bool,
+        tracer: &Tracer,
+    ) -> Result<CompileOutcome, ServiceError> {
+        let (parsed, _) = self.parse_artifact(src, tracer);
+        let (orig_prog, orig_fp) = match parsed.as_ref() {
+            Ok(x) => x,
+            Err(e) => return Err(ServiceError::Parse(e.clone())),
+        };
+        let (art, cached) = self.plan_artifact(orig_prog, *orig_fp, plan, slms, false, "", tracer);
+        match art.as_ref() {
+            Ok((p, _, _)) => Ok(CompileOutcome {
+                output: if paper_style {
+                    to_paper_style(p)
+                } else {
+                    to_source(p)
+                },
+                cached,
+            }),
+            Err(e) => Err(ServiceError::Plan(e.clone())),
+        }
+    }
+
+    /// One daemon-style explain request: the per-loop JSONL decision trace
+    /// of `plan` over `src` ([`crate::explain::explain_source_json`]).
+    /// Uncached: the trace renders per-pass loop lists that the cached
+    /// plan artifact does not retain, so the plan re-runs — matching the
+    /// one-shot `slc explain --json` byte for byte is the priority here,
+    /// not latency.
+    pub fn explain_request(&self, src: &str, plan: &PassPlan, slms: &SlmsConfig) -> String {
+        crate::explain::explain_source_json(src, plan, slms)
+    }
+
+    /// One daemon-style verify request: lint + statically verify `src`,
+    /// rendering the same report text as `slc verify` (see
+    /// [`verify_report`]).
+    pub fn verify_request(
+        &self,
+        src: &str,
+        slms: &SlmsConfig,
+        tracer: &Tracer,
+    ) -> Result<VerifyOutcome, ServiceError> {
+        let (parsed, _) = self.parse_artifact(src, tracer);
+        match parsed.as_ref() {
+            Ok((prog, _)) => {
+                let (clean, output) = verify_report(prog, slms);
+                Ok(VerifyOutcome { clean, output })
+            }
+            Err(e) => Err(ServiceError::Parse(e.clone())),
+        }
+    }
+}
+
+/// Lint + statically verify one program and render the report text the CLI
+/// prints: one `  <lint>` line per lint, the verdict rendering, then the
+/// summary line. Returns `(clean, text)` where `clean` means no violations
+/// and no error-severity lints — shared by `slc verify` and the daemon's
+/// `verify` request so both emit byte-identical reports.
+pub fn verify_report(prog: &Program, cfg: &SlmsConfig) -> (bool, String) {
+    use slc_verify::{lint_program, verify_slms_program, LintSeverity};
+    let mut text = String::new();
+    let lints = lint_program(prog);
+    for l in &lints {
+        text.push_str(&format!("  {l}\n"));
+    }
+    let verdict = verify_slms_program(prog, cfg);
+    text.push_str(&verdict.render());
+    let lint_errors = lints
+        .iter()
+        .filter(|l| l.severity == LintSeverity::Error)
+        .count();
+    text.push_str(&format!(
+        "  summary: {} loop(s), {} obligations discharged, {} violation(s), {} lint error(s)\n",
+        verdict.loops.len(),
+        verdict.obligation_count(),
+        verdict.violation_count(),
+        lint_errors,
+    ));
+    (verdict.violation_count() == 0 && lint_errors == 0, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOT: &str = "float A[32]; float B[32]; float s; float t; int i;\n\
+                       for (i = 0; i < 16; i++) { t = A[i] * B[i]; s = s + t; }";
+
+    #[test]
+    fn compile_request_is_cached_on_repeat() {
+        let svc = CompileService::new();
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let tracer = Tracer::disabled();
+        let first = svc
+            .compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        assert!(!first.cached);
+        let second = svc
+            .compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        assert!(second.cached);
+        assert_eq!(first.output, second.output);
+        // paper style renders differently but shares the plan artifact
+        let paper = svc
+            .compile_request(DOT, &plan, &cfg, true, &tracer)
+            .unwrap();
+        assert!(paper.cached);
+        assert_ne!(paper.output, first.output);
+    }
+
+    #[test]
+    fn compile_request_matches_one_shot_pipeline() {
+        let svc = CompileService::new();
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let got = svc
+            .compile_request(DOT, &plan, &cfg, false, &Tracer::disabled())
+            .unwrap();
+        let prog = parse_program(DOT).unwrap();
+        let (out, _) = PassManager::new(cfg.clone()).run(&prog, &plan).unwrap();
+        assert_eq!(got.output, to_source(&out));
+    }
+
+    #[test]
+    fn typed_errors_carry_the_stage() {
+        let svc = CompileService::new();
+        let cfg = SlmsConfig::default();
+        let tracer = Tracer::disabled();
+        let plan = PassPlan::slms_only();
+        let err = svc
+            .compile_request("int x; x = ;", &plan, &cfg, false, &tracer)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Parse(_)), "{err}");
+        let bad_plan = PassPlan::parse("fuse:0+9,slms").unwrap();
+        let err = svc
+            .compile_request(DOT, &bad_plan, &cfg, false, &tracer)
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(_)), "{err}");
+        assert!(err.to_string().starts_with("plan: pass fuse:0+9"), "{err}");
+    }
+
+    #[test]
+    fn verify_request_matches_cli_rendering() {
+        let svc = CompileService::new();
+        let cfg = SlmsConfig::default();
+        let out = svc.verify_request(DOT, &cfg, &Tracer::disabled()).unwrap();
+        assert!(out.clean, "{}", out.output);
+        let prog = parse_program(DOT).unwrap();
+        let (clean, text) = verify_report(&prog, &cfg);
+        assert!(clean);
+        assert_eq!(out.output, text);
+        assert!(text.contains("summary: "), "{text}");
+    }
+
+    #[test]
+    fn serve_counters_land_in_the_registry() {
+        let svc = CompileService::bounded(2);
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let tracer = Tracer::disabled();
+        svc.note_request();
+        svc.note_request();
+        svc.note_rejection();
+        svc.note_timeout();
+        svc.compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        svc.compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        let c = svc.counters();
+        assert_eq!(c.get("serve.requests"), 2);
+        assert_eq!(c.get("serve.rejections"), 1);
+        assert_eq!(c.get("serve.timeouts"), 1);
+        assert!(c.get("serve.hits") > 0);
+        assert_eq!(c.get("serve.refp_mismatches"), 0);
+        assert_eq!(c.get("cache.parse.misses"), 1);
+    }
+
+    #[test]
+    fn bounded_service_evicts_and_recompiles_identically() {
+        let svc = CompileService::bounded(1);
+        let plan = PassPlan::slms_only();
+        let cfg = SlmsConfig::default();
+        let tracer = Tracer::disabled();
+        let other = "float a[8]; int i; for (i = 0; i < 4; i++) a[i] = 1.0;";
+        let first = svc
+            .compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        svc.compile_request(other, &plan, &cfg, false, &tracer)
+            .unwrap();
+        // capacity 1 per store → DOT's artifacts were evicted; the
+        // recompiled output must be byte-identical and pass the
+        // re-fingerprint check
+        let again = svc
+            .compile_request(DOT, &plan, &cfg, false, &tracer)
+            .unwrap();
+        assert!(!again.cached);
+        assert_eq!(first.output, again.output);
+        let cr = svc.cache_report();
+        assert!(cr.total_evictions() > 0, "{cr:?}");
+        assert_eq!(cr.total_refp_mismatches(), 0, "{cr:?}");
+    }
+}

@@ -1,0 +1,67 @@
+//! A minimal blocking client for the `slc serve` line protocol.
+
+use crate::proto::{Request, Response};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+enum Stream {
+    Tcp(BufReader<TcpStream>),
+    #[cfg(unix)]
+    Unix(BufReader<std::os::unix::net::UnixStream>),
+}
+
+/// One connection to a daemon: send a [`Request`], block for the
+/// [`Response`] (the protocol answers strictly in order).
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connect over TCP (`host:port`).
+    pub fn connect_tcp(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream: Stream::Tcp(BufReader::new(stream)),
+        })
+    }
+
+    /// Connect over a Unix-domain socket.
+    #[cfg(unix)]
+    pub fn connect_unix(path: &std::path::Path) -> std::io::Result<Client> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(Client {
+            stream: Stream::Unix(BufReader::new(stream)),
+        })
+    }
+
+    /// Send one request line and block for the response line.
+    pub fn request(&mut self, req: &Request) -> Result<Response, String> {
+        // single write per request (line + newline): a separate newline
+        // write would trip Nagle/delayed-ACK latency on TCP
+        let mut wire = req.to_line().into_bytes();
+        wire.push(b'\n');
+        let mut reply = String::new();
+        match &mut self.stream {
+            Stream::Tcp(r) => {
+                let s = r.get_mut();
+                s.write_all(&wire)
+                    .and_then(|_| s.flush())
+                    .map_err(|e| format!("send: {e}"))?;
+                r.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+            }
+            #[cfg(unix)]
+            Stream::Unix(r) => {
+                let s = r.get_mut();
+                s.write_all(&wire)
+                    .and_then(|_| s.flush())
+                    .map_err(|e| format!("send: {e}"))?;
+                r.read_line(&mut reply).map_err(|e| format!("recv: {e}"))?;
+            }
+        }
+        if reply.is_empty() {
+            return Err("connection closed before a response arrived".to_string());
+        }
+        Response::parse(reply.trim_end())
+    }
+}

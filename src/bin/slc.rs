@@ -12,6 +12,8 @@
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!        slc stats [STATS OPTIONS]     (deterministic counter registry + gate)
 //!        slc trace-check FILE          (validate a Chrome trace-event JSON)
+//!        slc serve [SERVE OPTIONS]     (persistent compile daemon, NDJSON/TCP)
+//!        slc bench-serve [BENCH OPTIONS] (load-test a daemon, BENCH_serve.json)
 //!
 //!   --passes <PLAN>                comma-separated pass plan (default: slms)
 //!                                  e.g. `normalize,fuse:0+1,slms`
@@ -95,6 +97,42 @@
 //!   --check <PATH>                 gate against a counter baseline: every
 //!                                  baseline counter must match within its
 //!                                  named tolerance (exit 1 on any failure)
+//!
+//! SERVE OPTIONS — run the compiler as a long-lived daemon speaking
+//! newline-delimited JSON (schema `slc-serve-proto-v1`; see README.md
+//! for the wire protocol). All connections share one `CompileService`
+//! artifact cache; responses are byte-identical to one-shot `slc` output:
+//!   --addr <HOST:PORT>             TCP listen address (default
+//!                                  127.0.0.1:7878; port 0 picks a free one)
+//!   --unix <PATH>                  listen on a Unix-domain socket instead
+//!   --queue <N>                    admission bound: max in-flight requests
+//!                                  before `busy` backpressure (default 64)
+//!   --timeout-ms <N>               per-request deadline; a slower request
+//!                                  answers `timeout` (default 30000)
+//!   --cache-capacity <N>           bound each artifact store to N entries
+//!                                  with deterministic LRU eviction
+//!                                  (default: unbounded)
+//!   --trace <PATH>                 write a Chrome trace-event JSON on
+//!                                  shutdown (one track per connection)
+//!   (drains gracefully on SIGTERM/SIGINT or a `shutdown` request;
+//!   exit 0 = drained clean, 3 = requests abandoned at the deadline)
+//!
+//! BENCH-SERVE OPTIONS — replay the workload × pass-plan corpus against a
+//! daemon at fixed client concurrency and write BENCH_serve.json (latency
+//! percentiles + cache hit rate; deterministic counts live in a separate
+//! section from wall-clock timing). Without --addr the bench spawns an
+//! in-process daemon on an ephemeral port and drives the full lifecycle
+//! including shutdown drain (what the CI serve-smoke job gates):
+//!   --addr <HOST:PORT>             target an already-running daemon
+//!   --clients <N>                  concurrent connections (default 8)
+//!   --passes <N>                   full corpus replays; pass 2+ must be
+//!                                  served from cache (default 2)
+//!   --plan <PLAN>                  pass plan (repeatable; default slms and
+//!                                  normalize,slms)
+//!   --out <PATH>                   report path (default BENCH_serve.json)
+//!   --min-hit-rate <F>             final-pass hit-rate gate in [0,1]
+//!                                  (default 0.9; exit 1 below it)
+//!   --timeout-ms / --queue / --cache-capacity   in-process daemon knobs
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
@@ -119,7 +157,12 @@ fn usage() -> ! {
          \x20      slc batch [--passes PLAN] [--scheduler ...] [--threads N] [--out PATH] [--timing PATH]\n\
          \x20                [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH] [--events PATH]\n\
          \x20      slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
-         \x20      slc trace-check FILE"
+         \x20      slc trace-check FILE\n\
+         \x20      slc serve [--addr HOST:PORT] [--unix PATH] [--queue N] [--timeout-ms N]\n\
+         \x20                [--cache-capacity N] [--trace PATH]\n\
+         \x20      slc bench-serve [--addr HOST:PORT] [--clients N] [--passes N] [--plan P]...\n\
+         \x20                [--out PATH] [--min-hit-rate F] [--timeout-ms N] [--queue N]\n\
+         \x20                [--cache-capacity N]"
     );
     exit(2)
 }
@@ -513,26 +556,12 @@ fn verify_usage() -> ! {
 }
 
 /// Lint + statically verify one program; returns true when anything failed.
+/// The rendering is shared with the `slc serve` daemon's `verify` request
+/// (`slc::pipeline::verify_report`), so both stay byte-identical.
 fn verify_one(prog: &slc::ast::Program, cfg: &SlmsConfig) -> bool {
-    use slc::verify::{lint_program, verify_slms_program, LintSeverity};
-    let lints = lint_program(prog);
-    for l in &lints {
-        println!("  {l}");
-    }
-    let verdict = verify_slms_program(prog, cfg);
-    print!("{}", verdict.render());
-    let lint_errors = lints
-        .iter()
-        .filter(|l| l.severity == LintSeverity::Error)
-        .count();
-    println!(
-        "  summary: {} loop(s), {} obligations discharged, {} violation(s), {} lint error(s)",
-        verdict.loops.len(),
-        verdict.obligation_count(),
-        verdict.violation_count(),
-        lint_errors,
-    );
-    verdict.violation_count() > 0 || lint_errors > 0
+    let (clean, text) = slc::pipeline::verify_report(prog, cfg);
+    print!("{text}");
+    !clean
 }
 
 fn verify_main(args: impl Iterator<Item = String>) -> ! {
@@ -626,6 +655,219 @@ fn explain_main(args: impl Iterator<Item = String>) -> ! {
     )
 }
 
+fn serve_usage() -> ! {
+    eprintln!(
+        "usage: slc serve [--addr HOST:PORT] [--unix PATH] [--queue N] [--timeout-ms N]\n\
+         \x20               [--cache-capacity N] [--trace PATH]"
+    );
+    exit(2)
+}
+
+/// `slc serve`: the persistent compile daemon. Blocks until a `shutdown`
+/// request or SIGTERM/SIGINT, then drains in-flight work and exits 0 on a
+/// clean drain (3 when requests had to be abandoned at the deadline).
+fn serve_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::serve::{Endpoint, ServeConfig, Server};
+    use std::time::Duration;
+
+    let mut addr = String::from("127.0.0.1:7878");
+    let mut unix_path: Option<String> = None;
+    let mut cfg = ServeConfig::default();
+    let mut trace_path: Option<String> = None;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| serve_usage()),
+            "--unix" => unix_path = Some(args.next().unwrap_or_else(|| serve_usage())),
+            "--queue" => {
+                cfg.queue = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| serve_usage())
+            }
+            "--timeout-ms" => {
+                cfg.timeout = Duration::from_millis(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| serve_usage()),
+                )
+            }
+            "--cache-capacity" => {
+                cfg.capacity = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| serve_usage()),
+                )
+            }
+            "--trace" => trace_path = Some(args.next().unwrap_or_else(|| serve_usage())),
+            _ => serve_usage(),
+        }
+    }
+
+    let endpoint = match unix_path {
+        #[cfg(unix)]
+        Some(p) => Endpoint::Unix(std::path::PathBuf::from(p)),
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("slc serve: --unix is only available on Unix platforms");
+            exit(2)
+        }
+        None => Endpoint::Tcp(addr.clone()),
+    };
+    let tracer = if trace_path.is_some() {
+        Tracer::enabled()
+    } else {
+        Tracer::disabled()
+    };
+    let handle = Server::spawn(&endpoint, cfg, tracer.clone()).unwrap_or_else(|e| {
+        eprintln!("slc serve: cannot listen on {endpoint:?}: {e}");
+        exit(1)
+    });
+    match handle.local_addr() {
+        Some(a) => eprintln!("slc serve: listening on {a}"),
+        None => eprintln!("slc serve: listening on {endpoint:?}"),
+    }
+    let drain = handle.wait();
+    if let Some(tp) = trace_path {
+        let doc = tracer.to_chrome_json().expect("tracer enabled for --trace");
+        if let Err(e) = std::fs::write(&tp, doc) {
+            eprintln!("slc serve: cannot write {tp}: {e}");
+            exit(1)
+        }
+        eprintln!(
+            "slc serve: wrote {tp} ({} spans on {} track(s))",
+            tracer.event_count(),
+            tracer.tracks().len()
+        );
+    }
+    if drain.drained_clean {
+        eprintln!(
+            "slc serve: drained clean after {} connection(s)",
+            drain.connections
+        );
+        exit(0)
+    }
+    eprintln!(
+        "slc serve: drain deadline expired with {} request(s) still running",
+        drain.abandoned
+    );
+    exit(3)
+}
+
+fn bench_serve_usage() -> ! {
+    eprintln!(
+        "usage: slc bench-serve [--addr HOST:PORT] [--clients N] [--passes N] [--plan P]...\n\
+         \x20                     [--out PATH] [--min-hit-rate F] [--timeout-ms N] [--queue N]\n\
+         \x20                     [--cache-capacity N]"
+    );
+    exit(2)
+}
+
+/// `slc bench-serve`: replay the workload × plan corpus against a daemon
+/// and write `BENCH_serve.json`. Exit 1 when the count-based gate fails
+/// (any error response, final-pass hit rate below the floor, dirty drain).
+fn bench_serve_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::serve::{run_bench, BenchConfig};
+    use std::time::Duration;
+
+    let mut cfg = BenchConfig::default();
+    let mut out_path = String::from("BENCH_serve.json");
+    let mut min_hit_rate = 0.9f64;
+    let mut plans_given = false;
+
+    let mut args = args;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--addr" => cfg.addr = Some(args.next().unwrap_or_else(|| bench_serve_usage())),
+            "--clients" => {
+                cfg.clients = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| bench_serve_usage())
+            }
+            "--passes" => {
+                cfg.passes = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| bench_serve_usage())
+            }
+            "--plan" => {
+                let p = args.next().unwrap_or_else(|| bench_serve_usage());
+                // validate locally so a typo is a usage error here, not a
+                // stream of daemon-side `usage` responses
+                PassPlan::parse(&p).unwrap_or_else(|e| {
+                    eprintln!("slc bench-serve: invalid value `{p}` for --plan: {e}");
+                    exit(2)
+                });
+                if !plans_given {
+                    cfg.plans.clear();
+                    plans_given = true;
+                }
+                cfg.plans.push(p);
+            }
+            "--out" => out_path = args.next().unwrap_or_else(|| bench_serve_usage()),
+            "--min-hit-rate" => {
+                min_hit_rate = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&f| (0.0..=1.0).contains(&f))
+                    .unwrap_or_else(|| bench_serve_usage())
+            }
+            "--timeout-ms" => {
+                cfg.timeout = Duration::from_millis(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| bench_serve_usage()),
+                )
+            }
+            "--queue" => {
+                cfg.queue = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| bench_serve_usage())
+            }
+            "--cache-capacity" => {
+                cfg.capacity = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| bench_serve_usage()),
+                )
+            }
+            _ => bench_serve_usage(),
+        }
+    }
+
+    let report = run_bench(&cfg).unwrap_or_else(|e| {
+        eprintln!("slc bench-serve: {e}");
+        exit(1)
+    });
+    eprintln!("slc bench-serve: {}", report.summary());
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("slc bench-serve: cannot write {out_path}: {e}");
+        exit(1)
+    }
+    eprintln!("slc bench-serve: wrote {out_path}");
+    match report.gate(min_hit_rate) {
+        Ok(()) => {
+            eprintln!("slc bench-serve: gate OK (0 errors, hit rate ≥ {min_hit_rate:.3})");
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("slc bench-serve: GATE FAILURE: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn main() {
     let mut cfg = SlmsConfig::default();
     let mut plan = PassPlan::slms_only();
@@ -658,6 +900,14 @@ fn main() {
         Some("trace-check") => {
             args.next();
             trace_check_main(args);
+        }
+        Some("serve") => {
+            args.next();
+            serve_main(args);
+        }
+        Some("bench-serve") => {
+            args.next();
+            bench_serve_main(args);
         }
         _ => {}
     }

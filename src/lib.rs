@@ -13,6 +13,7 @@ pub use slc_exact as exact;
 pub use slc_machine as machine;
 pub use slc_pipeline as pipeline;
 pub use slc_sat as sat;
+pub use slc_serve as serve;
 pub use slc_sim as sim;
 pub use slc_trace as trace;
 pub use slc_transforms as transforms;
