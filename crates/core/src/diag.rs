@@ -65,6 +65,9 @@ pub enum DiagEvent {
         heuristic_ii: i64,
         /// whether the emitted body order differs from source order
         reordered: bool,
+        /// whether the heuristic warm start closed the search without a
+        /// single SAT call (heuristic II == MII)
+        warm_start: bool,
         /// SAT branching decisions across the solve
         sat_decisions: u64,
         /// SAT conflicts analyzed
@@ -155,6 +158,7 @@ impl DiagEvent {
                 ii,
                 heuristic_ii,
                 reordered,
+                warm_start,
                 sat_decisions,
                 sat_conflicts,
                 sat_propagations,
@@ -165,6 +169,7 @@ impl DiagEvent {
                 .field("ii", *ii)
                 .field("heuristic_ii", *heuristic_ii)
                 .field("reordered", *reordered)
+                .field("warm_start", *warm_start)
                 .field("sat_decisions", *sat_decisions)
                 .field("sat_conflicts", *sat_conflicts)
                 .field("sat_propagations", *sat_propagations)

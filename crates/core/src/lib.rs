@@ -549,6 +549,7 @@ fn slms_loop_inner(
                     ii: r.ii,
                     heuristic_ii,
                     reordered: r.reordered,
+                    warm_start: r.warm_start,
                     sat_decisions: r.stats.decisions,
                     sat_conflicts: r.stats.conflicts,
                     sat_propagations: r.stats.propagations,

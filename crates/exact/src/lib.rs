@@ -235,6 +235,10 @@ pub struct ExactResult {
     pub order: Vec<usize>,
     /// True when `order` differs from the identity.
     pub reordered: bool,
+    /// True when the heuristic warm start closed the search alone: the
+    /// heuristic II equals the MII, so the binary search window is empty
+    /// and the solver is never invoked (`stats.sat_calls == 0`).
+    pub warm_start: bool,
     /// The certificate, already relabeled into the emitted index space.
     pub certificate: OptimalityCertificate,
     /// Solver statistics.
@@ -450,12 +454,35 @@ impl ExactScheduler {
     /// [`MAX_EXACT_MIS`], or an inconsistent `max_ii`). The certificate
     /// in the result is already relabeled into the *emitted* index space,
     /// where the witness order is the identity.
+    ///
+    /// The heuristic schedule is a feasibility witness, so `max_ii` seeds
+    /// the binary search's upper bound. When `max_ii` already equals the
+    /// MII the search window is empty and the result is returned with
+    /// `warm_start = true` without ever constructing a SAT instance.
     pub fn solve(&self, deps: &[Dep], n: usize, max_ii: i64) -> Option<ExactResult> {
         if !(2..=MAX_EXACT_MIS).contains(&n) || !identity_feasible(deps, n, max_ii) {
             return None;
         }
         let mii = self.lower_bound(deps, n)?;
         debug_assert!(mii <= max_ii, "lower bound exceeds a feasible II");
+        if mii == max_ii {
+            // Heuristic II meets the lower bound: the identity order is the
+            // optimal witness and no proof is needed (ii == mii certifies
+            // optimality by itself). The solver is never touched.
+            return Some(ExactResult {
+                ii: mii,
+                order: (0..n).collect(),
+                reordered: false,
+                warm_start: true,
+                certificate: OptimalityCertificate {
+                    ii: mii,
+                    mii,
+                    n_mis: n,
+                    proof: None,
+                },
+                stats: SolveStats::default(),
+            });
+        }
         let mut stats = SolveStats::default();
         let mut best: (i64, Vec<usize>) = (max_ii, (0..n).collect());
         let (mut lo, mut hi) = (mii, max_ii);
@@ -491,6 +518,7 @@ impl ExactScheduler {
         Some(ExactResult {
             ii,
             reordered,
+            warm_start: false,
             order,
             certificate: OptimalityCertificate {
                 ii,
@@ -758,6 +786,7 @@ mod tests {
         assert_eq!(r.certificate.mii, 1);
         assert!(r.certificate.proof.is_none());
         assert_eq!(r.stats.sat_calls, 0, "identity hit must not invoke SAT");
+        assert!(r.warm_start, "heuristic II == MII is a warm-start hit");
         check_certificate(&deps, 2, &r.certificate).unwrap();
     }
 
@@ -773,6 +802,10 @@ mod tests {
         let r = ExactScheduler::default().solve(&deps, 4, 3).unwrap();
         assert_eq!(r.ii, 1);
         assert!(r.reordered);
+        assert!(
+            !r.warm_start,
+            "search below the heuristic II is not a warm-start hit"
+        );
         // the order must put S0 right before S3
         let pos = |k: usize| r.order.iter().position(|&x| x == k).unwrap();
         assert!(pos(0) < pos(3));

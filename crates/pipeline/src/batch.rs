@@ -31,7 +31,7 @@ use crate::compile::CompilerKind;
 use crate::json::Json;
 use crate::par::{effective_threads, par_map_indexed_stats, WorkerStats};
 use crate::passes::PassPlan;
-use crate::service::{CellSpec, CompileService};
+use crate::service::{CellSpec, CompileService, StageNs};
 use slc_core::SlmsConfig;
 use slc_machine::mach::MachineDesc;
 use slc_sim::cycle::FfStats;
@@ -46,7 +46,7 @@ pub use crate::service::{CellId, CellMetrics, CellResult, PassTiming, VerifySumm
 pub const REPORT_SCHEMA: &str = "slc-batch-report-v1";
 
 /// Schema tag of the wall-clock timing sidecar.
-pub const TIMING_SCHEMA: &str = "slc-batch-timing-v3";
+pub const TIMING_SCHEMA: &str = "slc-batch-timing-v4";
 
 /// Named relative tolerances for the counter perf gate
 /// (`BENCH_counters.json`). Counters not listed here are compared exactly:
@@ -111,6 +111,39 @@ impl BatchConfig {
     }
 }
 
+/// Per-shard wall-clock and scheduling accounting from one sharded run
+/// (`slc batch --shards N`). Everything here depends on OS process/thread
+/// scheduling, so it lives in the timing sidecar only — never in counters
+/// or the canonical report (which stay byte-identical to the in-process
+/// engine).
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// shard index, `0..shards`
+    pub shard: usize,
+    /// cells this shard evaluated and reported
+    pub cells: u64,
+    /// work ranges dispatched to it (initial partition + steals)
+    pub chunks: u64,
+    /// in-flight ranges trimmed away from this shard for idle peers
+    pub steals_donated: u64,
+    /// ranges this shard received that another shard gave up
+    pub steals_received: u64,
+    /// false when the shard died mid-run and its work was reassigned
+    pub alive: bool,
+    /// median wall-clock per dispatched range, milliseconds
+    pub chunk_ms_p50: f64,
+    /// 99th-percentile wall-clock per dispatched range, milliseconds
+    pub chunk_ms_p99: f64,
+    /// CPU time the shard process consumed, milliseconds (scheduler
+    /// runtime, so it is not inflated by time-slicing when shards
+    /// outnumber cores; 0 when the platform offers no accounting)
+    pub cpu_ms: f64,
+    /// the shard's per-stage miss wall clock
+    pub stage: StageNs,
+    /// the shard's per-worker queue accounting (its in-process thread pool)
+    pub workers: Vec<WorkerStats>,
+}
+
 /// Wall-clock accounting (non-deterministic; reported separately from the
 /// canonical JSON).
 #[derive(Debug, Clone)]
@@ -141,6 +174,9 @@ pub struct TimingReport {
     /// per-worker queue accounting for this run (scheduling-dependent, so
     /// sidecar-only), worker-ordered
     pub workers: Vec<WorkerStats>,
+    /// per-shard dispatch/steal accounting, shard-ordered (empty for
+    /// in-process runs; filled by `slc batch --shards N`)
+    pub shards: Vec<ShardStats>,
 }
 
 /// Result of one batch run.
@@ -235,8 +271,9 @@ impl BatchReport {
     }
 
     /// Wall-clock sidecar (not deterministic). v2 added the per-pass
-    /// breakdown of the transformation stage; v3 adds per-worker queue
-    /// accounting from the work-stealing map.
+    /// breakdown of the transformation stage; v3 added per-worker queue
+    /// accounting from the work-stealing map; v4 adds per-worker busy time
+    /// and per-shard dispatch/steal accounting for `--shards` runs.
     pub fn timing_json(&self) -> String {
         let t = &self.timing;
         let mut passes = Json::obj();
@@ -248,17 +285,29 @@ impl BatchReport {
                     .field("runs", p.runs),
             );
         }
-        let workers: Vec<Json> = t
-            .workers
+        let workers: Vec<Json> = t.workers.iter().map(worker_json).collect();
+        let shards: Vec<Json> = t
+            .shards
             .iter()
-            .map(|w| {
+            .map(|s| {
                 Json::obj()
-                    .field("worker", w.worker)
-                    .field("claimed", w.claimed)
-                    .field("empty_polls", w.empty_polls)
+                    .field("shard", s.shard)
+                    .field("cells", s.cells)
+                    .field("chunks", s.chunks)
+                    .field("steals_donated", s.steals_donated)
+                    .field("steals_received", s.steals_received)
+                    .field("alive", s.alive)
+                    .field("chunk_ms_p50", s.chunk_ms_p50)
+                    .field("chunk_ms_p99", s.chunk_ms_p99)
+                    .field("cpu_ms", s.cpu_ms)
+                    .field("stage_ms", stage_ms_json(&s.stage))
+                    .field(
+                        "workers",
+                        Json::Arr(s.workers.iter().map(worker_json).collect()),
+                    )
             })
             .collect();
-        Json::obj()
+        let doc = Json::obj()
             .field("schema", TIMING_SCHEMA)
             .field("threads", t.threads)
             .field("wall_ms", t.wall_ns as f64 / 1e6)
@@ -272,32 +321,37 @@ impl BatchReport {
                     .field("simulate", t.sim_ns as f64 / 1e6),
             )
             .field("pass_ms", passes)
-            .field("workers", Json::Arr(workers))
-            .field("verify", {
-                let mut verify = Json::obj();
-                for v in &t.verify {
-                    verify = verify.field(
-                        v.workload.as_str(),
-                        Json::obj()
-                            .field("verified_loops", v.verified)
-                            .field("skipped_loops", v.skipped)
-                            .field("obligations", v.obligations)
-                            .field("violations", v.violations),
-                    );
-                }
-                verify
-            })
-            .field(
-                "sim_steady_state",
-                Json::obj()
-                    .field("fast_loops", t.steady.fast_loops)
-                    .field("fallback_loops", t.steady.fallback_loops)
-                    .field("ff_hits", t.steady.ff_hits)
-                    .field("ff_misses", t.steady.ff_misses)
-                    .field("trips_total", t.steady.trips_total)
-                    .field("trips_skipped", t.steady.trips_skipped),
-            )
-            .to_pretty()
+            .field("workers", Json::Arr(workers));
+        let doc = if t.shards.is_empty() {
+            doc
+        } else {
+            doc.field("shards", Json::Arr(shards))
+        };
+        doc.field("verify", {
+            let mut verify = Json::obj();
+            for v in &t.verify {
+                verify = verify.field(
+                    v.workload.as_str(),
+                    Json::obj()
+                        .field("verified_loops", v.verified)
+                        .field("skipped_loops", v.skipped)
+                        .field("obligations", v.obligations)
+                        .field("violations", v.violations),
+                );
+            }
+            verify
+        })
+        .field(
+            "sim_steady_state",
+            Json::obj()
+                .field("fast_loops", t.steady.fast_loops)
+                .field("fallback_loops", t.steady.fallback_loops)
+                .field("ff_hits", t.steady.ff_hits)
+                .field("ff_misses", t.steady.ff_misses)
+                .field("trips_total", t.steady.trips_total)
+                .field("trips_skipped", t.steady.trips_skipped),
+        )
+        .to_pretty()
     }
 
     /// Simulator throughput baseline (`BENCH_sim.json`): the simulate
@@ -356,6 +410,23 @@ impl BatchReport {
 
 fn store_json(s: crate::cache::StoreStats) -> Json {
     Json::obj().field("hits", s.hits).field("misses", s.misses)
+}
+
+fn worker_json(w: &WorkerStats) -> Json {
+    Json::obj()
+        .field("worker", w.worker)
+        .field("claimed", w.claimed)
+        .field("empty_polls", w.empty_polls)
+        .field("busy_ms", w.busy_ns as f64 / 1e6)
+}
+
+fn stage_ms_json(s: &StageNs) -> Json {
+    Json::obj()
+        .field("parse", s.parse as f64 / 1e6)
+        .field("slms", s.slms as f64 / 1e6)
+        .field("lower", s.lower as f64 / 1e6)
+        .field("compile", s.compile as f64 / 1e6)
+        .field("simulate", s.sim as f64 / 1e6)
 }
 
 fn loop_json(l: &crate::compile::LoopInfo) -> Json {
@@ -503,6 +574,7 @@ impl BatchEngine {
                 verify: self.service.verify_summaries(),
                 steady: self.service.ff_stats(),
                 workers,
+                shards: Vec::new(),
             },
         }
     }

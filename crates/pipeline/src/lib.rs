@@ -27,6 +27,7 @@ pub mod explain;
 pub mod par;
 pub mod passes;
 pub mod service;
+pub mod shard;
 
 /// Deterministic JSON value + writer/reader (moved to [`slc_trace::json`];
 /// re-exported here so existing `slc_pipeline::json::Json` paths keep
@@ -36,7 +37,7 @@ pub mod json {
 }
 
 pub use batch::{
-    run_batch, BatchConfig, BatchEngine, BatchReport, CellId, CellMetrics, CellResult,
+    run_batch, BatchConfig, BatchEngine, BatchReport, CellId, CellMetrics, CellResult, ShardStats,
     TimingReport, COUNTER_TOLERANCES, REPORT_SCHEMA, TIMING_SCHEMA,
 };
 pub use cache::{CacheReport, KeyedStore, StoreStats};
@@ -55,6 +56,10 @@ pub use passes::{
     CompiledPass, Pass, PassError, PassManager, PassPlan, PassSpec, PlanParseError, PLAN_SYNTAX,
 };
 pub use service::{
-    verify_report, CellSpec, CompileOutcome, CompileService, PassTiming, ServiceError, StageNs,
-    VerifyOutcome, VerifySummary,
+    verify_report, CellKeys, CellSpec, CompileOutcome, CompileService, PassTiming, ServiceError,
+    StageNs, VerifyOutcome, VerifySummary,
+};
+pub use shard::{
+    chunk_ranges, partition, run_sharded, shard_worker, ShardFault, ShardOptions,
+    SHARD_BENCH_SCHEMA, SHARD_PROTO_SCHEMA,
 };

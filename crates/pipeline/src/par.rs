@@ -9,6 +9,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Resolve a requested thread count: `None` means "all available cores",
 /// and the result is always clamped to `[1, n_items]`.
@@ -31,6 +32,9 @@ pub struct WorkerStats {
     /// claim attempts that found the queue drained (the worker's exit
     /// probe)
     pub empty_polls: u64,
+    /// wall-clock nanoseconds this worker spent inside the mapped closure
+    /// (busy time, excluding queue claims and result sends)
+    pub busy_ns: u64,
 }
 
 /// Apply `f` to every index in `0..n` using up to `threads` worker
@@ -59,11 +63,13 @@ where
     }
     let threads = threads.clamp(1, n);
     if threads == 1 {
+        let t0 = Instant::now();
         let out = (0..n).map(|i| f(0, i)).collect();
         let stats = vec![WorkerStats {
             worker: 0,
             claimed: n as u64,
             empty_polls: 1,
+            busy_ns: u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
         }];
         return (out, stats);
     }
@@ -80,6 +86,7 @@ where
                         worker: w,
                         claimed: 0,
                         empty_polls: 0,
+                        busy_ns: 0,
                     };
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -88,8 +95,13 @@ where
                             break;
                         }
                         stats.claimed += 1;
+                        let t0 = Instant::now();
+                        let u = f(w, i);
+                        stats.busy_ns = stats.busy_ns.saturating_add(
+                            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        );
                         // receiver outlives all senders inside the scope
-                        let _ = tx.send((i, f(w, i)));
+                        let _ = tx.send((i, u));
                     }
                     stats
                 })

@@ -167,6 +167,32 @@ pub struct StageNs {
     pub sim: u64,
 }
 
+/// The store lookups one [`CompileService::eval_cell`] evaluation
+/// performed, by key. `None` means the pipeline degraded before reaching
+/// that store (a parse error performs no plan lookup, a lower error no sim
+/// lookup); `lir` is `Some` whenever the compile lookup happened, but the
+/// lir store is only *consulted* when the compile lookup misses. The
+/// sharded reducer replays these lookups in matrix order to reconstruct
+/// the exact cache statistics a single-process run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellKeys {
+    /// parse-store key (always looked up)
+    pub parse: u64,
+    /// plan-store key (`slms` variant only, and only after a clean parse)
+    pub plan: Option<u64>,
+    /// compile-store key (absent when parse/plan degraded the cell)
+    pub compile: Option<u64>,
+    /// lir-store key (the program fingerprint; consulted on compile miss)
+    pub lir: Option<u64>,
+    /// sim-store key (equals the compile key; absent when lowering failed)
+    pub sim: Option<u64>,
+}
+
+/// Attribution stage tag for plan-store counter deltas.
+pub const STAGE_PLAN: u8 = 1;
+/// Attribution stage tag for sim-store counter deltas.
+pub const STAGE_SIM: u8 = 2;
+
 /// What [`CompileService::eval_cell`] evaluates: one matrix cell plus the
 /// run-wide knobs it is evaluated under.
 #[derive(Debug, Clone, Copy)]
@@ -266,6 +292,49 @@ fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// The plan-store key for one (program, plan, config, verify) combination —
+/// the one key derivation shared by batch cells, daemon requests and the
+/// shard reducer's replay.
+pub(crate) fn plan_key(orig_fp: u64, plan: &PassPlan, slms: &SlmsConfig, verify: bool) -> u64 {
+    if verify {
+        slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms), 1])
+    } else {
+        slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms)])
+    }
+}
+
+/// Derive the full deterministic counter snapshot from a base registry (the
+/// miss-closure counters), a cache report and the daemon admission totals.
+/// [`CompileService::counters`] and the shard reducer share this so a
+/// reduced multi-process registry renders byte-identically to the
+/// single-process one.
+pub(crate) fn finalize_counters(
+    mut c: CounterRegistry,
+    cr: &CacheReport,
+    requests: u64,
+    rejections: u64,
+    timeouts: u64,
+) -> CounterRegistry {
+    for (name, s) in [
+        ("parse", &cr.parse),
+        ("slms", &cr.slms),
+        ("lir", &cr.lir),
+        ("compile", &cr.compile),
+        ("sim", &cr.sim),
+    ] {
+        c.set(&format!("cache.{name}.hits"), s.hits);
+        c.set(&format!("cache.{name}.misses"), s.misses);
+        c.set(&format!("cache.{name}.evictions"), s.evictions);
+    }
+    c.set("serve.requests", requests);
+    c.set("serve.rejections", rejections);
+    c.set("serve.timeouts", timeouts);
+    c.set("serve.hits", cr.total_hits());
+    c.set("serve.evictions", cr.total_evictions());
+    c.set("serve.refp_mismatches", cr.total_refp_mismatches());
+    c
+}
+
 /// The shared service core: artifact stores, per-stage timing accumulators
 /// and the deterministic counter registry. Create once, share (it is
 /// `Sync`) between the batch engine, daemon connections and CLI helpers —
@@ -301,6 +370,12 @@ pub struct CompileService {
     /// values must never land here; they go to the timing accumulators
     /// above.
     counters: Mutex<CounterRegistry>,
+    /// per-(stage, key) counter deltas, recorded only when attribution is
+    /// enabled (shard workers). Two shards can both miss on the same key
+    /// (each computes the artifact locally); the parent dedups by
+    /// `(stage, key)` so the summed deltas equal the single-process
+    /// registry.
+    attribution: Mutex<Option<BTreeMap<(u8, u64), CounterRegistry>>>,
 }
 
 impl CompileService {
@@ -346,26 +421,51 @@ impl CompileService {
     /// and thread counts — this is what `slc stats` renders, the daemon's
     /// `stats` request returns and the CI counter gate compares.
     pub fn counters(&self) -> CounterRegistry {
-        let mut c = self.counters.lock().unwrap().clone();
-        let cr = self.cache_report();
-        for (name, s) in [
-            ("parse", cr.parse),
-            ("slms", cr.slms),
-            ("lir", cr.lir),
-            ("compile", cr.compile),
-            ("sim", cr.sim),
-        ] {
-            c.set(&format!("cache.{name}.hits"), s.hits);
-            c.set(&format!("cache.{name}.misses"), s.misses);
-            c.set(&format!("cache.{name}.evictions"), s.evictions);
+        let base = self.counters.lock().unwrap().clone();
+        finalize_counters(
+            base,
+            &self.cache_report(),
+            self.requests.load(Ordering::Relaxed),
+            self.rejections.load(Ordering::Relaxed),
+            self.timeouts.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Start recording per-(stage, key) counter deltas alongside the
+    /// registry. Shard workers enable this so every plan- and sim-miss
+    /// delta can be shipped to the dispatcher tagged with the store key
+    /// that produced it; [`CompileService::take_attribution`] drains what
+    /// has accumulated.
+    pub fn enable_attribution(&self) {
+        let mut a = self.attribution.lock().unwrap();
+        if a.is_none() {
+            *a = Some(BTreeMap::new());
         }
-        c.set("serve.requests", self.requests.load(Ordering::Relaxed));
-        c.set("serve.rejections", self.rejections.load(Ordering::Relaxed));
-        c.set("serve.timeouts", self.timeouts.load(Ordering::Relaxed));
-        c.set("serve.hits", cr.total_hits());
-        c.set("serve.evictions", cr.total_evictions());
-        c.set("serve.refp_mismatches", cr.total_refp_mismatches());
-        c
+    }
+
+    /// Drain the recorded (stage, key, delta) triples, in key order.
+    /// Returns an empty vec when attribution was never enabled.
+    pub fn take_attribution(&self) -> Vec<(u8, u64, CounterRegistry)> {
+        let mut a = self.attribution.lock().unwrap();
+        match a.as_mut() {
+            None => Vec::new(),
+            Some(map) => std::mem::take(map)
+                .into_iter()
+                .map(|((stage, key), delta)| (stage, key, delta))
+                .collect(),
+        }
+    }
+
+    /// Fold a miss closure's local counter delta into the registry, and —
+    /// when attribution is on — remember it under `(stage, key)`.
+    fn absorb_delta(&self, stage: u8, key: u64, delta: CounterRegistry) {
+        self.counters.lock().unwrap().merge(&delta);
+        let mut a = self.attribution.lock().unwrap();
+        if let Some(map) = a.as_mut() {
+            // unbounded stores miss each key at most once per process, so
+            // plain insert cannot clobber an earlier delta
+            map.insert((stage, key), delta);
+        }
     }
 
     /// Count one admitted daemon request.
@@ -433,10 +533,10 @@ impl CompileService {
     }
 
     /// Accumulate the SLMS decision counters from one plan execution's
-    /// diagnostics. Called only from the plan-artifact miss closure, so the
-    /// totals count each distinct (program, plan) exactly once.
-    fn count_slms_outcomes(&self, sink: &DiagSink) {
-        let mut reg = self.counters.lock().unwrap();
+    /// diagnostics into `reg` (a local delta registry — the plan-artifact
+    /// miss closure is the only caller, so the totals count each distinct
+    /// (program, plan) exactly once).
+    fn count_slms_outcomes(sink: &DiagSink, reg: &mut CounterRegistry) {
         for o in sink.all_outcomes() {
             reg.add("slms.loops_total", 1);
             if o.result.is_ok() {
@@ -455,6 +555,7 @@ impl CompileService {
                         ii,
                         heuristic_ii,
                         reordered,
+                        warm_start,
                         sat_decisions,
                         sat_conflicts,
                         sat_propagations,
@@ -470,6 +571,9 @@ impl CompileService {
                         if *reordered {
                             reg.add("exact.reordered", 1);
                         }
+                        // add even when 0 so the counter exists whenever
+                        // the exact scheduler ran at all
+                        reg.add("exact.warm_start_hits", u64::from(*warm_start));
                         reg.add("exact.sat_decisions", *sat_decisions);
                         reg.add("exact.sat_conflicts", *sat_conflicts);
                         reg.add("exact.sat_propagations", *sat_propagations);
@@ -517,17 +621,14 @@ impl CompileService {
         // The verify flag joins the key only when set, so default runs
         // keep their historical cache behaviour (and the canonical report
         // stays byte-identical).
-        let key = if verify {
-            slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms), 1])
-        } else {
-            slc_analysis::fingerprint::combine(&[orig_fp, plan.fingerprint(slms)])
-        };
+        let key = plan_key(orig_fp, plan, slms, verify);
         self.slms.get_or_compute_hit(key, || {
             let _sp = tracer.span("stage", "plan");
             timed(&self.slms_ns, || {
                 let pm = PassManager::new(slms.clone()).with_tracer(tracer.clone());
                 match pm.run_with_verify(orig_prog, plan, verify) {
                     Ok((p, sink, verdicts)) => {
+                        let mut delta = CounterRegistry::new();
                         if verify {
                             let mut sum = VerifySummary {
                                 workload: verify_as.to_string(),
@@ -549,12 +650,10 @@ impl CompileService {
                                     }
                                 }
                             }
-                            let mut reg = self.counters.lock().unwrap();
-                            reg.add("verify.loops_verified", sum.verified as u64);
-                            reg.add("verify.loops_skipped", sum.skipped as u64);
-                            reg.add("verify.obligations", sum.obligations as u64);
-                            reg.add("verify.violations", sum.violations as u64);
-                            drop(reg);
+                            delta.add("verify.loops_verified", sum.verified as u64);
+                            delta.add("verify.loops_skipped", sum.skipped as u64);
+                            delta.add("verify.obligations", sum.obligations as u64);
+                            delta.add("verify.violations", sum.violations as u64);
                             self.verify_stats
                                 .lock()
                                 .unwrap()
@@ -567,7 +666,8 @@ impl CompileService {
                             slot.1 += 1;
                         }
                         drop(per_pass);
-                        self.count_slms_outcomes(&sink);
+                        Self::count_slms_outcomes(&sink, &mut delta);
+                        self.absorb_delta(STAGE_PLAN, key, delta);
                         let fp = slc_analysis::program_fingerprint(&p);
                         let outcomes = sink.all_outcomes().cloned().collect::<Vec<_>>();
                         Ok((p, outcomes, fp))
@@ -583,6 +683,14 @@ impl CompileService {
     /// compile path: the batch engine calls it per matrix cell, and its
     /// parse/plan stores are the very ones daemon requests hit.
     pub fn eval_cell(&self, spec: &CellSpec<'_>, tracer: &Tracer) -> CellResult {
+        self.eval_cell_keyed(spec, tracer).0
+    }
+
+    /// [`CompileService::eval_cell`] plus the [`CellKeys`] record of which
+    /// store lookups the evaluation performed — what a shard worker ships
+    /// to the dispatcher so the reducer can replay the lookups and rebuild
+    /// single-process cache statistics.
+    pub fn eval_cell_keyed(&self, spec: &CellSpec<'_>, tracer: &Tracer) -> (CellResult, CellKeys) {
         let w = spec.workload;
         let m = spec.machine;
         let kind = spec.compiler;
@@ -600,15 +708,23 @@ impl CompileService {
             )
         });
 
+        let mut keys = CellKeys {
+            parse: slc_analysis::fingerprint_str(w.source),
+            ..CellKeys::default()
+        };
+
         // 1. parse (cached per source text)
         let (parsed, _) = self.parse_artifact(w.source, tracer);
         let (orig_prog, orig_fp) = match parsed.as_ref() {
             Ok(x) => x,
             Err(e) => {
-                return CellResult {
-                    id,
-                    outcome: Err(format!("parse: {e}")),
-                }
+                return (
+                    CellResult {
+                        id,
+                        outcome: Err(format!("parse: {e}")),
+                    },
+                    keys,
+                );
             }
         };
 
@@ -617,6 +733,7 @@ impl CompileService {
         let plan_art: Option<Arc<PlanArtifact>> = match spec.variant {
             Variant::Original => None,
             Variant::Slms => {
+                keys.plan = Some(plan_key(*orig_fp, spec.plan, spec.slms, spec.verify));
                 let (art, _) = self.plan_artifact(
                     orig_prog,
                     *orig_fp,
@@ -633,10 +750,13 @@ impl CompileService {
             None => None,
             Some(Ok(x)) => Some(x),
             Some(Err(e)) => {
-                return CellResult {
-                    id,
-                    outcome: Err(format!("plan: {e}")),
-                }
+                return (
+                    CellResult {
+                        id,
+                        outcome: Err(format!("plan: {e}")),
+                    },
+                    keys,
+                );
             }
         };
         let (prog, prog_fp, transformed, slms_ii, optimality_gaps) = match plan_art {
@@ -660,6 +780,8 @@ impl CompileService {
         //    cached separately because it is machine-independent)
         let compile_key =
             slc_analysis::fingerprint::combine(&[prog_fp, m.fingerprint(), kind.code()]);
+        keys.compile = Some(compile_key);
+        keys.lir = Some(prog_fp);
         let compiled = self.compile.get_or_compute(compile_key, || {
             let lir = self.lir.get_or_compute(prog_fp, || {
                 let _sp = tracer.span("stage", "lower");
@@ -676,14 +798,18 @@ impl CompileService {
         let comp = match compiled.as_ref() {
             Ok(c) => c,
             Err(e) => {
-                return CellResult {
-                    id,
-                    outcome: Err(format!("lower: {e}")),
-                }
+                return (
+                    CellResult {
+                        id,
+                        outcome: Err(format!("lower: {e}")),
+                    },
+                    keys,
+                );
             }
         };
 
         // 4. simulate (cached under the same key as the schedule)
+        keys.sim = Some(compile_key);
         let sim = self.sim.get_or_compute(compile_key, || {
             let _sp = tracer.span("stage", "simulate");
             timed(&self.sim_ns, || {
@@ -698,40 +824,43 @@ impl CompileService {
                 ]) {
                     slot.fetch_add(v, Ordering::Relaxed);
                 }
-                let mut reg = self.counters.lock().unwrap();
-                reg.add("sim.cycles_total", out.result.cycles);
-                reg.add("sim.ops_total", out.result.total_ops());
-                reg.add("sim.l1_hits", out.result.cache.hits);
-                reg.add("sim.l1_misses", out.result.cache.misses);
-                reg.add("sim.spill_accesses", out.result.spill_accesses);
-                reg.add("sim.fast_loops", out.ff.fast_loops);
-                reg.add("sim.fallback_loops", out.ff.fallback_loops);
-                reg.add("sim.ff_hits", out.ff.ff_hits);
-                reg.add("sim.ff_misses", out.ff.ff_misses);
-                reg.add("sim.trips_total", out.ff.trips_total);
-                reg.add("sim.trips_skipped", out.ff.trips_skipped);
-                drop(reg);
+                let mut delta = CounterRegistry::new();
+                delta.add("sim.cycles_total", out.result.cycles);
+                delta.add("sim.ops_total", out.result.total_ops());
+                delta.add("sim.l1_hits", out.result.cache.hits);
+                delta.add("sim.l1_misses", out.result.cache.misses);
+                delta.add("sim.spill_accesses", out.result.spill_accesses);
+                delta.add("sim.fast_loops", out.ff.fast_loops);
+                delta.add("sim.fallback_loops", out.ff.fallback_loops);
+                delta.add("sim.ff_hits", out.ff.ff_hits);
+                delta.add("sim.ff_misses", out.ff.ff_misses);
+                delta.add("sim.trips_total", out.ff.trips_total);
+                delta.add("sim.trips_skipped", out.ff.trips_skipped);
+                self.absorb_delta(STAGE_SIM, compile_key, delta);
                 out.result
             })
         });
         let power = EnergyModel::default().report(&sim);
         cell_span.arg("cycles", sim.cycles);
 
-        CellResult {
-            id,
-            outcome: Ok(CellMetrics {
-                cycles: sim.cycles,
-                ops: sim.total_ops(),
-                l1_hits: sim.cache.hits,
-                l1_misses: sim.cache.misses,
-                spill_accesses: sim.spill_accesses,
-                energy: power.energy,
-                transformed,
-                slms_ii,
-                optimality_gaps,
-                loops: comp.loops.clone(),
-            }),
-        }
+        (
+            CellResult {
+                id,
+                outcome: Ok(CellMetrics {
+                    cycles: sim.cycles,
+                    ops: sim.total_ops(),
+                    l1_hits: sim.cache.hits,
+                    l1_misses: sim.cache.misses,
+                    spill_accesses: sim.spill_accesses,
+                    energy: power.energy,
+                    transformed,
+                    slms_ii,
+                    optimality_gaps,
+                    loops: comp.loops.clone(),
+                }),
+            },
+            keys,
+        )
     }
 
     /// One daemon-style compile request: run `plan` over `src` and render

@@ -1,0 +1,1823 @@
+//! Multi-process sharded execution tier for the batch engine.
+//!
+//! `slc batch --shards N` fork/execs `N` copies of the running binary in a
+//! hidden `batch-shard` mode and drives them over an NDJSON pipe protocol
+//! (`slc-shard-proto-v1`, one JSON object per line — the same framing the
+//! `slc serve` daemon speaks). The parent is a work-stealing dispatcher:
+//! the matrix is cut into contiguous cell ranges by [`partition`] and
+//! [`chunk_ranges`], each shard drains its own chunk deque, idle shards
+//! steal whole chunks from the longest peer deque, and when every deque is
+//! dry the dispatcher asks the busiest in-flight shard to *trim* — give
+//! back the untouched half of its current range. Contiguous ranges over
+//! the canonical workload-major matrix order are already cache-affine:
+//! plan artifacts are keyed per workload and a workload's cells are
+//! adjacent, so each shard computes a plan artifact at most once instead
+//! of every shard re-deriving every workload's.
+//!
+//! **Determinism contract.** The reduced [`BatchReport`] is byte-identical
+//! to the in-process engine's for every shard count:
+//!
+//! * cell outcomes are pure functions of the cell spec, so they are merged
+//!   back by matrix index regardless of which shard (or how many shards)
+//!   computed them;
+//! * cache statistics are *replayed*, not summed: each shard ships the
+//!   store keys its evaluations looked up ([`CellKeys`]), and the reducer
+//!   re-executes the lookup sequence in matrix order against fresh key
+//!   sets ([`replay_cache`]). For unbounded stores hits = lookups −
+//!   distinct keys, which is schedule-independent, so the replay
+//!   reconstructs exactly what one process would have reported;
+//! * the deterministic counter registry is rebuilt from per-(stage, key)
+//!   miss deltas: a shard tags every plan- and sim-miss delta with the
+//!   store key that produced it, the reducer deduplicates by key (two
+//!   shards that both missed the same key computed identical deltas) and
+//!   sums — which is precisely the single-process registry, where each
+//!   distinct key misses exactly once;
+//! * wall-clock, queue depths and steal counts are scheduling-dependent,
+//!   so they live only in the `slc-batch-timing-v4` sidecar
+//!   ([`crate::batch::ShardStats`]) — never in the canonical report.
+//!
+//! **Fault degradation.** A shard that dies mid-run (EOF on its pipe) or
+//! emits a malformed line is marked dead; the unreceived remainder of its
+//! in-flight range and its queued chunks are redistributed to the
+//! survivors. Because deltas are flushed *before* the cells they explain,
+//! a dead shard can never have reported a cell whose counter deltas were
+//! lost. If every shard dies while work remains, the dispatcher respawns a
+//! replacement (bounded by a respawn budget) before giving up.
+
+use crate::batch::{BatchConfig, BatchReport, ShardStats, TimingReport};
+use crate::cache::{CacheReport, StoreStats};
+use crate::compile::{CompilerKind, LoopInfo};
+use crate::json::Json;
+use crate::par::{effective_threads, par_map_indexed_stats, WorkerStats};
+use crate::passes::PassPlan;
+use crate::service::{
+    finalize_counters, CellId, CellKeys, CellMetrics, CellResult, CellSpec, CompileService,
+    PassTiming, StageNs, VerifySummary, STAGE_SIM,
+};
+use slc_core::{Expansion, FilterConfig, SchedulerKind, SlmsConfig};
+use slc_machine::mach::{CacheConfig, IssueModel, MachineDesc};
+use slc_sim::cycle::FfStats;
+use slc_trace::{CounterRegistry, Span, Tracer};
+use slc_workloads::{enumerate_matrix, MatrixCell, Suite, Workload};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::io::{BufRead, BufReader, Write as _};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Schema tag of the parent↔shard NDJSON wire protocol.
+pub const SHARD_PROTO_SCHEMA: &str = "slc-shard-proto-v1";
+
+/// Schema tag of the sharding benchmark document (`BENCH_shard.json`).
+pub const SHARD_BENCH_SCHEMA: &str = "slc-shard-bench-v1";
+
+/// Fault injections for the degradation tests (never used by the normal
+/// CLI path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// the shard aborts itself after evaluating this many cells
+    KillAfterCells(usize),
+    /// the shard prints one malformed NDJSON line to the dispatcher after
+    /// evaluating this many cells
+    GarbageFromShard(usize),
+    /// the dispatcher sends the shard one malformed NDJSON line instead of
+    /// its first work range (the shard must exit with code 4)
+    GarbageToShard,
+}
+
+/// Knobs of one sharded run.
+#[derive(Debug, Clone, Default)]
+pub struct ShardOptions {
+    /// number of worker processes to spawn (must be ≥ 1)
+    pub shards: usize,
+    /// in-process map threads *per shard* (`None` = all cores)
+    pub threads_per_shard: Option<usize>,
+    /// dispatch granularity in cells (`None` = ¼ of an even split, so each
+    /// shard starts with ~4 chunks to steal from)
+    pub chunk: Option<usize>,
+    /// how to exec a shard (`None` = the running binary + `batch-shard`);
+    /// tests point this at `CARGO_BIN_EXE_slc`
+    pub worker_cmd: Option<Vec<String>>,
+    /// per-shard fault injections, `(shard index, fault)`
+    pub faults: Vec<(usize, ShardFault)>,
+}
+
+/// Split `0..n` into `shards` contiguous ranges whose sizes differ by at
+/// most one (remainder cells go to the front ranges). Ranges may be empty
+/// when `n < shards`.
+pub fn partition(n: usize, shards: usize) -> Vec<(usize, usize)> {
+    let shards = shards.max(1);
+    let base = n / shards;
+    let rem = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut lo = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < rem);
+        out.push((lo, lo + len));
+        lo += len;
+    }
+    out
+}
+
+/// Cut `lo..hi` into consecutive chunks of at most `chunk` cells.
+pub fn chunk_ranges(lo: usize, hi: usize, chunk: usize) -> Vec<(usize, usize)> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::new();
+    let mut cur = lo;
+    while cur < hi {
+        let end = (cur + chunk).min(hi);
+        out.push((cur, end));
+        cur = end;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec. Every u64 store key / fingerprint crosses the pipe as its
+// two's-complement i64 (the JSON layer carries i64; `as` casts roundtrip
+// exactly), and every f64 as its IEEE bit pattern, so nothing is lost to
+// decimal formatting.
+// ---------------------------------------------------------------------------
+
+fn ju(v: u64) -> Json {
+    Json::Int(v as i64)
+}
+
+fn jf(v: f64) -> Json {
+    ju(v.to_bits())
+}
+
+fn want<'a>(j: &'a Json, k: &str) -> Result<&'a Json, String> {
+    j.get(k).ok_or_else(|| format!("missing field `{k}`"))
+}
+
+fn want_u(j: &Json, k: &str) -> Result<u64, String> {
+    want(j, k)?
+        .as_i64()
+        .map(|v| v as u64)
+        .ok_or_else(|| format!("field `{k}` is not an integer"))
+}
+
+fn want_usize(j: &Json, k: &str) -> Result<usize, String> {
+    Ok(want_u(j, k)? as usize)
+}
+
+fn want_f(j: &Json, k: &str) -> Result<f64, String> {
+    Ok(f64::from_bits(want_u(j, k)?))
+}
+
+fn want_s<'a>(j: &'a Json, k: &str) -> Result<&'a str, String> {
+    want(j, k)?
+        .as_str()
+        .ok_or_else(|| format!("field `{k}` is not a string"))
+}
+
+fn want_b(j: &Json, k: &str) -> Result<bool, String> {
+    match want(j, k)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(format!("field `{k}` is not a bool")),
+    }
+}
+
+fn want_arr<'a>(j: &'a Json, k: &str) -> Result<&'a [Json], String> {
+    want(j, k)?
+        .as_arr()
+        .ok_or_else(|| format!("field `{k}` is not an array"))
+}
+
+fn opt_u(j: &Json, k: &str) -> Option<u64> {
+    j.get(k).and_then(Json::as_i64).map(|v| v as u64)
+}
+
+fn msg_type(j: &Json) -> &str {
+    j.get("type").and_then(Json::as_str).unwrap_or("")
+}
+
+fn machine_json(m: &MachineDesc) -> Json {
+    Json::obj()
+        .field("name", m.name.as_str())
+        .field(
+            "issue",
+            match m.issue {
+                IssueModel::StaticVliw => "vliw",
+                IssueModel::DynamicInOrder => "inorder",
+            },
+        )
+        .field("issue_width", m.issue_width)
+        .field(
+            "units",
+            Json::Arr(m.units.iter().map(|&u| Json::from(u)).collect()),
+        )
+        .field(
+            "latency",
+            Json::Arr(m.latency.iter().map(|&l| Json::from(l)).collect()),
+        )
+        .field("int_regs", m.int_regs)
+        .field("fp_regs", m.fp_regs)
+        .field(
+            "cache",
+            Json::obj()
+                .field("size", m.cache.size)
+                .field("line", m.cache.line)
+                .field("ways", m.cache.ways)
+                .field("miss_penalty", m.cache.miss_penalty),
+        )
+        .field("elem_bytes", m.elem_bytes)
+        .field("spill_penalty", m.spill_penalty)
+}
+
+fn decode_machine(j: &Json) -> Result<MachineDesc, String> {
+    let mut units = [0usize; 7];
+    let mut latency = [0u32; 7];
+    let ua = want_arr(j, "units")?;
+    let la = want_arr(j, "latency")?;
+    if ua.len() != 7 || la.len() != 7 {
+        return Err("machine unit/latency tables must have 7 entries".into());
+    }
+    for i in 0..7 {
+        units[i] = ua[i].as_i64().ok_or("bad unit entry")? as usize;
+        latency[i] = la[i].as_i64().ok_or("bad latency entry")? as u32;
+    }
+    let cache = want(j, "cache")?;
+    Ok(MachineDesc {
+        name: want_s(j, "name")?.to_string(),
+        issue: match want_s(j, "issue")? {
+            "vliw" => IssueModel::StaticVliw,
+            "inorder" => IssueModel::DynamicInOrder,
+            other => return Err(format!("unknown issue model `{other}`")),
+        },
+        issue_width: want_usize(j, "issue_width")?,
+        units,
+        latency,
+        int_regs: want_usize(j, "int_regs")?,
+        fp_regs: want_usize(j, "fp_regs")?,
+        cache: CacheConfig {
+            size: want_usize(cache, "size")?,
+            line: want_usize(cache, "line")?,
+            ways: want_usize(cache, "ways")?,
+            miss_penalty: want_u(cache, "miss_penalty")? as u32,
+        },
+        elem_bytes: want_usize(j, "elem_bytes")?,
+        spill_penalty: want_u(j, "spill_penalty")? as u32,
+    })
+}
+
+fn slms_json(s: &SlmsConfig) -> Json {
+    Json::obj()
+        .field("max_memref_ratio", jf(s.filter.max_memref_ratio))
+        .field(
+            "min_arith_per_ref",
+            s.filter.min_arith_per_ref.map(|r| ju(r.to_bits())),
+        )
+        .field("apply_filter", s.apply_filter)
+        .field(
+            "expansion",
+            match s.expansion {
+                Expansion::Off => "off",
+                Expansion::Mve => "mve",
+                Expansion::ScalarExpand => "scalar",
+            },
+        )
+        .field("if_conversion", s.if_conversion)
+        .field("max_decompositions", s.max_decompositions)
+        .field("allow_symbolic_guard", s.allow_symbolic_guard)
+        .field(
+            "scheduler",
+            match s.scheduler {
+                SchedulerKind::Heuristic => "heuristic",
+                SchedulerKind::Exact => "exact",
+            },
+        )
+}
+
+fn decode_slms(j: &Json) -> Result<SlmsConfig, String> {
+    Ok(SlmsConfig {
+        filter: FilterConfig {
+            max_memref_ratio: want_f(j, "max_memref_ratio")?,
+            min_arith_per_ref: opt_u(j, "min_arith_per_ref").map(f64::from_bits),
+        },
+        apply_filter: want_b(j, "apply_filter")?,
+        expansion: match want_s(j, "expansion")? {
+            "off" => Expansion::Off,
+            "mve" => Expansion::Mve,
+            "scalar" => Expansion::ScalarExpand,
+            other => return Err(format!("unknown expansion `{other}`")),
+        },
+        if_conversion: want_b(j, "if_conversion")?,
+        max_decompositions: want_usize(j, "max_decompositions")?,
+        allow_symbolic_guard: want_b(j, "allow_symbolic_guard")?,
+        scheduler: match want_s(j, "scheduler")? {
+            "heuristic" => SchedulerKind::Heuristic,
+            "exact" => SchedulerKind::Exact,
+            other => return Err(format!("unknown scheduler `{other}`")),
+        },
+    })
+}
+
+fn init_json(cfg: &BatchConfig, threads: Option<usize>) -> Json {
+    Json::obj()
+        .field("type", "init")
+        .field("schema", SHARD_PROTO_SCHEMA)
+        .field("threads", threads.unwrap_or(0))
+        .field("verify", cfg.verify)
+        .field("plan", cfg.plan.to_string())
+        .field("slms", slms_json(&cfg.slms))
+        .field(
+            "workloads",
+            Json::Arr(
+                cfg.workloads
+                    .iter()
+                    .map(|w| {
+                        Json::obj()
+                            .field("name", w.name)
+                            .field("suite", w.suite.to_string())
+                            .field("source", w.source)
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "machines",
+            Json::Arr(cfg.machines.iter().map(machine_json).collect()),
+        )
+        .field(
+            "compilers",
+            Json::Arr(
+                cfg.compilers
+                    .iter()
+                    .map(|c| Json::from(c.label()))
+                    .collect(),
+            ),
+        )
+}
+
+fn decode_suite(label: &str) -> Result<Suite, String> {
+    Ok(match label {
+        "livermore" => Suite::Livermore,
+        "linpack" => Suite::Linpack,
+        "nas" => Suite::Nas,
+        "stone" => Suite::Stone,
+        "paper" => Suite::Paper,
+        other => return Err(format!("unknown suite `{other}`")),
+    })
+}
+
+fn decode_init(j: &Json) -> Result<(BatchConfig, Option<usize>), String> {
+    if want_s(j, "schema")? != SHARD_PROTO_SCHEMA {
+        return Err(format!("unknown shard protocol `{}`", want_s(j, "schema")?));
+    }
+    let mut workloads = Vec::new();
+    for w in want_arr(j, "workloads")? {
+        // Workload holds &'static str (the stock suites are compiled in);
+        // a shard receives arbitrary sources once per process, so leaking
+        // them is bounded and buys us the unmodified Workload type.
+        workloads.push(Workload {
+            name: Box::leak(want_s(w, "name")?.to_string().into_boxed_str()),
+            suite: decode_suite(want_s(w, "suite")?)?,
+            source: Box::leak(want_s(w, "source")?.to_string().into_boxed_str()),
+        });
+    }
+    let mut machines = Vec::new();
+    for m in want_arr(j, "machines")? {
+        machines.push(decode_machine(m)?);
+    }
+    let mut compilers = Vec::new();
+    for c in want_arr(j, "compilers")? {
+        compilers.push(match c.as_str() {
+            Some("weak") => CompilerKind::Weak,
+            Some("opt") => CompilerKind::Optimizing,
+            Some("ms") => CompilerKind::OptimizingMs,
+            other => return Err(format!("unknown compiler label {other:?}")),
+        });
+    }
+    let plan_text = want_s(j, "plan")?;
+    let plan = PassPlan::parse(plan_text).map_err(|e| format!("bad plan `{plan_text}`: {e}"))?;
+    let threads = match want_u(j, "threads")? as usize {
+        0 => None,
+        t => Some(t),
+    };
+    Ok((
+        BatchConfig {
+            workloads,
+            machines,
+            compilers,
+            slms: decode_slms(want(j, "slms")?)?,
+            plan,
+            threads,
+            verify: want_b(j, "verify")?,
+        },
+        threads,
+    ))
+}
+
+fn keys_json(k: &CellKeys) -> Json {
+    Json::obj()
+        .field("parse", ju(k.parse))
+        .field("plan", k.plan.map(ju))
+        .field("compile", k.compile.map(ju))
+        .field("lir", k.lir.map(ju))
+        .field("sim", k.sim.map(ju))
+}
+
+fn decode_keys(j: &Json) -> Result<CellKeys, String> {
+    Ok(CellKeys {
+        parse: want_u(j, "parse")?,
+        plan: opt_u(j, "plan"),
+        compile: opt_u(j, "compile"),
+        lir: opt_u(j, "lir"),
+        sim: opt_u(j, "sim"),
+    })
+}
+
+fn cell_json(index: usize, res: &CellResult, keys: &CellKeys) -> Json {
+    let base = Json::obj()
+        .field("index", index)
+        .field("keys", keys_json(keys));
+    match &res.outcome {
+        Err(e) => base.field("ok", false).field("error", e.as_str()),
+        Ok(m) => base
+            .field("ok", true)
+            .field("cycles", ju(m.cycles))
+            .field("ops", ju(m.ops))
+            .field("l1_hits", ju(m.l1_hits))
+            .field("l1_misses", ju(m.l1_misses))
+            .field("spill_accesses", ju(m.spill_accesses))
+            .field("energy", jf(m.energy))
+            .field("transformed", m.transformed)
+            .field("slms_ii", m.slms_ii)
+            .field(
+                "gaps",
+                Json::Arr(m.optimality_gaps.iter().map(|&g| Json::from(g)).collect()),
+            )
+            .field(
+                "loops",
+                Json::Arr(
+                    m.loops
+                        .iter()
+                        .map(|l| {
+                            Json::obj()
+                                .field("var", l.var.as_str())
+                                .field("trips", l.trips)
+                                .field("bundles_per_iter", l.bundles_per_iter)
+                                .field("ms_applied", l.ms_applied)
+                                .field("ii", l.ii)
+                                .field("stages", l.stages)
+                                .field("reg_pressure", l.reg_pressure)
+                                .field("spilled", l.spilled)
+                        })
+                        .collect(),
+                ),
+            ),
+    }
+}
+
+type WireCell = (usize, Result<CellMetrics, String>, CellKeys);
+
+fn decode_cell(j: &Json) -> Result<WireCell, String> {
+    let index = want_usize(j, "index")?;
+    let keys = decode_keys(want(j, "keys")?)?;
+    if !want_b(j, "ok")? {
+        return Ok((index, Err(want_s(j, "error")?.to_string()), keys));
+    }
+    let mut loops = Vec::new();
+    for l in want_arr(j, "loops")? {
+        loops.push(LoopInfo {
+            var: want_s(l, "var")?.to_string(),
+            trips: want(l, "trips")?.as_i64().ok_or("bad trips")?,
+            bundles_per_iter: want_usize(l, "bundles_per_iter")?,
+            ms_applied: want_b(l, "ms_applied")?,
+            ii: l.get("ii").and_then(Json::as_i64),
+            stages: l.get("stages").and_then(Json::as_i64),
+            reg_pressure: want_usize(l, "reg_pressure")?,
+            spilled: want_usize(l, "spilled")?,
+        });
+    }
+    let gaps = want_arr(j, "gaps")?
+        .iter()
+        .map(|g| g.as_i64().ok_or_else(|| "bad gap".to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok((
+        index,
+        Ok(CellMetrics {
+            cycles: want_u(j, "cycles")?,
+            ops: want_u(j, "ops")?,
+            l1_hits: want_u(j, "l1_hits")?,
+            l1_misses: want_u(j, "l1_misses")?,
+            spill_accesses: want_u(j, "spill_accesses")?,
+            energy: want_f(j, "energy")?,
+            transformed: want_b(j, "transformed")?,
+            slms_ii: j.get("slms_ii").and_then(Json::as_i64),
+            optimality_gaps: gaps,
+            loops,
+        }),
+        keys,
+    ))
+}
+
+fn deltas_json(entries: &[(u8, u64, CounterRegistry)], verify: &[VerifySummary]) -> Json {
+    Json::obj()
+        .field("type", "deltas")
+        .field(
+            "entries",
+            Json::Arr(
+                entries
+                    .iter()
+                    .map(|(stage, key, reg)| {
+                        let mut counters = Json::obj();
+                        for (name, v) in reg.iter() {
+                            counters = counters.field(name, ju(v));
+                        }
+                        Json::obj()
+                            .field("stage", *stage as u64)
+                            .field("key", ju(*key))
+                            .field("counters", counters)
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "verify",
+            Json::Arr(
+                verify
+                    .iter()
+                    .map(|v| {
+                        Json::obj()
+                            .field("workload", v.workload.as_str())
+                            .field("verified", v.verified)
+                            .field("skipped", v.skipped)
+                            .field("obligations", v.obligations)
+                            .field("violations", v.violations)
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+/// CPU time this process has consumed, in nanoseconds (scheduler runtime
+/// from `/proc/self/schedstat`, falling back to `utime + stime` ticks from
+/// `/proc/self/stat`; 0 when neither is readable). Shards report this so
+/// the shard-count sweep can quote a per-shard critical path that is not
+/// distorted by time-slicing when shards outnumber cores.
+fn self_cpu_ns() -> u64 {
+    if let Ok(s) = std::fs::read_to_string("/proc/self/schedstat") {
+        if let Some(ns) = s.split_whitespace().next().and_then(|f| f.parse().ok()) {
+            return ns;
+        }
+    }
+    if let Ok(s) = std::fs::read_to_string("/proc/self/stat") {
+        // fields 14/15 (utime/stime) counted after the parenthesised comm,
+        // which may itself contain spaces
+        if let Some(rest) = s.rsplit_once(')').map(|(_, r)| r) {
+            let f: Vec<&str> = rest.split_whitespace().collect();
+            let utime: u64 = f.get(11).and_then(|x| x.parse().ok()).unwrap_or(0);
+            let stime: u64 = f.get(12).and_then(|x| x.parse().ok()).unwrap_or(0);
+            return (utime + stime) * 10_000_000;
+        }
+    }
+    0
+}
+
+fn stats_json(
+    workers: &[WorkerStats],
+    stage: &StageNs,
+    passes: &[PassTiming],
+    cpu_ns: u64,
+) -> Json {
+    Json::obj()
+        .field("type", "stats")
+        .field("cpu", ju(cpu_ns))
+        .field(
+            "workers",
+            Json::Arr(
+                workers
+                    .iter()
+                    .map(|w| {
+                        Json::obj()
+                            .field("worker", w.worker)
+                            .field("claimed", ju(w.claimed))
+                            .field("empty_polls", ju(w.empty_polls))
+                            .field("busy_ns", ju(w.busy_ns))
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "stage",
+            Json::obj()
+                .field("parse", ju(stage.parse))
+                .field("slms", ju(stage.slms))
+                .field("lower", ju(stage.lower))
+                .field("compile", ju(stage.compile))
+                .field("sim", ju(stage.sim)),
+        )
+        .field(
+            "passes",
+            Json::Arr(
+                passes
+                    .iter()
+                    .map(|p| {
+                        Json::obj()
+                            .field("pass", p.pass.as_str())
+                            .field("ns", ju(p.ns))
+                            .field("runs", ju(p.runs))
+                    })
+                    .collect(),
+            ),
+        )
+}
+
+// ---------------------------------------------------------------------------
+// The deterministic reducer.
+// ---------------------------------------------------------------------------
+
+/// Re-execute the store-lookup sequence of every cell, in matrix order,
+/// against fresh key sets. Because each evaluation's lookups (and their
+/// hit/miss outcome against "has this key been computed yet") are pure
+/// functions of the key history — waiters on an in-flight computation count
+/// as hits, so totals are order-independent for unbounded stores — this
+/// rebuilds exactly the [`CacheReport`] a single process reports.
+pub(crate) fn replay_cache<'a>(keys: impl Iterator<Item = &'a CellKeys>) -> CacheReport {
+    struct Store {
+        seen: HashSet<u64>,
+        stats: StoreStats,
+    }
+    impl Store {
+        fn new() -> Store {
+            Store {
+                seen: HashSet::new(),
+                stats: StoreStats::default(),
+            }
+        }
+        /// Replay one lookup; returns true on miss (first sight of the key).
+        fn look(&mut self, key: u64) -> bool {
+            if self.seen.insert(key) {
+                self.stats.misses += 1;
+                true
+            } else {
+                self.stats.hits += 1;
+                false
+            }
+        }
+    }
+    let (mut parse, mut slms, mut lir, mut compile, mut sim) = (
+        Store::new(),
+        Store::new(),
+        Store::new(),
+        Store::new(),
+        Store::new(),
+    );
+    for k in keys {
+        parse.look(k.parse);
+        if let Some(p) = k.plan {
+            slms.look(p);
+        }
+        if let Some(c) = k.compile {
+            // the LIR store is only consulted inside a compile miss
+            if compile.look(c) {
+                if let Some(l) = k.lir {
+                    lir.look(l);
+                }
+            }
+        }
+        if let Some(s) = k.sim {
+            sim.look(s);
+        }
+    }
+    CacheReport {
+        parse: parse.stats,
+        slms: slms.stats,
+        lir: lir.stats,
+        compile: compile.stats,
+        sim: sim.stats,
+    }
+}
+
+/// Rebuild the deterministic registry and steady-state counters from the
+/// deduplicated per-(stage, key) miss deltas plus the replayed cache
+/// report. Summing one delta per distinct key is exactly what the
+/// single-process registry accumulated, since each key misses once there.
+fn reduce_counters(
+    deltas: &BTreeMap<(u8, u64), CounterRegistry>,
+    cache: &CacheReport,
+) -> (CounterRegistry, FfStats) {
+    let mut base = CounterRegistry::new();
+    let mut ff = FfStats::default();
+    for ((stage, _), reg) in deltas {
+        base.merge(reg);
+        if *stage == STAGE_SIM {
+            ff.fast_loops += reg.get("sim.fast_loops");
+            ff.fallback_loops += reg.get("sim.fallback_loops");
+            ff.ff_hits += reg.get("sim.ff_hits");
+            ff.ff_misses += reg.get("sim.ff_misses");
+            ff.trips_total += reg.get("sim.trips_total");
+            ff.trips_skipped += reg.get("sim.trips_skipped");
+        }
+    }
+    (finalize_counters(base, cache, 0, 0, 0), ff)
+}
+
+fn cell_id(cfg: &BatchConfig, cell: &MatrixCell) -> CellId {
+    let w = &cfg.workloads[cell.workload];
+    CellId {
+        workload: w.name.to_string(),
+        suite: w.suite.to_string(),
+        machine: cfg.machines[cell.machine].name.clone(),
+        compiler: cfg.compilers[cell.compiler].label(),
+        variant: cell.variant.label(),
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let pos = (sorted.len() - 1) as f64 * q;
+    sorted[pos.round() as usize]
+}
+
+// ---------------------------------------------------------------------------
+// The dispatcher.
+// ---------------------------------------------------------------------------
+
+enum Ev {
+    Line(String),
+    Eof,
+}
+
+struct Slot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    token: usize,
+    alive: bool,
+    ready: bool,
+    poison_next: bool,
+    inflight: Option<(usize, usize, Instant)>,
+    span: Option<Span>,
+    pending: VecDeque<(usize, usize)>,
+    trim_outstanding: bool,
+    chunk_ms: Vec<f64>,
+    stats: ShardStats,
+    pass_merged: bool,
+}
+
+impl Slot {
+    fn send(&mut self, line: &str) -> bool {
+        let Some(stdin) = self.stdin.as_mut() else {
+            return false;
+        };
+        writeln!(stdin, "{line}")
+            .and_then(|_| stdin.flush())
+            .is_ok()
+    }
+}
+
+/// Evaluate the whole matrix across `opts.shards` worker processes and
+/// reduce to a [`BatchReport`] byte-identical to the in-process engine's
+/// (see the module docs for why). Only wall-clock and dispatch accounting
+/// differ: `timing.shards` is populated and the top-level worker list is
+/// empty (each shard carries its own).
+pub fn run_sharded(
+    cfg: &BatchConfig,
+    opts: &ShardOptions,
+    tracer: &Tracer,
+) -> Result<BatchReport, String> {
+    if opts.shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let cells = enumerate_matrix(cfg.workloads.len(), cfg.machines.len(), cfg.compilers.len());
+    let n = cells.len();
+    let cmd: Vec<String> = match &opts.worker_cmd {
+        Some(c) if !c.is_empty() => c.clone(),
+        _ => vec![
+            std::env::current_exe()
+                .map_err(|e| format!("cannot locate own binary: {e}"))?
+                .to_string_lossy()
+                .into_owned(),
+            "batch-shard".into(),
+        ],
+    };
+    let chunk = opts
+        .chunk
+        .unwrap_or_else(|| n.div_ceil(opts.shards.max(1) * 4).max(1));
+    let init_line = init_json(cfg, opts.threads_per_shard).to_string();
+
+    tracer.set_thread_track(0, "main");
+    let mut batch_span = tracer.span("batch", "batch.run");
+    batch_span.arg("cells", n);
+    batch_span.arg("shards", opts.shards);
+    let t0 = Instant::now();
+
+    let (tx, rx) = mpsc::channel::<(usize, Ev)>();
+    let mut next_token = 0usize;
+    let mut token_slot: HashMap<usize, usize> = HashMap::new();
+    let mut slots: Vec<Slot> = Vec::with_capacity(opts.shards);
+
+    let spawn = |slot_idx: usize,
+                 token: usize,
+                 first_spawn: bool,
+                 tx: &mpsc::Sender<(usize, Ev)>|
+     -> Result<(Child, ChildStdin), String> {
+        let mut c = Command::new(&cmd[0]);
+        c.args(&cmd[1..]);
+        if first_spawn {
+            for (idx, fault) in &opts.faults {
+                if *idx == slot_idx {
+                    match fault {
+                        ShardFault::KillAfterCells(k) => {
+                            c.arg("--fail-after").arg(k.to_string());
+                        }
+                        ShardFault::GarbageFromShard(k) => {
+                            c.arg("--garbage-after").arg(k.to_string());
+                        }
+                        ShardFault::GarbageToShard => {}
+                    }
+                }
+            }
+        }
+        let mut child = c
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| format!("spawning shard {slot_idx} ({}): {e}", cmd[0]))?;
+        let stdin = child.stdin.take().expect("piped stdin");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stdout);
+            for line in reader.lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send((token, Ev::Line(l))).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+            let _ = tx.send((token, Ev::Eof));
+        });
+        Ok((child, stdin))
+    };
+
+    for (s, (lo, hi)) in partition(n, opts.shards).into_iter().enumerate() {
+        let token = next_token;
+        next_token += 1;
+        let (child, stdin) = spawn(s, token, true, &tx)?;
+        token_slot.insert(token, s);
+        let mut slot = Slot {
+            child: Some(child),
+            stdin: Some(stdin),
+            token,
+            alive: true,
+            ready: false,
+            poison_next: opts
+                .faults
+                .iter()
+                .any(|(idx, f)| *idx == s && *f == ShardFault::GarbageToShard),
+            inflight: None,
+            span: None,
+            pending: chunk_ranges(lo, hi, chunk).into(),
+            trim_outstanding: false,
+            chunk_ms: Vec::new(),
+            stats: ShardStats {
+                shard: s,
+                alive: true,
+                ..ShardStats::default()
+            },
+            pass_merged: false,
+        };
+        if !slot.send(&init_line) {
+            slot.alive = false;
+            slot.stats.alive = false;
+        }
+        slots.push(slot);
+    }
+
+    let mut results: Vec<Option<(Result<CellMetrics, String>, CellKeys)>> = vec![None; n];
+    let mut done_cells = 0usize;
+    let mut spare: VecDeque<(usize, usize)> = VecDeque::new();
+    let mut delta_map: BTreeMap<(u8, u64), CounterRegistry> = BTreeMap::new();
+    let mut verify_map: BTreeMap<String, VerifySummary> = BTreeMap::new();
+    let mut pass_map: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+    let mut respawns_left = 2 * opts.shards;
+    let mut to_kill: Vec<usize> = Vec::new();
+
+    fn remaining_of(
+        slot: &Slot,
+        results: &[Option<(Result<CellMetrics, String>, CellKeys)>],
+    ) -> usize {
+        match slot.inflight {
+            None => 0,
+            Some((lo, hi, _)) => (lo..hi).filter(|&i| results[i].is_none()).count(),
+        }
+    }
+
+    // Hand the next range to an idle shard: its own deque first, then the
+    // spare pool, then a whole-chunk steal from the longest peer deque,
+    // and as a last resort a trim request to the busiest in-flight peer.
+    fn dispatch(
+        slots: &mut [Slot],
+        spare: &mut VecDeque<(usize, usize)>,
+        results: &[Option<(Result<CellMetrics, String>, CellKeys)>],
+        tracer: &Tracer,
+        s: usize,
+        dead: &mut Vec<usize>,
+    ) {
+        if !slots[s].alive || !slots[s].ready || slots[s].inflight.is_some() {
+            return;
+        }
+        if slots[s].poison_next {
+            slots[s].poison_next = false;
+            // fault injection: feed the shard one unparseable line; it must
+            // exit(4), which surfaces as EOF and triggers reassignment
+            if !slots[s].send("{\"type\":") {
+                dead.push(s);
+                return;
+            }
+        }
+        let range = if let Some(r) = slots[s].pending.pop_front() {
+            Some(r)
+        } else if let Some(r) = spare.pop_front() {
+            slots[s].stats.steals_received += 1;
+            Some(r)
+        } else {
+            let victim = (0..slots.len())
+                .filter(|&t| t != s && !slots[t].pending.is_empty())
+                .max_by_key(|&t| slots[t].pending.len());
+            match victim {
+                Some(t) => {
+                    let r = slots[t].pending.pop_back().expect("non-empty deque");
+                    slots[t].stats.steals_donated += 1;
+                    slots[s].stats.steals_received += 1;
+                    Some(r)
+                }
+                None => None,
+            }
+        };
+        let Some((lo, hi)) = range else {
+            // nothing queued anywhere: ask the busiest in-flight peer to
+            // give back the untouched half of its range
+            let busiest = (0..slots.len())
+                .filter(|&t| {
+                    t != s
+                        && slots[t].alive
+                        && slots[t].inflight.is_some()
+                        && !slots[t].trim_outstanding
+                })
+                .max_by_key(|&t| remaining_of(&slots[t], results));
+            if let Some(t) = busiest {
+                if remaining_of(&slots[t], results) >= 4 {
+                    if slots[t].send("{\"type\":\"trim\"}") {
+                        slots[t].trim_outstanding = true;
+                    } else {
+                        dead.push(t);
+                    }
+                }
+            }
+            return;
+        };
+        let line = Json::obj()
+            .field("type", "run")
+            .field("lo", lo)
+            .field("hi", hi)
+            .to_string();
+        if !slots[s].send(&line) {
+            spare.push_front((lo, hi));
+            dead.push(s);
+            return;
+        }
+        if tracer.is_enabled() {
+            tracer.set_process_track(s as u32 + 2, &format!("shard-{s}"));
+            let mut span = tracer.span_dyn("shard", || format!("cells {lo}..{hi}"));
+            span.arg("shard", s);
+            span.arg("cells", hi - lo);
+            tracer.set_process_track(1, "slc");
+            slots[s].span = Some(span);
+        }
+        slots[s].inflight = Some((lo, hi, Instant::now()));
+        slots[s].stats.chunks += 1;
+    }
+
+    fn handle_death(
+        slots: &mut [Slot],
+        spare: &mut VecDeque<(usize, usize)>,
+        results: &[Option<(Result<CellMetrics, String>, CellKeys)>],
+        s: usize,
+    ) {
+        if !slots[s].alive {
+            return;
+        }
+        slots[s].alive = false;
+        slots[s].stats.alive = false;
+        slots[s].span = None;
+        slots[s].stdin = None;
+        if let Some(mut child) = slots[s].child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // cells stream back front-to-back, so the unreceived remainder of
+        // the in-flight range starts at the first missing index
+        if let Some((lo, hi, _)) = slots[s].inflight.take() {
+            if let Some(f) = (lo..hi).find(|&i| results[i].is_none()) {
+                spare.push_back((f, hi));
+            }
+        }
+        while let Some(r) = slots[s].pending.pop_front() {
+            spare.push_back(r);
+        }
+    }
+
+    while done_cells < n {
+        // deaths noticed while dispatching (broken pipes)
+        while let Some(s) = to_kill.pop() {
+            handle_death(&mut slots, &mut spare, &results, s);
+        }
+        if !slots.iter().any(|sl| sl.alive) {
+            // every shard is gone with work outstanding: spawn a recovery
+            // shard (without fault injections) or give up
+            if respawns_left == 0 {
+                return Err(format!(
+                    "all shards died with {} of {n} cells outstanding",
+                    n - done_cells
+                ));
+            }
+            respawns_left -= 1;
+            let s = 0;
+            let token = next_token;
+            next_token += 1;
+            let (child, stdin) = spawn(s, token, false, &tx)?;
+            token_slot.insert(token, s);
+            slots[s].child = Some(child);
+            slots[s].stdin = Some(stdin);
+            slots[s].token = token;
+            slots[s].alive = true;
+            slots[s].stats.alive = true;
+            slots[s].ready = false;
+            slots[s].trim_outstanding = false;
+            if !slots[s].send(&init_line) {
+                handle_death(&mut slots, &mut spare, &results, s);
+                continue;
+            }
+        }
+        let (token, ev) = match rx.recv_timeout(Duration::from_secs(120)) {
+            Ok(e) => e,
+            Err(_) => return Err("shard dispatcher stalled waiting for worker output".into()),
+        };
+        let Some(&s) = token_slot.get(&token) else {
+            continue;
+        };
+        if token != slots[s].token || !slots[s].alive {
+            continue; // stale generation or already-dead shard
+        }
+        let line = match ev {
+            Ev::Eof => {
+                handle_death(&mut slots, &mut spare, &results, s);
+                for t in 0..slots.len() {
+                    dispatch(&mut slots, &mut spare, &results, tracer, t, &mut to_kill);
+                }
+                continue;
+            }
+            Ev::Line(l) => l,
+        };
+        let msg = match Json::parse(&line) {
+            Ok(j) => j,
+            Err(_) => {
+                // malformed shard output: quarantine the shard, reassign
+                handle_death(&mut slots, &mut spare, &results, s);
+                for t in 0..slots.len() {
+                    dispatch(&mut slots, &mut spare, &results, tracer, t, &mut to_kill);
+                }
+                continue;
+            }
+        };
+        match msg_type(&msg) {
+            "ready" => {
+                slots[s].ready = true;
+                dispatch(&mut slots, &mut spare, &results, tracer, s, &mut to_kill);
+            }
+            "deltas" => {
+                if let Ok(entries) = want_arr(&msg, "entries") {
+                    for e in entries {
+                        let (Ok(stage), Ok(key), Ok(counters)) =
+                            (want_u(e, "stage"), want_u(e, "key"), want(e, "counters"))
+                        else {
+                            continue;
+                        };
+                        delta_map.entry((stage as u8, key)).or_insert_with(|| {
+                            let mut reg = CounterRegistry::new();
+                            if let Some(members) = counters.as_obj() {
+                                for (name, v) in members {
+                                    if let Some(x) = v.as_i64() {
+                                        reg.add(name, x as u64);
+                                    }
+                                }
+                            }
+                            reg
+                        });
+                    }
+                }
+                if let Ok(vs) = want_arr(&msg, "verify") {
+                    for v in vs {
+                        if let Ok(sum) = decode_verify(v) {
+                            verify_map.entry(sum.workload.clone()).or_insert(sum);
+                        }
+                    }
+                }
+            }
+            "cells" => {
+                if let Ok(arr) = want_arr(&msg, "cells") {
+                    for c in arr {
+                        match decode_cell(c) {
+                            Ok((idx, outcome, keys)) if idx < n => {
+                                if results[idx].is_none() {
+                                    results[idx] = Some((outcome, keys));
+                                    done_cells += 1;
+                                    slots[s].stats.cells += 1;
+                                }
+                            }
+                            _ => {
+                                handle_death(&mut slots, &mut spare, &results, s);
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            "done" => {
+                if let Some((_, _, t_disp)) = slots[s].inflight.take() {
+                    slots[s].chunk_ms.push(t_disp.elapsed().as_secs_f64() * 1e3);
+                }
+                slots[s].span = None;
+                slots[s].trim_outstanding = false;
+                dispatch(&mut slots, &mut spare, &results, tracer, s, &mut to_kill);
+            }
+            "trimmed" => {
+                slots[s].trim_outstanding = false;
+                let (lo, hi) = (
+                    opt_u(&msg, "lo").unwrap_or(0) as usize,
+                    opt_u(&msg, "hi").unwrap_or(0) as usize,
+                );
+                if hi > lo {
+                    if let Some((ilo, _, t_disp)) = slots[s].inflight {
+                        slots[s].inflight = Some((ilo, lo, t_disp));
+                    }
+                    slots[s].stats.steals_donated += 1;
+                    spare.push_back((lo, hi));
+                    for t in 0..slots.len() {
+                        dispatch(&mut slots, &mut spare, &results, tracer, t, &mut to_kill);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    drop(batch_span);
+
+    // graceful shutdown: collect per-shard wall-clock stats
+    for s in 0..slots.len() {
+        if slots[s].alive && !slots[s].send("{\"type\":\"shutdown\"}") {
+            handle_death(&mut slots, &mut spare, &results, s);
+        }
+    }
+    let mut awaiting: BTreeSet<usize> = (0..slots.len()).filter(|&s| slots[s].alive).collect();
+    while !awaiting.is_empty() {
+        let (token, ev) = match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(e) => e,
+            Err(_) => break,
+        };
+        let Some(&s) = token_slot.get(&token) else {
+            continue;
+        };
+        if token != slots[s].token {
+            continue;
+        }
+        match ev {
+            Ev::Eof => {
+                awaiting.remove(&s);
+            }
+            Ev::Line(l) => {
+                if let Ok(msg) = Json::parse(&l) {
+                    if msg_type(&msg) == "stats" {
+                        apply_stats(&mut slots[s], &msg, &mut pass_map);
+                    }
+                }
+            }
+        }
+    }
+    for slot in &mut slots {
+        slot.stdin = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    // reduce
+    let mut out_cells = Vec::with_capacity(n);
+    let mut keyed = Vec::with_capacity(n);
+    for (i, r) in results.into_iter().enumerate() {
+        let (outcome, keys) = r.ok_or_else(|| format!("cell {i} never reported"))?;
+        out_cells.push(CellResult {
+            id: cell_id(cfg, &cells[i]),
+            outcome,
+        });
+        keyed.push(keys);
+    }
+    let cache = replay_cache(keyed.iter());
+    let (counters, steady) = reduce_counters(&delta_map, &cache);
+    let stage_total = slots.iter().fold(StageNs::default(), |acc, sl| StageNs {
+        parse: acc.parse + sl.stats.stage.parse,
+        slms: acc.slms + sl.stats.stage.slms,
+        lower: acc.lower + sl.stats.stage.lower,
+        compile: acc.compile + sl.stats.stage.compile,
+        sim: acc.sim + sl.stats.stage.sim,
+    });
+    let shard_stats: Vec<ShardStats> = slots
+        .iter_mut()
+        .map(|sl| {
+            let mut ms = std::mem::take(&mut sl.chunk_ms);
+            ms.sort_by(|a, b| a.total_cmp(b));
+            ShardStats {
+                chunk_ms_p50: percentile(&ms, 0.50),
+                chunk_ms_p99: percentile(&ms, 0.99),
+                ..std::mem::take(&mut sl.stats)
+            }
+        })
+        .collect();
+    Ok(BatchReport {
+        cells: out_cells,
+        cache,
+        counters,
+        timing: TimingReport {
+            threads: effective_threads(opts.threads_per_shard, n),
+            wall_ns,
+            parse_ns: stage_total.parse,
+            slms_ns: stage_total.slms,
+            lower_ns: stage_total.lower,
+            compile_ns: stage_total.compile,
+            sim_ns: stage_total.sim,
+            passes: pass_map
+                .into_iter()
+                .map(|(pass, (ns, runs))| PassTiming { pass, ns, runs })
+                .collect(),
+            verify: verify_map.into_values().collect(),
+            steady,
+            workers: Vec::new(),
+            shards: shard_stats,
+        },
+    })
+}
+
+fn decode_verify(j: &Json) -> Result<VerifySummary, String> {
+    Ok(VerifySummary {
+        workload: want_s(j, "workload")?.to_string(),
+        verified: want_usize(j, "verified")?,
+        skipped: want_usize(j, "skipped")?,
+        obligations: want_usize(j, "obligations")?,
+        violations: want_usize(j, "violations")?,
+    })
+}
+
+fn apply_stats(slot: &mut Slot, msg: &Json, pass_map: &mut BTreeMap<String, (u64, u64)>) {
+    if let Ok(ws) = want_arr(msg, "workers") {
+        slot.stats.workers = ws
+            .iter()
+            .filter_map(|w| {
+                Some(WorkerStats {
+                    worker: want_usize(w, "worker").ok()?,
+                    claimed: want_u(w, "claimed").ok()?,
+                    empty_polls: want_u(w, "empty_polls").ok()?,
+                    busy_ns: want_u(w, "busy_ns").ok()?,
+                })
+            })
+            .collect();
+    }
+    if let Ok(st) = want(msg, "stage") {
+        slot.stats.stage = StageNs {
+            parse: opt_u(st, "parse").unwrap_or(0),
+            slms: opt_u(st, "slms").unwrap_or(0),
+            lower: opt_u(st, "lower").unwrap_or(0),
+            compile: opt_u(st, "compile").unwrap_or(0),
+            sim: opt_u(st, "sim").unwrap_or(0),
+        };
+    }
+    slot.stats.cpu_ms = opt_u(msg, "cpu").unwrap_or(0) as f64 / 1e6;
+    if !slot.pass_merged {
+        if let Ok(ps) = want_arr(msg, "passes") {
+            for p in ps {
+                if let (Ok(name), Some(ns), Some(runs)) =
+                    (want_s(p, "pass"), opt_u(p, "ns"), opt_u(p, "runs"))
+                {
+                    let e = pass_map.entry(name.to_string()).or_insert((0, 0));
+                    e.0 += ns;
+                    e.1 += runs;
+                }
+            }
+            slot.pass_merged = true;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The worker side (`slc batch-shard`, hidden).
+// ---------------------------------------------------------------------------
+
+fn emit(j: &Json) -> bool {
+    let mut out = std::io::stdout().lock();
+    writeln!(out, "{j}").and_then(|_| out.flush()).is_ok()
+}
+
+struct WorkerState {
+    svc: CompileService,
+    cfg: BatchConfig,
+    cells: Vec<MatrixCell>,
+    threads: usize,
+    workers: BTreeMap<usize, WorkerStats>,
+    evaluated: u64,
+    verify_sent: BTreeSet<String>,
+    garbage_done: bool,
+}
+
+impl WorkerState {
+    /// Ship pending counter deltas (and any newly recorded verify
+    /// verdicts) *before* the cells they explain, so the dispatcher never
+    /// holds a reported cell whose deltas died with this process.
+    fn flush_deltas(&mut self) -> bool {
+        let entries = self.svc.take_attribution();
+        let mut fresh = Vec::new();
+        for v in self.svc.verify_summaries() {
+            if self.verify_sent.insert(v.workload.clone()) {
+                fresh.push(v);
+            }
+        }
+        if entries.is_empty() && fresh.is_empty() {
+            return true;
+        }
+        emit(&deltas_json(&entries, &fresh))
+    }
+}
+
+/// The hidden `batch-shard` subcommand body: speak `slc-shard-proto-v1` on
+/// stdin/stdout until the dispatcher shuts us down or the pipe closes.
+/// Returns the process exit code (0 = clean, 4 = malformed input line).
+/// The fault hooks drive the degradation tests: `fail_after` aborts the
+/// process after that many cells, `garbage_after` prints one unparseable
+/// stdout line after that many cells.
+pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 {
+    let (tx, rx) = mpsc::channel::<Result<Json, String>>();
+    std::thread::spawn(move || {
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if tx
+                .send(Json::parse(&line).map_err(|e| e.to_string()))
+                .is_err()
+            {
+                return;
+            }
+        }
+        // EOF: channel closes when tx drops
+    });
+    let mut state: Option<WorkerState> = None;
+    loop {
+        let msg = match rx.recv() {
+            Ok(m) => m,
+            Err(_) => return 0, // parent closed the pipe
+        };
+        let msg = match msg {
+            Ok(j) => j,
+            Err(_) => return 4, // malformed dispatcher line
+        };
+        match msg_type(&msg) {
+            "init" => match decode_init(&msg) {
+                Ok((cfg, threads)) => {
+                    let svc = CompileService::new();
+                    svc.enable_attribution();
+                    let cells = enumerate_matrix(
+                        cfg.workloads.len(),
+                        cfg.machines.len(),
+                        cfg.compilers.len(),
+                    );
+                    state = Some(WorkerState {
+                        svc,
+                        threads: effective_threads(threads, usize::MAX / 2),
+                        cfg,
+                        cells,
+                        workers: BTreeMap::new(),
+                        evaluated: 0,
+                        verify_sent: BTreeSet::new(),
+                        garbage_done: false,
+                    });
+                    if !emit(&Json::obj().field("type", "ready")) {
+                        return 0;
+                    }
+                }
+                Err(_) => return 4,
+            },
+            "run" => {
+                let (Some(st), Some(lo), Some(hi)) =
+                    (state.as_mut(), opt_u(&msg, "lo"), opt_u(&msg, "hi"))
+                else {
+                    return 4;
+                };
+                if let Some(code) =
+                    run_range(st, lo as usize, hi as usize, &rx, fail_after, garbage_after)
+                {
+                    return code;
+                }
+            }
+            "trim" => {
+                // no range in flight: nothing to give back
+                let reply = Json::obj()
+                    .field("type", "trimmed")
+                    .field("lo", 0u64)
+                    .field("hi", 0u64);
+                if !emit(&reply) {
+                    return 0;
+                }
+            }
+            "shutdown" => {
+                if let Some(st) = state.as_ref() {
+                    let workers: Vec<WorkerStats> = st.workers.values().cloned().collect();
+                    let _ = emit(&stats_json(
+                        &workers,
+                        &st.svc.stage_ns(),
+                        &st.svc.pass_timings(),
+                        self_cpu_ns(),
+                    ));
+                }
+                return 0;
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Evaluate `lo..hi` in sub-batches of `threads` cells, flushing deltas
+/// then cells after each sub-batch and answering trim requests at
+/// sub-batch boundaries. Returns `Some(exit_code)` on a fatal condition.
+fn run_range(
+    st: &mut WorkerState,
+    lo: usize,
+    hi: usize,
+    rx: &mpsc::Receiver<Result<Json, String>>,
+    fail_after: Option<u64>,
+    garbage_after: Option<u64>,
+) -> Option<i32> {
+    let mut cur = lo;
+    let mut end = hi.min(st.cells.len());
+    loop {
+        // control poll between sub-batches
+        while let Ok(m) = rx.try_recv() {
+            let Ok(msg) = m else { return Some(4) };
+            // the dispatcher may decide the matrix is complete (every cell
+            // reported by someone) while we are still mid-range; honour the
+            // shutdown here or we'd drop it and block forever on the next recv
+            if msg_type(&msg) == "shutdown" {
+                let workers: Vec<WorkerStats> = st.workers.values().cloned().collect();
+                let _ = emit(&stats_json(
+                    &workers,
+                    &st.svc.stage_ns(),
+                    &st.svc.pass_timings(),
+                    self_cpu_ns(),
+                ));
+                return Some(0);
+            }
+            if msg_type(&msg) == "trim" {
+                let rem = end - cur;
+                let (give_lo, give_hi) = if rem >= 2 {
+                    let mid = cur + rem.div_ceil(2);
+                    (mid, end)
+                } else {
+                    (0, 0)
+                };
+                if !emit(
+                    &Json::obj()
+                        .field("type", "trimmed")
+                        .field("lo", give_lo)
+                        .field("hi", give_hi),
+                ) {
+                    return Some(0);
+                }
+                if give_hi > give_lo {
+                    end = give_lo;
+                }
+            }
+        }
+        if cur >= end {
+            break;
+        }
+        let batch = st.threads.max(1).min(end - cur);
+        let svc = &st.svc;
+        let cfg = &st.cfg;
+        let cells = &st.cells;
+        let (evaluated, wstats) = par_map_indexed_stats(batch, st.threads, |_, k| {
+            let cell = cells[cur + k];
+            svc.eval_cell_keyed(
+                &CellSpec {
+                    workload: &cfg.workloads[cell.workload],
+                    machine: &cfg.machines[cell.machine],
+                    compiler: cfg.compilers[cell.compiler],
+                    variant: cell.variant,
+                    plan: &cfg.plan,
+                    slms: &cfg.slms,
+                    verify: cfg.verify,
+                },
+                &Tracer::disabled(),
+            )
+        });
+        for w in wstats {
+            let acc = st.workers.entry(w.worker).or_insert(WorkerStats {
+                worker: w.worker,
+                claimed: 0,
+                empty_polls: 0,
+                busy_ns: 0,
+            });
+            acc.claimed += w.claimed;
+            acc.empty_polls += w.empty_polls;
+            acc.busy_ns = acc.busy_ns.saturating_add(w.busy_ns);
+        }
+        st.evaluated += batch as u64;
+        if !st.flush_deltas() {
+            return Some(0);
+        }
+        if let Some(g) = garbage_after {
+            if st.evaluated >= g && !st.garbage_done {
+                st.garbage_done = true;
+                let mut out = std::io::stdout().lock();
+                let _ = writeln!(out, "{{\"type\": garbage");
+                let _ = out.flush();
+            }
+        }
+        let wire: Vec<Json> = evaluated
+            .iter()
+            .enumerate()
+            .map(|(k, (res, keys))| cell_json(cur + k, res, keys))
+            .collect();
+        if !emit(
+            &Json::obj()
+                .field("type", "cells")
+                .field("cells", Json::Arr(wire)),
+        ) {
+            return Some(0);
+        }
+        if let Some(f) = fail_after {
+            if st.evaluated >= f {
+                std::process::abort();
+            }
+        }
+        cur += batch;
+    }
+    if !emit(
+        &Json::obj()
+            .field("type", "done")
+            .field("lo", lo)
+            .field("hi", end),
+    ) {
+        return Some(0);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_sim::presets::{arm7tdmi, itanium2, pentium, power4};
+
+    #[test]
+    fn partition_covers_and_balances() {
+        for n in [0, 1, 7, 24, 100] {
+            for shards in [1, 2, 4, 7] {
+                let parts = partition(n, shards);
+                assert_eq!(parts.len(), shards);
+                assert_eq!(parts[0].0, 0);
+                assert_eq!(parts[shards - 1].1, n);
+                let mut total = 0;
+                for (i, (lo, hi)) in parts.iter().enumerate() {
+                    assert!(lo <= hi);
+                    total += hi - lo;
+                    if i > 0 {
+                        assert_eq!(*lo, parts[i - 1].1, "contiguous");
+                    }
+                }
+                assert_eq!(total, n);
+                let sizes: Vec<usize> = parts.iter().map(|(l, h)| h - l).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: {sizes:?}");
+            }
+        }
+        assert_eq!(chunk_ranges(3, 11, 3), vec![(3, 6), (6, 9), (9, 11)]);
+        assert_eq!(chunk_ranges(5, 5, 3), vec![]);
+    }
+
+    #[test]
+    fn machine_wire_roundtrip_preserves_fingerprint() {
+        for m in [itanium2(), pentium(), power4(), arm7tdmi()] {
+            let j = machine_json(&m);
+            let back = decode_machine(&Json::parse(&j.to_string()).unwrap()).unwrap();
+            assert_eq!(back.fingerprint(), m.fingerprint(), "{}", m.name);
+            assert_eq!(back.name, m.name);
+        }
+    }
+
+    #[test]
+    fn slms_wire_roundtrip_exact_bits() {
+        let mut cfg = SlmsConfig::default();
+        let back = decode_slms(&Json::parse(&slms_json(&cfg).to_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+        cfg.filter.min_arith_per_ref = Some(6.5);
+        cfg.filter.max_memref_ratio = 0.1 + 0.2; // not exactly representable in decimal
+        cfg.expansion = Expansion::ScalarExpand;
+        cfg.scheduler = SchedulerKind::Exact;
+        cfg.apply_filter = false;
+        let back = decode_slms(&Json::parse(&slms_json(&cfg).to_string()).unwrap()).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn init_wire_roundtrip_preserves_plan_and_axes() {
+        let mut cfg = BatchConfig::full_matrix();
+        cfg.plan = PassPlan::parse("fuse:0+1,slms").unwrap();
+        cfg.verify = true;
+        let line = init_json(&cfg, Some(3)).to_string();
+        let (back, threads) = decode_init(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(threads, Some(3));
+        assert!(back.verify);
+        assert_eq!(back.plan.to_string(), cfg.plan.to_string());
+        assert_eq!(
+            back.plan.fingerprint(&back.slms),
+            cfg.plan.fingerprint(&cfg.slms)
+        );
+        assert_eq!(back.workloads.len(), cfg.workloads.len());
+        for (a, b) in back.workloads.iter().zip(&cfg.workloads) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.source, b.source);
+            assert_eq!(a.suite, b.suite);
+        }
+        assert_eq!(back.compilers, cfg.compilers);
+        for (a, b) in back.machines.iter().zip(&cfg.machines) {
+            assert_eq!(a.fingerprint(), b.fingerprint());
+        }
+    }
+
+    #[test]
+    fn cell_wire_roundtrip_bit_exact() {
+        let keys = CellKeys {
+            parse: u64::MAX - 3, // exercises the i64 cast path
+            plan: Some(7),
+            compile: Some(u64::MAX),
+            lir: Some(11),
+            sim: Some(u64::MAX),
+        };
+        let id = CellId {
+            workload: "k".into(),
+            suite: "paper".into(),
+            machine: "m".into(),
+            compiler: "opt",
+            variant: "slms",
+        };
+        let metrics = CellMetrics {
+            cycles: 123,
+            ops: 456,
+            l1_hits: 7,
+            l1_misses: 8,
+            spill_accesses: 9,
+            energy: 0.1 + 0.2,
+            transformed: true,
+            slms_ii: Some(3),
+            optimality_gaps: vec![0, 1],
+            loops: vec![LoopInfo {
+                var: "i".into(),
+                trips: 1000,
+                bundles_per_iter: 4,
+                ms_applied: true,
+                ii: Some(2),
+                stages: Some(3),
+                reg_pressure: 5,
+                spilled: 0,
+            }],
+        };
+        let res = CellResult {
+            id: id.clone(),
+            outcome: Ok(metrics.clone()),
+        };
+        let line = cell_json(42, &res, &keys).to_string();
+        let (idx, outcome, back_keys) = decode_cell(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(idx, 42);
+        assert_eq!(back_keys, keys);
+        let m = outcome.unwrap();
+        assert_eq!(m.cycles, metrics.cycles);
+        assert_eq!(m.energy.to_bits(), metrics.energy.to_bits());
+        assert_eq!(m.slms_ii, metrics.slms_ii);
+        assert_eq!(m.optimality_gaps, metrics.optimality_gaps);
+        assert_eq!(m.loops.len(), 1);
+        assert_eq!(m.loops[0].ii, Some(2));
+        // degraded cell
+        let bad = CellResult {
+            id,
+            outcome: Err("lower: nope".into()),
+        };
+        let line = cell_json(7, &bad, &CellKeys::default()).to_string();
+        let (_, outcome, _) = decode_cell(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(outcome.unwrap_err(), "lower: nope");
+    }
+
+    #[test]
+    fn replay_reconstructs_cache_report() {
+        // evaluate a small matrix serially, capture keys, replay — the
+        // replayed report must equal what the service itself counted
+        let cfg = BatchConfig {
+            workloads: slc_workloads::paper_examples(),
+            machines: vec![itanium2(), power4()],
+            compilers: vec![CompilerKind::Weak, CompilerKind::Optimizing],
+            slms: SlmsConfig::default(),
+            plan: PassPlan::slms_only(),
+            threads: Some(1),
+            verify: false,
+        };
+        let svc = CompileService::new();
+        let cells = enumerate_matrix(cfg.workloads.len(), cfg.machines.len(), cfg.compilers.len());
+        let mut keys = Vec::new();
+        for c in &cells {
+            let (_, k) = svc.eval_cell_keyed(
+                &CellSpec {
+                    workload: &cfg.workloads[c.workload],
+                    machine: &cfg.machines[c.machine],
+                    compiler: cfg.compilers[c.compiler],
+                    variant: c.variant,
+                    plan: &cfg.plan,
+                    slms: &cfg.slms,
+                    verify: cfg.verify,
+                },
+                &Tracer::disabled(),
+            );
+            keys.push(k);
+        }
+        let replayed = replay_cache(keys.iter());
+        let real = svc.cache_report();
+        assert_eq!(replayed.parse, real.parse);
+        assert_eq!(replayed.slms, real.slms);
+        assert_eq!(replayed.lir, real.lir);
+        assert_eq!(replayed.compile, real.compile);
+        assert_eq!(replayed.sim, real.sim);
+    }
+
+    #[test]
+    fn reduced_counters_match_single_process() {
+        // one worker state driven directly (no pipes): its shipped deltas
+        // plus the replayed cache must finalize to the in-process registry
+        let cfg = BatchConfig {
+            workloads: slc_workloads::paper_examples(),
+            machines: vec![itanium2()],
+            compilers: vec![CompilerKind::Optimizing],
+            slms: SlmsConfig::default(),
+            plan: PassPlan::slms_only(),
+            threads: Some(2),
+            verify: true,
+        };
+        let reference = crate::batch::run_batch(&cfg);
+        let svc = CompileService::new();
+        svc.enable_attribution();
+        let cells = enumerate_matrix(cfg.workloads.len(), cfg.machines.len(), cfg.compilers.len());
+        let mut keys = Vec::new();
+        for c in &cells {
+            let (_, k) = svc.eval_cell_keyed(
+                &CellSpec {
+                    workload: &cfg.workloads[c.workload],
+                    machine: &cfg.machines[c.machine],
+                    compiler: cfg.compilers[c.compiler],
+                    variant: c.variant,
+                    plan: &cfg.plan,
+                    slms: &cfg.slms,
+                    verify: cfg.verify,
+                },
+                &Tracer::disabled(),
+            );
+            keys.push(k);
+        }
+        let mut delta_map = BTreeMap::new();
+        for (stage, key, reg) in svc.take_attribution() {
+            delta_map.insert((stage, key), reg);
+        }
+        let cache = replay_cache(keys.iter());
+        let (counters, steady) = reduce_counters(&delta_map, &cache);
+        assert_eq!(counters, reference.counters);
+        assert_eq!(steady.trips_total, reference.timing.steady.trips_total);
+        assert_eq!(steady.fast_loops, reference.timing.steady.fast_loops);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 4.0);
+        assert_eq!(percentile(&v, 0.5), 3.0);
+    }
+}

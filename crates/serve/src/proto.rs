@@ -5,6 +5,13 @@
 //! carries a `type` tag. The protocol version rides in the handshake-free
 //! schema constant [`PROTO_SCHEMA`], which the `stats` response echoes.
 //!
+//! The sharded batch tier speaks a sibling NDJSON protocol over worker
+//! pipes (`slc-shard-proto-v1`, `slc_pipeline::shard`) with the same
+//! framing discipline — one line, one typed object, malformed input is a
+//! protocol fault rather than a wedge. They are deliberately separate
+//! schemas: this one is request/response for interactive clients, that
+//! one is a streaming dispatcher/worker conversation.
+//!
 //! ## Requests
 //!
 //! ```json

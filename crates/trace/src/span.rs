@@ -36,6 +36,11 @@ pub fn clock_reads() -> u64 {
 thread_local! {
     /// Chrome track id for spans opened on this thread (0 = main).
     static CURRENT_TID: Cell<u32> = const { Cell::new(0) };
+    /// Chrome process id for spans opened on this thread (1 = the slc
+    /// process itself; the sharded batch dispatcher binds one synthetic
+    /// process per worker shard so every shard renders as its own
+    /// Perfetto process track).
+    static CURRENT_PID: Cell<u32> = const { Cell::new(1) };
 }
 
 /// A span argument value (rendered into the Chrome event's `args` object).
@@ -109,8 +114,11 @@ pub struct TraceEvent {
     /// span name (Chrome `name`)
     pub name: String,
     /// span category (Chrome `cat`): `"batch"`, `"stage"`, `"pass"`,
-    /// `"slms"`, `"sim"`, `"verify"`, `"interp"`
+    /// `"slms"`, `"sim"`, `"verify"`, `"interp"`, `"shard"`
     pub cat: &'static str,
+    /// process (Chrome `pid`): 1 = the slc process; 2.. = synthetic
+    /// per-shard processes registered via [`Tracer::set_process_track`]
+    pub pid: u32,
     /// track (Chrome `tid`): 0 = orchestrating thread, 1.. = workers
     pub tid: u32,
     /// start offset from the tracer's origin, nanoseconds
@@ -127,6 +135,7 @@ pub struct TraceBuf {
     t0: Instant,
     events: Mutex<Vec<TraceEvent>>,
     tracks: Mutex<BTreeMap<u32, String>>,
+    processes: Mutex<BTreeMap<u32, String>>,
 }
 
 impl TraceBuf {
@@ -156,6 +165,7 @@ impl Tracer {
                 t0: Instant::now(),
                 events: Mutex::new(Vec::new()),
                 tracks: Mutex::new(BTreeMap::new()),
+                processes: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -175,6 +185,22 @@ impl Tracer {
         }
     }
 
+    /// Bind the calling thread to Chrome process `pid`, naming it on first
+    /// registration. Process 1 is the slc process itself ("slc") and needs
+    /// no registration; the sharded batch dispatcher registers `2 + shard`
+    /// per worker shard so each shard renders as its own Perfetto process
+    /// track. Call `set_process_track(1, "slc")` to return spans to the
+    /// default process.
+    pub fn set_process_track(&self, pid: u32, name: &str) {
+        if let Some(buf) = &self.buf {
+            CURRENT_PID.set(pid);
+            if pid != 1 {
+                let mut procs = buf.processes.lock().unwrap();
+                procs.entry(pid).or_insert_with(|| name.to_string());
+            }
+        }
+    }
+
     /// Open a span with a static name. Closed (recorded) on drop.
     pub fn span(&self, cat: &'static str, name: &str) -> Span {
         match &self.buf {
@@ -185,6 +211,7 @@ impl Tracer {
                     buf: Arc::clone(buf),
                     name: name.to_string(),
                     cat,
+                    pid: CURRENT_PID.get(),
                     tid: CURRENT_TID.get(),
                     args: Vec::new(),
                 }),
@@ -208,14 +235,16 @@ impl Tracer {
             .map_or(0, |b| b.events.lock().unwrap().len())
     }
 
-    /// Snapshot of completed spans, sorted by (track, start, longest-first).
+    /// Snapshot of completed spans, sorted by (process, track, start,
+    /// longest-first).
     pub fn events(&self) -> Vec<TraceEvent> {
         let Some(buf) = &self.buf else {
             return Vec::new();
         };
         let mut evs = buf.events.lock().unwrap().clone();
         evs.sort_by(|a, b| {
-            (a.tid, a.ts_ns, std::cmp::Reverse(a.dur_ns), &a.name).cmp(&(
+            (a.pid, a.tid, a.ts_ns, std::cmp::Reverse(a.dur_ns), &a.name).cmp(&(
+                b.pid,
                 b.tid,
                 b.ts_ns,
                 std::cmp::Reverse(b.dur_ns),
@@ -237,12 +266,28 @@ impl Tracer {
         })
     }
 
+    /// Registered synthetic (process id, name) pairs, id-ordered. Does not
+    /// include the implicit process 1 ("slc").
+    pub fn processes(&self) -> Vec<(u32, String)> {
+        self.buf.as_ref().map_or(Vec::new(), |b| {
+            b.processes
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect()
+        })
+    }
+
     /// Export the Chrome trace-event document (the JSON Object Format:
     /// `{"traceEvents": [...]}`), loadable in Perfetto. `None` if disabled.
     ///
-    /// Emitted events: one `ph:"M"` `process_name` record, one `ph:"M"`
-    /// `thread_name` record per registered track, then every span as a
-    /// `ph:"X"` complete event with microsecond `ts`/`dur`.
+    /// Emitted events: one `ph:"M"` `process_name` record per process (the
+    /// implicit pid 1 "slc" plus every registered synthetic process), one
+    /// `ph:"M"` `thread_name` record per registered track (and a tid-0
+    /// `thread_name` per synthetic process so Perfetto labels its single
+    /// row), then every span as a `ph:"X"` complete event with microsecond
+    /// `ts`/`dur`.
     pub fn to_chrome_json(&self) -> Option<String> {
         self.buf.as_ref()?;
         let mut events = Vec::new();
@@ -254,6 +299,24 @@ impl Tracer {
                 .field("tid", 0i64)
                 .field("args", Json::obj().field("name", "slc")),
         );
+        for (pid, name) in self.processes() {
+            events.push(
+                Json::obj()
+                    .field("ph", "M")
+                    .field("name", "process_name")
+                    .field("pid", pid)
+                    .field("tid", 0i64)
+                    .field("args", Json::obj().field("name", name.as_str())),
+            );
+            events.push(
+                Json::obj()
+                    .field("ph", "M")
+                    .field("name", "thread_name")
+                    .field("pid", pid)
+                    .field("tid", 0i64)
+                    .field("args", Json::obj().field("name", name)),
+            );
+        }
         for (tid, name) in self.tracks() {
             events.push(
                 Json::obj()
@@ -274,7 +337,7 @@ impl Tracer {
                     .field("ph", "X")
                     .field("name", ev.name)
                     .field("cat", ev.cat)
-                    .field("pid", 1i64)
+                    .field("pid", ev.pid)
                     .field("tid", ev.tid)
                     .field("ts", ev.ts_ns as f64 / 1000.0)
                     .field("dur", ev.dur_ns as f64 / 1000.0)
@@ -289,7 +352,8 @@ impl Tracer {
     }
 
     /// Export the structured event log: one compact JSON object per line
-    /// (`ts_us`, `dur_us`, `tid`, `cat`, `name`, `args`). `None` if disabled.
+    /// (`ts_us`, `dur_us`, `pid`, `tid`, `cat`, `name`, `args`). `None` if
+    /// disabled.
     pub fn to_jsonl(&self) -> Option<String> {
         self.buf.as_ref()?;
         let mut out = String::new();
@@ -301,6 +365,7 @@ impl Tracer {
             let line = Json::obj()
                 .field("ts_us", ev.ts_ns as f64 / 1000.0)
                 .field("dur_us", ev.dur_ns as f64 / 1000.0)
+                .field("pid", ev.pid)
                 .field("tid", ev.tid)
                 .field("cat", ev.cat)
                 .field("name", ev.name)
@@ -316,6 +381,7 @@ struct SpanRec {
     buf: Arc<TraceBuf>,
     name: String,
     cat: &'static str,
+    pid: u32,
     tid: u32,
     start_ns: u64,
     args: Vec<(&'static str, ArgValue)>,
@@ -361,6 +427,7 @@ impl Drop for Span {
             let ev = TraceEvent {
                 name: rec.name,
                 cat: rec.cat,
+                pid: rec.pid,
                 tid: rec.tid,
                 ts_ns: rec.start_ns,
                 dur_ns: end_ns.saturating_sub(rec.start_ns),
@@ -532,6 +599,51 @@ mod tests {
                 .and_then(Json::as_i64),
             Some(99)
         );
+    }
+
+    #[test]
+    fn process_tracks_render_as_separate_perfetto_processes() {
+        let t = Tracer::enabled();
+        t.set_thread_track(0, "dispatcher");
+        t.set_process_track(3, "shard-1");
+        {
+            let _s = t.span("shard", "chunk");
+        }
+        t.set_process_track(1, "slc");
+        {
+            let _s = t.span("batch", "reduce");
+        }
+        assert_eq!(t.processes(), vec![(3, "shard-1".to_string())]);
+        let evs = t.events();
+        // sort is (pid, tid, ts, ...): the pid-1 span precedes the pid-3 span
+        assert_eq!(evs[0].name, "reduce");
+        assert_eq!(evs[0].pid, 1);
+        assert_eq!(evs[1].name, "chunk");
+        assert_eq!(evs[1].pid, 3);
+
+        let chrome = t.to_chrome_json().unwrap();
+        let summary = validate_chrome_trace(&chrome).unwrap();
+        assert_eq!(summary.spans, 2);
+        let doc = Json::parse(&chrome).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let proc_names: Vec<(i64, &str)> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Json::as_str) == Some("process_name"))
+            .map(|e| {
+                (
+                    e.get("pid").and_then(Json::as_i64).unwrap(),
+                    e.get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(proc_names, vec![(1, "slc"), (3, "shard-1")]);
+
+        let jsonl = t.to_jsonl().unwrap();
+        let line = Json::parse(jsonl.lines().nth(1).unwrap()).unwrap();
+        assert_eq!(line.get("pid").and_then(Json::as_i64), Some(3));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //!        slc trace-check FILE          (validate a Chrome trace-event JSON)
 //!        slc serve [SERVE OPTIONS]     (persistent compile daemon, NDJSON/TCP)
 //!        slc bench-serve [BENCH OPTIONS] (load-test a daemon, BENCH_serve.json)
+//!        slc bench-shards [BENCH OPTIONS] (sweep --shards, BENCH_shard.json)
 //!
 //!   --passes <PLAN>                comma-separated pass plan (default: slms)
 //!                                  e.g. `normalize,fuse:0+1,slms`
@@ -59,7 +60,17 @@
 //!                                  --out becomes BENCH_batch_exact.json,
 //!                                  and a positive gap fails the run (the
 //!                                  CI exact gate)
-//!   --threads <N>                  worker threads (default: all cores)
+//!   --threads <N>                  worker threads (default: all cores);
+//!                                  with --shards this is *per shard*
+//!   --shards <N>                   evaluate the matrix across N worker
+//!                                  *processes* (fork/exec of this binary in
+//!                                  a hidden `batch-shard` mode, NDJSON
+//!                                  pipes, schema `slc-shard-proto-v1`).
+//!                                  The canonical report, counters and
+//!                                  report file are byte-identical to the
+//!                                  in-process engine for every N; the
+//!                                  timing sidecar gains a per-shard
+//!                                  `shards` section
 //!   --out <PATH>                   canonical JSON report (BENCH_batch.json;
 //!                                  deterministic — byte-identical across
 //!                                  runs and thread counts)
@@ -133,6 +144,14 @@
 //!   --min-hit-rate <F>             final-pass hit-rate gate in [0,1]
 //!                                  (default 0.9; exit 1 below it)
 //!   --timeout-ms / --queue / --cache-capacity   in-process daemon knobs
+//!
+//! BENCH-SHARDS OPTIONS — run the full matrix in-process and then at
+//! --shards 1/2/4/7 (one thread per shard by default), assert every run's
+//! canonical report and counter registry byte-identical, and write
+//! BENCH_shard.json (`slc-shard-bench-v1`: deterministic counts in one
+//! section, wall-clock/speedup timing strictly in another):
+//!   --out <PATH>                   report path (default BENCH_shard.json)
+//!   --threads <N>                  in-process map threads per shard (1)
 //! ```
 
 use slc::ast::{parse_program, to_paper_style, to_source};
@@ -162,7 +181,8 @@ fn usage() -> ! {
          \x20                [--cache-capacity N] [--trace PATH]\n\
          \x20      slc bench-serve [--addr HOST:PORT] [--clients N] [--passes N] [--plan P]...\n\
          \x20                [--out PATH] [--min-hit-rate F] [--timeout-ms N] [--queue N]\n\
-         \x20                [--cache-capacity N]"
+         \x20                [--cache-capacity N]\n\
+         \x20      slc bench-shards [--out PATH] [--threads N]"
     );
     exit(2)
 }
@@ -248,16 +268,17 @@ fn read_input(file: &Option<String>) -> String {
 fn batch_usage() -> ! {
     eprintln!(
         "usage: slc batch [--passes PLAN] [--scheduler heuristic|exact] [--threads N]\n\
-         \x20               [--out PATH] [--timing PATH] [--sim-bench PATH] [--repeat N]\n\
-         \x20               [--verify] [--trace PATH] [--events PATH]"
+         \x20               [--shards N] [--out PATH] [--timing PATH] [--sim-bench PATH]\n\
+         \x20               [--repeat N] [--verify] [--trace PATH] [--events PATH]"
     );
     exit(2)
 }
 
 fn batch_main(args: impl Iterator<Item = String>) -> ! {
-    use slc::pipeline::{BatchConfig, BatchEngine};
+    use slc::pipeline::{run_sharded, BatchConfig, BatchEngine, ShardOptions};
 
     let mut cfg = BatchConfig::full_matrix();
+    let mut shards: Option<usize> = None;
     let mut out_path: Option<String> = None;
     let mut timing_path: Option<String> = None;
     let mut sim_bench_path: Option<String> = None;
@@ -283,6 +304,14 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
                 passes_given = true;
             }
             "--scheduler" => scheduler = parse_scheduler("--scheduler", args.next().as_deref()),
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| batch_usage()),
+                )
+            }
             "--out" => out_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--timing" => timing_path = Some(args.next().unwrap_or_else(|| batch_usage())),
             "--sim-bench" => sim_bench_path = Some(args.next().unwrap_or_else(|| batch_usage())),
@@ -324,11 +353,28 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
     } else {
         Tracer::disabled()
     };
+    // with --shards the matrix fans out over worker processes; --threads
+    // becomes the per-shard in-process map width, and --repeat re-runs the
+    // whole fleet (each repeat is cold — the caches live in the shards)
+    let run_once = |tracer: &Tracer| match shards {
+        None => None,
+        Some(s) => {
+            let opts = ShardOptions {
+                shards: s,
+                threads_per_shard: cfg.threads,
+                ..ShardOptions::default()
+            };
+            Some(run_sharded(&cfg, &opts, tracer).unwrap_or_else(|e| {
+                eprintln!("slc batch: sharded run failed: {e}");
+                exit(1)
+            }))
+        }
+    };
     let engine = BatchEngine::new();
-    let mut report = engine.run_traced(&cfg, &tracer);
+    let mut report = run_once(&tracer).unwrap_or_else(|| engine.run_traced(&cfg, &tracer));
     for pass in 1..repeat {
         eprintln!("slc batch: pass {}: {}", pass, report.summary());
-        report = engine.run_traced(&cfg, &tracer);
+        report = run_once(&tracer).unwrap_or_else(|| engine.run_traced(&cfg, &tracer));
     }
     eprintln!("slc batch: {}", report.summary());
 
@@ -868,6 +914,167 @@ fn bench_serve_main(args: impl Iterator<Item = String>) -> ! {
     }
 }
 
+fn bench_shards_usage() -> ! {
+    eprintln!("usage: slc bench-shards [--out PATH] [--threads N]");
+    exit(2)
+}
+
+fn bench_shards_main(mut args: impl Iterator<Item = String>) -> ! {
+    use slc::pipeline::{
+        run_sharded, BatchConfig, BatchEngine, Json, ShardOptions, SHARD_BENCH_SCHEMA,
+    };
+    use std::time::Instant;
+
+    let mut out_path = "BENCH_shard.json".to_string();
+    let mut threads = 1usize;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| bench_shards_usage()),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| bench_shards_usage())
+            }
+            _ => bench_shards_usage(),
+        }
+    }
+
+    let mut cfg = BatchConfig::full_matrix();
+    cfg.threads = Some(threads);
+    let tracer = Tracer::disabled();
+
+    // in-process reference: the canonical report and counters every sharded
+    // run must reproduce byte-for-byte
+    let t0 = Instant::now();
+    let reference = BatchEngine::new().run(&cfg);
+    let in_process_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let canon = reference.to_json();
+    let counters = reference.counters_json();
+    eprintln!("slc bench-shards: in-process: {}", reference.summary());
+
+    const SWEEP: [usize; 4] = [1, 2, 4, 7];
+    let mut runs: Vec<Json> = Vec::new();
+    let mut wall_by_shards: Vec<(usize, f64, f64)> = Vec::new();
+    let mut all_identical = true;
+    let mut failed_cells = reference.failed();
+    for shards in SWEEP {
+        let opts = ShardOptions {
+            shards,
+            threads_per_shard: Some(threads),
+            ..ShardOptions::default()
+        };
+        let t0 = Instant::now();
+        let rep = run_sharded(&cfg, &opts, &tracer).unwrap_or_else(|e| {
+            eprintln!("slc bench-shards: --shards {shards} failed: {e}");
+            exit(1)
+        });
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let same = rep.to_json() == canon && rep.counters_json() == counters;
+        all_identical &= same;
+        failed_cells += rep.failed();
+        // simulate+compile speedup is judged on the busiest shard's
+        // critical path: the shard's CPU time apportioned to the
+        // compile+simulate stages by their share of its miss wall clock.
+        // CPU time (not wall) keeps the metric meaningful when shards
+        // outnumber cores — it is exactly the wall clock those stages cost
+        // once every shard owns a core. Falls back to raw stage wall when
+        // the platform offers no CPU accounting.
+        let sim_compile_ms = rep
+            .timing
+            .shards
+            .iter()
+            .map(|s| {
+                let sc = (s.stage.compile + s.stage.sim) as f64 / 1e6;
+                let total =
+                    (s.stage.parse + s.stage.slms + s.stage.lower + s.stage.compile + s.stage.sim)
+                        as f64
+                        / 1e6;
+                if s.cpu_ms > 0.0 && total > 0.0 {
+                    s.cpu_ms * (sc / total)
+                } else {
+                    sc
+                }
+            })
+            .fold(0.0_f64, f64::max);
+        wall_by_shards.push((shards, wall_ms, sim_compile_ms));
+        let shard_stats: Vec<Json> = rep
+            .timing
+            .shards
+            .iter()
+            .map(|s| {
+                Json::obj()
+                    .field("shard", s.shard as u64)
+                    .field("cells", s.cells)
+                    .field("chunks", s.chunks)
+                    .field("steals_donated", s.steals_donated)
+                    .field("steals_received", s.steals_received)
+                    .field("chunk_ms_p50", s.chunk_ms_p50)
+                    .field("chunk_ms_p99", s.chunk_ms_p99)
+                    .field("cpu_ms", s.cpu_ms)
+            })
+            .collect();
+        runs.push(
+            Json::obj()
+                .field("shards", shards as u64)
+                .field("byte_identical", same)
+                .field("wall_ms", wall_ms)
+                .field("simulate_compile_ms", sim_compile_ms)
+                .field("shard_stats", Json::Arr(shard_stats)),
+        );
+        eprintln!(
+            "slc bench-shards: --shards {shards}: {:.1} ms wall, {:.1} ms simulate+compile \
+             (critical path), byte-identical: {same}",
+            wall_ms, sim_compile_ms
+        );
+    }
+
+    let find = |n: usize| wall_by_shards.iter().find(|r| r.0 == n).unwrap();
+    let (_, wall1, sc1) = *find(1);
+    let (_, wall4, sc4) = *find(4);
+    let doc = Json::obj()
+        .field("schema", SHARD_BENCH_SCHEMA)
+        .field("threads_per_shard", threads as u64)
+        .field(
+            // deterministic facts only: cell totals and the byte-identity
+            // verdict — never wall-clock
+            "counts",
+            Json::obj()
+                .field("cells_total", reference.cells.len() as u64)
+                .field("cells_completed", reference.completed() as u64)
+                .field("cells_failed", reference.failed() as u64)
+                .field("byte_identical", all_identical)
+                .field(
+                    "shard_counts",
+                    Json::Arr(SWEEP.iter().map(|&s| Json::Int(s as i64)).collect()),
+                ),
+        )
+        .field(
+            // scheduling-dependent wall clock, quarantined from the counts
+            "timing",
+            Json::obj()
+                .field("in_process_wall_ms", in_process_wall_ms)
+                .field("runs", Json::Arr(runs))
+                .field("wall_speedup_4x", wall1 / wall4)
+                .field("simulate_compile_speedup_4x", sc1 / sc4),
+        );
+    if let Err(e) = std::fs::write(&out_path, doc.to_pretty()) {
+        eprintln!("slc bench-shards: cannot write {out_path}: {e}");
+        exit(1)
+    }
+    eprintln!(
+        "slc bench-shards: wrote {out_path} (wall ×{:.2}, simulate+compile ×{:.2} at 4 shards)",
+        wall1 / wall4,
+        sc1 / sc4
+    );
+    if !all_identical || failed_cells > 0 {
+        eprintln!("slc bench-shards: GATE FAILURE: non-identical report or failed cells");
+        exit(1)
+    }
+    exit(0)
+}
+
 fn main() {
     let mut cfg = SlmsConfig::default();
     let mut plan = PassPlan::slms_only();
@@ -884,6 +1091,25 @@ fn main() {
         Some("batch") => {
             args.next();
             batch_main(args);
+        }
+        // hidden: worker mode spawned by `slc batch --shards N` (and the
+        // fault-injection tests); speaks slc-shard-proto-v1 on stdio
+        Some("batch-shard") => {
+            args.next();
+            let mut fail_after = None;
+            let mut garbage_after = None;
+            while let Some(a) = args.next() {
+                match a.as_str() {
+                    "--fail-after" => fail_after = args.next().and_then(|s| s.parse().ok()),
+                    "--garbage-after" => garbage_after = args.next().and_then(|s| s.parse().ok()),
+                    _ => {}
+                }
+            }
+            exit(slc::pipeline::shard_worker(fail_after, garbage_after));
+        }
+        Some("bench-shards") => {
+            args.next();
+            bench_shards_main(args);
         }
         Some("explain") => {
             args.next();

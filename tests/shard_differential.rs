@@ -1,0 +1,214 @@
+//! Differential testing of the multi-process sharded batch tier: the
+//! reduced report must be byte-identical to the in-process engine for
+//! every shard count, survive shard deaths and malformed protocol lines
+//! without losing or corrupting a single cell, and hold those guarantees
+//! on the exact-scheduler path and on random sub-matrices.
+
+use proptest::prelude::*;
+use slc_core::{SchedulerKind, SlmsConfig};
+use slc_pipeline::{run_batch, BatchConfig, CompilerKind, PassPlan, ShardFault, ShardOptions};
+use slc_trace::Tracer;
+use slc_workloads::{Suite, Workload};
+
+/// Exec the test-built `slc` binary in worker mode; the dispatcher itself
+/// runs inside the test process, whose `current_exe` is the test harness.
+fn worker_cmd() -> Vec<String> {
+    vec![
+        env!("CARGO_BIN_EXE_slc").to_string(),
+        "batch-shard".to_string(),
+    ]
+}
+
+fn opts(shards: usize) -> ShardOptions {
+    ShardOptions {
+        shards,
+        threads_per_shard: Some(1),
+        chunk: None,
+        worker_cmd: Some(worker_cmd()),
+        faults: Vec::new(),
+    }
+}
+
+fn small_config() -> BatchConfig {
+    BatchConfig {
+        workloads: slc_workloads::paper_examples(),
+        machines: vec![slc_sim::presets::itanium2(), slc_sim::presets::power4()],
+        compilers: vec![CompilerKind::Weak, CompilerKind::Optimizing],
+        slms: SlmsConfig::default(),
+        plan: PassPlan::slms_only(),
+        threads: Some(1),
+        verify: false,
+    }
+}
+
+fn run_with(cfg: &BatchConfig, o: &ShardOptions) -> slc_pipeline::BatchReport {
+    slc_pipeline::run_sharded(cfg, o, &Tracer::disabled()).expect("sharded run must complete")
+}
+
+/// Canonical report and counter registry are byte-identical to the
+/// in-process engine for shard counts below, at, and above the number of
+/// natural work chunks.
+#[test]
+fn sharded_report_identical_across_shard_counts() {
+    let cfg = small_config();
+    let reference = run_batch(&cfg);
+    let canon = reference.to_json();
+    let counters = reference.counters_json();
+    for shards in [1, 2, 4, 7] {
+        let rep = run_with(&cfg, &opts(shards));
+        assert_eq!(rep.to_json(), canon, "report differs at {shards} shards");
+        assert_eq!(
+            rep.counters_json(),
+            counters,
+            "counters differ at {shards} shards"
+        );
+        assert_eq!(rep.timing.shards.len(), shards);
+        let cells: u64 = rep.timing.shards.iter().map(|s| s.cells).sum();
+        assert_eq!(cells as usize, cfg.n_cells());
+    }
+}
+
+/// The full paper matrix — the exact configuration behind
+/// BENCH_batch.json — reduces byte-identically at 4 shards.
+#[test]
+fn full_matrix_sharded_identical() {
+    let mut cfg = BatchConfig::full_matrix();
+    cfg.threads = Some(1);
+    let reference = run_batch(&cfg);
+    let rep = run_with(&cfg, &opts(4));
+    assert_eq!(rep.to_json(), reference.to_json());
+    assert_eq!(rep.counters_json(), reference.counters_json());
+    assert_eq!(rep.failed(), 0);
+}
+
+/// A shard that aborts mid-run is quarantined, its work is reassigned,
+/// and the run still completes with zero failed cells and an identical
+/// report.
+#[test]
+fn killed_shard_degrades_without_losing_cells() {
+    let cfg = small_config();
+    let reference = run_batch(&cfg);
+    let mut o = opts(3);
+    o.faults = vec![(1, ShardFault::KillAfterCells(3))];
+    let rep = run_with(&cfg, &o);
+    assert_eq!(rep.to_json(), reference.to_json());
+    assert_eq!(rep.counters_json(), reference.counters_json());
+    assert_eq!(rep.failed(), 0);
+    assert!(
+        !rep.timing.shards[1].alive,
+        "the killed shard must be reported dead in the sidecar"
+    );
+}
+
+/// A shard that emits a malformed NDJSON line is treated as dead from
+/// that point; the dispatcher reassigns and the report is unchanged.
+#[test]
+fn malformed_shard_output_degrades_without_losing_cells() {
+    let cfg = small_config();
+    let reference = run_batch(&cfg);
+    let mut o = opts(2);
+    o.faults = vec![(0, ShardFault::GarbageFromShard(2))];
+    let rep = run_with(&cfg, &o);
+    assert_eq!(rep.to_json(), reference.to_json());
+    assert_eq!(rep.counters_json(), reference.counters_json());
+    assert_eq!(rep.failed(), 0);
+    assert!(!rep.timing.shards[0].alive);
+}
+
+/// A worker fed a malformed dispatcher line must reject it (exit 4), and
+/// the dispatcher must absorb that exactly like a crash.
+#[test]
+fn malformed_dispatcher_input_degrades_without_losing_cells() {
+    let cfg = small_config();
+    let reference = run_batch(&cfg);
+    let mut o = opts(2);
+    o.faults = vec![(0, ShardFault::GarbageToShard)];
+    let rep = run_with(&cfg, &o);
+    assert_eq!(rep.to_json(), reference.to_json());
+    assert_eq!(rep.counters_json(), reference.counters_json());
+    assert_eq!(rep.failed(), 0);
+    assert!(!rep.timing.shards[0].alive);
+}
+
+/// The exact-scheduler path (SAT-backed, the expensive cells the
+/// work-stealing dispatcher exists for) shards byte-identically too.
+#[test]
+fn exact_scheduler_sharded_smoke() {
+    let ws = slc_workloads::paper_examples();
+    let cfg = BatchConfig {
+        workloads: ws.into_iter().take(2).collect(),
+        machines: vec![slc_sim::presets::itanium2()],
+        compilers: vec![CompilerKind::OptimizingMs],
+        slms: SlmsConfig {
+            scheduler: SchedulerKind::Exact,
+            ..SlmsConfig::default()
+        },
+        plan: PassPlan::exact_only(),
+        threads: Some(1),
+        verify: false,
+    };
+    let reference = run_batch(&cfg);
+    let rep = run_with(&cfg, &opts(2));
+    assert_eq!(rep.to_json(), reference.to_json());
+    assert_eq!(rep.counters_json(), reference.counters_json());
+}
+
+/// A random but parseable single-loop program (same shape as
+/// tests/batch_prop.rs — the property here is reduction correctness, not
+/// the transformation).
+fn loop_source(arr: usize, off: i64, k: i64) -> String {
+    let idx = |o: i64| match o {
+        0 => "i".to_string(),
+        o if o > 0 => format!("i + {o}"),
+        o => format!("i - {}", -o),
+    };
+    format!(
+        "float A0[64]; float A1[64]; float A2[64]; int i;\n\
+         for (i = 4; i < 60; i++) A{arr}[i] = A{}[{}] + A{}[{}] + {k}.0;\n",
+        (arr + 1) % 3,
+        idx(off),
+        (arr + 2) % 3,
+        idx(off - 1),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// Shard-count invariance on random matrices: any workload mix, any
+    /// shard count (including more shards than cells) reduces to the
+    /// in-process report byte-for-byte.
+    #[test]
+    fn sharded_matches_in_process_on_random_matrices(
+        arrs in proptest::collection::vec((0usize..3, -2i64..3, 0i64..5), 1..4),
+        shards in 1usize..6,
+        second_machine in any::<bool>(),
+    ) {
+        let workloads: Vec<Workload> = arrs
+            .iter()
+            .enumerate()
+            .map(|(i, &(arr, off, k))| Workload {
+                name: Box::leak(format!("shard_prop_{i}").into_boxed_str()),
+                suite: Suite::Paper,
+                source: Box::leak(loop_source(arr, off, k).into_boxed_str()),
+            })
+            .collect();
+        let mut machines = vec![slc_sim::presets::itanium2()];
+        if second_machine {
+            machines.push(slc_sim::presets::arm7tdmi());
+        }
+        let cfg = BatchConfig {
+            workloads,
+            machines,
+            compilers: vec![CompilerKind::Optimizing],
+            slms: SlmsConfig::default(),
+            plan: PassPlan::slms_only(),
+            threads: Some(1),
+            verify: false,
+        };
+        let reference = run_batch(&cfg);
+        let rep = run_with(&cfg, &opts(shards));
+        prop_assert_eq!(rep.to_json(), reference.to_json());
+        prop_assert_eq!(rep.counters_json(), reference.counters_json());
+    }
+}
