@@ -9,6 +9,7 @@
 #![allow(clippy::needless_range_loop)] // index loops mirror the papers' pseudo-code
 use crate::access::{accesses_of_stmt, MiAccesses};
 use crate::deps::{array_dep_distances, DepDist};
+use crate::exactdep::{analyze_pair, DepPairSummary, DepStats, DepVerdict, LoopRange};
 use crate::mi::Mi;
 
 /// Kind of a data dependence.
@@ -207,10 +208,20 @@ pub fn build_ddg(mis: &[Mi], var: &str, step: i64) -> Ddg {
         }
     }
 
+    scalar_and_call_edges(&accesses, var, &mut edges);
+
+    Ddg { n, edges, accesses }
+}
+
+/// The non-array portion of DDG construction, shared by [`build_ddg`] and
+/// [`build_ddg_ranged`]: positional scalar rules plus call barriers.
+fn scalar_and_call_edges(accesses: &[MiAccesses], var: &str, edges: &mut Vec<DepEdge>) {
+    let n = accesses.len();
+
     // --- scalar dependences -------------------------------------------------
     // Positional rule over defs/uses of each scalar other than `var`.
     let mut scalar_names: Vec<String> = Vec::new();
-    for a in &accesses {
+    for a in accesses {
         for s in &a.scalars {
             if s.name != var && !scalar_names.contains(&s.name) {
                 scalar_names.push(s.name.clone());
@@ -233,30 +244,30 @@ pub fn build_ddg(mis: &[Mi], var: &str, step: i64) -> Ddg {
             // uses next iteration.
             for &r in &reads {
                 if w < r {
-                    push_edge_tagged(&mut edges, w, r, DepKind::Flow, Distance::Const(0), tag);
+                    push_edge_tagged(edges, w, r, DepKind::Flow, Distance::Const(0), tag);
                 } else if w > r {
-                    push_edge_tagged(&mut edges, w, r, DepKind::Flow, Distance::Const(1), tag);
+                    push_edge_tagged(edges, w, r, DepKind::Flow, Distance::Const(1), tag);
                     // anti: the use must happen before the next def
-                    push_edge_tagged(&mut edges, r, w, DepKind::Anti, Distance::Const(0), tag);
+                    push_edge_tagged(edges, r, w, DepKind::Anti, Distance::Const(0), tag);
                 } else {
                     // same MI reads and writes (e.g. `s = s + t`):
                     // loop-carried flow onto itself.
-                    push_edge_tagged(&mut edges, w, w, DepKind::Flow, Distance::Const(1), tag);
+                    push_edge_tagged(edges, w, w, DepKind::Flow, Distance::Const(1), tag);
                 }
             }
             // anti for textually later reads: read then re-def next iteration
             for &r in &reads {
                 if w < r {
-                    push_edge_tagged(&mut edges, r, w, DepKind::Anti, Distance::Const(1), tag);
+                    push_edge_tagged(edges, r, w, DepKind::Anti, Distance::Const(1), tag);
                 }
             }
             // output between distinct defs
             for &w2 in &writes {
                 if w < w2 {
-                    push_edge_tagged(&mut edges, w, w2, DepKind::Output, Distance::Const(0), tag);
-                    push_edge_tagged(&mut edges, w2, w, DepKind::Output, Distance::Const(1), tag);
+                    push_edge_tagged(edges, w, w2, DepKind::Output, Distance::Const(0), tag);
+                    push_edge_tagged(edges, w2, w, DepKind::Output, Distance::Const(1), tag);
                 } else if w == w2 {
-                    push_edge_tagged(&mut edges, w, w, DepKind::Output, Distance::Const(1), tag);
+                    push_edge_tagged(edges, w, w, DepKind::Output, Distance::Const(1), tag);
                 }
             }
         }
@@ -267,18 +278,98 @@ pub fn build_ddg(mis: &[Mi], var: &str, step: i64) -> Ddg {
         if accesses[k].has_call {
             for j in 0..n {
                 if j < k {
-                    push_edge(&mut edges, j, k, DepKind::Flow, Distance::Const(0));
-                    push_edge(&mut edges, k, j, DepKind::Flow, Distance::Const(1));
+                    push_edge(edges, j, k, DepKind::Flow, Distance::Const(0));
+                    push_edge(edges, k, j, DepKind::Flow, Distance::Const(1));
                 } else if j > k {
-                    push_edge(&mut edges, k, j, DepKind::Flow, Distance::Const(0));
-                    push_edge(&mut edges, j, k, DepKind::Flow, Distance::Const(1));
+                    push_edge(edges, k, j, DepKind::Flow, Distance::Const(0));
+                    push_edge(edges, j, k, DepKind::Flow, Distance::Const(1));
                 }
             }
-            push_edge(&mut edges, k, k, DepKind::Flow, Distance::Const(1));
+            push_edge(edges, k, k, DepKind::Flow, Distance::Const(1));
+        }
+    }
+}
+
+/// A DDG built by the exact, range-aware engine plus the per-pair verdicts
+/// (with certificates) that produced its array edges.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangedDdg {
+    /// The dependence graph, structurally identical to [`build_ddg`] output
+    /// wherever the engines agree.
+    pub ddg: Ddg,
+    /// One summary per analyzed same-array access pair, in enumeration
+    /// order (MI-major, access-ordinal minor).
+    pub pairs: Vec<DepPairSummary>,
+}
+
+/// Build the DDG with the exact dependence engine ([`crate::exactdep`]),
+/// available whenever the loop range is a compile-time constant.
+///
+/// Array pairs get the layered GCD → Banerjee → exact → SAT decision
+/// procedure: proven-independent pairs contribute no edge, decided pairs
+/// contribute one edge per proven iteration distance, widened and
+/// undecidable pairs fall back to the conservative `Unknown` distance (the
+/// same shape [`build_ddg`] emits for them). Scalar dependences and call
+/// barriers are identical to [`build_ddg`]. Per-pair verdicts and their
+/// certificates are returned alongside; `stats` accumulates the `deps.*`
+/// counter family.
+pub fn build_ddg_ranged(
+    mis: &[Mi],
+    var: &str,
+    range: &LoopRange,
+    stats: &mut DepStats,
+) -> RangedDdg {
+    let n = mis.len();
+    let accesses: Vec<MiAccesses> = mis.iter().map(|m| accesses_of_stmt(&m.stmt)).collect();
+    let mut edges = Vec::new();
+    let mut pairs = Vec::new();
+
+    for p in 0..n {
+        for q in p..n {
+            for (ix, x) in accesses[p].arrays.iter().enumerate() {
+                for (iy, y) in accesses[q].arrays.iter().enumerate() {
+                    if p == q && iy <= ix {
+                        continue; // each unordered pair once within an MI
+                    }
+                    if !x.write && !y.write {
+                        continue;
+                    }
+                    if x.array != y.array {
+                        continue;
+                    }
+                    let ana = analyze_pair(x, y, var, range, stats);
+                    match &ana.verdict {
+                        DepVerdict::Independent => {}
+                        DepVerdict::Distances(ds) => {
+                            for &d in ds {
+                                orient(&mut edges, p, q, x.write, y.write, DepDist::Dist(d));
+                            }
+                        }
+                        DepVerdict::AnyWithWitness | DepVerdict::Undecidable => {
+                            orient(&mut edges, p, q, x.write, y.write, DepDist::Any);
+                        }
+                    }
+                    pairs.push(DepPairSummary {
+                        from_mi: p,
+                        from_ord: ix,
+                        to_mi: q,
+                        to_ord: iy,
+                        array: x.array.clone(),
+                        verdict: ana.verdict,
+                        layer: ana.layer,
+                        certificate: ana.certificate,
+                    });
+                }
+            }
         }
     }
 
-    Ddg { n, edges, accesses }
+    scalar_and_call_edges(&accesses, var, &mut edges);
+
+    RangedDdg {
+        ddg: Ddg { n, edges, accesses },
+        pairs,
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,15 @@
 //! With affine subscripts `c·i + r` the test is exact when both accesses use
 //! the same coefficient `c` (the overwhelmingly common case in the paper's
 //! suites): the single distance is `(r1 - r2) / c` when divisible, otherwise
-//! the accesses are independent. Differing coefficients or non-affine
-//! subscripts degrade to the conservative answer "any distance", which makes
-//! downstream SLMS refuse to pipeline — the same behaviour the paper gets
-//! from Tiny when the Omega test cannot prove independence.
+//! the accesses are independent. Differing coefficients first get a GCD
+//! divisibility test (`gcd(c1, c2) ∤ (r2 - r1)` proves independence, e.g.
+//! `A[4i]` vs `A[2i+1]`); when the GCD cannot refute, or the subscript is
+//! non-affine, the answer degrades to the conservative "any distance", which
+//! makes downstream SLMS refuse to pipeline — the same behaviour the paper
+//! gets from Tiny when the Omega test cannot prove independence. The
+//! range-aware engine in [`crate::exactdep`] supersedes this test whenever
+//! the loop bounds are compile-time constants, deciding exactly those
+//! mismatched-coefficient pairs with certificates.
 
 use crate::access::ArrayAccess;
 use crate::linform::linearize;
@@ -103,10 +108,29 @@ fn dim_verdict(a: &slc_ast::Expr, b: &slc_ast::Expr, var: &str) -> DimVerdict {
             DimVerdict::Unknown
         }
     } else {
-        // Different coefficients: a single solution exists per value of the
-        // symbols/iteration, but the distance varies with `i` — conservative.
+        // Different coefficients: solutions to ca·x = cb·y + (rb - ra) exist
+        // only when gcd(ca, cb) divides the constant residue — otherwise the
+        // accesses are provably disjoint. When solutions do exist the
+        // distance varies with `i`, so the answer stays conservative.
+        let diff = ra.sub(&rb);
+        if diff.is_const() {
+            let g = gcd(ca, cb);
+            if g != 0 && diff.konst % g != 0 {
+                return DimVerdict::Never;
+            }
+        }
         DimVerdict::Unknown
     }
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 /// Compute the possible iteration distances between two accesses to the same
@@ -251,6 +275,19 @@ mod tests {
     fn coefficient_mismatch_is_any() {
         let w = aa("A", &["2 * i"], true);
         let r = aa("A", &["i"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
+    }
+
+    #[test]
+    fn coefficient_mismatch_gcd_disjoint() {
+        // A[4i] vs A[2i+1]: gcd(4, 2) = 2 does not divide 1 — even and odd
+        // cells never collide despite the differing strides.
+        let w = aa("A", &["4 * i"], true);
+        let r = aa("A", &["2 * i + 1"], false);
+        assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::None);
+        // A[2i] vs A[4i+2] alias (e.g. i=3 vs i=1): gcd cannot refute.
+        let w = aa("A", &["2 * i"], true);
+        let r = aa("A", &["4 * i + 2"], false);
         assert_eq!(array_dep_distances(&w, &r, "i"), DepDist::Any);
     }
 }

@@ -1,0 +1,794 @@
+//! Exact, certificate-producing dependence analysis.
+//!
+//! The classic test in [`crate::deps`] is exact only when both subscripts
+//! share the induction-variable coefficient; any mismatch collapses to
+//! `DepDist::Any` and the loop is refused or over-constrained. This module
+//! replaces that cliff with a layered decision procedure over normalized
+//! iteration space, run when the loop range (`init`, `step`, `trips`) is
+//! known at compile time:
+//!
+//! 1. **GCD test** — per dimension, `gcd(A, B) ∤ C` refutes the equation
+//!    `A·t1 − B·t2 = C` outright.
+//! 2. **Banerjee bounds** — the extreme values of `A·t1 − B·t2` over the
+//!    iteration box `[0, trips)²`; `C` outside the interval refutes.
+//! 3. **Exact integer test** — the extended-gcd closed form of the
+//!    per-dimension Diophantine equation, intersected with the box, yields
+//!    the exact per-dimension distance set (or a witness when the set is
+//!    wider than [`DIST_CAP`]).
+//! 4. **SAT confirmation** — for multi-dimensional subscripts the per-dim
+//!    sets only over-approximate the joint solutions, so the conjoined
+//!    system is decided by the in-workspace `slc-sat` solver over a shared
+//!    `(t1, t2)` encoding; `Unsat` upgrades the pair to independent.
+//!
+//! Every decided verdict carries a [`DepCertificate`] (witness pair or
+//! re-solvable UNSAT system, see [`crate::depcert`]) which the analysis
+//! self-checks before returning; [`DepStats`] counts which layer decided
+//! each pair for the `deps.*` counter family.
+//!
+//! Distances reported here are **iteration distances** (`t2 − t1` in
+//! normalized iteration space), ready for the DDG — unlike
+//! [`crate::deps::array_dep_distances`], which reports distances in units of
+//! the induction variable's value.
+
+use crate::access::ArrayAccess;
+use crate::depcert::{check_dep_certificate, dim_equation, DepCertificate, DepSystem, DimEq};
+use slc_ast::ForLoop;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Exact distance sets wider than this many entries are widened to
+/// [`DepVerdict::AnyWithWitness`] instead of being enumerated.
+pub const DIST_CAP: usize = 8;
+
+/// A compile-time-known normalized loop range: iteration `t ∈ [0, trips)`
+/// sees the induction variable at `init + t·step`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopRange {
+    /// Constant initial value of the induction variable.
+    pub init: i64,
+    /// Constant additive step (non-zero).
+    pub step: i64,
+    /// Constant trip count (≥ 1).
+    pub trips: i64,
+}
+
+impl LoopRange {
+    /// Extract the range from a loop header when `init` and the trip count
+    /// are compile-time constants (and the loop runs at least once).
+    pub fn of_loop(f: &ForLoop) -> Option<LoopRange> {
+        let trips = f.trip_count()?;
+        let init = f.init.const_int()?;
+        if trips < 1 || f.step == 0 {
+            return None;
+        }
+        Some(LoopRange {
+            init,
+            step: f.step,
+            trips,
+        })
+    }
+}
+
+/// Which layer of the procedure decided a pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepLayer {
+    /// Refuted by the per-dimension GCD divisibility test.
+    Gcd,
+    /// Refuted by the Banerjee extreme-value bounds.
+    Banerjee,
+    /// Decided by the extended-gcd closed form over the iteration box.
+    Exact,
+    /// Decided by the `slc-sat` encoding of the conjoined system.
+    Sat,
+}
+
+impl DepLayer {
+    /// Stable lower-case name for JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepLayer::Gcd => "gcd",
+            DepLayer::Banerjee => "banerjee",
+            DepLayer::Exact => "exact",
+            DepLayer::Sat => "sat",
+        }
+    }
+}
+
+/// The verdict for one same-array access pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepVerdict {
+    /// Provably no iteration pair touches the same cell within the range.
+    Independent,
+    /// Dependent; the sorted set of possible iteration distances `t2 − t1`.
+    /// For single-dimension subscripts the set is exact; for
+    /// multi-dimensional subscripts it is a sound over-approximation
+    /// confirmed non-empty by the SAT layer.
+    Distances(Vec<i64>),
+    /// Dependent with a distance set wider than [`DIST_CAP`]; treated as
+    /// `Any` by the scheduler but still certified by a concrete witness.
+    AnyWithWitness,
+    /// Outside the engine's theory (non-affine subscript or symbolic
+    /// residue); no certificate is emitted.
+    Undecidable,
+}
+
+impl DepVerdict {
+    /// Stable lower-case name for JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DepVerdict::Independent => "independent",
+            DepVerdict::Distances(_) => "distances",
+            DepVerdict::AnyWithWitness => "any-with-witness",
+            DepVerdict::Undecidable => "undecidable",
+        }
+    }
+}
+
+/// Counters for the `deps.*` registry family.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepStats {
+    /// Pairs given a definite verdict (everything but `Undecidable`).
+    pub pairs_decided: u64,
+    /// Pairs refuted by the GCD layer.
+    pub gcd_hits: u64,
+    /// Pairs refuted by the Banerjee layer.
+    pub banerjee_hits: u64,
+    /// Pairs whose verdict needed the SAT layer.
+    pub sat_decided: u64,
+    /// Dependent pairs widened past [`DIST_CAP`].
+    pub widened_to_any: u64,
+    /// Certificates self-checked clean before being returned.
+    pub certs_checked: u64,
+}
+
+impl DepStats {
+    /// Accumulate another stats block into this one.
+    pub fn absorb(&mut self, o: &DepStats) {
+        self.pairs_decided += o.pairs_decided;
+        self.gcd_hits += o.gcd_hits;
+        self.banerjee_hits += o.banerjee_hits;
+        self.sat_decided += o.sat_decided;
+        self.widened_to_any += o.widened_to_any;
+        self.certs_checked += o.certs_checked;
+    }
+}
+
+/// Analysis result for one access pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairAnalysis {
+    /// The verdict.
+    pub verdict: DepVerdict,
+    /// Which layer decided it (`None` for `Undecidable`).
+    pub layer: Option<DepLayer>,
+    /// The re-checkable certificate (`None` for `Undecidable`).
+    pub certificate: Option<DepCertificate>,
+}
+
+impl PairAnalysis {
+    fn undecidable() -> PairAnalysis {
+        PairAnalysis {
+            verdict: DepVerdict::Undecidable,
+            layer: None,
+            certificate: None,
+        }
+    }
+}
+
+/// A decided pair in context: which MI/access ordinals it covers, for the
+/// report, `slc deps`, and certificate re-validation in `crates/verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DepPairSummary {
+    /// MI index of the first access (textual order).
+    pub from_mi: usize,
+    /// Ordinal of the first access within its MI's array-access list.
+    pub from_ord: usize,
+    /// MI index of the second access.
+    pub to_mi: usize,
+    /// Ordinal of the second access within its MI's array-access list.
+    pub to_ord: usize,
+    /// Array both accesses touch.
+    pub array: String,
+    /// The verdict.
+    pub verdict: DepVerdict,
+    /// Deciding layer (`None` for `Undecidable`).
+    pub layer: Option<DepLayer>,
+    /// Re-checkable certificate (`None` for `Undecidable`).
+    pub certificate: Option<DepCertificate>,
+}
+
+// ---------------------------------------------------------------------------
+// Per-dimension closed-form solving.
+// ---------------------------------------------------------------------------
+
+/// Exact solution of one dimension equation over the box `[0, m]²`.
+enum DimSol {
+    /// No solution; tagged with the refuting layer.
+    Never(DepLayer),
+    /// `0 = 0`: every iteration pair satisfies this dimension.
+    All,
+    /// Exact distance set, each distance with a witness `(t1, t2)`.
+    Dists(BTreeMap<i64, (i64, i64)>),
+    /// Non-empty but wider than [`DIST_CAP`]; holds one witness.
+    Wide((i64, i64)),
+}
+
+fn floor_div(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) != (b < 0) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn ceil_div(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+fn gcd128(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Extended gcd: returns `(g, x, y)` with `a·x + b·y = g = gcd(|a|, |b|)`.
+fn egcd(a: i128, b: i128) -> (i128, i128, i128) {
+    if b == 0 {
+        if a >= 0 {
+            (a, 1, 0)
+        } else {
+            (-a, -1, 0)
+        }
+    } else {
+        let (g, x, y) = egcd(b, a % b);
+        (g, y, x - (a / b) * y)
+    }
+}
+
+/// Range of `k` with `0 ≤ base + slope·k ≤ m` (`slope ≠ 0`), or `None` when
+/// empty.
+fn k_range(base: i128, slope: i128, m: i128) -> Option<(i128, i128)> {
+    let (lo, hi) = if slope > 0 {
+        (ceil_div(-base, slope), floor_div(m - base, slope))
+    } else {
+        (ceil_div(m - base, slope), floor_div(-base, slope))
+    };
+    (lo <= hi).then_some((lo, hi))
+}
+
+/// `δ` spans an inclusive interval; enumerate when small, widen otherwise.
+/// `wit(δ)` produces a witness pair for a given distance.
+fn span_dists(dlo: i128, dhi: i128, wit: impl Fn(i128) -> (i128, i128)) -> DimSol {
+    if dhi - dlo < DIST_CAP as i128 {
+        let mut map = BTreeMap::new();
+        for d in dlo..=dhi {
+            let (t1, t2) = wit(d);
+            map.insert(d as i64, (t1 as i64, t2 as i64));
+        }
+        DimSol::Dists(map)
+    } else {
+        let (t1, t2) = wit(dlo);
+        DimSol::Wide((t1 as i64, t2 as i64))
+    }
+}
+
+/// Solve `A·t1 − B·t2 = C` over `0 ≤ t1, t2 ≤ m` exactly.
+fn solve_dim(qa: i64, qb: i64, qc: i64, m: i64) -> DimSol {
+    let (a, b, c, m) = (qa as i128, qb as i128, qc as i128, m as i128);
+    if a == 0 && b == 0 {
+        return if c == 0 {
+            DimSol::All
+        } else {
+            DimSol::Never(DepLayer::Gcd)
+        };
+    }
+    // Layer 1: GCD divisibility.
+    let g = gcd128(a, b);
+    if c % g != 0 {
+        return DimSol::Never(DepLayer::Gcd);
+    }
+    // Layer 2: Banerjee extreme-value bounds over the box.
+    let lo = (a * m).min(0) - (b * m).max(0);
+    let hi = (a * m).max(0) - (b * m).min(0);
+    if c < lo || c > hi {
+        return DimSol::Never(DepLayer::Banerjee);
+    }
+    // Layer 3: exact closed form.
+    if b == 0 {
+        // t1 is pinned, t2 is free.
+        let t1 = c / a;
+        if c % a != 0 || t1 < 0 || t1 > m {
+            return DimSol::Never(DepLayer::Exact);
+        }
+        return span_dists(-t1, m - t1, |d| (t1, t1 + d));
+    }
+    if a == 0 {
+        // t2 is pinned, t1 is free.
+        let t2 = c / -b;
+        if c % b != 0 || t2 < 0 || t2 > m {
+            return DimSol::Never(DepLayer::Exact);
+        }
+        return span_dists(t2 - m, t2, |d| (t2 - d, t2));
+    }
+    // General case: a·t1 + b'·t2 = c with b' = −b.
+    let bp = -b;
+    let (g2, x, y) = egcd(a, bp);
+    let mult = c / g2;
+    let x0 = x * mult;
+    let y0 = y * mult;
+    let s1 = bp / g2; // t1 = x0 + s1·k
+    let s2 = -a / g2; // t2 = y0 + s2·k
+    let Some((l1, h1)) = k_range(x0, s1, m) else {
+        return DimSol::Never(DepLayer::Exact);
+    };
+    let Some((l2, h2)) = k_range(y0, s2, m) else {
+        return DimSol::Never(DepLayer::Exact);
+    };
+    let (klo, khi) = (l1.max(l2), h1.min(h2));
+    if klo > khi {
+        return DimSol::Never(DepLayer::Exact);
+    }
+    let dslope = s2 - s1;
+    if dslope == 0 {
+        // A == B: single distance regardless of k.
+        let d = y0 - x0;
+        let mut map = BTreeMap::new();
+        map.insert(d as i64, ((x0 + s1 * klo) as i64, (y0 + s2 * klo) as i64));
+        return DimSol::Dists(map);
+    }
+    if khi - klo < DIST_CAP as i128 {
+        let mut map = BTreeMap::new();
+        for k in klo..=khi {
+            let t1 = x0 + s1 * k;
+            let t2 = y0 + s2 * k;
+            map.insert((t2 - t1) as i64, (t1 as i64, t2 as i64));
+        }
+        return DimSol::Dists(map);
+    }
+    DimSol::Wide(((x0 + s1 * klo) as i64, (y0 + s2 * klo) as i64))
+}
+
+// ---------------------------------------------------------------------------
+// Pair-level fold.
+// ---------------------------------------------------------------------------
+
+/// Decide one same-array access pair under a known loop range.
+///
+/// Soundness: a `Distances` verdict always contains every iteration distance
+/// realized by the pair within the range; `Independent` is backed by an
+/// UNSAT certificate over a system whose unsatisfiability implies no shared
+/// cell; `AnyWithWitness` never constrains the scheduler beyond the old
+/// `Any`. The emitted certificate is self-checked before returning — a
+/// failed self-check (which would indicate an engine bug) conservatively
+/// downgrades the pair to `Undecidable`.
+pub fn analyze_pair(
+    a: &ArrayAccess,
+    b: &ArrayAccess,
+    var: &str,
+    range: &LoopRange,
+    stats: &mut DepStats,
+) -> PairAnalysis {
+    if a.indices.len() != b.indices.len() || a.indices.is_empty() {
+        return PairAnalysis::undecidable();
+    }
+    let m = range.trips - 1;
+    let mut eqs: Vec<Option<(i64, i64, i64)>> = Vec::new();
+    let mut sols: Vec<Option<DimSol>> = Vec::new();
+    for (ea, eb) in a.indices.iter().zip(&b.indices) {
+        match dim_equation(ea, eb, var, range) {
+            None => {
+                eqs.push(None);
+                sols.push(None);
+            }
+            Some((qa, qb, qc)) => {
+                eqs.push(Some((qa, qb, qc)));
+                sols.push(Some(solve_dim(qa, qb, qc, m)));
+            }
+        }
+    }
+    // A single refuted dimension proves independence even when other
+    // dimensions are undecidable: the certificate system is just that
+    // dimension's equation.
+    for (d, sol) in sols.iter().enumerate() {
+        if let Some(DimSol::Never(layer)) = sol {
+            let (qa, qb, qc) = eqs[d].expect("refuted dim has an equation");
+            let system = DepSystem {
+                bound: m,
+                dims: vec![DimEq {
+                    dim: d,
+                    a: qa,
+                    b: qb,
+                    c: qc,
+                }],
+            };
+            match *layer {
+                DepLayer::Gcd => stats.gcd_hits += 1,
+                DepLayer::Banerjee => stats.banerjee_hits += 1,
+                _ => {}
+            }
+            return finish(
+                a,
+                b,
+                var,
+                range,
+                stats,
+                PairAnalysis {
+                    verdict: DepVerdict::Independent,
+                    layer: Some(*layer),
+                    certificate: Some(DepCertificate::Independent { system }),
+                },
+            );
+        }
+    }
+    if sols.iter().any(|s| s.is_none()) {
+        return PairAnalysis::undecidable();
+    }
+    let sols: Vec<DimSol> = sols.into_iter().map(|s| s.unwrap()).collect();
+    let full_system = DepSystem {
+        bound: m,
+        dims: eqs
+            .iter()
+            .enumerate()
+            .map(|(d, eq)| {
+                let (qa, qb, qc) = eq.expect("all dims derivable here");
+                DimEq {
+                    dim: d,
+                    a: qa,
+                    b: qb,
+                    c: qc,
+                }
+            })
+            .collect(),
+    };
+    // Every dimension unconstrained: the accesses collide everywhere.
+    if sols.iter().all(|s| matches!(s, DimSol::All)) {
+        let ana = if 2 * m < DIST_CAP as i64 {
+            PairAnalysis {
+                verdict: DepVerdict::Distances((-m..=m).collect()),
+                layer: Some(DepLayer::Exact),
+                certificate: Some(DepCertificate::Dependent { t1: 0, t2: 0 }),
+            }
+        } else {
+            stats.widened_to_any += 1;
+            PairAnalysis {
+                verdict: DepVerdict::AnyWithWitness,
+                layer: Some(DepLayer::Exact),
+                certificate: Some(DepCertificate::Dependent { t1: 0, t2: 0 }),
+            }
+        };
+        return finish(a, b, var, range, stats, ana);
+    }
+    // Intersect the exact per-dimension distance sets (All/Wide dims impose
+    // no distance constraint). Any realized pair's distance lies in every
+    // exact set, so an empty intersection proves independence.
+    let mut inter: Option<BTreeSet<i64>> = None;
+    let mut any_wide = false;
+    for sol in &sols {
+        match sol {
+            DimSol::All => {}
+            DimSol::Wide(_) => any_wide = true,
+            DimSol::Dists(map) => {
+                let keys: BTreeSet<i64> = map.keys().copied().collect();
+                inter = Some(match inter {
+                    None => keys,
+                    Some(prev) => prev.intersection(&keys).copied().collect(),
+                });
+            }
+            DimSol::Never(_) => unreachable!("handled above"),
+        }
+    }
+    if let Some(set) = &inter {
+        if set.is_empty() {
+            return finish(
+                a,
+                b,
+                var,
+                range,
+                stats,
+                PairAnalysis {
+                    verdict: DepVerdict::Independent,
+                    layer: Some(DepLayer::Exact),
+                    certificate: Some(DepCertificate::Independent {
+                        system: full_system,
+                    }),
+                },
+            );
+        }
+    }
+    // Single-dimension subscripts need no joint confirmation: the per-dim
+    // solution is the whole story.
+    if sols.len() == 1 {
+        let ana = match &sols[0] {
+            DimSol::Dists(map) => {
+                let (&_, &(t1, t2)) = map.iter().next().expect("non-empty");
+                PairAnalysis {
+                    verdict: DepVerdict::Distances(map.keys().copied().collect()),
+                    layer: Some(DepLayer::Exact),
+                    certificate: Some(DepCertificate::Dependent { t1, t2 }),
+                }
+            }
+            DimSol::Wide((t1, t2)) => {
+                stats.widened_to_any += 1;
+                PairAnalysis {
+                    verdict: DepVerdict::AnyWithWitness,
+                    layer: Some(DepLayer::Exact),
+                    certificate: Some(DepCertificate::Dependent { t1: *t1, t2: *t2 }),
+                }
+            }
+            _ => unreachable!("All and Never handled above"),
+        };
+        return finish(a, b, var, range, stats, ana);
+    }
+    // Multi-dimensional: a shared distance does not imply a shared (t1, t2),
+    // so decide the conjoined system with the SAT layer.
+    stats.sat_decided += 1;
+    let ana = match full_system.solve() {
+        None => PairAnalysis {
+            verdict: DepVerdict::Independent,
+            layer: Some(DepLayer::Sat),
+            certificate: Some(DepCertificate::Independent {
+                system: full_system,
+            }),
+        },
+        Some((t1, t2)) => {
+            let verdict = match inter {
+                Some(set) => DepVerdict::Distances(set.into_iter().collect()),
+                None => {
+                    debug_assert!(any_wide);
+                    stats.widened_to_any += 1;
+                    DepVerdict::AnyWithWitness
+                }
+            };
+            PairAnalysis {
+                verdict,
+                layer: Some(DepLayer::Sat),
+                certificate: Some(DepCertificate::Dependent { t1, t2 }),
+            }
+        }
+    };
+    finish(a, b, var, range, stats, ana)
+}
+
+/// Self-check the certificate and finalize counters. A failing self-check
+/// (an engine bug) downgrades to `Undecidable` rather than shipping an
+/// invalid proof.
+fn finish(
+    a: &ArrayAccess,
+    b: &ArrayAccess,
+    var: &str,
+    range: &LoopRange,
+    stats: &mut DepStats,
+    ana: PairAnalysis,
+) -> PairAnalysis {
+    if let Some(cert) = &ana.certificate {
+        match check_dep_certificate(a, b, var, range, cert) {
+            Ok(()) => stats.certs_checked += 1,
+            Err(e) => {
+                debug_assert!(false, "self-check failed: {e}");
+                return PairAnalysis::undecidable();
+            }
+        }
+    }
+    stats.pairs_decided += 1;
+    ana
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_ast::parse_expr;
+
+    fn acc(array: &str, subs: &[&str], write: bool) -> ArrayAccess {
+        ArrayAccess {
+            array: array.to_string(),
+            indices: subs.iter().map(|s| parse_expr(s).unwrap()).collect(),
+            write,
+        }
+    }
+
+    fn range(init: i64, step: i64, trips: i64) -> LoopRange {
+        LoopRange { init, step, trips }
+    }
+
+    fn run(a: &ArrayAccess, b: &ArrayAccess, r: &LoopRange) -> PairAnalysis {
+        let mut st = DepStats::default();
+        analyze_pair(a, b, "i", r, &mut st)
+    }
+
+    #[test]
+    fn same_coefficient_distance() {
+        // A[i] vs A[i-1] over i = 0..10: distance 1 (iteration space).
+        let w = acc("A", &["i"], true);
+        let rd = acc("A", &["i - 1"], false);
+        let ana = run(&w, &rd, &range(0, 1, 10));
+        assert_eq!(ana.verdict, DepVerdict::Distances(vec![1]));
+        assert!(matches!(
+            ana.certificate,
+            Some(DepCertificate::Dependent { .. })
+        ));
+    }
+
+    #[test]
+    fn gcd_refutes_mismatched_strides() {
+        // A[4i] vs A[2i+1]: gcd(4,2) = 2 does not divide 1.
+        let w = acc("A", &["4 * i"], true);
+        let rd = acc("A", &["2 * i + 1"], false);
+        let ana = run(&w, &rd, &range(0, 1, 100));
+        assert_eq!(ana.verdict, DepVerdict::Independent);
+        assert_eq!(ana.layer, Some(DepLayer::Gcd));
+        assert!(matches!(
+            ana.certificate,
+            Some(DepCertificate::Independent { .. })
+        ));
+    }
+
+    #[test]
+    fn banerjee_refutes_out_of_range_offset() {
+        // A[i+101] vs A[i] over 99 trips: offset beyond the iteration box.
+        let w = acc("A", &["i + 101"], true);
+        let rd = acc("A", &["i"], false);
+        let ana = run(&w, &rd, &range(0, 1, 99));
+        assert_eq!(ana.verdict, DepVerdict::Independent);
+        assert_eq!(ana.layer, Some(DepLayer::Banerjee));
+    }
+
+    #[test]
+    fn coefficient_mismatch_yields_exact_distances() {
+        // A[2i] vs A[i] over i = 0..4: collisions at 2t1 = t2, i.e.
+        // (0,0), (1,2): distances {0, 1}.
+        let w = acc("A", &["2 * i"], true);
+        let rd = acc("A", &["i"], false);
+        let ana = run(&w, &rd, &range(0, 1, 4));
+        assert_eq!(ana.verdict, DepVerdict::Distances(vec![0, 1]));
+    }
+
+    #[test]
+    fn wide_sets_are_widened_with_witness() {
+        // A[2i] vs A[i] over 100 trips: 50 collisions — wider than the cap.
+        let w = acc("A", &["2 * i"], true);
+        let rd = acc("A", &["i"], false);
+        let mut st = DepStats::default();
+        let ana = analyze_pair(&w, &rd, "i", &range(0, 1, 100), &mut st);
+        assert_eq!(ana.verdict, DepVerdict::AnyWithWitness);
+        assert_eq!(st.widened_to_any, 1);
+        let Some(DepCertificate::Dependent { t1, t2 }) = ana.certificate else {
+            panic!("expected witness");
+        };
+        assert_eq!(2 * t1, t2); // 2·i(t1) = i(t2) with init 0, step 1
+    }
+
+    #[test]
+    fn nonzero_init_and_step_normalize() {
+        // for (i = 2; i < 22; i += 2): A[i] vs A[i-4] → iteration distance 2.
+        let w = acc("A", &["i"], true);
+        let rd = acc("A", &["i - 4"], false);
+        let ana = run(&w, &rd, &range(2, 2, 10));
+        assert_eq!(ana.verdict, DepVerdict::Distances(vec![2]));
+    }
+
+    #[test]
+    fn negative_step_normalizes() {
+        // for (i = 9; i >= 0; i--): A[i] vs A[i+1] → the read at iteration
+        // t+1 sees the cell written at t: distance 1.
+        let w = acc("A", &["i"], true);
+        let rd = acc("A", &["i + 1"], false);
+        let ana = run(&w, &rd, &range(9, -1, 10));
+        assert_eq!(ana.verdict, DepVerdict::Distances(vec![1]));
+    }
+
+    #[test]
+    fn multi_dim_conflict_needs_shared_iteration() {
+        // A[i][i] vs A[i-1][i-2]: dim 0 forces δ=1, dim 1 forces δ=2 —
+        // empty intersection, independent.
+        let w = acc("A", &["i", "i"], true);
+        let rd = acc("A", &["i - 1", "i - 2"], false);
+        let ana = run(&w, &rd, &range(0, 1, 50));
+        assert_eq!(ana.verdict, DepVerdict::Independent);
+    }
+
+    #[test]
+    fn multi_dim_sat_confirms_dependence() {
+        let w = acc("A", &["i", "i"], true);
+        let rd = acc("A", &["i - 1", "i - 1"], false);
+        let mut st = DepStats::default();
+        let ana = analyze_pair(&w, &rd, "i", &range(0, 1, 50), &mut st);
+        assert_eq!(ana.verdict, DepVerdict::Distances(vec![1]));
+        assert_eq!(st.sat_decided, 1);
+    }
+
+    #[test]
+    fn symbolic_residue_is_undecidable() {
+        let w = acc("A", &["i + n"], true);
+        let rd = acc("A", &["i"], false);
+        let ana = run(&w, &rd, &range(0, 1, 10));
+        assert_eq!(ana.verdict, DepVerdict::Undecidable);
+        assert!(ana.certificate.is_none());
+    }
+
+    #[test]
+    fn nonaffine_is_undecidable() {
+        let w = acc("A", &["P[i]"], true);
+        let rd = acc("A", &["i"], false);
+        let ana = run(&w, &rd, &range(0, 1, 10));
+        assert_eq!(ana.verdict, DepVerdict::Undecidable);
+    }
+
+    #[test]
+    fn constant_subscripts_collide_everywhere() {
+        let w = acc("A", &["0"], true);
+        let rd = acc("A", &["0"], false);
+        let mut st = DepStats::default();
+        let ana = analyze_pair(&w, &rd, "i", &range(0, 1, 100), &mut st);
+        assert_eq!(ana.verdict, DepVerdict::AnyWithWitness);
+        // Small loops enumerate instead.
+        let ana2 = run(&w, &rd, &range(0, 1, 3));
+        assert_eq!(ana2.verdict, DepVerdict::Distances(vec![-2, -1, 0, 1, 2]));
+    }
+
+    #[test]
+    fn certificates_self_check() {
+        let w = acc("A", &["4 * i"], true);
+        let rd = acc("A", &["2 * i + 1"], false);
+        let mut st = DepStats::default();
+        analyze_pair(&w, &rd, "i", &range(0, 1, 100), &mut st);
+        assert_eq!(st.certs_checked, 1);
+        assert_eq!(st.pairs_decided, 1);
+        assert_eq!(st.gcd_hits, 1);
+    }
+
+    /// Ground-truth check: every verdict's distance set must cover the
+    /// concrete collisions found by direct enumeration.
+    #[test]
+    fn verdicts_cover_enumeration() {
+        let cases = [
+            ("2 * i", "i + 3", 0, 1, 12),
+            ("3 * i + 1", "2 * i", 0, 1, 9),
+            ("i", "i - 2", 5, 3, 7),
+            ("2 * i", "2 * i + 1", 0, 1, 20),
+            ("i + 1", "2 * i", 1, 2, 6),
+        ];
+        for (sa, sb, init, step, trips) in cases {
+            let a = acc("A", &[sa], true);
+            let b = acc("A", &[sb], false);
+            let r = range(init, step, trips);
+            let ana = run(&a, &b, &r);
+            // enumerate ground truth
+            let la = parse_expr(sa).unwrap();
+            let lb = parse_expr(sb).unwrap();
+            let fa = crate::linform::linearize(&la).unwrap();
+            let fb = crate::linform::linearize(&lb).unwrap();
+            let eval =
+                |f: &crate::linform::LinForm, t: i64| f.coeff("i") * (init + t * step) + f.konst;
+            let mut ground: BTreeSet<i64> = BTreeSet::new();
+            for t1 in 0..trips {
+                for t2 in 0..trips {
+                    if eval(&fa, t1) == eval(&fb, t2) {
+                        ground.insert(t2 - t1);
+                    }
+                }
+            }
+            match &ana.verdict {
+                DepVerdict::Independent => {
+                    assert!(ground.is_empty(), "{sa} vs {sb}: missed {ground:?}")
+                }
+                DepVerdict::Distances(ds) => {
+                    let set: BTreeSet<i64> = ds.iter().copied().collect();
+                    assert!(
+                        ground.is_subset(&set),
+                        "{sa} vs {sb}: ground {ground:?} ⊄ {set:?}"
+                    );
+                }
+                DepVerdict::AnyWithWitness => assert!(!ground.is_empty()),
+                DepVerdict::Undecidable => panic!("{sa} vs {sb} should decide"),
+            }
+        }
+    }
+}

@@ -16,6 +16,13 @@
 //!   otherwise), producing flow/anti/output edges labeled with one *or more*
 //!   iteration-distance values per edge (§3.6 notes an edge may carry
 //!   several `<distance, delay>` pairs);
+//! * [`exactdep`] — the layered exact dependence engine (GCD → Banerjee →
+//!   closed-form → SAT) used instead of [`deps`] whenever the loop range is
+//!   a compile-time constant; every verdict carries a re-checkable
+//!   certificate from [`depcert`];
+//! * [`depcert`] — typed dependence certificates (witness iteration pairs
+//!   and UNSAT-style independence proofs over the in-workspace `slc-sat`
+//!   solver) plus their re-validation entry point;
 //! * [`ddg`] — the MI-level data dependence graph consumed by the MII
 //!   computation in `slc-core`;
 //! * [`memref`] — the §4 memory-ref ratio `LS / (LS + AO)` used by the
@@ -27,15 +34,24 @@
 pub mod access;
 pub mod brute;
 pub mod ddg;
+pub mod depcert;
 pub mod deps;
+pub mod exactdep;
 pub mod fingerprint;
 pub mod linform;
 pub mod memref;
 pub mod mi;
 
 pub use access::{accesses_of_stmt, ArrayAccess, MiAccesses, ScalarAccess};
-pub use ddg::{build_ddg, Ddg, DepEdge, DepKind, Distance};
-pub use deps::{array_dep_distances, AnalysisError};
+pub use brute::{brute_force_deps, ddg_covers, GroundDep};
+pub use ddg::{build_ddg, build_ddg_ranged, Ddg, DepEdge, DepKind, Distance, RangedDdg};
+pub use depcert::{
+    check_dep_certificate, derive_system, DepCertError, DepCertificate, DepSystem, DimEq,
+};
+pub use deps::{array_dep_distances, AnalysisError, DepDist};
+pub use exactdep::{
+    analyze_pair, DepLayer, DepPairSummary, DepStats, DepVerdict, LoopRange, PairAnalysis, DIST_CAP,
+};
 pub use fingerprint::{fingerprint_str, program_fingerprint, Fnv64};
 pub use linform::LinForm;
 pub use memref::{memref_ratio, op_counts, OpCounts};

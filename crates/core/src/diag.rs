@@ -79,6 +79,25 @@ pub enum DiagEvent {
         /// clauses in the attached infeasibility proof (0 = `II == MII`)
         proof_clauses: usize,
     },
+    /// The exact dependence engine analyzed the loop's array access pairs
+    /// (accumulated across every DDG build of the attempt — decomposition
+    /// rounds, exact-scheduler rebuilds and the final body). Only emitted
+    /// when the loop range was a compile-time constant; the counts feed the
+    /// `deps.*` registry family.
+    DepsAnalyzed {
+        /// pairs given a definite verdict (not `Undecidable`)
+        pairs_decided: u64,
+        /// pairs refuted by the GCD divisibility layer
+        gcd_hits: u64,
+        /// pairs refuted by the Banerjee bounds layer
+        banerjee_hits: u64,
+        /// pairs whose verdict needed the SAT layer
+        sat_decided: u64,
+        /// dependent pairs widened past the distance cap
+        widened_to_any: u64,
+        /// certificates self-checked clean
+        certs_checked: u64,
+    },
     /// The loop was scheduled and emitted.
     Scheduled {
         /// achieved initiation interval
@@ -175,6 +194,21 @@ impl DiagEvent {
                 .field("sat_propagations", *sat_propagations)
                 .field("sat_restarts", *sat_restarts)
                 .field("proof_clauses", *proof_clauses),
+            DiagEvent::DepsAnalyzed {
+                pairs_decided,
+                gcd_hits,
+                banerjee_hits,
+                sat_decided,
+                widened_to_any,
+                certs_checked,
+            } => Json::obj()
+                .field("event", "deps_analyzed")
+                .field("pairs_decided", *pairs_decided)
+                .field("gcd_hits", *gcd_hits)
+                .field("banerjee_hits", *banerjee_hits)
+                .field("sat_decided", *sat_decided)
+                .field("widened_to_any", *widened_to_any)
+                .field("certs_checked", *certs_checked),
             DiagEvent::Scheduled {
                 ii,
                 cycles_mii,
@@ -359,6 +393,21 @@ impl std::fmt::Display for DiagEvent {
                         ", {c}-clause refutation of II − 1 ({sat_conflicts} conflicts)"
                     ),
                 }
+            }
+            DiagEvent::DepsAnalyzed {
+                pairs_decided,
+                gcd_hits,
+                banerjee_hits,
+                sat_decided,
+                widened_to_any,
+                certs_checked,
+            } => {
+                write!(
+                    f,
+                    "deps: {pairs_decided} pairs decided (gcd {gcd_hits}, banerjee \
+                     {banerjee_hits}, sat {sat_decided}), {widened_to_any} widened, \
+                     {certs_checked} certificates self-checked"
+                )
             }
             DiagEvent::Scheduled {
                 ii,

@@ -42,7 +42,10 @@ pub use filter::{filter_loop, FilterConfig, FilterVerdict};
 pub use ifconv::{if_convert, needs_if_conversion};
 pub use mii::{constraints_of, cycles_mii, placement_mii, Constraint};
 
-use slc_analysis::{build_ddg, partition_mis, AnalysisError, Ddg, DepKind, Distance};
+use slc_analysis::{
+    build_ddg, build_ddg_ranged, partition_mis, AnalysisError, Ddg, DepKind, DepPairSummary,
+    DepStats, Distance, LoopRange,
+};
 use slc_ast::{AssignOp, LValue, LoopId, Program, Stmt};
 use slc_trace::Tracer;
 use std::collections::HashSet;
@@ -238,6 +241,10 @@ pub struct SlmsReport {
     /// Re-checkable II-optimality certificate, in the emitted index
     /// space. `Some` exactly when the exact scheduler ran.
     pub certificate: Option<slc_exact::OptimalityCertificate>,
+    /// Per-pair dependence verdicts (with certificates) of the exact
+    /// engine's final analysis of the emitted body. Empty when the loop
+    /// range was not a compile-time constant (legacy test used instead).
+    pub dep_pairs: Vec<DepPairSummary>,
 }
 
 /// A successful transformation: replacement statements plus statistics.
@@ -247,6 +254,26 @@ pub struct SlmsOutput {
     pub stmts: Vec<Stmt>,
     /// Transformation statistics.
     pub report: SlmsReport,
+}
+
+/// Build the loop DDG with the exact, certificate-producing engine when the
+/// loop range is a compile-time constant, falling back to the legacy test
+/// otherwise. Returns the per-pair verdicts alongside (empty on fallback);
+/// `stats` accumulates the `deps.*` counters across calls.
+fn build_loop_ddg(
+    mis: &[slc_analysis::Mi],
+    var: &str,
+    step: i64,
+    range: Option<&LoopRange>,
+    stats: &mut DepStats,
+) -> (Ddg, Vec<DepPairSummary>) {
+    match range {
+        Some(r) => {
+            let rd = build_ddg_ranged(mis, var, r, stats);
+            (rd.ddg, rd.pairs)
+        }
+        None => (build_ddg(mis, var, step), Vec::new()),
+    }
 }
 
 /// Find scalars that expansion may rename: single unconditional plain def,
@@ -430,12 +457,21 @@ fn slms_loop_inner(
         events.push(DiagEvent::SymbolicGuard);
     }
 
+    // Exact dependence engine: available whenever the loop range is fully
+    // constant. `None` keeps the legacy per-pair test.
+    let range = if symbolic {
+        None
+    } else {
+        LoopRange::of_loop(f)
+    };
+    let mut dep_stats = DepStats::default();
+
     // Decomposition loop (§5 step 5).
     let mut mii_span = tracer.span("slms", "slms.mii");
     let mut decomposed: Vec<String> = Vec::new();
     let (ii, mis, expand, cons) = loop {
         let mis = partition_mis(&body)?;
-        let ddg = build_ddg(&mis, &f.var, f.step);
+        let (ddg, _) = build_loop_ddg(&mis, &f.var, f.step, range.as_ref(), &mut dep_stats);
         let expand = if cfg.expansion == Expansion::Off || symbolic {
             vec![]
         } else {
@@ -458,6 +494,7 @@ fn slms_loop_inner(
             break (ii, mis, expand, cons);
         }
         if decomposed.len() >= cfg.max_decompositions {
+            push_deps_event(events, range.as_ref(), &dep_stats);
             return Err(SlmsError::NoValidIi);
         }
         // Choose a victim: prefer MIs with loop-carried self dependences,
@@ -480,6 +517,7 @@ fn slms_loop_inner(
             }
         }
         if !progressed {
+            push_deps_event(events, range.as_ref(), &dep_stats);
             return Err(SlmsError::NoValidIi);
         }
     };
@@ -517,7 +555,8 @@ fn slms_loop_inner(
                 // fixed-placement bound must reproduce the proven II.
                 let permuted: Vec<Stmt> = r.order.iter().map(|&k| mis[k].stmt.clone()).collect();
                 let new_mis = partition_mis(&permuted)?;
-                let new_ddg = build_ddg(&new_mis, &f.var, f.step);
+                let (new_ddg, _) =
+                    build_loop_ddg(&new_mis, &f.var, f.step, range.as_ref(), &mut dep_stats);
                 let new_expand = if cfg.expansion == Expansion::Off || symbolic {
                     vec![]
                 } else {
@@ -580,8 +619,10 @@ fn slms_loop_inner(
                 .as_deref()
                 .is_some_and(|s| expand.iter().any(|v| v.name == s))
     };
-    let final_ddg = build_ddg(&mis, &f.var, f.step);
+    let (final_ddg, dep_pairs) =
+        build_loop_ddg(&mis, &f.var, f.step, range.as_ref(), &mut dep_stats);
     let cmii = cycles_mii(&constraints_of(&final_ddg, &removable), mis.len());
+    push_deps_event(events, range.as_ref(), &dep_stats);
     events.push(DiagEvent::Scheduled {
         ii,
         cycles_mii: cmii,
@@ -609,8 +650,25 @@ fn slms_loop_inner(
             heuristic_ii: certificate.as_ref().map(|_| heuristic_ii),
             exact_order,
             certificate,
+            dep_pairs,
         },
     })
+}
+
+/// Record the accumulated exact-engine counters in the decision trace (one
+/// event per attempt; skipped when the legacy test ran instead).
+fn push_deps_event(events: &mut Vec<DiagEvent>, range: Option<&LoopRange>, s: &DepStats) {
+    if range.is_none() {
+        return;
+    }
+    events.push(DiagEvent::DepsAnalyzed {
+        pairs_decided: s.pairs_decided,
+        gcd_hits: s.gcd_hits,
+        banerjee_hits: s.banerjee_hits,
+        sat_decided: s.sat_decided,
+        widened_to_any: s.widened_to_any,
+        certs_checked: s.certs_checked,
+    });
 }
 
 /// Outcome of attempting SLMS on one loop inside a program.

@@ -580,6 +580,23 @@ impl CompileService {
                         reg.add("exact.sat_restarts", *sat_restarts);
                         reg.add("exact.proof_clauses", *proof_clauses as u64);
                     }
+                    DiagEvent::DepsAnalyzed {
+                        pairs_decided,
+                        gcd_hits,
+                        banerjee_hits,
+                        sat_decided,
+                        widened_to_any,
+                        certs_checked,
+                    } => {
+                        // add even when 0 so the whole family exists
+                        // whenever the exact dependence engine ran at all
+                        reg.add("deps.pairs_decided", *pairs_decided);
+                        reg.add("deps.gcd_hits", *gcd_hits);
+                        reg.add("deps.banerjee_hits", *banerjee_hits);
+                        reg.add("deps.sat_decided", *sat_decided);
+                        reg.add("deps.widened_to_any", *widened_to_any);
+                        reg.add("deps.certs_checked", *certs_checked);
+                    }
                     _ => {}
                 }
             }

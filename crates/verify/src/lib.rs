@@ -192,6 +192,26 @@ pub enum Violation {
         /// rendered evidence
         detail: String,
     },
+    /// The exact dependence engine decided an array pair but the report
+    /// carries no certificate for it to re-check.
+    DepCertMissing {
+        /// rendered evidence
+        detail: String,
+    },
+    /// A dependence-witness certificate does not re-evaluate to a genuine
+    /// conflict (wrong iterations, infeasible equation, or claimed for an
+    /// independent pair).
+    DepCertWitness {
+        /// rendered evidence
+        detail: String,
+    },
+    /// An independence-proof certificate is broken: its Diophantine system
+    /// does not match the re-derived one, or re-solving it finds a
+    /// satisfying iteration pair (the "proof" proves nothing).
+    DepCertProof {
+        /// rendered evidence
+        detail: String,
+    },
 }
 
 impl Violation {
@@ -217,6 +237,9 @@ impl Violation {
             Violation::CertificateWitness { .. } => "cert-witness",
             Violation::CertificateProofClause { .. } => "cert-proof-clause",
             Violation::CertificateProofSat { .. } => "cert-proof-sat",
+            Violation::DepCertMissing { .. } => "dep-cert-missing",
+            Violation::DepCertWitness { .. } => "dep-cert-witness",
+            Violation::DepCertProof { .. } => "dep-cert-proof",
         }
     }
 }
@@ -238,7 +261,10 @@ impl std::fmt::Display for Violation {
             | Violation::CertificateMii { detail }
             | Violation::CertificateWitness { detail }
             | Violation::CertificateProofClause { detail }
-            | Violation::CertificateProofSat { detail } => f.write_str(detail),
+            | Violation::CertificateProofSat { detail }
+            | Violation::DepCertMissing { detail }
+            | Violation::DepCertWitness { detail }
+            | Violation::DepCertProof { detail } => f.write_str(detail),
             Violation::CertificateMissing { n_mis } => {
                 write!(
                     f,

@@ -24,7 +24,10 @@ use std::collections::{HashMap, HashSet};
 
 use slc_analysis::deps::DepDist;
 use slc_analysis::linform::linearize;
-use slc_analysis::{accesses_of_stmt, array_dep_distances};
+use slc_analysis::{
+    accesses_of_stmt, analyze_pair, array_dep_distances, DepCertificate, DepStats, DepVerdict,
+    LoopRange,
+};
 use slc_ast::pretty::{expr_to_string, stmts_to_source};
 use slc_ast::visit::{for_each_expr, walk_expr};
 use slc_ast::{AssignOp, Expr, ForLoop, LValue, Program, Stmt};
@@ -270,6 +273,7 @@ fn alias_hazards(prog: &Program, out: &mut Vec<Lint>) {
     let mut loops = Vec::new();
     innermost_loops(&prog.stmts, &mut loops);
     for f in loops {
+        let range = LoopRange::of_loop(f);
         let mut seen: HashSet<String> = HashSet::new();
         let accs: Vec<_> = f
             .body
@@ -288,22 +292,55 @@ fn alias_hazards(prog: &Program, out: &mut Vec<Lint>) {
                         .iter()
                         .zip(&b.indices)
                         .any(|(ia, ib)| dim_undecidable(ia, ib, &f.var));
-                if (dist == DepDist::Any || fuzzy_dim) && seen.insert(a.array.clone()) {
+                if !(dist == DepDist::Any || fuzzy_dim) {
+                    continue;
+                }
+                // The legacy test gave up on this pair. When the loop range
+                // is constant, ask the exact engine for a precise verdict
+                // before warning: proven-independent or exact-distance pairs
+                // are not hazards, and a dependent-but-wide pair names its
+                // concrete witness instead of a vague "may alias".
+                let message = match &range {
+                    Some(r) => {
+                        let mut st = DepStats::default();
+                        let ana = analyze_pair(a, b, &f.var, r, &mut st);
+                        match (&ana.verdict, &ana.certificate) {
+                            (DepVerdict::Independent, _) | (DepVerdict::Distances(_), _) => {
+                                continue; // precisely decided: no hazard
+                            }
+                            (
+                                DepVerdict::AnyWithWitness,
+                                Some(DepCertificate::Dependent { t1, t2 }),
+                            ) => format!(
+                                "references to `{}` conflict at too many distances to \
+                                 enumerate (witness: iterations {t1} and {t2} touch the \
+                                 same cell); SLMS must assume a loop-carried dependence \
+                                 at every distance",
+                                a.array
+                            ),
+                            _ => undecidable_alias_message(&a.array, &f.var),
+                        }
+                    }
+                    None => undecidable_alias_message(&a.array, &f.var),
+                };
+                if seen.insert(a.array.clone()) {
                     out.push(Lint {
                         code: "SLMS-L002",
                         severity: LintSeverity::Warning,
-                        message: format!(
-                            "references to `{}` cannot be disambiguated at loop \
-                             variable `{}`; SLMS must assume a loop-carried \
-                             dependence at every distance",
-                            a.array, f.var
-                        ),
+                        message,
                         excerpt: one_line_loop(f),
                     });
                 }
             }
         }
     }
+}
+
+fn undecidable_alias_message(array: &str, var: &str) -> String {
+    format!(
+        "references to `{array}` cannot be disambiguated at loop variable \
+         `{var}`; SLMS must assume a loop-carried dependence at every distance"
+    )
 }
 
 // ── L003: non-affine subscripts ────────────────────────────────────────
@@ -322,8 +359,9 @@ fn non_affine_subscripts(prog: &Program, out: &mut Vec<Lint>) {
                                     code: "SLMS-L003",
                                     severity: LintSeverity::Warning,
                                     message: format!(
-                                        "subscript of `{arr}` is not affine; dependence \
-                                         distances involving it are unanalyzable"
+                                        "subscript of `{arr}` is not affine; even the \
+                                         exact dependence engine cannot decide pairs \
+                                         involving it"
                                     ),
                                     excerpt: format!("{arr}[{rendered}]"),
                                 });
@@ -351,8 +389,8 @@ fn collect_lvalue_subscripts(s: &Stmt, seen: &mut HashSet<String>, out: &mut Vec
                             code: "SLMS-L003",
                             severity: LintSeverity::Warning,
                             message: format!(
-                                "subscript of `{arr}` is not affine; dependence \
-                                 distances involving it are unanalyzable"
+                                "subscript of `{arr}` is not affine; even the exact \
+                                 dependence engine cannot decide pairs involving it"
                             ),
                             excerpt: format!("{arr}[{rendered}]"),
                         });

@@ -30,7 +30,10 @@
 //! count of discharged obligations is reported for `slc explain`.
 
 use crate::{Violation, VERIFY_SKIP_SYMBOLIC};
-use slc_analysis::{build_ddg, partition_mis, DepKind, Distance};
+use slc_analysis::{
+    build_ddg, build_ddg_ranged, check_dep_certificate, partition_mis, DepCertificate, DepKind,
+    DepPairSummary, DepStats, DepVerdict, Distance, LoopRange,
+};
 use slc_ast::pretty::stmts_to_source;
 use slc_ast::visit::{
     map_exprs, rewrite_expr, rewrite_lvalues, scalars_read, scalars_written, shift_induction,
@@ -512,7 +515,19 @@ pub fn verify_emission(
             };
         }
     };
-    let ddg = build_ddg(&mis, &f.var, f.step);
+    // The dependence obligations use the same engine the driver used: the
+    // exact, certificate-producing analysis whenever the range is constant
+    // (without it, loops pipelined on proven independence would fail here
+    // with spurious unknown-distance edges).
+    let range = LoopRange::of_loop(f);
+    let mut dep_stats = DepStats::default();
+    let (ddg, fresh_pairs) = match &range {
+        Some(r) => {
+            let rd = build_ddg_ranged(&mis, &f.var, r, &mut dep_stats);
+            (rd.ddg, rd.pairs)
+        }
+        None => (build_ddg(&mis, &f.var, f.step), Vec::new()),
+    };
     let p_of = |name: &str| -> Option<i64> {
         report
             .renamed
@@ -645,9 +660,77 @@ pub fn verify_emission(
     // ---- exact-scheduler optimality certificate ----------------------------
     verify_certificate(report, cfg, &cons, n, ii, &mut v, &mut obligations);
 
+    // ---- dependence certificates -------------------------------------------
+    if let Some(r) = &range {
+        verify_dep_certificates(
+            report,
+            &ddg,
+            &f.var,
+            r,
+            &fresh_pairs,
+            &mut v,
+            &mut obligations,
+        );
+    }
+
     EmissionVerdict {
         obligations,
         violations: v,
+    }
+}
+
+/// Re-check the exact dependence engine's certificates against the
+/// *recovered* body (never trusting the producer). Every access pair the
+/// fresh analysis decides must have a certificate in the report that
+/// re-validates under [`check_dep_certificate`]: a witness iteration pair
+/// that really collides, or an independence system that re-derives
+/// identically and re-solves UNSAT. Undecidable pairs carry no certificate
+/// and are exempt.
+#[allow(clippy::too_many_arguments)]
+fn verify_dep_certificates(
+    report: &SlmsReport,
+    ddg: &slc_analysis::Ddg,
+    var: &str,
+    range: &LoopRange,
+    fresh: &[DepPairSummary],
+    v: &mut Vec<Violation>,
+    obligations: &mut usize,
+) {
+    for p in fresh {
+        if matches!(p.verdict, DepVerdict::Undecidable) {
+            continue;
+        }
+        let id = format!(
+            "`{}` pair MI{}#{} vs MI{}#{}",
+            p.array, p.from_mi, p.from_ord, p.to_mi, p.to_ord
+        );
+        let stored = report.dep_pairs.iter().find(|q| {
+            q.from_mi == p.from_mi
+                && q.from_ord == p.from_ord
+                && q.to_mi == p.to_mi
+                && q.to_ord == p.to_ord
+        });
+        let Some(cert) = stored.and_then(|q| q.certificate.as_ref()) else {
+            v.push(Violation::DepCertMissing {
+                detail: format!(
+                    "{id} was decided ({}) but the report carries no certificate for it",
+                    p.verdict.name()
+                ),
+            });
+            continue;
+        };
+        let a = &ddg.accesses[p.from_mi].arrays[p.from_ord];
+        let b = &ddg.accesses[p.to_mi].arrays[p.to_ord];
+        match check_dep_certificate(a, b, var, range, cert) {
+            Ok(()) => *obligations += 1,
+            Err(e) => {
+                let detail = format!("{id}: {e}");
+                v.push(match cert {
+                    DepCertificate::Dependent { .. } => Violation::DepCertWitness { detail },
+                    DepCertificate::Independent { .. } => Violation::DepCertProof { detail },
+                });
+            }
+        }
     }
 }
 

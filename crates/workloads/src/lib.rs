@@ -417,6 +417,19 @@ pub fn stone() -> Vec<Workload> {
                  for (i = 0; i < 1000; i++) { a[i] = a[i + 2]; }",
         },
         Workload {
+            // gcd-disjoint strided references: a[4i] never meets a[2i+1]
+            // (gcd(4,2) ∤ 1) — pipelinable only under a dependence test
+            // that refutes coefficient-mismatched pairs instead of
+            // widening them to "any distance".
+            name: "stone_stride_disjoint",
+            suite: Suite::Stone,
+            source: "float a[4096]; float b[512]; int i;\n\
+                 for (i = 0; i < 500; i++) {\n\
+                   a[4 * i] = a[2 * i + 1] + 1.0;\n\
+                   b[i] = a[2 * i + 1] * 2.0;\n\
+                 }",
+        },
+        Workload {
             name: "stone_poly",
             suite: Suite::Stone,
             source: "float a[1012]; float b[1012]; float q; float r; int i;\n\

@@ -9,6 +9,8 @@
 //! USAGE: slc [OPTIONS] [FILE]          (FILE defaults to stdin)
 //!        slc explain [OPTIONS] [FILE]  (print the per-loop decision trace)
 //!        slc verify [OPTIONS] [FILE]   (statically verify SLMS schedules)
+//!        slc lint [OPTIONS] [FILE]     (run the SLMS-Lxxx lint suite alone)
+//!        slc deps [OPTIONS] [FILE]     (dump + re-check dependence verdicts)
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!        slc stats [STATS OPTIONS]     (deterministic counter registry + gate)
 //!        slc trace-check FILE          (validate a Chrome trace-event JSON)
@@ -51,6 +53,22 @@
 //!   (exit 0 = everything proven/skipped clean; 1 = violations or lint
 //!   errors; 2 = bad usage. Runs the translation validator on every
 //!   innermost loop SLMS transforms, plus the SLMS-Lxxx lint suite.)
+//!
+//! LINT OPTIONS:
+//!   --all                          lint every built-in workload
+//!   --json                         one compact JSON object per lint (JSONL)
+//!   (exit 0 = no error-severity lints; 1 = error lints or parse failure;
+//!   2 = bad usage)
+//!
+//! DEPS OPTIONS:
+//!   --all                          analyze every built-in workload
+//!   --json                         one compact JSON object per dependence
+//!                                  pair plus a per-loop stats line (JSONL)
+//!   (Per innermost constant-range loop: every same-array access pair's
+//!   verdict, deciding layer, distance set and certificate, with each
+//!   certificate re-checked on the spot. Exit 0 = all certificates
+//!   re-check clean; 1 = any re-check failure or parse failure; 2 = bad
+//!   usage.)
 //!
 //! BATCH OPTIONS (see README.md for the report schema):
 //!   --passes <PLAN>                pass plan for the transformed variant
@@ -173,6 +191,8 @@ fn usage() -> ! {
          \x20          [--compiler weak|opt|ms] [FILE]\n\
          \x20      slc explain [--passes PLAN] [--expansion ...] [--no-filter] [--all] [--json] [FILE]\n\
          \x20      slc verify [--expansion ...] [--no-filter] [--scheduler ...] [--all] [FILE]\n\
+         \x20      slc lint [--all] [--json] [FILE]\n\
+         \x20      slc deps [--all] [--json] [FILE]\n\
          \x20      slc batch [--passes PLAN] [--scheduler ...] [--threads N] [--out PATH] [--timing PATH]\n\
          \x20                [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH] [--events PATH]\n\
          \x20      slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
@@ -648,6 +668,315 @@ fn verify_main(args: impl Iterator<Item = String>) -> ! {
     exit(if bad { 1 } else { 0 })
 }
 
+fn lint_usage() -> ! {
+    eprintln!("usage: slc lint [--all] [--json] [FILE]");
+    exit(2)
+}
+
+/// `slc lint`: run the SLMS-Lxxx source lint suite standalone, without the
+/// translation validator. Exit 0 = no error-severity findings, 1 = at least
+/// one error (or parse failure), 2 = bad usage — the same contract as
+/// `slc verify`.
+fn lint_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::verify::{lint_program, LintSeverity};
+
+    let mut all = false;
+    let mut json = false;
+    let mut file: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--help" | "-h" => lint_usage(),
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => lint_usage(),
+        }
+    }
+
+    let mut bad = false;
+    let mut lint_one = |name: Option<&str>, prog: &slc::ast::Program| {
+        let lints = lint_program(prog);
+        bad |= lints.iter().any(|l| l.severity == LintSeverity::Error);
+        if json {
+            for l in &lints {
+                let mut o = Json::obj();
+                if let Some(n) = name {
+                    o = o.field("workload", n);
+                }
+                println!(
+                    "{}",
+                    o.field("code", l.code)
+                        .field("severity", l.severity.to_string())
+                        .field("message", l.message.as_str())
+                        .field("excerpt", l.excerpt.as_str())
+                );
+            }
+        } else {
+            if let Some(n) = name {
+                println!("═══ {n} ═══");
+            }
+            if lints.is_empty() {
+                println!("  clean");
+            }
+            for l in &lints {
+                println!("  {l}");
+            }
+        }
+    };
+
+    if all {
+        for w in slc::workloads::all() {
+            lint_one(Some(w.name), &w.program());
+        }
+    } else {
+        let src = read_input(&file);
+        match parse_program(&src) {
+            Ok(p) => lint_one(None, &p),
+            Err(e) => {
+                eprintln!("slc lint: {e}");
+                exit(1)
+            }
+        }
+    }
+    exit(if bad { 1 } else { 0 })
+}
+
+fn deps_usage() -> ! {
+    eprintln!("usage: slc deps [--all] [--json] [FILE]");
+    exit(2)
+}
+
+/// Render one dependence certificate as JSON.
+fn dep_cert_json(cert: &slc::analysis::DepCertificate) -> Json {
+    use slc::analysis::DepCertificate;
+    match cert {
+        DepCertificate::Dependent { t1, t2 } => Json::obj()
+            .field("kind", "dependent")
+            .field("t1", *t1)
+            .field("t2", *t2),
+        DepCertificate::Independent { system } => Json::obj()
+            .field("kind", "independent")
+            .field("bound", system.bound)
+            .field(
+                "dims",
+                Json::Arr(
+                    system
+                        .dims
+                        .iter()
+                        .map(|d| {
+                            Json::obj()
+                                .field("dim", d.dim as u64)
+                                .field("a", d.a)
+                                .field("b", d.b)
+                                .field("c", d.c)
+                        })
+                        .collect(),
+                ),
+            ),
+    }
+}
+
+/// `slc deps`: dump the exact dependence engine's per-pair verdicts (with
+/// their certificates) for every innermost constant-range loop, re-checking
+/// each certificate on the spot. Exit 0 = every certificate re-checks
+/// clean, 1 = a certificate failed to re-check (or the input failed to
+/// parse), 2 = bad usage.
+fn deps_main(args: impl Iterator<Item = String>) -> ! {
+    use slc::analysis::{
+        build_ddg_ranged, check_dep_certificate, partition_mis, DepStats, DepVerdict, LoopRange,
+    };
+    use slc::ast::{ForLoop, LoopId, Stmt};
+
+    let mut all = false;
+    let mut json = false;
+    let mut file: Option<String> = None;
+    for a in args {
+        match a.as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--help" | "-h" => deps_usage(),
+            _ if file.is_none() && !a.starts_with('-') => file = Some(a),
+            _ => deps_usage(),
+        }
+    }
+
+    fn innermost<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a ForLoop>) {
+        for s in stmts {
+            match s {
+                Stmt::For(f) => {
+                    if f.body.iter().any(Stmt::contains_loop) {
+                        innermost(&f.body, out);
+                    } else {
+                        out.push(f);
+                    }
+                }
+                Stmt::While { body, .. } => innermost(body, out),
+                Stmt::If {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => {
+                    innermost(then_branch, out);
+                    innermost(else_branch, out);
+                }
+                Stmt::Block(b) | Stmt::Par(b) => innermost(b, out),
+                _ => {}
+            }
+        }
+    }
+
+    let mut bad = false;
+    let mut deps_one = |name: Option<&str>, prog: &slc::ast::Program| {
+        let mut loops = Vec::new();
+        innermost(&prog.stmts, &mut loops);
+        for (idx, f) in loops.into_iter().enumerate() {
+            let id = LoopId::of(f, idx);
+            let skip = |why: &str, json: bool| {
+                if json {
+                    let mut o = Json::obj();
+                    if let Some(n) = name {
+                        o = o.field("workload", n);
+                    }
+                    println!("{}", o.field("loop", id.to_string()).field("skipped", why));
+                } else {
+                    println!("{id}: skipped — {why}");
+                }
+            };
+            let Some(range) = LoopRange::of_loop(f) else {
+                skip("loop range is not a compile-time constant", json);
+                continue;
+            };
+            let mis = match partition_mis(&f.body) {
+                Ok(m) => m,
+                Err(e) => {
+                    skip(&format!("body is not MI-partitionable: {e}"), json);
+                    continue;
+                }
+            };
+            let mut stats = DepStats::default();
+            let rd = build_ddg_ranged(&mis, &f.var, &range, &mut stats);
+            if !json {
+                println!(
+                    "{id}: {} same-array pair(s), range init {} step {} trips {}",
+                    rd.pairs.len(),
+                    range.init,
+                    range.step,
+                    range.trips
+                );
+            }
+            for p in &rd.pairs {
+                let a = &rd.ddg.accesses[p.from_mi].arrays[p.from_ord];
+                let b = &rd.ddg.accesses[p.to_mi].arrays[p.to_ord];
+                let recheck = p
+                    .certificate
+                    .as_ref()
+                    .map(|cert| check_dep_certificate(a, b, &f.var, &range, cert));
+                let ok = match &recheck {
+                    None | Some(Ok(())) => true,
+                    Some(Err(_)) => {
+                        bad = true;
+                        false
+                    }
+                };
+                if json {
+                    let mut o = Json::obj();
+                    if let Some(n) = name {
+                        o = o.field("workload", n);
+                    }
+                    o = o
+                        .field("loop", id.to_string())
+                        .field("array", p.array.as_str())
+                        .field("from_mi", p.from_mi as u64)
+                        .field("from_ord", p.from_ord as u64)
+                        .field("to_mi", p.to_mi as u64)
+                        .field("to_ord", p.to_ord as u64)
+                        .field("verdict", p.verdict.name());
+                    if let Some(l) = p.layer {
+                        o = o.field("layer", l.name());
+                    }
+                    if let DepVerdict::Distances(ds) = &p.verdict {
+                        o = o.field(
+                            "distances",
+                            Json::Arr(ds.iter().map(|&d| Json::Int(d)).collect()),
+                        );
+                    }
+                    if let Some(cert) = &p.certificate {
+                        o = o.field("certificate", dep_cert_json(cert));
+                    }
+                    o = match &recheck {
+                        None => o.field("recheck", "none"),
+                        Some(Ok(())) => o.field("recheck", "ok"),
+                        Some(Err(e)) => o.field("recheck", format!("failed: {e}")),
+                    };
+                    println!("{o}");
+                } else {
+                    let detail = match &p.verdict {
+                        DepVerdict::Distances(ds) => format!("distances {ds:?}"),
+                        other => other.name().to_string(),
+                    };
+                    let layer = p.layer.map(|l| l.name()).unwrap_or("-");
+                    let status = match &recheck {
+                        None => "no certificate".to_string(),
+                        Some(Ok(())) => "certificate re-checked OK".to_string(),
+                        Some(Err(e)) => format!("CERTIFICATE FAILED: {e}"),
+                    };
+                    println!(
+                        "  `{}` MI{}#{} vs MI{}#{}: {detail} [layer {layer}] — {status}",
+                        p.array, p.from_mi, p.from_ord, p.to_mi, p.to_ord
+                    );
+                }
+                let _ = ok;
+            }
+            if json {
+                let mut o = Json::obj();
+                if let Some(n) = name {
+                    o = o.field("workload", n);
+                }
+                println!(
+                    "{}",
+                    o.field("loop", id.to_string())
+                        .field("pairs_decided", stats.pairs_decided)
+                        .field("gcd_hits", stats.gcd_hits)
+                        .field("banerjee_hits", stats.banerjee_hits)
+                        .field("sat_decided", stats.sat_decided)
+                        .field("widened_to_any", stats.widened_to_any)
+                        .field("certs_checked", stats.certs_checked)
+                );
+            } else {
+                println!(
+                    "  deps: {} decided (gcd {}, banerjee {}, sat {}), {} widened, \
+                     {} certs self-checked",
+                    stats.pairs_decided,
+                    stats.gcd_hits,
+                    stats.banerjee_hits,
+                    stats.sat_decided,
+                    stats.widened_to_any,
+                    stats.certs_checked
+                );
+            }
+        }
+    };
+
+    if all {
+        for w in slc::workloads::all() {
+            if !json {
+                println!("═══ {} [{}] ═══", w.name, w.suite);
+            }
+            deps_one(Some(w.name), &w.program());
+        }
+    } else {
+        let src = read_input(&file);
+        match parse_program(&src) {
+            Ok(p) => deps_one(None, &p),
+            Err(e) => {
+                eprintln!("slc deps: {e}");
+                exit(1)
+            }
+        }
+    }
+    exit(if bad { 1 } else { 0 })
+}
+
 fn explain_main(args: impl Iterator<Item = String>) -> ! {
     let mut cfg = SlmsConfig::default();
     let mut plan = PassPlan::slms_only();
@@ -1118,6 +1447,14 @@ fn main() {
         Some("verify") => {
             args.next();
             verify_main(args);
+        }
+        Some("lint") => {
+            args.next();
+            lint_main(args);
+        }
+        Some("deps") => {
+            args.next();
+            deps_main(args);
         }
         Some("stats") => {
             args.next();

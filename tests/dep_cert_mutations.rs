@@ -1,0 +1,209 @@
+//! Mutation harness for dependence-certificate checking.
+//!
+//! Mirror of `exact_cert_mutations.rs` for the exact dependence engine:
+//! take a genuine emission whose report carries per-pair dependence
+//! verdicts with certificates, corrupt one certificate in a targeted way,
+//! and prove the translation validator rejects the corruption *naming the
+//! violated rule* (`dep-cert-missing`, `dep-cert-witness`,
+//! `dep-cert-proof`).
+//!
+//! Two source loops drive the harness:
+//! * `STRIDE` — gcd-disjoint strided references (`a[4i]` never meets
+//!   `a[2i+1]`), so the genuine report carries **independence** proofs;
+//! * `REC` — a distance-1 recurrence, so the genuine report carries a
+//!   **dependence** witness pair.
+
+use slc::analysis::{
+    build_ddg_ranged, derive_system, partition_mis, DepCertificate, DepStats, DepVerdict, LoopRange,
+};
+use slc::ast::{parse_program, ForLoop, Program, Stmt};
+use slc::slms::{slms_loop, SlmsConfig, SlmsOutput, SlmsReport};
+use slc::verify::verify_emission;
+
+const STRIDE: &str = "float a[4096]; float b[512]; int i;\n\
+                      for (i = 0; i < 500; i++) { a[4 * i] = a[2 * i + 1] + 1.0; \
+                      b[i] = a[2 * i + 1] * 2.0; }";
+// Schedules with unroll 1 and no decomposition, so the emitted MI
+// structure matches a fresh partition of the source body — mutation 6
+// relies on that to re-derive the pair's equation system.
+const REC: &str = "float a[128]; float b[128]; int i;\n\
+                   for (i = 0; i < 100; i++) { a[i] = b[i] + 1.0; \
+                   b[i + 1] = a[i] * 2.0; }";
+
+fn cfg() -> SlmsConfig {
+    SlmsConfig {
+        apply_filter: false,
+        ..SlmsConfig::default()
+    }
+}
+
+/// Schedule the first loop of `src`; return the pre-transform program, the
+/// loop, and the emission (dependence pairs attached to the report).
+fn scheduled(src: &str) -> (Program, ForLoop, SlmsOutput) {
+    let prog = parse_program(src).unwrap();
+    let stmt = prog
+        .stmts
+        .iter()
+        .find(|s| matches!(s, Stmt::For(_)))
+        .expect("source has a loop")
+        .clone();
+    let Stmt::For(f) = stmt.clone() else {
+        unreachable!()
+    };
+    let mut work = prog.clone();
+    let out = slms_loop(&mut work, &stmt, &cfg()).expect("loop should schedule");
+    assert!(
+        !out.report.dep_pairs.is_empty(),
+        "constant-range loop must record dependence pairs"
+    );
+    (prog, f, out)
+}
+
+fn rules_of(prog: &Program, f: &ForLoop, report: &SlmsReport, stmts: &[Stmt]) -> Vec<&'static str> {
+    verify_emission(prog, f, report, stmts, &cfg())
+        .violations
+        .iter()
+        .map(|v| v.rule())
+        .collect()
+}
+
+fn independent_at(report: &SlmsReport) -> usize {
+    report
+        .dep_pairs
+        .iter()
+        .position(|p| matches!(p.verdict, DepVerdict::Independent))
+        .expect("an independence verdict")
+}
+
+fn dependent_at(report: &SlmsReport) -> usize {
+    report
+        .dep_pairs
+        .iter()
+        .position(|p| matches!(p.verdict, DepVerdict::Distances(_)))
+        .expect("a dependence verdict")
+}
+
+/// The uncorrupted emissions all verify — the baseline every mutation
+/// deviates from. `STRIDE` certifies independence, `REC` a witness.
+#[test]
+fn genuine_certificates_accepted() {
+    for src in [STRIDE, REC] {
+        let (prog, f, out) = scheduled(src);
+        let verdict = verify_emission(&prog, &f, &out.report, &out.stmts, &cfg());
+        assert!(verdict.clean(), "{src}: {:?}", verdict.violations);
+    }
+    let (_, _, out) = scheduled(STRIDE);
+    assert!(
+        out.report.dep_pairs.iter().any(|p| matches!(
+            (&p.verdict, &p.certificate),
+            (
+                DepVerdict::Independent,
+                Some(DepCertificate::Independent { .. })
+            )
+        )),
+        "STRIDE must carry an independence proof"
+    );
+    let (_, _, out) = scheduled(REC);
+    assert!(
+        out.report.dep_pairs.iter().any(|p| matches!(
+            (&p.verdict, &p.certificate),
+            (
+                DepVerdict::Distances(_),
+                Some(DepCertificate::Dependent { .. })
+            )
+        )),
+        "REC must carry a dependence witness"
+    );
+}
+
+/// Mutation 1: deleting a decided pair's certificate leaves the claim
+/// unfounded — verdicts must stay re-checkable.
+#[test]
+fn mutation_certificate_deleted() {
+    let (prog, f, out) = scheduled(STRIDE);
+    let mut report = out.report.clone();
+    let at = independent_at(&report);
+    report.dep_pairs[at].certificate = None;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-missing"), "got {r:?}");
+}
+
+/// Mutation 2: deleting the whole pair record hides a verdict the engine
+/// must have decided — the checker re-enumerates the pairs itself.
+#[test]
+fn mutation_pair_record_deleted() {
+    let (prog, f, out) = scheduled(STRIDE);
+    let mut report = out.report.clone();
+    let at = independent_at(&report);
+    report.dep_pairs.remove(at);
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-missing"), "got {r:?}");
+}
+
+/// Mutation 3: corrupting one equation of an independence system detaches
+/// the proof from the loop it talks about.
+#[test]
+fn mutation_proof_system_corrupted() {
+    let (prog, f, out) = scheduled(STRIDE);
+    let mut report = out.report.clone();
+    let at = independent_at(&report);
+    let Some(DepCertificate::Independent { system }) = &mut report.dep_pairs[at].certificate else {
+        panic!("independence verdict must carry an independence proof");
+    };
+    system.dims[0].c += 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-proof"), "got {r:?}");
+}
+
+/// Mutation 4: replacing an independence proof with a fabricated witness
+/// pair claims a conflict the iterations do not have.
+#[test]
+fn mutation_bogus_witness_on_independent_pair() {
+    let (prog, f, out) = scheduled(STRIDE);
+    let mut report = out.report.clone();
+    let at = independent_at(&report);
+    report.dep_pairs[at].certificate = Some(DepCertificate::Dependent { t1: 0, t2: 0 });
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-witness"), "got {r:?}");
+}
+
+/// Mutation 5: nudging a genuine witness to iterations that do not touch
+/// the same cell breaks the concrete re-evaluation.
+#[test]
+fn mutation_witness_corrupted() {
+    let (prog, f, out) = scheduled(REC);
+    let mut report = out.report.clone();
+    let at = dependent_at(&report);
+    let Some(DepCertificate::Dependent { t2, .. }) = &mut report.dep_pairs[at].certificate else {
+        panic!("dependence verdict must carry a witness");
+    };
+    *t2 += 1;
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-witness"), "got {r:?}");
+}
+
+/// Mutation 6: claiming independence for a genuinely dependent pair — even
+/// with the *correctly derived* equation system attached — fails when the
+/// checker re-solves the system and finds it satisfiable.
+#[test]
+fn mutation_fabricated_independence_on_dependent_pair() {
+    let (prog, f, out) = scheduled(REC);
+    let mut report = out.report.clone();
+    let at = dependent_at(&report);
+
+    // Rebuild the accesses the stored pair indexes so the fabricated proof
+    // carries the *right* system for the pair — only the SAT re-solve can
+    // reject it.
+    let range = LoopRange::of_loop(&f).unwrap();
+    let mis = partition_mis(&f.body).unwrap();
+    let mut stats = DepStats::default();
+    let rd = build_ddg_ranged(&mis, &f.var, &range, &mut stats);
+    let p = &report.dep_pairs[at];
+    let a = &rd.ddg.accesses[p.from_mi].arrays[p.from_ord];
+    let b = &rd.ddg.accesses[p.to_mi].arrays[p.to_ord];
+    let system = derive_system(a, b, &f.var, &range).expect("affine pair has a system");
+
+    report.dep_pairs[at].certificate = Some(DepCertificate::Independent { system });
+    let r = rules_of(&prog, &f, &report, &out.stmts);
+    assert!(r.contains(&"dep-cert-proof"), "got {r:?}");
+}
