@@ -35,7 +35,7 @@ use crate::service::{CellSpec, CompileService, StageNs};
 use slc_core::SlmsConfig;
 use slc_machine::mach::MachineDesc;
 use slc_sim::cycle::FfStats;
-use slc_trace::{CounterRegistry, Tracer};
+use slc_trace::{CounterRegistry, HistogramRegistry, Tracer};
 use slc_workloads::{enumerate_matrix, Variant, Workload};
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -142,6 +142,10 @@ pub struct ShardStats {
     pub stage: StageNs,
     /// the shard's per-worker queue accounting (its in-process thread pool)
     pub workers: Vec<WorkerStats>,
+    /// the dead shard's last flight-recorder snapshot (`slc-flight-v1`
+    /// JSONL), captured by the dispatcher's quarantine path from the tail
+    /// the worker ships with every `cells` message; `None` while alive
+    pub flight: Option<String>,
 }
 
 /// Wall-clock accounting (non-deterministic; reported separately from the
@@ -177,6 +181,10 @@ pub struct TimingReport {
     /// per-shard dispatch/steal accounting, shard-ordered (empty for
     /// in-process runs; filled by `slc batch --shards N`)
     pub shards: Vec<ShardStats>,
+    /// wall-clock histograms of per-miss stage latencies (`wall.*`
+    /// families). Quarantined here like every other wall-clock reading;
+    /// empty on the sharded path (each shard's latencies stay local)
+    pub wall_hist: HistogramRegistry,
 }
 
 /// Result of one batch run.
@@ -189,6 +197,12 @@ pub struct BatchReport {
     /// deterministic work counters (cumulative over the engine's lifetime;
     /// see [`CompileService::counters`])
     pub counters: CounterRegistry,
+    /// deterministic work histograms (MIs per loop, SAT conflicts per
+    /// solve, dep pairs per loop; see [`CompileService::histograms`]).
+    /// Never part of the canonical report — exported via `slc stats
+    /// --histograms` and gated against `BENCH_histograms.json`. Empty on
+    /// the sharded path (the histogram gate runs in-process).
+    pub histograms: HistogramRegistry,
     /// wall-clock accounting for this run
     pub timing: TimingReport,
 }
@@ -290,7 +304,7 @@ impl BatchReport {
             .shards
             .iter()
             .map(|s| {
-                Json::obj()
+                let o = Json::obj()
                     .field("shard", s.shard)
                     .field("cells", s.cells)
                     .field("chunks", s.chunks)
@@ -304,7 +318,12 @@ impl BatchReport {
                     .field(
                         "workers",
                         Json::Arr(s.workers.iter().map(worker_json).collect()),
-                    )
+                    );
+                match &s.flight {
+                    // quarantine capture: the dead shard's last flight ring
+                    Some(dump) => o.field("flight_recorder", dump.as_str()),
+                    None => o,
+                }
             })
             .collect();
         let doc = Json::obj()
@@ -351,7 +370,14 @@ impl BatchReport {
                 .field("trips_total", t.steady.trips_total)
                 .field("trips_skipped", t.steady.trips_skipped),
         )
+        .field("wall_histograms", t.wall_hist.to_json())
         .to_pretty()
+    }
+
+    /// The deterministic work histograms as the gate-able baseline
+    /// document (`slc-histograms-v1`, what `BENCH_histograms.json` pins).
+    pub fn histograms_json(&self) -> String {
+        self.histograms.to_baseline_json()
     }
 
     /// Simulator throughput baseline (`BENCH_sim.json`): the simulate
@@ -562,6 +588,7 @@ impl BatchEngine {
             cells: results,
             cache: self.service.cache_report(),
             counters: self.service.counters(),
+            histograms: self.service.histograms(),
             timing: TimingReport {
                 threads,
                 wall_ns,
@@ -575,6 +602,7 @@ impl BatchEngine {
                 steady: self.service.ff_stats(),
                 workers,
                 shards: Vec::new(),
+                wall_hist: self.service.wall_histograms(),
             },
         }
     }

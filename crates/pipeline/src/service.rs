@@ -37,7 +37,7 @@ use slc_machine::lower::{lower_program, LowerError};
 use slc_machine::mach::MachineDesc;
 use slc_sim::cycle::{simulate_spanned, FfStats, SimFidelity, SimResult};
 use slc_sim::power::EnergyModel;
-use slc_trace::{CounterRegistry, Tracer};
+use slc_trace::{CounterRegistry, FlightRecorder, HistogramRegistry, RecKind, Tracer};
 use slc_workloads::{Variant, Workload};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -285,13 +285,6 @@ fn sim_fp(a: &SimResult) -> u64 {
     slc_analysis::fingerprint_str(&format!("{a:?}"))
 }
 
-fn timed<T>(slot: &AtomicU64, f: impl FnOnce() -> T) -> T {
-    let t = Instant::now();
-    let out = f();
-    slot.fetch_add(t.elapsed().as_nanos() as u64, Ordering::Relaxed);
-    out
-}
-
 /// The plan-store key for one (program, plan, config, verify) combination —
 /// the one key derivation shared by batch cells, daemon requests and the
 /// shard reducer's replay.
@@ -376,6 +369,15 @@ pub struct CompileService {
     /// `(stage, key)` so the summed deltas equal the single-process
     /// registry.
     attribution: Mutex<Option<BTreeMap<(u8, u64), CounterRegistry>>>,
+    /// deterministic work histograms — same contract as `counters`
+    /// (recorded only inside miss closures, pure function of the matrix),
+    /// but keeping the *distribution*: MIs placed per loop, SAT conflicts
+    /// per solve, dep pairs per loop.
+    hist: Mutex<HistogramRegistry>,
+    /// wall-clock histograms (per-miss stage latencies). Quarantined like
+    /// the stage timing accumulators: reported only through timing
+    /// sidecars, never gated, never merged into the canonical report.
+    wall_hist: Mutex<HistogramRegistry>,
 }
 
 impl CompileService {
@@ -494,6 +496,33 @@ impl CompileService {
         }
     }
 
+    /// Snapshot the deterministic work histograms (MIs placed per loop,
+    /// SAT conflicts/decisions per solve, dep pairs per loop). Recorded
+    /// only inside miss closures, so for a fixed request history the
+    /// snapshot is identical across runs and thread counts — `slc stats
+    /// --histograms` renders it and the CI histogram gate compares it.
+    pub fn histograms(&self) -> HistogramRegistry {
+        self.hist.lock().unwrap().clone()
+    }
+
+    /// Snapshot the wall-clock histograms (per-miss stage latencies under
+    /// `wall.*` names). Non-deterministic; timing sidecars only.
+    pub fn wall_histograms(&self) -> HistogramRegistry {
+        self.wall_hist.lock().unwrap().clone()
+    }
+
+    /// Time a miss closure: accumulate into the stage's nanosecond slot
+    /// and record the per-miss latency into the wall-clock histogram
+    /// family (both quarantined from the deterministic surfaces).
+    fn timed_wall<T>(&self, slot: &AtomicU64, name: &'static str, f: impl FnOnce() -> T) -> T {
+        let t = Instant::now();
+        let out = f();
+        let ns = t.elapsed().as_nanos() as u64;
+        slot.fetch_add(ns, Ordering::Relaxed);
+        self.wall_hist.lock().unwrap().record(name, ns);
+        out
+    }
+
     /// Per-pass wall clock and run counts, sorted by pass name.
     pub fn pass_timings(&self) -> Vec<PassTiming> {
         self.pass_ns
@@ -536,11 +565,16 @@ impl CompileService {
     /// diagnostics into `reg` (a local delta registry — the plan-artifact
     /// miss closure is the only caller, so the totals count each distinct
     /// (program, plan) exactly once).
-    fn count_slms_outcomes(sink: &DiagSink, reg: &mut CounterRegistry) {
+    fn count_slms_outcomes(
+        sink: &DiagSink,
+        reg: &mut CounterRegistry,
+        hist: &mut HistogramRegistry,
+    ) {
         for o in sink.all_outcomes() {
             reg.add("slms.loops_total", 1);
-            if o.result.is_ok() {
+            if let Ok(r) = &o.result {
                 reg.add("slms.loops_transformed", 1);
+                hist.record("slms.mis_per_loop", r.n_mis as u64);
             }
             for ev in &o.trace {
                 match ev {
@@ -579,6 +613,8 @@ impl CompileService {
                         reg.add("exact.sat_propagations", *sat_propagations);
                         reg.add("exact.sat_restarts", *sat_restarts);
                         reg.add("exact.proof_clauses", *proof_clauses as u64);
+                        hist.record("exact.sat_conflicts_per_solve", *sat_conflicts);
+                        hist.record("exact.sat_decisions_per_solve", *sat_decisions);
                     }
                     DiagEvent::DepsAnalyzed {
                         pairs_decided,
@@ -591,6 +627,7 @@ impl CompileService {
                         // add even when 0 so the whole family exists
                         // whenever the exact dependence engine ran at all
                         reg.add("deps.pairs_decided", *pairs_decided);
+                        hist.record("deps.pairs_per_loop", *pairs_decided);
                         reg.add("deps.gcd_hits", *gcd_hits);
                         reg.add("deps.banerjee_hits", *banerjee_hits);
                         reg.add("deps.sat_decided", *sat_decided);
@@ -609,7 +646,7 @@ impl CompileService {
         let src_fp = slc_analysis::fingerprint_str(src);
         self.parse.get_or_compute_hit(src_fp, || {
             let _sp = tracer.span("stage", "parse");
-            timed(&self.parse_ns, || {
+            self.timed_wall(&self.parse_ns, "wall.parse_ns", || {
                 parse_program(src)
                     .map(|p| {
                         let fp = slc_analysis::program_fingerprint(&p);
@@ -641,7 +678,8 @@ impl CompileService {
         let key = plan_key(orig_fp, plan, slms, verify);
         self.slms.get_or_compute_hit(key, || {
             let _sp = tracer.span("stage", "plan");
-            timed(&self.slms_ns, || {
+            FlightRecorder::global().record(RecKind::Enter, "plan.miss", key, 0);
+            let out = self.timed_wall(&self.slms_ns, "wall.plan_ns", || {
                 let pm = PassManager::new(slms.clone()).with_tracer(tracer.clone());
                 match pm.run_with_verify(orig_prog, plan, verify) {
                     Ok((p, sink, verdicts)) => {
@@ -683,7 +721,15 @@ impl CompileService {
                             slot.1 += 1;
                         }
                         drop(per_pass);
-                        Self::count_slms_outcomes(&sink, &mut delta);
+                        let mut hist = HistogramRegistry::new();
+                        Self::count_slms_outcomes(&sink, &mut delta, &mut hist);
+                        self.hist.lock().unwrap().merge(&hist);
+                        // one span site + enter/exit flight events per plan
+                        // miss: deterministic (pure function of the matrix)
+                        // and attributed, so traced/untraced and
+                        // sharded/in-process registries stay byte-identical
+                        delta.add("trace.span_sites", 1);
+                        delta.add("recorder.ring_events", 2);
                         self.absorb_delta(STAGE_PLAN, key, delta);
                         let fp = slc_analysis::program_fingerprint(&p);
                         let outcomes = sink.all_outcomes().cloned().collect::<Vec<_>>();
@@ -691,7 +737,9 @@ impl CompileService {
                     }
                     Err(e) => Err(e.to_string()),
                 }
-            })
+            });
+            FlightRecorder::global().record(RecKind::Exit, "plan.miss", key, 0);
+            out
         })
     }
 
@@ -802,12 +850,14 @@ impl CompileService {
         let compiled = self.compile.get_or_compute(compile_key, || {
             let lir = self.lir.get_or_compute(prog_fp, || {
                 let _sp = tracer.span("stage", "lower");
-                timed(&self.lower_ns, || lower_program(prog))
+                self.timed_wall(&self.lower_ns, "wall.lower_ns", || lower_program(prog))
             });
             match lir.as_ref() {
                 Ok(l) => {
                     let _sp = tracer.span("stage", "compile");
-                    Ok(timed(&self.compile_ns, || compile_lir(l, m, kind)))
+                    Ok(self.timed_wall(&self.compile_ns, "wall.compile_ns", || {
+                        compile_lir(l, m, kind)
+                    }))
                 }
                 Err(e) => Err(e.clone()),
             }
@@ -829,7 +879,8 @@ impl CompileService {
         keys.sim = Some(compile_key);
         let sim = self.sim.get_or_compute(compile_key, || {
             let _sp = tracer.span("stage", "simulate");
-            timed(&self.sim_ns, || {
+            FlightRecorder::global().record(RecKind::Enter, "sim.miss", compile_key, 0);
+            let result = self.timed_wall(&self.sim_ns, "wall.sim_ns", || {
                 let out = simulate_spanned(&comp.compiled, m, SimFidelity::Fast, tracer);
                 for (slot, v) in self.ff.iter().zip([
                     out.ff.fast_loops,
@@ -853,9 +904,13 @@ impl CompileService {
                 delta.add("sim.ff_misses", out.ff.ff_misses);
                 delta.add("sim.trips_total", out.ff.trips_total);
                 delta.add("sim.trips_skipped", out.ff.trips_skipped);
+                delta.add("trace.span_sites", 1);
+                delta.add("recorder.ring_events", 2);
                 self.absorb_delta(STAGE_SIM, compile_key, delta);
                 out.result
-            })
+            });
+            FlightRecorder::global().record(RecKind::Exit, "sim.miss", compile_key, 0);
+            result
         });
         let power = EnergyModel::default().report(&sim);
         cell_span.arg("cycles", sim.cycles);

@@ -57,7 +57,7 @@ use crate::service::{
 use slc_core::{Expansion, FilterConfig, SchedulerKind, SlmsConfig};
 use slc_machine::mach::{CacheConfig, IssueModel, MachineDesc};
 use slc_sim::cycle::FfStats;
-use slc_trace::{CounterRegistry, Span, Tracer};
+use slc_trace::{CounterRegistry, FlightRecorder, HistogramRegistry, Span, TraceCtx, Tracer};
 use slc_workloads::{enumerate_matrix, MatrixCell, Suite, Workload};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, BufReader, Write as _};
@@ -314,12 +314,20 @@ fn decode_slms(j: &Json) -> Result<SlmsConfig, String> {
     })
 }
 
-fn init_json(cfg: &BatchConfig, threads: Option<usize>) -> Json {
-    Json::obj()
+fn init_json(cfg: &BatchConfig, threads: Option<usize>, ctx: Option<TraceCtx>) -> Json {
+    let mut j = Json::obj()
         .field("type", "init")
         .field("schema", SHARD_PROTO_SCHEMA)
         .field("threads", threads.unwrap_or(0))
-        .field("verify", cfg.verify)
+        .field("trace", ctx.is_some());
+    if let Some(c) = ctx {
+        // trace-context propagation: the worker binds the same trace id so
+        // its span dump stitches into the dispatcher's timeline
+        j = j
+            .field("trace_id", c.trace_id_hex())
+            .field("parent_span", c.parent_span_hex());
+    }
+    j.field("verify", cfg.verify)
         .field("plan", cfg.plan.to_string())
         .field("slms", slms_json(&cfg.slms))
         .field(
@@ -362,10 +370,20 @@ fn decode_suite(label: &str) -> Result<Suite, String> {
     })
 }
 
-fn decode_init(j: &Json) -> Result<(BatchConfig, Option<usize>), String> {
+fn decode_init(j: &Json) -> Result<(BatchConfig, Option<usize>, Option<TraceCtx>), String> {
     if want_s(j, "schema")? != SHARD_PROTO_SCHEMA {
         return Err(format!("unknown shard protocol `{}`", want_s(j, "schema")?));
     }
+    // trace fields are read tolerantly: an init without them (an older
+    // dispatcher) is simply an untraced worker
+    let ctx = match (
+        matches!(j.get("trace"), Some(Json::Bool(true))),
+        j.get("trace_id").and_then(Json::as_str),
+        j.get("parent_span").and_then(Json::as_str),
+    ) {
+        (true, Some(tid), Some(ps)) => Some(TraceCtx::from_hex(tid, ps)?),
+        _ => None,
+    };
     let mut workloads = Vec::new();
     for w in want_arr(j, "workloads")? {
         // Workload holds &'static str (the stock suites are compiled in);
@@ -407,6 +425,7 @@ fn decode_init(j: &Json) -> Result<(BatchConfig, Option<usize>), String> {
             verify: want_b(j, "verify")?,
         },
         threads,
+        ctx,
     ))
 }
 
@@ -582,48 +601,50 @@ fn stats_json(
     stage: &StageNs,
     passes: &[PassTiming],
     cpu_ns: u64,
+    span_dump: Option<String>,
 ) -> Json {
-    Json::obj()
-        .field("type", "stats")
-        .field("cpu", ju(cpu_ns))
-        .field(
-            "workers",
-            Json::Arr(
-                workers
-                    .iter()
-                    .map(|w| {
-                        Json::obj()
-                            .field("worker", w.worker)
-                            .field("claimed", ju(w.claimed))
-                            .field("empty_polls", ju(w.empty_polls))
-                            .field("busy_ns", ju(w.busy_ns))
-                    })
-                    .collect(),
-            ),
-        )
-        .field(
-            "stage",
-            Json::obj()
-                .field("parse", ju(stage.parse))
-                .field("slms", ju(stage.slms))
-                .field("lower", ju(stage.lower))
-                .field("compile", ju(stage.compile))
-                .field("sim", ju(stage.sim)),
-        )
-        .field(
-            "passes",
-            Json::Arr(
-                passes
-                    .iter()
-                    .map(|p| {
-                        Json::obj()
-                            .field("pass", p.pass.as_str())
-                            .field("ns", ju(p.ns))
-                            .field("runs", ju(p.runs))
-                    })
-                    .collect(),
-            ),
-        )
+    let mut j = Json::obj().field("type", "stats").field("cpu", ju(cpu_ns));
+    if let Some(dump) = span_dump {
+        j = j.field("span_dump", dump);
+    }
+    j.field(
+        "workers",
+        Json::Arr(
+            workers
+                .iter()
+                .map(|w| {
+                    Json::obj()
+                        .field("worker", w.worker)
+                        .field("claimed", ju(w.claimed))
+                        .field("empty_polls", ju(w.empty_polls))
+                        .field("busy_ns", ju(w.busy_ns))
+                })
+                .collect(),
+        ),
+    )
+    .field(
+        "stage",
+        Json::obj()
+            .field("parse", ju(stage.parse))
+            .field("slms", ju(stage.slms))
+            .field("lower", ju(stage.lower))
+            .field("compile", ju(stage.compile))
+            .field("sim", ju(stage.sim)),
+    )
+    .field(
+        "passes",
+        Json::Arr(
+            passes
+                .iter()
+                .map(|p| {
+                    Json::obj()
+                        .field("pass", p.pass.as_str())
+                        .field("ns", ju(p.ns))
+                        .field("runs", ju(p.runs))
+                })
+                .collect(),
+        ),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -758,6 +779,9 @@ struct Slot {
     chunk_ms: Vec<f64>,
     stats: ShardStats,
     pass_merged: bool,
+    /// newest flight-recorder tail the worker shipped with a `cells`
+    /// message — becomes `stats.flight` if the shard dies
+    last_flight: Option<String>,
 }
 
 impl Slot {
@@ -799,7 +823,16 @@ pub fn run_sharded(
     let chunk = opts
         .chunk
         .unwrap_or_else(|| n.div_ceil(opts.shards.max(1) * 4).max(1));
-    let init_line = init_json(cfg, opts.threads_per_shard).to_string();
+    // bind (or mint) the trace context so every worker's spans share one
+    // trace id with the dispatcher's
+    let ctx = if tracer.is_enabled() {
+        let c = tracer.ctx().unwrap_or_else(TraceCtx::fresh);
+        tracer.set_ctx(c);
+        tracer.ctx()
+    } else {
+        None
+    };
+    let init_line = init_json(cfg, opts.threads_per_shard, ctx).to_string();
 
     tracer.set_thread_track(0, "main");
     let mut batch_span = tracer.span("batch", "batch.run");
@@ -886,6 +919,7 @@ pub fn run_sharded(
                 ..ShardStats::default()
             },
             pass_merged: false,
+            last_flight: None,
         };
         if !slot.send(&init_line) {
             slot.alive = false;
@@ -1010,6 +1044,9 @@ pub fn run_sharded(
         }
         slots[s].alive = false;
         slots[s].stats.alive = false;
+        // quarantine capture: preserve the dead worker's last flight ring
+        // (shipped with its final `cells` message) in the timing sidecar
+        slots[s].stats.flight = slots[s].last_flight.take();
         slots[s].span = None;
         slots[s].stdin = None;
         if let Some(mut child) = slots[s].child.take() {
@@ -1126,6 +1163,9 @@ pub fn run_sharded(
                 }
             }
             "cells" => {
+                if let Some(f) = msg.get("flight").and_then(Json::as_str) {
+                    slots[s].last_flight = Some(f.to_string());
+                }
                 if let Ok(arr) = want_arr(&msg, "cells") {
                     for c in arr {
                         match decode_cell(c) {
@@ -1201,6 +1241,17 @@ pub fn run_sharded(
                 if let Ok(msg) = Json::parse(&l) {
                     if msg_type(&msg) == "stats" {
                         apply_stats(&mut slots[s], &msg, &mut pass_map);
+                        // merge the worker's span dump into the one
+                        // timeline: its spans land under this shard's
+                        // synthetic process, tids shifted past the
+                        // dispatcher's own tid-0 chunk row
+                        if let Some(dump) = msg.get("span_dump").and_then(Json::as_str) {
+                            let _ = tracer.import_process_dump(
+                                dump,
+                                s as u32 + 2,
+                                &format!("shard-{s}"),
+                            );
+                        }
                     }
                 }
             }
@@ -1250,6 +1301,7 @@ pub fn run_sharded(
         cells: out_cells,
         cache,
         counters,
+        histograms: HistogramRegistry::new(),
         timing: TimingReport {
             threads: effective_threads(opts.threads_per_shard, n),
             wall_ns,
@@ -1266,6 +1318,7 @@ pub fn run_sharded(
             steady,
             workers: Vec::new(),
             shards: shard_stats,
+            wall_hist: HistogramRegistry::new(),
         },
     })
 }
@@ -1338,6 +1391,23 @@ struct WorkerState {
     evaluated: u64,
     verify_sent: BTreeSet<String>,
     garbage_done: bool,
+    /// enabled (and bound to the dispatcher's trace context) when the init
+    /// message carried trace fields; its span dump rides the shutdown
+    /// stats reply back to the dispatcher
+    tracer: Tracer,
+}
+
+impl WorkerState {
+    fn stats_reply(&self) -> Json {
+        let workers: Vec<WorkerStats> = self.workers.values().cloned().collect();
+        stats_json(
+            &workers,
+            &self.svc.stage_ns(),
+            &self.svc.pass_timings(),
+            self_cpu_ns(),
+            self.tracer.export_process_dump("shard-worker"),
+        )
+    }
 }
 
 impl WorkerState {
@@ -1366,6 +1436,9 @@ impl WorkerState {
 /// process after that many cells, `garbage_after` prints one unparseable
 /// stdout line after that many cells.
 pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 {
+    // a panicking worker leaves its flight ring on stderr (the dispatcher
+    // inherits it), in addition to the tails shipped with cells messages
+    slc_trace::install_panic_hook();
     let (tx, rx) = mpsc::channel::<Result<Json, String>>();
     std::thread::spawn(move || {
         let stdin = std::io::stdin();
@@ -1395,7 +1468,7 @@ pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 
         };
         match msg_type(&msg) {
             "init" => match decode_init(&msg) {
-                Ok((cfg, threads)) => {
+                Ok((cfg, threads, ctx)) => {
                     let svc = CompileService::new();
                     svc.enable_attribution();
                     let cells = enumerate_matrix(
@@ -1403,6 +1476,14 @@ pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 
                         cfg.machines.len(),
                         cfg.compilers.len(),
                     );
+                    let tracer = match ctx {
+                        Some(c) => {
+                            let t = Tracer::enabled();
+                            t.set_ctx(c);
+                            t
+                        }
+                        None => Tracer::disabled(),
+                    };
                     state = Some(WorkerState {
                         svc,
                         threads: effective_threads(threads, usize::MAX / 2),
@@ -1412,6 +1493,7 @@ pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 
                         evaluated: 0,
                         verify_sent: BTreeSet::new(),
                         garbage_done: false,
+                        tracer,
                     });
                     if !emit(&Json::obj().field("type", "ready")) {
                         return 0;
@@ -1443,13 +1525,7 @@ pub fn shard_worker(fail_after: Option<u64>, garbage_after: Option<u64>) -> i32 
             }
             "shutdown" => {
                 if let Some(st) = state.as_ref() {
-                    let workers: Vec<WorkerStats> = st.workers.values().cloned().collect();
-                    let _ = emit(&stats_json(
-                        &workers,
-                        &st.svc.stage_ns(),
-                        &st.svc.pass_timings(),
-                        self_cpu_ns(),
-                    ));
+                    let _ = emit(&st.stats_reply());
                 }
                 return 0;
             }
@@ -1479,13 +1555,7 @@ fn run_range(
             // reported by someone) while we are still mid-range; honour the
             // shutdown here or we'd drop it and block forever on the next recv
             if msg_type(&msg) == "shutdown" {
-                let workers: Vec<WorkerStats> = st.workers.values().cloned().collect();
-                let _ = emit(&stats_json(
-                    &workers,
-                    &st.svc.stage_ns(),
-                    &st.svc.pass_timings(),
-                    self_cpu_ns(),
-                ));
+                let _ = emit(&st.stats_reply());
                 return Some(0);
             }
             if msg_type(&msg) == "trim" {
@@ -1516,7 +1586,11 @@ fn run_range(
         let svc = &st.svc;
         let cfg = &st.cfg;
         let cells = &st.cells;
-        let (evaluated, wstats) = par_map_indexed_stats(batch, st.threads, |_, k| {
+        let tracer = &st.tracer;
+        let (evaluated, wstats) = par_map_indexed_stats(batch, st.threads, |worker, k| {
+            if tracer.is_enabled() {
+                tracer.set_thread_track(worker as u32, &format!("worker {worker}"));
+            }
             let cell = cells[cur + k];
             svc.eval_cell_keyed(
                 &CellSpec {
@@ -1528,7 +1602,7 @@ fn run_range(
                     slms: &cfg.slms,
                     verify: cfg.verify,
                 },
-                &Tracer::disabled(),
+                tracer,
             )
         });
         for w in wstats {
@@ -1559,10 +1633,14 @@ fn run_range(
             .enumerate()
             .map(|(k, (res, keys))| cell_json(cur + k, res, keys))
             .collect();
+        // every cells message carries a bounded flight-recorder tail: the
+        // dispatcher keeps only the newest, and if this process dies
+        // (abort, OOM-kill) that snapshot is its black box
         if !emit(
             &Json::obj()
                 .field("type", "cells")
-                .field("cells", Json::Arr(wire)),
+                .field("cells", Json::Arr(wire))
+                .field("flight", FlightRecorder::global().dump_jsonl_tail(64)),
         ) {
             return Some(0);
         }
@@ -1644,10 +1722,16 @@ mod tests {
         let mut cfg = BatchConfig::full_matrix();
         cfg.plan = PassPlan::parse("fuse:0+1,slms").unwrap();
         cfg.verify = true;
-        let line = init_json(&cfg, Some(3)).to_string();
-        let (back, threads) = decode_init(&Json::parse(&line).unwrap()).unwrap();
+        let ctx = TraceCtx::from_hex("00000000000000ab", "0000000000000001").unwrap();
+        let line = init_json(&cfg, Some(3), Some(ctx)).to_string();
+        let (back, threads, back_ctx) = decode_init(&Json::parse(&line).unwrap()).unwrap();
         assert_eq!(threads, Some(3));
+        assert_eq!(back_ctx, Some(ctx));
         assert!(back.verify);
+        // an untraced init round-trips to no context
+        let line = init_json(&cfg, Some(3), None).to_string();
+        let (_, _, none_ctx) = decode_init(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(none_ctx, None);
         assert_eq!(back.plan.to_string(), cfg.plan.to_string());
         assert_eq!(
             back.plan.fingerprint(&back.slms),

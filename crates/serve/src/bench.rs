@@ -5,9 +5,13 @@
 //! between them: with a fresh daemon, pass 1 populates the shared artifact
 //! cache (every distinct (program, plan) key misses exactly once) and
 //! every later pass is answered from it — so the *count* fields of the
-//! report are deterministic and gateable, while latency percentiles and
+//! report are deterministic and gateable, while latency distributions and
 //! wall clock live in a separate `timing` section, following the
-//! timing-sidecar discipline of `BENCH_batch.json`.
+//! timing-sidecar discipline of `BENCH_batch.json`. Since v2 latencies are
+//! folded into a log2-bucketed [`Histogram`] (the same type the daemon's
+//! `metrics` verb exposes): percentiles are bucket upper bounds except the
+//! exact max, and the report records the occupied bucket boundaries so the
+//! baseline is self-describing.
 //!
 //! With no `addr` the bench owns the daemon: it spawns an in-process
 //! [`Server`] on an ephemeral loopback port, replays the corpus, fetches a
@@ -18,11 +22,14 @@ use crate::client::Client;
 use crate::daemon::{Endpoint, ServeConfig, Server};
 use crate::proto::{Request, RequestOpts, Response};
 use slc_pipeline::Json;
-use slc_trace::Tracer;
+use slc_trace::{bucket_upper, Histogram, Tracer};
 use std::time::{Duration, Instant};
 
-/// Schema tag of the `BENCH_serve.json` document.
-pub const BENCH_SCHEMA: &str = "slc-serve-bench-v1";
+/// Schema tag of the `BENCH_serve.json` document. v2: latency percentiles
+/// come from a log2-bucketed histogram (p99.9 and exact max added, bucket
+/// boundaries recorded); the `counts` section is unchanged from v1 so
+/// count-based gates carry over.
+pub const BENCH_SCHEMA: &str = "slc-serve-bench-v2";
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -97,31 +104,29 @@ pub struct BenchReport {
     pub counts: BenchCounts,
     /// end-to-end wall time
     pub wall_ns: u64,
-    /// per-request latencies, nanoseconds, unsorted
-    pub latencies_ns: Vec<u64>,
-}
-
-fn percentile_ms(sorted: &[u64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1] as f64 / 1e6
+    /// per-request latency distribution, nanoseconds, log2-bucketed
+    pub latency: Histogram,
 }
 
 impl BenchReport {
     /// Render `BENCH_serve.json`: a `counts` section (deterministic,
     /// count-based — what gates compare) strictly separated from a
-    /// `timing` section (latency percentiles and wall clock — baselines to
-    /// eyeball, never gate).
+    /// `timing` section (the latency histogram and wall clock — baselines
+    /// to eyeball, never gate).
     pub fn to_json(&self) -> String {
         let c = &self.counts;
         let mut serve = Json::obj();
         for (k, v) in &c.serve {
             serve = serve.field(k, *v as i64);
         }
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
+        // occupied log2 buckets: inclusive upper bound (ms) → sample count
+        let mut buckets = Json::obj();
+        for (idx, &n) in self.latency.buckets().iter().enumerate() {
+            if n > 0 {
+                buckets = buckets.field(&format!("{}", bucket_upper(idx) as f64 / 1e6), n);
+            }
+        }
+        let ms = |ns: u64| ns as f64 / 1e6;
         Json::obj()
             .field("schema", BENCH_SCHEMA)
             .field(
@@ -158,10 +163,18 @@ impl BenchReport {
                     .field(
                         "latency_ms",
                         Json::obj()
-                            .field("p50", percentile_ms(&sorted, 0.50))
-                            .field("p90", percentile_ms(&sorted, 0.90))
-                            .field("p99", percentile_ms(&sorted, 0.99))
-                            .field("max", percentile_ms(&sorted, 1.0)),
+                            .field("p50", ms(self.latency.percentile(0.50)))
+                            .field("p90", ms(self.latency.percentile(0.90)))
+                            .field("p99", ms(self.latency.percentile(0.99)))
+                            .field("p99_9", ms(self.latency.percentile(0.999)))
+                            .field("max", ms(self.latency.max())),
+                    )
+                    .field(
+                        "latency_buckets_ms",
+                        Json::obj()
+                            .field("rule", "log2-ns")
+                            .field("samples", self.latency.count())
+                            .field("buckets", buckets),
                     ),
             )
             .to_pretty()
@@ -189,20 +202,19 @@ impl BenchReport {
 
     /// One-line human summary.
     pub fn summary(&self) -> String {
-        let mut sorted = self.latencies_ns.clone();
-        sorted.sort_unstable();
         let c = &self.counts;
         format!(
             "{} request(s) over {} client(s) × {} pass(es): {} ok, {} error(s), \
-             final-pass hit rate {:.1}%, p50 {:.2} ms, p99 {:.2} ms, wall {:.1} ms",
+             final-pass hit rate {:.1}%, p50 {:.2} ms, p99 {:.2} ms, max {:.2} ms, wall {:.1} ms",
             c.requests,
             c.clients,
             c.passes,
             c.responses_ok,
             c.responses_error,
             c.final_pass_hit_rate * 100.0,
-            percentile_ms(&sorted, 0.50),
-            percentile_ms(&sorted, 0.99),
+            self.latency.percentile(0.50) as f64 / 1e6,
+            self.latency.percentile(0.99) as f64 / 1e6,
+            self.latency.max() as f64 / 1e6,
             self.wall_ns as f64 / 1e6,
         )
     }
@@ -265,7 +277,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
     let mut pass_hits: Vec<usize> = Vec::new();
     let mut responses_ok = 0usize;
     let mut responses_error = 0usize;
-    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut latency = Histogram::new();
     for _pass in 0..cfg.passes {
         // one pass: every client replays its round-robin share, barrier at
         // the end (so the next pass starts against a fully-warm cache)
@@ -311,7 +323,7 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
                 } else {
                     responses_error += 1;
                 }
-                latencies_ns.push(ns);
+                latency.record(ns);
             }
         }
         pass_hits.push(hits);
@@ -361,6 +373,6 @@ pub fn run_bench(cfg: &BenchConfig) -> Result<BenchReport, String> {
             drained_clean,
         },
         wall_ns,
-        latencies_ns,
+        latency,
     })
 }

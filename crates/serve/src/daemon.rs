@@ -10,8 +10,8 @@
 //! * **Admission control**: at most `queue` compile-class requests are in
 //!   flight across all connections. Past that the daemon answers `busy`
 //!   (exit-code class 3) immediately instead of queueing unboundedly —
-//!   backpressure, never a wedge. `ping`/`stats`/`shutdown` are answered
-//!   inline and never occupy a slot.
+//!   backpressure, never a wedge. `ping`/`stats`/`dump`/`metrics`/
+//!   `shutdown` are answered inline and never occupy a slot.
 //! * **Per-request timeout**: each admitted request runs on its own worker
 //!   thread; if it exceeds the deadline the connection answers `timeout`
 //!   and moves on. The worker is not cancelled (safe Rust cannot kill a
@@ -28,9 +28,10 @@
 //!   `serve.request` span on it, exported through the same
 //!   Chrome-trace/Perfetto pipeline as `slc batch --trace`.
 
+use crate::metrics::render_prometheus;
 use crate::proto::{ErrorKind, Request, Response};
 use slc_pipeline::CompileService;
-use slc_trace::Tracer;
+use slc_trace::{FlightRecorder, RecKind, Tracer};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -205,6 +206,9 @@ impl Server {
         tracer: Tracer,
     ) -> std::io::Result<ServerHandle> {
         sig::install();
+        // post-mortem safety net: a panic anywhere in the daemon dumps the
+        // flight ring to stderr before unwinding
+        slc_trace::install_panic_hook();
         let (listener, addr) = match endpoint {
             Endpoint::Tcp(spec) => {
                 let l = TcpListener::bind(spec.as_str())?;
@@ -400,6 +404,17 @@ fn handle_line(line: &str, conn_id: u64, shared: &Arc<Shared>) -> Response {
         Request::Stats => Response::Stats {
             counters: shared.service.counters(),
         },
+        Request::Dump => Response::Dump {
+            trace: shared.tracer.export_process_dump("slc-serve"),
+            flight: FlightRecorder::global().dump_jsonl(),
+        },
+        Request::Metrics => {
+            let mut hists = shared.service.histograms();
+            hists.merge(&shared.service.wall_histograms());
+            Response::Metrics {
+                text: render_prometheus(&shared.service.counters(), &hists),
+            }
+        }
         Request::Shutdown => Response::ShutdownAck,
         // compile-plane requests: admission-controlled + deadline-bounded
         compile_class => dispatch(compile_class, conn_id, shared),
@@ -423,6 +438,7 @@ fn dispatch(req: Request, conn_id: u64, shared: &Arc<Shared>) -> Response {
         };
     }
     shared.service.note_request();
+    FlightRecorder::global().record(RecKind::Mark, "serve.admit", conn_id, 0);
     let (tx, rx) = mpsc::channel::<Response>();
     let worker_shared = shared.clone();
     std::thread::spawn(move || {
@@ -454,7 +470,23 @@ fn dispatch(req: Request, conn_id: u64, shared: &Arc<Shared>) -> Response {
 
 /// Execute one admitted compile-plane request against the shared service.
 fn run_request(req: &Request, service: &CompileService, tracer: &Tracer) -> Response {
+    // a caller-supplied trace context binds the daemon into the caller's
+    // distributed trace (first binding wins; later contexts still tag
+    // their own request spans below)
+    let ctx = match req {
+        Request::Compile { opts, .. }
+        | Request::Explain { opts, .. }
+        | Request::Verify { opts, .. } => opts.ctx,
+        _ => None,
+    };
+    if let Some(c) = ctx {
+        tracer.set_ctx(c);
+    }
     let mut span = tracer.span("serve", "serve.request");
+    if let Some(c) = ctx {
+        span.arg("trace_id", c.trace_id_hex());
+        span.arg("parent_span", c.parent_span_hex());
+    }
     match req {
         Request::Compile { source, opts } => {
             span.arg("kind", "compile");
@@ -510,9 +542,11 @@ fn run_request(req: &Request, service: &CompileService, tracer: &Tracer) -> Resp
             }
         }
         // control-plane requests never reach dispatch()
-        Request::Stats | Request::Ping | Request::Shutdown => Response::Error {
-            kind: ErrorKind::Usage,
-            message: "control request on the compile plane".to_string(),
-        },
+        Request::Stats | Request::Dump | Request::Metrics | Request::Ping | Request::Shutdown => {
+            Response::Error {
+                kind: ErrorKind::Usage,
+                message: "control request on the compile plane".to_string(),
+            }
+        }
     }
 }

@@ -1,0 +1,118 @@
+//! Prometheus text exposition for the daemon's `metrics` verb.
+//!
+//! Renders the deterministic counter registry and the histogram registries
+//! into the Prometheus text format (one `# TYPE` line per family, dotted
+//! slc names mapped onto `slc_`-prefixed underscore names). Counters stay
+//! exactly the values `slc stats --json` reports — the exposition is a
+//! projection, never a second bookkeeping path — so a scrape and a `stats`
+//! request taken from the same quiesced daemon agree number for number.
+//!
+//! Histograms follow the Prometheus cumulative-bucket convention: one
+//! `_bucket{le="…"}` sample per occupied log2 bucket (upper bounds from
+//! [`slc_trace::bucket_upper`]), a closing `le="+Inf"` bucket, and the
+//! usual `_sum`/`_count` pair.
+
+use slc_trace::{bucket_upper, CounterRegistry, HistogramRegistry};
+
+/// Map a dotted slc metric name (`cache.slms.hits`) onto a Prometheus
+/// metric name (`slc_cache_slms_hits`). Prometheus names admit
+/// `[a-zA-Z0-9_:]`; everything else becomes `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("slc_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render counters + histograms as Prometheus text exposition.
+///
+/// Counter values are identical to the `stats` response; histogram
+/// buckets are cumulative with log2 upper bounds. The output is
+/// deterministic for a quiesced daemon: both registries iterate in
+/// BTreeMap name order.
+pub fn render_prometheus(counters: &CounterRegistry, hists: &HistogramRegistry) -> String {
+    let mut out = String::new();
+    for (name, value) in counters.iter() {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} counter\n{pname} {value}\n"));
+    }
+    for (name, h) in hists.iter() {
+        let pname = prometheus_name(name);
+        out.push_str(&format!("# TYPE {pname} histogram\n"));
+        let mut cumulative = 0u64;
+        for (idx, &n) in h.buckets().iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let le = bucket_upper(idx);
+            if le != u64::MAX {
+                // the top bucket has no finite bound; the closing +Inf
+                // sample below carries its count
+                out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "{pname}_bucket{{le=\"+Inf\"}} {count}\n{pname}_sum {sum}\n{pname}_count {count}\n",
+            count = h.count(),
+            sum = h.sum()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slc_trace::HistogramRegistry;
+
+    #[test]
+    fn names_are_prometheus_safe() {
+        assert_eq!(prometheus_name("cache.slms.hits"), "slc_cache_slms_hits");
+        assert_eq!(prometheus_name("wall.sim_ns"), "slc_wall_sim_ns");
+        assert_eq!(prometheus_name("p99.9"), "slc_p99_9");
+    }
+
+    #[test]
+    fn exposition_carries_counters_and_cumulative_buckets() {
+        let mut counters = CounterRegistry::default();
+        counters.set("serve.requests", 12);
+        counters.set("cache.slms.hits", 3);
+        let mut hists = HistogramRegistry::new();
+        hists.record("slms.mis_per_loop", 1);
+        hists.record("slms.mis_per_loop", 3);
+        hists.record("slms.mis_per_loop", 3);
+        let text = render_prometheus(&counters, &hists);
+        // counters in BTreeMap order, values verbatim
+        assert!(text.contains("# TYPE slc_cache_slms_hits counter\nslc_cache_slms_hits 3\n"));
+        assert!(text.contains("# TYPE slc_serve_requests counter\nslc_serve_requests 12\n"));
+        // histogram: value 1 → bucket upper 1, value 3 → bucket upper 3,
+        // buckets cumulative, then +Inf / sum / count
+        assert!(text.contains("# TYPE slc_slms_mis_per_loop histogram\n"));
+        assert!(text.contains("slc_slms_mis_per_loop_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("slc_slms_mis_per_loop_bucket{le=\"3\"} 3\n"));
+        assert!(text.contains("slc_slms_mis_per_loop_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("slc_slms_mis_per_loop_sum 7\n"));
+        assert!(text.contains("slc_slms_mis_per_loop_count 3\n"));
+        // every non-comment line is `name[{labels}] value`
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn empty_registries_render_empty() {
+        let text = render_prometheus(&CounterRegistry::default(), &HistogramRegistry::new());
+        assert!(text.is_empty());
+    }
+}

@@ -19,6 +19,8 @@
 //! {"type":"explain","source":"…","passes":"slms"}
 //! {"type":"verify","source":"…","scheduler":"exact"}
 //! {"type":"stats"}
+//! {"type":"dump"}
+//! {"type":"metrics"}
 //! {"type":"ping"}
 //! {"type":"shutdown"}
 //! ```
@@ -30,6 +32,13 @@
 //! (`heuristic`/`exact`; like the CLI, `exact` without an explicit
 //! `passes` swaps in the `exact` plan), `paper_style` (compile only).
 //!
+//! Compile/explain/verify requests may additionally carry a distributed
+//! trace context — `trace_id` and `parent_span`, each a 16-digit hex u64.
+//! A traced daemon binds its tracer to the first context it sees, tags the
+//! request span with both fields, and the `dump` verb returns a
+//! `slc-span-dump-v1` document the client can import to stitch daemon
+//! spans into its own Chrome trace.
+//!
 //! ## Responses
 //!
 //! ```json
@@ -37,6 +46,8 @@
 //! {"type":"explain","ok":true,"output":"…"}
 //! {"type":"verify","ok":true,"clean":true,"output":"…"}
 //! {"type":"stats","ok":true,"schema":"slc-serve-proto-v1","counters":{…}}
+//! {"type":"dump","ok":true,"trace":"…","flight":"…"}
+//! {"type":"metrics","ok":true,"text":"…"}
 //! {"type":"pong","ok":true}
 //! {"type":"shutdown","ok":true}
 //! {"type":"error","ok":false,"kind":"…","exit_code":1,"message":"…"}
@@ -53,7 +64,7 @@
 
 use slc_core::{Expansion, SchedulerKind, SlmsConfig};
 use slc_pipeline::{Json, PassPlan, ServiceError};
-use slc_trace::CounterRegistry;
+use slc_trace::{CounterRegistry, TraceCtx};
 
 /// Protocol schema tag, echoed by the `stats` response.
 pub const PROTO_SCHEMA: &str = "slc-serve-proto-v1";
@@ -72,6 +83,11 @@ pub struct RequestOpts {
     pub scheduler: Option<SchedulerKind>,
     /// render `stmt; || stmt;` kernels (`--paper-style`; compile only)
     pub paper_style: bool,
+    /// caller-supplied distributed trace context (`trace_id` +
+    /// `parent_span` hex wire fields); when present the daemon binds its
+    /// tracer to this trace so the client can stitch daemon spans into its
+    /// own timeline
+    pub ctx: Option<TraceCtx>,
 }
 
 impl RequestOpts {
@@ -123,6 +139,10 @@ pub enum Request {
     },
     /// deterministic counter snapshot
     Stats,
+    /// observability dump: span-dump document (if tracing) + flight ring
+    Dump,
+    /// Prometheus text exposition of counters and histograms
+    Metrics,
     /// liveness probe (answered inline, never queued)
     Ping,
     /// begin graceful drain; the response is the last line on this socket
@@ -211,6 +231,19 @@ pub enum Response {
         /// family)
         counters: CounterRegistry,
     },
+    /// observability dump
+    Dump {
+        /// `slc-span-dump-v1` JSONL document of the daemon's spans so far;
+        /// `None` when the daemon is not tracing
+        trace: Option<String>,
+        /// flight-recorder ring as `slc-flight-v1` JSONL
+        flight: String,
+    },
+    /// Prometheus text exposition
+    Metrics {
+        /// `# TYPE`-annotated counter and histogram families
+        text: String,
+    },
     /// ping acknowledgement
     Pong,
     /// drain acknowledged; the daemon stops accepting new requests
@@ -272,6 +305,18 @@ impl Response {
                     .field("schema", PROTO_SCHEMA)
                     .field("counters", obj)
             }
+            Response::Dump { trace, flight } => {
+                let obj = Json::obj().field("type", "dump").field("ok", true);
+                let obj = match trace {
+                    Some(t) => obj.field("trace", t.as_str()),
+                    None => obj,
+                };
+                obj.field("flight", flight.as_str())
+            }
+            Response::Metrics { text } => Json::obj()
+                .field("type", "metrics")
+                .field("ok", true)
+                .field("text", text.as_str()),
             Response::Pong => Json::obj().field("type", "pong").field("ok", true),
             Response::ShutdownAck => Json::obj().field("type", "shutdown").field("ok", true),
             Response::Error { kind, message } => Json::obj()
@@ -319,6 +364,13 @@ impl Response {
                 }
                 Response::Stats { counters }
             }
+            "dump" => Response::Dump {
+                trace: obj.get("trace").and_then(Json::as_str).map(str::to_string),
+                flight: text("flight")?,
+            },
+            "metrics" => Response::Metrics {
+                text: text("text")?,
+            },
             "pong" => Response::Pong,
             "shutdown" => Response::ShutdownAck,
             "error" => Response::Error {
@@ -364,6 +416,11 @@ fn opts_fields(obj: Json, opts: &RequestOpts) -> Json {
     if opts.paper_style {
         obj = obj.field("paper_style", true);
     }
+    if let Some(ctx) = &opts.ctx {
+        obj = obj
+            .field("trace_id", ctx.trace_id_hex().as_str())
+            .field("parent_span", ctx.parent_span_hex().as_str());
+    }
     obj
 }
 
@@ -402,6 +459,16 @@ fn parse_opts(obj: &Json) -> Result<RequestOpts, String> {
             _ => return Err("`paper_style` must be a boolean".to_string()),
         };
     }
+    match (
+        obj.get("trace_id").and_then(Json::as_str),
+        obj.get("parent_span").and_then(Json::as_str),
+    ) {
+        (Some(tid), Some(ps)) => opts.ctx = Some(TraceCtx::from_hex(tid, ps)?),
+        (None, None) => {}
+        _ => {
+            return Err("`trace_id` and `parent_span` must be provided together".to_string());
+        }
+    }
     Ok(opts)
 }
 
@@ -428,6 +495,8 @@ impl Request {
                 opts,
             ),
             Request::Stats => Json::obj().field("type", "stats"),
+            Request::Dump => Json::obj().field("type", "dump"),
+            Request::Metrics => Json::obj().field("type", "metrics"),
             Request::Ping => Json::obj().field("type", "ping"),
             Request::Shutdown => Json::obj().field("type", "shutdown"),
         }
@@ -463,6 +532,8 @@ impl Request {
                 opts: parse_opts(&obj)?,
             },
             "stats" => Request::Stats,
+            "dump" => Request::Dump,
+            "metrics" => Request::Metrics,
             "ping" => Request::Ping,
             "shutdown" => Request::Shutdown,
             other => return Err(format!("unknown request type `{other}`")),
@@ -485,6 +556,7 @@ mod tests {
                     filter: false,
                     scheduler: Some(SchedulerKind::Exact),
                     paper_style: true,
+                    ctx: Some(TraceCtx::from_hex("00000000deadbeef", "0000000000000007").unwrap()),
                 },
             },
             Request::Explain {
@@ -503,6 +575,8 @@ mod tests {
                 },
             },
             Request::Stats,
+            Request::Dump,
+            Request::Metrics,
             Request::Ping,
             Request::Shutdown,
         ];
@@ -530,6 +604,17 @@ mod tests {
                 output: "  summary: …\n".to_string(),
             },
             Response::Stats { counters },
+            Response::Dump {
+                trace: Some("{\"schema\":\"slc-span-dump-v1\"}\n".to_string()),
+                flight: "{\"schema\":\"slc-flight-v1\"}\n".to_string(),
+            },
+            Response::Dump {
+                trace: None,
+                flight: String::new(),
+            },
+            Response::Metrics {
+                text: "# TYPE slc_serve_requests counter\nslc_serve_requests 7\n".to_string(),
+            },
             Response::Pong,
             Response::ShutdownAck,
             Response::Error {
@@ -595,6 +680,8 @@ mod tests {
             "{\"type\":\"nope\"}",
             "{\"type\":\"compile\"}",
             "{\"type\":\"compile\",\"source\":\"x\",\"expansion\":\"huge\"}",
+            "{\"type\":\"compile\",\"source\":\"x\",\"trace_id\":\"ab\"}",
+            "{\"type\":\"compile\",\"source\":\"x\",\"trace_id\":\"zz\",\"parent_span\":\"0\"}",
         ] {
             assert!(Request::parse(bad).is_err(), "{bad:?}");
         }

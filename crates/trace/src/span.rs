@@ -24,6 +24,82 @@ use std::time::Instant;
 
 use crate::json::Json;
 
+/// Wire schema identifier for per-process span dumps (what
+/// [`Tracer::export_process_dump`] writes and
+/// [`Tracer::import_process_dump`] reads).
+pub const SPAN_DUMP_SCHEMA: &str = "slc-span-dump-v1";
+
+/// A distributed trace context: the identity a request or batch run carries
+/// across process boundaries so every participating process records spans
+/// under one trace.
+///
+/// `trace_id` names the trace (a whole `slc batch --shards N` run, or one
+/// daemon request); `parent_span` is the caller-side span the remote work
+/// hangs under (0 = root). Both travel on the wire as 16-digit hex strings
+/// — in `slc-serve-proto-v1` requests and in the `slc-shard-proto-v1`
+/// `init` message — and the Chrome exporter stamps the merged document's
+/// `otherData.trace_id` with it, so a stitched multi-process trace provably
+/// belongs to one trace id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// trace identity shared by every process participating in one run
+    pub trace_id: u64,
+    /// caller-side parent span id (0 = this context is the root)
+    pub parent_span: u64,
+}
+
+impl TraceCtx {
+    /// A fresh root context. The id mixes the process id with the wall
+    /// clock so concurrent runs on one machine get distinct traces; it is
+    /// an identity, not a measurement, so it never lands in canonical
+    /// reports or counters.
+    pub fn fresh() -> TraceCtx {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let pid = std::process::id() as u64;
+        // splitmix64 finalizer: spreads pid/time bits over the whole word
+        let mut z = nanos ^ (pid << 32) ^ pid;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        TraceCtx {
+            trace_id: (z ^ (z >> 31)).max(1),
+            parent_span: 0,
+        }
+    }
+
+    /// The context a child process should run under, hanging off `span`.
+    pub fn child(&self, span: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            parent_span: span,
+        }
+    }
+
+    /// Render `trace_id` as the canonical 16-digit hex wire form.
+    pub fn trace_id_hex(&self) -> String {
+        format!("{:016x}", self.trace_id)
+    }
+
+    /// Render `parent_span` as the canonical 16-digit hex wire form.
+    pub fn parent_span_hex(&self) -> String {
+        format!("{:016x}", self.parent_span)
+    }
+
+    /// Reconstruct a context from the two hex wire fields.
+    pub fn from_hex(trace_id: &str, parent_span: &str) -> Result<TraceCtx, String> {
+        let t = u64::from_str_radix(trace_id, 16)
+            .map_err(|_| format!("bad trace_id `{trace_id}` (want hex u64)"))?;
+        let p = u64::from_str_radix(parent_span, 16)
+            .map_err(|_| format!("bad parent_span `{parent_span}` (want hex u64)"))?;
+        Ok(TraceCtx {
+            trace_id: t,
+            parent_span: p,
+        })
+    }
+}
+
 /// Global count of real clock reads performed by enabled tracers. Test
 /// guard for the zero-cost-when-disabled contract; never reset.
 static CLOCK_READS: AtomicU64 = AtomicU64::new(0);
@@ -133,9 +209,16 @@ pub struct TraceEvent {
 #[derive(Debug)]
 pub struct TraceBuf {
     t0: Instant,
+    /// wall-clock anchor of `t0` (epoch nanoseconds), so per-process dumps
+    /// from different machines/processes can be shifted onto one timeline
+    t0_epoch_ns: u64,
+    ctx: Mutex<Option<TraceCtx>>,
     events: Mutex<Vec<TraceEvent>>,
     tracks: Mutex<BTreeMap<u32, String>>,
     processes: Mutex<BTreeMap<u32, String>>,
+    /// thread names for events imported from other processes, keyed by
+    /// (pid, tid) — the local `tracks` map is implicitly pid 1
+    remote_tracks: Mutex<BTreeMap<(u32, u32), String>>,
 }
 
 impl TraceBuf {
@@ -159,15 +242,35 @@ impl Tracer {
 
     /// A fresh collector with its origin at "now".
     pub fn enabled() -> Tracer {
-        CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+        CLOCK_READS.fetch_add(2, Ordering::Relaxed);
         Tracer {
             buf: Some(Arc::new(TraceBuf {
                 t0: Instant::now(),
+                t0_epoch_ns: std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0),
+                ctx: Mutex::new(None),
                 events: Mutex::new(Vec::new()),
                 tracks: Mutex::new(BTreeMap::new()),
                 processes: Mutex::new(BTreeMap::new()),
+                remote_tracks: Mutex::new(BTreeMap::new()),
             })),
         }
+    }
+
+    /// Bind this tracer to a distributed trace context. The first binding
+    /// wins; later calls against an already-bound tracer are ignored, so
+    /// every request in a traced daemon shares the daemon's root trace.
+    pub fn set_ctx(&self, ctx: TraceCtx) {
+        if let Some(buf) = &self.buf {
+            buf.ctx.lock().unwrap().get_or_insert(ctx);
+        }
+    }
+
+    /// The bound trace context, if any.
+    pub fn ctx(&self) -> Option<TraceCtx> {
+        self.buf.as_ref().and_then(|b| *b.ctx.lock().unwrap())
     }
 
     /// Whether spans are being recorded.
@@ -279,6 +382,167 @@ impl Tracer {
         })
     }
 
+    /// Export this process's spans as a self-contained dump another
+    /// process can merge with [`Tracer::import_process_dump`]: schema tag,
+    /// trace id (when bound), the wall-clock anchor of the time origin,
+    /// the registered thread tracks and every completed span. `None` if
+    /// disabled.
+    pub fn export_process_dump(&self, process_name: &str) -> Option<String> {
+        let buf = self.buf.as_ref()?;
+        let mut doc = Json::obj()
+            .field("schema", SPAN_DUMP_SCHEMA)
+            .field("process", process_name)
+            .field("t0_epoch_ns", Json::Str(format!("{}", buf.t0_epoch_ns)));
+        if let Some(ctx) = self.ctx() {
+            doc = doc
+                .field("trace_id", ctx.trace_id_hex())
+                .field("parent_span", ctx.parent_span_hex());
+        }
+        let tracks: Vec<Json> = self
+            .tracks()
+            .into_iter()
+            .map(|(tid, name)| Json::obj().field("tid", tid).field("name", name))
+            .collect();
+        let events: Vec<Json> = self
+            .events()
+            .into_iter()
+            .map(|ev| {
+                let mut args = Json::obj();
+                for (k, v) in ev.args {
+                    args = args.field(k, v);
+                }
+                Json::obj()
+                    .field("name", ev.name)
+                    .field("cat", ev.cat)
+                    .field("tid", ev.tid)
+                    .field("ts_ns", Json::Str(format!("{}", ev.ts_ns)))
+                    .field("dur_ns", Json::Str(format!("{}", ev.dur_ns)))
+                    .field("args", args)
+            })
+            .collect();
+        Some(
+            doc.field("tracks", Json::Arr(tracks))
+                .field("events", Json::Arr(events))
+                .to_string(),
+        )
+    }
+
+    /// Merge another process's span dump into this buffer under Chrome
+    /// process `pid`. Timestamps are shifted onto this tracer's timeline
+    /// via the wall-clock anchors; the dump's thread tracks are remapped
+    /// to `tid + 1` so the importing side's own `tid 0` row for that
+    /// process (e.g. the dispatcher's per-shard chunk spans) stays
+    /// distinct. Errors if the dump belongs to a different trace id than
+    /// this tracer is bound to. Returns the number of spans imported.
+    pub fn import_process_dump(&self, text: &str, pid: u32, name: &str) -> Result<usize, String> {
+        let Some(buf) = &self.buf else {
+            return Ok(0);
+        };
+        let doc = Json::parse(text).map_err(|e| format!("span dump is not JSON: {e}"))?;
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(SPAN_DUMP_SCHEMA) => {}
+            other => return Err(format!("unknown span dump schema {other:?}")),
+        }
+        if let (Some(mine), Some(theirs)) = (self.ctx(), doc.get("trace_id").and_then(Json::as_str))
+        {
+            if mine.trace_id_hex() != theirs {
+                return Err(format!(
+                    "span dump belongs to trace {theirs}, this tracer is bound to {}",
+                    mine.trace_id_hex()
+                ));
+            }
+        }
+        let parse_u = |j: Option<&Json>| -> Option<u64> {
+            match j {
+                Some(Json::Str(s)) => s.parse().ok(),
+                Some(other) => other.as_i64().map(|v| v as u64),
+                None => None,
+            }
+        };
+        let their_epoch = parse_u(doc.get("t0_epoch_ns")).unwrap_or(buf.t0_epoch_ns);
+        // shift the remote timeline onto ours; clamp at 0 if the remote
+        // anchor predates ours (clock skew)
+        let shift = their_epoch as i128 - buf.t0_epoch_ns as i128;
+        let proc_name = doc
+            .get("process")
+            .and_then(Json::as_str)
+            .unwrap_or(name)
+            .to_string();
+        {
+            let mut procs = buf.processes.lock().unwrap();
+            procs.entry(pid).or_insert(proc_name);
+        }
+        {
+            let mut remote = buf.remote_tracks.lock().unwrap();
+            if let Some(tracks) = doc.get("tracks").and_then(Json::as_arr) {
+                for t in tracks {
+                    if let (Some(tid), Some(tname)) = (
+                        t.get("tid").and_then(Json::as_i64),
+                        t.get("name").and_then(Json::as_str),
+                    ) {
+                        remote
+                            .entry((pid, tid as u32 + 1))
+                            .or_insert_with(|| tname.to_string());
+                    }
+                }
+            }
+        }
+        let events = doc
+            .get("events")
+            .and_then(Json::as_arr)
+            .ok_or("span dump carries no events array")?;
+        let mut imported = Vec::with_capacity(events.len());
+        for (i, ev) in events.iter().enumerate() {
+            let name = ev
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("dump event {i}: missing name"))?;
+            let tid = ev
+                .get("tid")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| format!("dump event {i}: missing tid"))?;
+            let ts_ns =
+                parse_u(ev.get("ts_ns")).ok_or_else(|| format!("dump event {i}: missing ts_ns"))?;
+            let dur_ns = parse_u(ev.get("dur_ns"))
+                .ok_or_else(|| format!("dump event {i}: missing dur_ns"))?;
+            let cat = match ev.get("cat").and_then(Json::as_str) {
+                Some("batch") => "batch",
+                Some("stage") => "stage",
+                Some("pass") => "pass",
+                Some("slms") => "slms",
+                Some("sim") => "sim",
+                Some("verify") => "verify",
+                Some("interp") => "interp",
+                Some("shard") => "shard",
+                Some("cell") => "cell",
+                Some("serve") => "serve",
+                _ => "remote",
+            };
+            let mut args: Vec<(&'static str, ArgValue)> = Vec::new();
+            if let Some(Json::Obj(members)) = ev.get("args") {
+                // imported arg keys are folded into one value to keep the
+                // in-memory event's &'static keys; full fidelity lives in
+                // the source process's own dump
+                if !members.is_empty() {
+                    let rendered = ev.get("args").unwrap().to_string();
+                    args.push(("imported_args", ArgValue::S(rendered)));
+                }
+            }
+            imported.push(TraceEvent {
+                name: name.to_string(),
+                cat,
+                pid,
+                tid: tid as u32 + 1,
+                ts_ns: (ts_ns as i128 + shift).max(0) as u64,
+                dur_ns,
+                args,
+            });
+        }
+        let n = imported.len();
+        buf.events.lock().unwrap().extend(imported);
+        Ok(n)
+    }
+
     /// Export the Chrome trace-event document (the JSON Object Format:
     /// `{"traceEvents": [...]}`), loadable in Perfetto. `None` if disabled.
     ///
@@ -327,6 +591,19 @@ impl Tracer {
                     .field("args", Json::obj().field("name", name)),
             );
         }
+        if let Some(buf) = &self.buf {
+            let remote = buf.remote_tracks.lock().unwrap();
+            for (&(pid, tid), name) in remote.iter() {
+                events.push(
+                    Json::obj()
+                        .field("ph", "M")
+                        .field("name", "thread_name")
+                        .field("pid", pid)
+                        .field("tid", tid)
+                        .field("args", Json::obj().field("name", name.as_str())),
+                );
+            }
+        }
         for ev in self.events() {
             let mut args = Json::obj();
             for (k, v) in ev.args {
@@ -344,9 +621,13 @@ impl Tracer {
                     .field("args", args),
             );
         }
+        let mut other = Json::obj().field("generator", "slc-trace");
+        if let Some(ctx) = self.ctx() {
+            other = other.field("trace_id", ctx.trace_id_hex());
+        }
         let doc = Json::obj()
             .field("displayTimeUnit", "ms")
-            .field("otherData", Json::obj().field("generator", "slc-trace"))
+            .field("otherData", other)
             .field("traceEvents", Json::Arr(events));
         Some(doc.to_pretty())
     }
@@ -522,6 +803,77 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
     })
 }
 
+/// Summary returned by [`validate_event_log`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLogSummary {
+    /// number of event lines
+    pub events: usize,
+    /// distinct (pid, tid) pairs carrying events
+    pub tracks: usize,
+    /// distinct span names, sorted
+    pub span_names: Vec<String>,
+}
+
+/// Validate a structured span log ([`Tracer::to_jsonl`] output): one JSON
+/// object per line carrying `ts_us`/`dur_us`/`pid`/`tid`/`cat`/`name`,
+/// with timestamps monotone non-decreasing within each (pid, tid) track.
+pub fn validate_event_log(text: &str) -> Result<EventLogSummary, String> {
+    let mut events = 0usize;
+    let mut last_ts: BTreeMap<(i64, i64), f64> = BTreeMap::new();
+    let mut span_names = std::collections::BTreeSet::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line).map_err(|e| format!("line {}: not valid JSON: {e}", i + 1))?;
+        let ts = obj
+            .get("ts_us")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing numeric ts_us", i + 1))?;
+        let dur = obj
+            .get("dur_us")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing numeric dur_us", i + 1))?;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("line {}: negative ts_us/dur_us", i + 1));
+        }
+        let pid = obj
+            .get("pid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("line {}: missing integer pid", i + 1))?;
+        let tid = obj
+            .get("tid")
+            .and_then(Json::as_i64)
+            .ok_or_else(|| format!("line {}: missing integer tid", i + 1))?;
+        obj.get("cat")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string cat", i + 1))?;
+        let name = obj
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string name", i + 1))?;
+        let prev = last_ts.entry((pid, tid)).or_insert(0.0);
+        if ts < *prev {
+            return Err(format!(
+                "line {}: ts_us {ts} regresses below {} on track ({pid}, {tid})",
+                i + 1,
+                *prev
+            ));
+        }
+        *prev = ts;
+        span_names.insert(name.to_string());
+        events += 1;
+    }
+    if events == 0 {
+        return Err("event log carries no events".into());
+    }
+    Ok(EventLogSummary {
+        events,
+        tracks: last_ts.len(),
+        span_names: span_names.into_iter().collect(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -644,6 +996,130 @@ mod tests {
         let jsonl = t.to_jsonl().unwrap();
         let line = Json::parse(jsonl.lines().nth(1).unwrap()).unwrap();
         assert_eq!(line.get("pid").and_then(Json::as_i64), Some(3));
+    }
+
+    #[test]
+    fn trace_ctx_round_trips_through_hex() {
+        let ctx = TraceCtx::fresh();
+        assert_ne!(ctx.trace_id, 0);
+        assert_eq!(ctx.parent_span, 0);
+        let back = TraceCtx::from_hex(&ctx.trace_id_hex(), &ctx.parent_span_hex()).unwrap();
+        assert_eq!(back, ctx);
+        let child = ctx.child(42);
+        assert_eq!(child.trace_id, ctx.trace_id);
+        assert_eq!(child.parent_span, 42);
+        assert!(TraceCtx::from_hex("zz", "0").is_err());
+    }
+
+    #[test]
+    fn first_ctx_binding_wins() {
+        let t = Tracer::enabled();
+        assert_eq!(t.ctx(), None);
+        let a = TraceCtx {
+            trace_id: 7,
+            parent_span: 0,
+        };
+        t.set_ctx(a);
+        t.set_ctx(TraceCtx {
+            trace_id: 9,
+            parent_span: 1,
+        });
+        assert_eq!(t.ctx(), Some(a));
+        // disabled tracers hold no context
+        let d = Tracer::disabled();
+        d.set_ctx(a);
+        assert_eq!(d.ctx(), None);
+    }
+
+    #[test]
+    fn process_dump_merges_into_one_validating_trace() {
+        let ctx = TraceCtx {
+            trace_id: 0xabcd,
+            parent_span: 0,
+        };
+        // "remote" process: a worker with two tracks and args
+        let remote = Tracer::enabled();
+        remote.set_ctx(ctx);
+        remote.set_thread_track(0, "main");
+        {
+            let mut s = remote.span("stage", "simulate");
+            s.arg("cycles", 99u64);
+        }
+        let dump = remote.export_process_dump("shard").unwrap();
+
+        // local process: dispatcher with its own spans
+        let local = Tracer::enabled();
+        local.set_ctx(ctx);
+        local.set_thread_track(0, "main");
+        {
+            let _s = local.span("batch", "batch.run");
+        }
+        let n = local.import_process_dump(&dump, 2, "shard-0").unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(local.processes(), vec![(2, "shard".to_string())]);
+
+        let chrome = local.to_chrome_json().unwrap();
+        let summary = validate_chrome_trace(&chrome).unwrap();
+        assert_eq!(summary.spans, 2);
+        // the imported span landed on pid 2 with its tid shifted off 0
+        let evs = local.events();
+        let imported = evs.iter().find(|e| e.name == "simulate").unwrap();
+        assert_eq!((imported.pid, imported.tid), (2, 1));
+        // merged doc carries the shared trace id
+        assert!(chrome.contains("\"trace_id\": \"000000000000abcd\""));
+        // args survive as a folded rendering
+        assert!(matches!(&imported.args[0].1, ArgValue::S(s) if s.contains("cycles")));
+    }
+
+    #[test]
+    fn import_rejects_foreign_trace_ids_and_bad_schemas() {
+        let a = Tracer::enabled();
+        a.set_ctx(TraceCtx {
+            trace_id: 1,
+            parent_span: 0,
+        });
+        let b = Tracer::enabled();
+        b.set_ctx(TraceCtx {
+            trace_id: 2,
+            parent_span: 0,
+        });
+        b.set_thread_track(0, "main");
+        {
+            let _s = b.span("stage", "parse");
+        }
+        let dump = b.export_process_dump("other").unwrap();
+        let err = a.import_process_dump(&dump, 2, "other").unwrap_err();
+        assert!(err.contains("trace"), "{err}");
+        assert!(a
+            .import_process_dump("{\"schema\":\"nope\"}", 2, "x")
+            .is_err());
+        // a disabled importer is a no-op, not an error
+        assert_eq!(
+            Tracer::disabled()
+                .import_process_dump(&dump, 2, "x")
+                .unwrap(),
+            0
+        );
+    }
+
+    #[test]
+    fn event_log_validator_checks_monotone_timestamps() {
+        let t = Tracer::enabled();
+        t.set_thread_track(0, "main");
+        for _ in 0..3 {
+            let _s = t.span("stage", "parse");
+        }
+        let log = t.to_jsonl().unwrap();
+        let sum = validate_event_log(&log).unwrap();
+        assert_eq!(sum.events, 3);
+        assert_eq!(sum.tracks, 1);
+        assert_eq!(sum.span_names, vec!["parse".to_string()]);
+
+        assert!(validate_event_log("").is_err());
+        assert!(validate_event_log("not json\n").is_err());
+        let regress = "{\"ts_us\":5.0,\"dur_us\":1.0,\"pid\":1,\"tid\":0,\"cat\":\"c\",\"name\":\"a\"}\n\
+                       {\"ts_us\":4.0,\"dur_us\":1.0,\"pid\":1,\"tid\":0,\"cat\":\"c\",\"name\":\"b\"}\n";
+        assert!(validate_event_log(regress).unwrap_err().contains("regress"));
     }
 
     #[test]

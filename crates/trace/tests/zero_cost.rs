@@ -5,11 +5,15 @@
 //!
 //! This file must stay a single `#[test]` binary: both guards are global
 //! counters and would race with unrelated concurrent tests.
+//!
+//! The same allocator guard also proves the flight recorder's
+//! steady-state contract: once the ring is full, recording overwrites
+//! slots in place and performs zero heap allocations.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use slc_trace::{clock_reads, Tracer};
+use slc_trace::{clock_reads, FlightRecorder, RecKind, Tracer};
 
 struct CountingAlloc;
 
@@ -68,4 +72,19 @@ fn disabled_tracer_is_zero_cost() {
         "alloc guard is not wired"
     );
     assert_eq!(enabled.event_count(), 1);
+
+    // Flight recorder steady state: the ring is pre-allocated at
+    // construction; once full, recording must never touch the allocator.
+    let rec = FlightRecorder::new(256);
+    for i in 0..256u64 {
+        rec.record(RecKind::Mark, "warmup", i, 0);
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    for i in 0..100_000u64 {
+        rec.record(RecKind::Counter, "steady", i, i);
+    }
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    assert_eq!(allocs, 0, "full flight ring allocated {allocs} times");
+    assert_eq!(rec.recorded(), 100_256);
+    assert_eq!(rec.len(), 256);
 }

@@ -13,7 +13,8 @@
 //!        slc deps [OPTIONS] [FILE]     (dump + re-check dependence verdicts)
 //!        slc batch [BATCH OPTIONS]     (run the full experiment matrix)
 //!        slc stats [STATS OPTIONS]     (deterministic counter registry + gate)
-//!        slc trace-check FILE          (validate a Chrome trace-event JSON)
+//!        slc trace-check FILE          (validate a Chrome trace, span log, or
+//!                                       flight-recorder dump — autodetected)
 //!        slc serve [SERVE OPTIONS]     (persistent compile daemon, NDJSON/TCP)
 //!        slc bench-serve [BENCH OPTIONS] (load-test a daemon, BENCH_serve.json)
 //!        slc bench-shards [BENCH OPTIONS] (sweep --shards, BENCH_shard.json)
@@ -126,11 +127,26 @@
 //!   --check <PATH>                 gate against a counter baseline: every
 //!                                  baseline counter must match within its
 //!                                  named tolerance (exit 1 on any failure)
+//!   --histograms                   print the deterministic work histograms
+//!                                  (log2 buckets: MIs per loop, SAT
+//!                                  conflicts/decisions per solve, dep pairs
+//!                                  per loop) instead of the counters
+//!   --hist-out <PATH>              write the slc-histograms-v1 document
+//!                                  (regenerates BENCH_histograms.json)
+//!   --hist-check <PATH>            gate against a histogram baseline: every
+//!                                  named histogram must match exactly —
+//!                                  count, sum and every bucket (exit 1 on
+//!                                  any drift)
 //!
 //! SERVE OPTIONS — run the compiler as a long-lived daemon speaking
 //! newline-delimited JSON (schema `slc-serve-proto-v1`; see README.md
 //! for the wire protocol). All connections share one `CompileService`
-//! artifact cache; responses are byte-identical to one-shot `slc` output:
+//! artifact cache; responses are byte-identical to one-shot `slc` output.
+//! Beyond compile/explain/verify the daemon answers `stats` (counters),
+//! `metrics` (Prometheus text exposition of counters + histograms) and
+//! `dump` (span-dump + flight-recorder ring) inline; compile-class
+//! requests may carry `trace_id`/`parent_span` to stitch daemon spans
+//! into the caller's distributed trace:
 //!   --addr <HOST:PORT>             TCP listen address (default
 //!                                  127.0.0.1:7878; port 0 picks a free one)
 //!   --unix <PATH>                  listen on a Unix-domain socket instead
@@ -147,9 +163,11 @@
 //!   exit 0 = drained clean, 3 = requests abandoned at the deadline)
 //!
 //! BENCH-SERVE OPTIONS — replay the workload × pass-plan corpus against a
-//! daemon at fixed client concurrency and write BENCH_serve.json (latency
-//! percentiles + cache hit rate; deterministic counts live in a separate
-//! section from wall-clock timing). Without --addr the bench spawns an
+//! daemon at fixed client concurrency and write BENCH_serve.json
+//! (`slc-serve-bench-v2`: log2-bucketed latency histogram with
+//! p50/p90/p99/p99.9/max and recorded bucket boundaries + cache hit rate;
+//! deterministic counts live in a separate section from wall-clock
+//! timing). Without --addr the bench spawns an
 //! in-process daemon on an ephemeral port and drives the full lifecycle
 //! including shutdown drain (what the CI serve-smoke job gates):
 //!   --addr <HOST:PORT>             target an already-running daemon
@@ -196,6 +214,7 @@ fn usage() -> ! {
          \x20      slc batch [--passes PLAN] [--scheduler ...] [--threads N] [--out PATH] [--timing PATH]\n\
          \x20                [--sim-bench PATH] [--repeat N] [--verify] [--trace PATH] [--events PATH]\n\
          \x20      slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
+         \x20                [--histograms] [--hist-out PATH] [--hist-check PATH]\n\
          \x20      slc trace-check FILE\n\
          \x20      slc serve [--addr HOST:PORT] [--unix PATH] [--queue N] [--timeout-ms N]\n\
          \x20                [--cache-capacity N] [--trace PATH]\n\
@@ -486,7 +505,10 @@ fn batch_main(args: impl Iterator<Item = String>) -> ! {
 }
 
 fn stats_usage() -> ! {
-    eprintln!("usage: slc stats [--threads N] [--json] [--out PATH] [--check PATH]");
+    eprintln!(
+        "usage: slc stats [--threads N] [--json] [--out PATH] [--check PATH]\n\
+         \x20               [--histograms] [--hist-out PATH] [--hist-check PATH]"
+    );
     exit(2)
 }
 
@@ -494,15 +516,19 @@ fn stats_usage() -> ! {
 /// plan and then the exact plan, static verification on both times — and
 /// render the cumulative deterministic counter registry (the `slms.*`,
 /// `verify.*` and `exact.*` families all populate). `--check` turns it
-/// into the CI counter gate.
+/// into the CI counter gate; `--histograms`/`--hist-out`/`--hist-check`
+/// do the same for the deterministic work histograms.
 fn stats_main(args: impl Iterator<Item = String>) -> ! {
     use slc::pipeline::{BatchConfig, BatchEngine};
-    use slc::trace::{check_counters, CounterBaseline};
+    use slc::trace::{check_counters, check_histograms, CounterBaseline, HistogramBaseline};
 
     let mut threads: Option<usize> = None;
     let mut json = false;
     let mut out_path: Option<String> = None;
     let mut check_path: Option<String> = None;
+    let mut histograms = false;
+    let mut hist_out_path: Option<String> = None;
+    let mut hist_check_path: Option<String> = None;
 
     let mut args = args;
     while let Some(a) = args.next() {
@@ -518,6 +544,9 @@ fn stats_main(args: impl Iterator<Item = String>) -> ! {
             "--json" => json = true,
             "--out" => out_path = Some(args.next().unwrap_or_else(|| stats_usage())),
             "--check" => check_path = Some(args.next().unwrap_or_else(|| stats_usage())),
+            "--histograms" => histograms = true,
+            "--hist-out" => hist_out_path = Some(args.next().unwrap_or_else(|| stats_usage())),
+            "--hist-check" => hist_check_path = Some(args.next().unwrap_or_else(|| stats_usage())),
             _ => stats_usage(),
         }
     }
@@ -538,7 +567,13 @@ fn stats_main(args: impl Iterator<Item = String>) -> ! {
         );
         exit(1)
     }
-    if json {
+    if histograms {
+        if json {
+            print!("{}", report.histograms_json());
+        } else {
+            print!("{}", report.histograms.render_text());
+        }
+    } else if json {
         print!("{}", report.counters_json());
     } else {
         print!("{}", report.counters.render_text());
@@ -578,13 +613,52 @@ fn stats_main(args: impl Iterator<Item = String>) -> ! {
             exit(1)
         }
     }
+    if let Some(p) = &hist_out_path {
+        if let Err(e) = std::fs::write(p, report.histograms_json()) {
+            eprintln!("slc stats: cannot write {p}: {e}");
+            exit(1)
+        }
+        eprintln!("slc stats: wrote {p}");
+    }
+    if let Some(p) = &hist_check_path {
+        let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+            eprintln!("slc stats: cannot read {p}: {e}");
+            exit(1)
+        });
+        let base = HistogramBaseline::parse(&text).unwrap_or_else(|e| {
+            eprintln!("slc stats: {p} is not a histogram baseline: {e}");
+            exit(1)
+        });
+        let failures = check_histograms(&report.histograms, &base);
+        if failures.is_empty() {
+            eprintln!(
+                "slc stats: histogram gate OK ({} baseline histogram(s) exact)",
+                base.histograms.len()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("slc stats: GATE FAILURE: {f}");
+            }
+            eprintln!(
+                "slc stats: {} of {} baseline histogram(s) drifted \
+                 (regenerate with `slc stats --hist-out {p}` if the drift is intended)",
+                failures.len(),
+                base.histograms.len()
+            );
+            exit(1)
+        }
+    }
     exit(0)
 }
 
-/// `slc trace-check FILE`: schema-validate a Chrome trace-event document
-/// (the Perfetto smoke check CI runs against `slc batch --trace` output).
+/// `slc trace-check FILE`: schema-validate an observability document. The
+/// format is autodetected per file: a flight-recorder dump (header line
+/// carries `slc-flight-v1`), a structured span log (`--events` JSONL), or
+/// a Chrome trace-event JSON (the Perfetto smoke check CI runs against
+/// `slc batch --trace` output). Exit 0 = every file valid, 1 = any
+/// invalid, 2 = bad usage — the same contract for all three formats.
 fn trace_check_main(args: impl Iterator<Item = String>) -> ! {
-    use slc::trace::validate_chrome_trace;
+    use slc::trace::{validate_chrome_trace, validate_event_log, validate_flight_dump};
     let paths: Vec<String> = args.collect();
     if paths.is_empty() || paths.iter().any(|p| p.starts_with('-')) {
         eprintln!("usage: slc trace-check FILE...");
@@ -596,14 +670,37 @@ fn trace_check_main(args: impl Iterator<Item = String>) -> ! {
             eprintln!("slc trace-check: cannot read {p}: {e}");
             exit(1)
         });
-        match validate_chrome_trace(&text) {
-            Ok(s) => eprintln!(
-                "slc trace-check: {p}: OK — {} span(s) on {} named track(s), \
-                 {} distinct span name(s)",
-                s.spans,
-                s.tracks.len(),
-                s.span_names.len()
-            ),
+        let first = text.lines().next().unwrap_or("");
+        let verdict = if first.contains("slc-flight-v1") {
+            validate_flight_dump(&text).map(|s| {
+                format!(
+                    "flight dump — {} event(s) of {} recorded, kinds: {}",
+                    s.events,
+                    s.recorded,
+                    s.kinds.join(",")
+                )
+            })
+        } else if Json::parse(text.trim()).is_ok_and(|d| d.get("traceEvents").is_some()) {
+            validate_chrome_trace(&text).map(|s| {
+                format!(
+                    "Chrome trace — {} span(s) on {} named track(s), {} distinct span name(s)",
+                    s.spans,
+                    s.tracks.len(),
+                    s.span_names.len()
+                )
+            })
+        } else {
+            validate_event_log(&text).map(|s| {
+                format!(
+                    "event log — {} event(s) on {} track(s), {} distinct span name(s)",
+                    s.events,
+                    s.tracks,
+                    s.span_names.len()
+                )
+            })
+        };
+        match verdict {
+            Ok(msg) => eprintln!("slc trace-check: {p}: OK — {msg}"),
             Err(e) => {
                 eprintln!("slc trace-check: {p}: INVALID — {e}");
                 bad = true;
